@@ -1,0 +1,215 @@
+//! Forward-mode dual numbers.
+
+use crate::Scalar;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A forward-mode dual number `v + d·ε` with `ε² = 0`.
+///
+/// Carrying a single tangent direction, `Dual` computes directional
+/// derivatives in one pass. Its main role in AutoMon is as the *value type
+/// of a reverse tape* (`Tape<Dual>`): seeding the input tangents with a
+/// direction `v` and back-propagating yields the Hessian-vector product
+/// `H·v` (forward-over-reverse), from which full Hessians are assembled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dual {
+    /// Primal value.
+    pub v: f64,
+    /// Tangent (directional derivative).
+    pub d: f64,
+}
+
+impl Dual {
+    /// A dual with the given primal and tangent.
+    pub fn new(v: f64, d: f64) -> Self {
+        Self { v, d }
+    }
+
+    /// A constant (zero tangent).
+    pub fn constant(v: f64) -> Self {
+        Self { v, d: 0.0 }
+    }
+
+    /// A seeded variable (unit tangent).
+    pub fn variable(v: f64) -> Self {
+        Self { v, d: 1.0 }
+    }
+}
+
+impl Add for Dual {
+    type Output = Dual;
+    #[inline]
+    fn add(self, o: Dual) -> Dual {
+        Dual::new(self.v + o.v, self.d + o.d)
+    }
+}
+
+impl Sub for Dual {
+    type Output = Dual;
+    #[inline]
+    fn sub(self, o: Dual) -> Dual {
+        Dual::new(self.v - o.v, self.d - o.d)
+    }
+}
+
+impl Mul for Dual {
+    type Output = Dual;
+    #[inline]
+    fn mul(self, o: Dual) -> Dual {
+        Dual::new(self.v * o.v, self.d * o.v + self.v * o.d)
+    }
+}
+
+impl Div for Dual {
+    type Output = Dual;
+    #[inline]
+    fn div(self, o: Dual) -> Dual {
+        Dual::new(self.v / o.v, (self.d * o.v - self.v * o.d) / (o.v * o.v))
+    }
+}
+
+impl Neg for Dual {
+    type Output = Dual;
+    #[inline]
+    fn neg(self) -> Dual {
+        Dual::new(-self.v, -self.d)
+    }
+}
+
+impl Scalar for Dual {
+    #[inline]
+    fn from_f64(c: f64) -> Self {
+        Dual::constant(c)
+    }
+
+    #[inline]
+    fn value(&self) -> f64 {
+        self.v
+    }
+
+    #[inline]
+    fn exp(self) -> Self {
+        let e = self.v.exp();
+        Dual::new(e, self.d * e)
+    }
+
+    #[inline]
+    fn ln(self) -> Self {
+        Dual::new(self.v.ln(), self.d / self.v)
+    }
+
+    #[inline]
+    fn tanh(self) -> Self {
+        let t = self.v.tanh();
+        Dual::new(t, self.d * (1.0 - t * t))
+    }
+
+    #[inline]
+    fn sin(self) -> Self {
+        Dual::new(self.v.sin(), self.d * self.v.cos())
+    }
+
+    #[inline]
+    fn cos(self) -> Self {
+        Dual::new(self.v.cos(), -self.d * self.v.sin())
+    }
+
+    #[inline]
+    fn sqrt(self) -> Self {
+        let s = self.v.sqrt();
+        Dual::new(s, self.d * 0.5 / s)
+    }
+
+    #[inline]
+    fn powi(self, n: i32) -> Self {
+        Dual::new(
+            self.v.powi(n),
+            self.d * f64::from(n) * self.v.powi(n - 1),
+        )
+    }
+
+    #[inline]
+    fn abs(self) -> Self {
+        if self.v >= 0.0 {
+            self
+        } else {
+            -self
+        }
+    }
+
+    #[inline]
+    fn max(self, other: Self) -> Self {
+        if self.v >= other.v {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(v: f64) -> Dual {
+        Dual::variable(v)
+    }
+
+    #[test]
+    fn arithmetic_rules() {
+        let x = d(3.0);
+        let y = Dual::constant(2.0);
+        assert_eq!((x + y).d, 1.0);
+        assert_eq!((x - y).d, 1.0);
+        assert_eq!((x * y).d, 2.0); // d/dx (2x) = 2
+        assert_eq!((y / x).d, -2.0 / 9.0); // d/dx (2/x) = -2/x²
+        assert_eq!((-x).d, -1.0);
+    }
+
+    #[test]
+    fn product_rule() {
+        let x = d(5.0);
+        let y = x * x; // x², derivative 2x = 10
+        assert_eq!(y.v, 25.0);
+        assert_eq!(y.d, 10.0);
+    }
+
+    #[test]
+    fn transcendental_derivatives() {
+        let x = d(0.7);
+        assert!((x.exp().d - 0.7f64.exp()).abs() < 1e-15);
+        assert!((x.ln().d - 1.0 / 0.7).abs() < 1e-15);
+        assert!((x.sin().d - 0.7f64.cos()).abs() < 1e-15);
+        assert!((x.cos().d + 0.7f64.sin()).abs() < 1e-15);
+        let t = 0.7f64.tanh();
+        assert!((x.tanh().d - (1.0 - t * t)).abs() < 1e-15);
+        assert!((x.sqrt().d - 0.5 / 0.7f64.sqrt()).abs() < 1e-15);
+        assert!((x.powi(3).d - 3.0 * 0.49).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonsmooth_branches() {
+        assert_eq!(d(-2.0).abs().d, -1.0);
+        assert_eq!(d(2.0).abs().d, 1.0);
+        assert_eq!(d(0.0).abs().d, 1.0); // tie: non-negative branch
+        assert_eq!(d(3.0).relu().d, 1.0);
+        assert_eq!(d(-3.0).relu().d, 0.0);
+    }
+
+    #[test]
+    fn max_propagates_winning_tangent() {
+        let a = Dual::new(1.0, 10.0);
+        let b = Dual::new(2.0, 20.0);
+        assert_eq!(Scalar::max(a, b).d, 20.0);
+        assert_eq!(Scalar::max(b, a).d, 20.0);
+        assert_eq!(Scalar::min(a, b).d, 10.0);
+    }
+
+    #[test]
+    fn sigmoid_derivative() {
+        let x = d(0.3);
+        let s = 1.0 / (1.0 + (-0.3f64).exp());
+        let g = x.sigmoid();
+        assert!((g.v - s).abs() < 1e-15);
+        assert!((g.d - s * (1.0 - s)).abs() < 1e-12);
+    }
+}

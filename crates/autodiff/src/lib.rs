@@ -1,0 +1,60 @@
+//! Automatic differentiation substrate for AutoMon.
+//!
+//! The AutoMon paper relies on JAX to turn the *source code* of a monitored
+//! function into procedures that evaluate its gradient and Hessian at
+//! arbitrary points (§3.1). Rust has no JAX; this crate is the from-scratch
+//! replacement, built from three pieces:
+//!
+//! * [`Scalar`] — a numeric trait over which users write their function
+//!   *once*, generically. This is the Rust idiom for "hand AutoMon your
+//!   source code": the same body is instantiated with plain `f64` for
+//!   evaluation, with forward-mode [`Dual`] numbers for directional
+//!   derivatives, and with reverse-mode tape variables ([`Var`]) for
+//!   gradients.
+//! * [`Tape`] — a reverse-mode Wengert tape, generic over the value type it
+//!   carries. `Tape<f64>` yields gradients in one backward pass;
+//!   `Tape<Dual>` (forward-over-reverse) yields Hessian-vector products.
+//! * [`AutoDiffFn`] — the user-facing wrapper exposing `eval`, `grad`,
+//!   `hvp`, and full `hessian` (d Hessian-vector products, symmetrized),
+//!   plus sample-based constant-Hessian detection used by AutoMon to pick
+//!   ADCD-E over ADCD-X.
+//!
+//! Non-smooth primitives (`abs`, `max`, and ReLU built from them) propagate
+//! the derivative of the active branch, exactly as JAX does — the paper
+//! leans on this to monitor ReLU networks (§3.1, §4.2).
+//!
+//! # Example
+//!
+//! ```
+//! use automon_autodiff::{AutoDiffFn, Scalar, ScalarFn};
+//!
+//! struct Rosenbrock;
+//! impl ScalarFn for Rosenbrock {
+//!     fn dim(&self) -> usize { 2 }
+//!     fn call<S: Scalar>(&self, x: &[S]) -> S {
+//!         let one = S::from_f64(1.0);
+//!         let hundred = S::from_f64(100.0);
+//!         (one - x[0]) * (one - x[0])
+//!             + hundred * (x[1] - x[0] * x[0]) * (x[1] - x[0] * x[0])
+//!     }
+//! }
+//!
+//! let f = AutoDiffFn::new(Rosenbrock);
+//! let x = [1.0, 1.0];
+//! assert_eq!(f.eval(&x), 0.0);
+//! assert_eq!(f.grad(&x).1, vec![0.0, 0.0]); // the global minimum
+//! let h = f.hessian(&x);
+//! assert!((h[(0, 0)] - 802.0).abs() < 1e-9);
+//! ```
+
+mod dual;
+pub mod finite_diff;
+mod func;
+pub mod ops;
+mod scalar;
+mod tape;
+
+pub use dual::Dual;
+pub use func::{AutoDiffFn, DifferentiableFn, ScalarFn};
+pub use scalar::{lit, Scalar};
+pub use tape::{Tape, Var};

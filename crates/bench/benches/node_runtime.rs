@@ -1,0 +1,55 @@
+//! §4.4 node runtime: the cost of a node checking one data update should
+//! be close to a bare evaluation of `f` on the local vector, and roughly
+//! dimension-independent at millisecond scale.
+
+use std::sync::Arc;
+
+use automon_core::{Coordinator, MonitorConfig, MonitoredFunction, Node};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn setup(f: Arc<dyn MonitoredFunction>, x: Vec<f64>) -> Node {
+    // One-node system: register and full-sync so constraints exist.
+    let mut coord = Coordinator::new(f.clone(), 1, MonitorConfig::builder(0.5).build());
+    let mut node = Node::new(0, f);
+    if let Some(m) = node.update_data(x) {
+        for out in coord.handle(m) {
+            let _ = node.handle(out.msg);
+        }
+    }
+    node
+}
+
+fn bench_node_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node_update_check");
+    for d in [10usize, 40, 100] {
+        let bench = automon_bench::funcs::inner_product(d, 1, 25, 1);
+        let x = vec![0.05; d];
+        let mut node = setup(bench.f.clone(), x.clone());
+        group.bench_with_input(BenchmarkId::new("inner_product", d), &d, |b, _| {
+            b.iter(|| {
+                let msg = node.update_data(std::hint::black_box(x.clone()));
+                std::hint::black_box(msg)
+            })
+        });
+        let f = bench.f.clone();
+        group.bench_with_input(BenchmarkId::new("bare_eval", d), &d, |b, _| {
+            b.iter(|| std::hint::black_box(f.eval(std::hint::black_box(&x))))
+        });
+    }
+    // A nonlinear ADCD-X function: KLD.
+    for d in [10usize, 40] {
+        let bench = automon_bench::funcs::kld(d, 1, 25, 1);
+        let x = vec![1.0 / d as f64; d];
+        let mut node = setup(bench.f.clone(), x.clone());
+        group.bench_with_input(BenchmarkId::new("kld", d), &d, |b, _| {
+            b.iter(|| {
+                let msg = node.update_data(std::hint::black_box(x.clone()));
+                std::hint::black_box(msg)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_node_update);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! End-to-end protocol throughput: simulation rounds per second for a
+//! full coordinator + nodes + fabric loop — the number that bounds the
+//! data rate a deployment can sustain (paper §3.7 assumption 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use automon_core::MonitorConfig;
+use automon_sim::{Simulation, Workload};
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_rounds");
+    group.sample_size(10);
+
+    // Quiet data: measures the per-round floor (constraint checks only).
+    {
+        let bench = automon_bench::funcs::inner_product(10, 5, 200, 1);
+        let quiet: Vec<Vec<Vec<f64>>> = (0..5).map(|_| vec![vec![0.1; 10]; 200]).collect();
+        let w = Workload::from_dense(&quiet);
+        let f = bench.f.clone();
+        group.bench_function("quiet_200_rounds_5_nodes", |b| {
+            b.iter(|| {
+                let sim = Simulation::new(f.clone(), MonitorConfig::builder(0.2).build());
+                std::hint::black_box(sim.run(std::hint::black_box(&w)))
+            })
+        });
+    }
+
+    // Drifting data: includes violation resolution and lazy syncs.
+    for n in [5usize, 20] {
+        let bench = automon_bench::funcs::inner_product(10, n, 200, 2);
+        let f = bench.f.clone();
+        let w = bench.workload;
+        group.bench_with_input(BenchmarkId::new("drift_200_rounds", n), &n, |b, _| {
+            b.iter(|| {
+                let sim = Simulation::new(f.clone(), MonitorConfig::builder(0.2).build());
+                std::hint::black_box(sim.run(std::hint::black_box(&w)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Microbenchmarks of the substrates: AD gradients/Hessians, the Jacobi
+//! eigensolver, the box-constrained optimizer, and the wire codec.
+
+use automon_autodiff::{AutoDiffFn, Scalar, ScalarFn};
+use automon_core::{NodeMessage, ViolationKind};
+use automon_linalg::{Matrix, SymEigen};
+use automon_net::wire;
+use automon_opt::{minimize_box, Bounds, OptimizeOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+struct LogSumExp {
+    d: usize,
+}
+impl ScalarFn for LogSumExp {
+    fn dim(&self) -> usize {
+        self.d
+    }
+    fn call<S: Scalar>(&self, x: &[S]) -> S {
+        let mut acc = S::from_f64(0.0);
+        for &xi in x {
+            acc = acc + xi.exp();
+        }
+        acc.ln()
+    }
+}
+
+fn bench_autodiff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("autodiff");
+    for d in [10usize, 40, 100] {
+        let f = AutoDiffFn::new(LogSumExp { d });
+        let x = vec![0.01; d];
+        group.bench_with_input(BenchmarkId::new("gradient", d), &d, |b, _| {
+            b.iter(|| std::hint::black_box(f.grad(std::hint::black_box(&x))))
+        });
+        group.bench_with_input(BenchmarkId::new("hessian", d), &d, |b, _| {
+            b.iter(|| std::hint::black_box(f.hessian(std::hint::black_box(&x))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jacobi_eigen");
+    for d in [10usize, 40, 100] {
+        let mut seed = 1u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut m = Matrix::from_fn(d, d, |_, _| next());
+        m.symmetrize();
+        group.bench_with_input(BenchmarkId::new("decompose", d), &d, |b, _| {
+            b.iter(|| std::hint::black_box(SymEigen::new(std::hint::black_box(&m))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    c.bench_function("opt/rosenbrock_box_2d", |b| {
+        let bounds = Bounds::new(vec![-2.0, -2.0], vec![2.0, 2.0]);
+        let opts = OptimizeOptions::default();
+        b.iter(|| {
+            std::hint::black_box(minimize_box(
+                |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+                &bounds,
+                &opts,
+            ))
+        })
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    for d in [10usize, 100] {
+        let msg = NodeMessage::Violation {
+            node: 3,
+            kind: ViolationKind::SafeZone,
+            local_vector: vec![1.25; d],
+        };
+        group.bench_with_input(BenchmarkId::new("encode_violation", d), &d, |b, _| {
+            b.iter(|| std::hint::black_box(wire::encode_node_message(std::hint::black_box(&msg))))
+        });
+        let bytes = wire::encode_node_message(&msg);
+        group.bench_with_input(BenchmarkId::new("decode_violation", d), &d, |b, _| {
+            b.iter(|| std::hint::black_box(wire::decode_node_message(std::hint::black_box(&bytes))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_autodiff, bench_eigen, bench_optimizer, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Runs every table/figure experiment end to end and writes all outputs
+//! under `bench_results/` (see DESIGN.md §5 for the per-figure index).
+//! Set `AUTOMON_FULL=1` for paper-scale parameters.
+
+use automon_bench::{emit, experiments, Scale};
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("running all AutoMon experiments at {scale:?} scale\n");
+    let t0 = Instant::now();
+    type Runner = fn(Scale) -> Vec<automon_bench::Table>;
+    let suites: Vec<(&str, Runner)> = vec![
+        ("Figure 1 (safe-zone boundaries)", experiments::fig1_safezone::run),
+        ("Figure 2 (neighborhood tradeoff)", experiments::fig2_tradeoff::run),
+        ("Figure 3 (neighborhood size)", experiments::fig3_neighborhood::run),
+        ("Figure 4 (function traces)", experiments::fig4_traces::run),
+        ("Figure 5 (error vs messages)", experiments::fig5_tradeoff::run),
+        ("Figure 6 (error percentiles)", experiments::fig6_percentiles::run),
+        ("Figure 7 (scalability + §4.4 runtime)", experiments::fig7_scalability::run),
+        ("Figure 8 (tuning effectiveness + §4.5)", experiments::fig8_tuning::run),
+        ("Figure 9 (ablation)", experiments::fig9_ablation::run),
+        ("Figure 10 (bandwidth + §4.7)", experiments::fig10_bandwidth::run),
+        ("Design ablations (§3.4/§3.2/§6 extensions)", experiments::ablation_design::run),
+    ];
+    for (name, runner) in suites {
+        println!("### {name}");
+        let t = Instant::now();
+        for table in runner(scale) {
+            emit(&table);
+        }
+        println!("({name} took {:.1?})\n", t.elapsed());
+    }
+    println!("all experiments done in {:.1?}", t0.elapsed());
+}

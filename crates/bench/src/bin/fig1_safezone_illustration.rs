@@ -1,0 +1,8 @@
+//! Recomputes the Figure 1 safe-zone boundaries for sin(x) by bisection
+//! on the actual constraint implementations.
+
+fn main() {
+    for table in automon_bench::experiments::fig1_safezone::run(automon_bench::Scale::from_env()) {
+        automon_bench::emit(&table);
+    }
+}

@@ -1,0 +1,8 @@
+//! Computes the Figure 2 neighborhood/safe-zone tradeoff on a real
+//! function and renders the zones as SVG.
+
+fn main() {
+    for table in automon_bench::experiments::fig2_tradeoff::run(automon_bench::Scale::from_env()) {
+        automon_bench::emit(&table);
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper experiment implemented in
+//! `automon_bench::experiments::fig6_percentiles`. Set `AUTOMON_FULL=1` for
+//! paper-scale parameters.
+
+fn main() {
+    let scale = automon_bench::Scale::from_env();
+    for table in automon_bench::experiments::fig6_percentiles::run(scale) {
+        automon_bench::emit(&table);
+    }
+}

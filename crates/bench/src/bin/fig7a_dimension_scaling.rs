@@ -1,0 +1,8 @@
+//! Figure 7(a): communication vs input dimension. `AUTOMON_FULL=1` for
+//! the paper's d ∈ [10, 200] sweep.
+
+fn main() {
+    let scale = automon_bench::Scale::from_env();
+    automon_bench::emit(&automon_bench::experiments::fig7_scalability::run_dimensions(scale));
+    automon_bench::emit(&automon_bench::experiments::fig7_scalability::run_sync_runtime(scale));
+}

@@ -1,0 +1,7 @@
+//! Figure 7(b): communication vs node count. `AUTOMON_FULL=1` for the
+//! paper's n up to 1000.
+
+fn main() {
+    let scale = automon_bench::Scale::from_env();
+    automon_bench::emit(&automon_bench::experiments::fig7_scalability::run_nodes(scale));
+}

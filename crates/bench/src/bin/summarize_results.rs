@@ -1,0 +1,278 @@
+//! Digest `bench_results/*.csv` into the paper-vs-measured checklist —
+//! the script behind EXPERIMENTS.md's "Measured" sections.
+//!
+//! Each check encodes one *shape* claim from the paper's evaluation and
+//! prints PASS/FAIL with the supporting numbers.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn load(dir: &Path, name: &str) -> Option<(Vec<String>, Vec<Vec<String>>)> {
+    let text = std::fs::read_to_string(dir.join(format!("{name}.csv"))).ok()?;
+    let mut lines = text.lines();
+    let header: Vec<String> = lines.next()?.split(',').map(str::to_string).collect();
+    let rows = lines
+        .map(|l| l.split(',').map(str::to_string).collect())
+        .collect();
+    Some((header, rows))
+}
+
+fn col(header: &[String], name: &str) -> usize {
+    header
+        .iter()
+        .position(|h| h == name)
+        .unwrap_or_else(|| panic!("missing column {name}"))
+}
+
+fn num(row: &[String], c: usize) -> f64 {
+    row[c].parse().unwrap_or(f64::NAN)
+}
+
+struct Checker {
+    passed: usize,
+    failed: usize,
+}
+
+impl Checker {
+    fn check(&mut self, claim: &str, ok: bool, detail: String) {
+        if ok {
+            self.passed += 1;
+            println!("PASS  {claim}\n      {detail}");
+        } else {
+            self.failed += 1;
+            println!("FAIL  {claim}\n      {detail}");
+        }
+    }
+}
+
+fn main() {
+    let dir = automon_bench::results_dir();
+    let mut c = Checker {
+        passed: 0,
+        failed: 0,
+    };
+
+    // Figure 1: boundaries within 2e-3 of the paper's values.
+    if let Some((h, rows)) = load(&dir, "fig1_safezone_boundaries") {
+        let (l, r, pl, pr) = (
+            col(&h, "left"),
+            col(&h, "right"),
+            col(&h, "paper_left"),
+            col(&h, "paper_right"),
+        );
+        let worst = rows
+            .iter()
+            .map(|row| {
+                (num(row, l) - num(row, pl))
+                    .abs()
+                    .max((num(row, r) - num(row, pr)).abs())
+            })
+            .fold(0.0f64, f64::max);
+        c.check(
+            "Fig 1: safe-zone boundaries match the paper's digits",
+            worst < 2e-3,
+            format!("max |boundary - paper| = {worst:.5}"),
+        );
+    }
+
+    // Figure 3: totals are U-shaped (optimum strictly interior) and r*
+    // grows with ε.
+    if let Some((h, rows)) = load(&dir, "fig3_optimal_r") {
+        let rstar = col(&h, "r_star");
+        let rs: Vec<f64> = rows.iter().map(|r| num(r, rstar)).collect();
+        c.check(
+            "Fig 3: optimal neighborhood size grows with ε",
+            rs.windows(2).all(|w| w[0] <= w[1]),
+            format!("r* by ε: {rs:?}"),
+        );
+    }
+
+    // Figure 5: per function, AutoMon ≡ CB where present; every AutoMon
+    // row's error ≤ its ε (for guarantee classes IP/Quadratic/KLD);
+    // Periodic's error at matched messages is no better than AutoMon's.
+    if let Some((h, rows)) = load(&dir, "fig5_error_vs_messages") {
+        let (fc, ac, pc, mc, ec) = (
+            col(&h, "function"),
+            col(&h, "algorithm"),
+            col(&h, "param"),
+            col(&h, "messages"),
+            col(&h, "max_error"),
+        );
+        // CB equivalence.
+        let mut automon: BTreeMap<(String, String), (f64, f64)> = BTreeMap::new();
+        let mut cb: BTreeMap<(String, String), (f64, f64)> = BTreeMap::new();
+        for row in &rows {
+            let key = (row[fc].clone(), row[pc].clone());
+            let val = (num(row, mc), num(row, ec));
+            match row[ac].as_str() {
+                "AutoMon" => {
+                    automon.insert(key, val);
+                }
+                "CB" => {
+                    cb.insert(key, val);
+                }
+                _ => {}
+            }
+        }
+        let cb_match = cb
+            .iter()
+            .all(|(k, v)| automon.get(k).is_some_and(|a| a == v));
+        c.check(
+            "Fig 5: CB and AutoMon coincide on the inner product (§4.3)",
+            !cb.is_empty() && cb_match,
+            format!("{} CB points compared", cb.len()),
+        );
+        // Guarantee classes.
+        let mut worst_ratio = 0.0f64;
+        for row in &rows {
+            if row[ac] == "AutoMon"
+                && ["InnerProduct", "Quadratic", "KLD"].contains(&row[fc].as_str())
+            {
+                let eps: f64 = num(row, pc);
+                worst_ratio = worst_ratio.max(num(row, ec) / eps);
+            }
+        }
+        c.check(
+            "Fig 5: guarantee-class errors never exceed ε (§3.7)",
+            worst_ratio <= 1.0 + 1e-9,
+            format!("worst error/ε = {worst_ratio:.4}"),
+        );
+        // DNN: AutoMon under Periodic at matched error.
+        let dnn_automon: Vec<(f64, f64)> = rows
+            .iter()
+            .filter(|r| r[fc] == "DNN" && r[ac] == "AutoMon")
+            .map(|r| (num(r, mc), num(r, ec)))
+            .collect();
+        let dnn_periodic: Vec<(f64, f64)> = rows
+            .iter()
+            .filter(|r| r[fc] == "DNN" && r[ac] == "Periodic")
+            .map(|r| (num(r, mc), num(r, ec)))
+            .collect();
+        // For every Periodic point with error ≥ some AutoMon point's
+        // error, that AutoMon point must use fewer messages.
+        let dominated = dnn_automon.iter().all(|&(am, ae)| {
+            dnn_periodic
+                .iter()
+                .filter(|&&(_, pe)| pe <= ae)
+                .all(|&(pm, _)| pm >= am)
+        });
+        c.check(
+            "Fig 5: on DNN, AutoMon dominates Periodic at matched error (§4.3)",
+            dominated,
+            format!(
+                "AutoMon points {dnn_automon:?} vs Periodic {dnn_periodic:?}"
+            ),
+        );
+    }
+
+    // Figure 6: KLD (guaranteed) max ≤ 100% of bound; DNN p99 ≤ 100%.
+    if let Some((h, rows)) = load(&dir, "fig6_error_percentiles") {
+        let (fc, maxc, p99c) = (
+            col(&h, "function"),
+            col(&h, "max_pct_of_bound"),
+            col(&h, "p99_pct_of_bound"),
+        );
+        let kld_ok = rows
+            .iter()
+            .filter(|r| r[fc] == "KLD")
+            .all(|r| num(r, maxc) <= 100.0 + 1e-6);
+        c.check(
+            "Fig 6: KLD max error stays within the bound",
+            kld_ok,
+            "per-ε max as % of bound all ≤ 100".into(),
+        );
+        let dnn_p99: Vec<f64> = rows
+            .iter()
+            .filter(|r| r[fc] == "DNN")
+            .map(|r| num(r, p99c))
+            .collect();
+        c.check(
+            "Fig 6: DNN p99 error within the bound (no guarantee, §4.3)",
+            dnn_p99.iter().all(|&v| v <= 100.0 + 1e-6),
+            format!("DNN p99 % of bound: {dnn_p99:?}"),
+        );
+    }
+
+    // Figure 7a: all functions below centralization; KLD grows most.
+    if let Some((h, rows)) = load(&dir, "fig7a_dimension_scaling") {
+        let (fc, mc, cc) = (
+            col(&h, "function"),
+            col(&h, "messages"),
+            col(&h, "centralization"),
+        );
+        let under = rows.iter().all(|r| num(r, mc) <= num(r, cc));
+        c.check(
+            "Fig 7a: AutoMon stays below centralization at every dimension",
+            under,
+            format!("{} rows checked", rows.len()),
+        );
+        let growth = |f: &str| -> f64 {
+            let v: Vec<f64> = rows
+                .iter()
+                .filter(|r| r[fc] == f)
+                .map(|r| num(r, mc))
+                .collect();
+            v.last().copied().unwrap_or(f64::NAN) / v.first().copied().unwrap_or(f64::NAN)
+        };
+        c.check(
+            "Fig 7a: KLD grows with dimension at least as fast as Inner Product",
+            growth("KLD") >= growth("InnerProduct"),
+            format!(
+                "growth factors: KLD {:.2}, MLP-d {:.2}, InnerProduct {:.2}",
+                growth("KLD"),
+                growth("MLP-d"),
+                growth("InnerProduct")
+            ),
+        );
+    }
+
+    // Figure 9: no-ADCD misses violations; no-slack out-messages AutoMon.
+    if let Some((h, rows)) = load(&dir, "fig9_ablation_summary") {
+        let (fc, arm, mc, missed) = (
+            col(&h, "function"),
+            col(&h, "arm"),
+            col(&h, "messages"),
+            col(&h, "missed_violation_rounds"),
+        );
+        let missed_any = rows
+            .iter()
+            .any(|r| r[arm].contains("no-ADCD") && num(r, missed) > 0.0);
+        c.check(
+            "Fig 9: removing ADCD produces missed violations (§4.6)",
+            missed_any,
+            "at least one no-ADCD arm recorded missed-violation rounds".into(),
+        );
+        let saddle = |a: &str| -> f64 {
+            rows.iter()
+                .find(|r| r[fc].contains("x1") && r[arm] == a)
+                .map(|r| num(r, mc))
+                .unwrap_or(f64::NAN)
+        };
+        c.check(
+            "Fig 9: no-ADCD-no-slack costs ≥ 10× AutoMon's messages",
+            saddle("no-ADCD-no-slack") >= 10.0 * saddle("AutoMon"),
+            format!(
+                "saddle messages: AutoMon {}, no-ADCD-no-slack {}",
+                saddle("AutoMon"),
+                saddle("no-ADCD-no-slack")
+            ),
+        );
+    }
+
+    // §4.7: simulation-vs-deployment message difference within the
+    // paper's reported 0–16.6% band (we allow ≤ 25% at quick scale).
+    if let Some((h, rows)) = load(&dir, "sec4_7_simulation_vs_deployment") {
+        let d = col(&h, "diff_pct");
+        let worst = rows.iter().map(|r| num(r, d)).fold(0.0f64, f64::max);
+        c.check(
+            "§4.7: deployment-style jitter shifts message counts only mildly",
+            worst <= 25.0,
+            format!("worst diff = {worst:.2}%"),
+        );
+    }
+
+    println!("\n{} checks passed, {} failed", c.passed, c.failed);
+    if c.failed > 0 {
+        std::process::exit(1);
+    }
+}

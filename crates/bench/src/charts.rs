@@ -1,0 +1,211 @@
+//! Automatic chart generation for known experiment tables.
+//!
+//! [`charts_from_table`] recognizes the harness's table names and turns
+//! them into [`Chart`]s shaped like the paper's figures; [`crate::emit`]
+//! writes the SVGs next to the CSVs.
+
+use std::collections::BTreeMap;
+
+use crate::plot::{Chart, Series};
+use crate::Table;
+
+/// Column index by header name.
+fn col(t: &Table, name: &str) -> Option<usize> {
+    t.header.iter().position(|h| h == name)
+}
+
+/// Parse a cell as f64 (non-numeric cells become None).
+fn num(t: &Table, row: &[String], name: &str) -> Option<f64> {
+    row.get(col(t, name)?)?.parse().ok()
+}
+
+/// Group rows by a string column.
+fn groups<'t>(t: &'t Table, by: &str) -> BTreeMap<&'t str, Vec<&'t Vec<String>>> {
+    let mut out: BTreeMap<&str, Vec<&Vec<String>>> = BTreeMap::new();
+    if let Some(c) = col(t, by) {
+        for row in &t.rows {
+            out.entry(row[c].as_str()).or_default().push(row);
+        }
+    }
+    out
+}
+
+/// Series of `(x, y)` from a row group, sorted by x.
+fn xy(t: &Table, rows: &[&Vec<String>], x: &str, y: &str) -> Vec<(f64, f64)> {
+    let mut pts: Vec<(f64, f64)> = rows
+        .iter()
+        .filter_map(|r| Some((num(t, r, x)?, num(t, r, y)?)))
+        .collect();
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+    pts
+}
+
+/// Build the paper-shaped charts for a known table (empty for tables
+/// without a chart form).
+pub fn charts_from_table(t: &Table) -> Vec<Chart> {
+    match t.name.as_str() {
+        "fig5_error_vs_messages" | "fig10_bandwidth" => {
+            let (x_col, x_label) = if t.name.starts_with("fig5") {
+                ("messages", "messages")
+            } else {
+                ("payload_bytes", "payload bytes")
+            };
+            groups(t, "function")
+                .into_iter()
+                .map(|(function, rows)| {
+                    let mut chart = Chart::new(
+                        &format!("{} — {function}", t.name),
+                        x_label,
+                        "max error",
+                    )
+                    .log_x();
+                    let mut by_algo: BTreeMap<&str, Vec<&Vec<String>>> = BTreeMap::new();
+                    let algo_col = col(t, "algorithm").expect("algorithm column");
+                    for r in rows {
+                        by_algo.entry(r[algo_col].as_str()).or_default().push(r);
+                    }
+                    for (algo, rows) in by_algo {
+                        let pts = xy(t, &rows, x_col, "max_error");
+                        if rows.len() == 1 {
+                            chart.push(Series::scatter(algo, pts));
+                        } else {
+                            chart.push(Series::line(algo, pts));
+                        }
+                    }
+                    chart
+                })
+                .collect()
+        }
+        "fig3_neighborhood_size" => groups(t, "epsilon")
+            .into_iter()
+            .map(|(eps, rows)| {
+                let mut chart = Chart::new(
+                    &format!("fig3 — ε = {eps}"),
+                    "neighborhood size r",
+                    "#violations",
+                );
+                chart.push(Series::line(
+                    "neighborhood",
+                    xy(t, &rows, "r", "neighborhood_violations"),
+                ));
+                chart.push(Series::line(
+                    "safe zone",
+                    xy(t, &rows, "r", "safezone_violations"),
+                ));
+                chart.push(Series::line("total", xy(t, &rows, "r", "total")));
+                chart
+            })
+            .collect(),
+        "fig7a_dimension_scaling" => {
+            let mut chart = Chart::new("fig7a — messages vs dimension", "d", "messages");
+            for (function, rows) in groups(t, "function") {
+                chart.push(Series::line(function, xy(t, &rows, "d", "messages")));
+            }
+            vec![chart]
+        }
+        "fig7b_node_scaling" => {
+            let mut chart =
+                Chart::new("fig7b — messages vs nodes", "nodes", "messages").log_x();
+            for (function, rows) in groups(t, "function") {
+                chart.push(Series::line(function, xy(t, &rows, "nodes", "messages")));
+            }
+            vec![chart]
+        }
+        "fig6_error_percentiles" => {
+            let mut chart = Chart::new(
+                "fig6 — error relative to bound",
+                "messages",
+                "% of bound",
+            )
+            .log_x();
+            for (function, rows) in groups(t, "function") {
+                chart.push(Series::line(
+                    &format!("{function} max"),
+                    xy(t, &rows, "messages", "max_pct_of_bound"),
+                ));
+                chart.push(Series::line(
+                    &format!("{function} p99"),
+                    xy(t, &rows, "messages", "p99_pct_of_bound"),
+                ));
+            }
+            vec![chart]
+        }
+        name if name.starts_with("fig4_trace_") || name.starts_with("fig9_trace_") => {
+            let mut chart = Chart::new(name, "round", "value");
+            if name.starts_with("fig4") {
+                for series_name in ["truth", "lower", "upper"] {
+                    let rows: Vec<&Vec<String>> = t.rows.iter().collect();
+                    chart.push(Series::line(series_name, xy(t, &rows, "round", series_name)));
+                }
+            } else {
+                let rows: Vec<&Vec<String>> = t.rows.iter().collect();
+                chart.push(Series::line("abs_error", xy(t, &rows, "round", "abs_error")));
+            }
+            vec![chart]
+        }
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig5_table() -> Table {
+        let mut t = Table::new(
+            "fig5_error_vs_messages",
+            &["function", "algorithm", "param", "messages", "max_error"],
+        );
+        for (f, a, m, e) in [
+            ("IP", "AutoMon", 100, 0.4),
+            ("IP", "AutoMon", 500, 0.1),
+            ("IP", "Periodic", 50, 0.9),
+            ("IP", "Centralization", 1000, 0.0),
+            ("Q", "AutoMon", 80, 0.2),
+            ("Q", "AutoMon", 300, 0.05),
+        ] {
+            t.push(vec![
+                f.into(),
+                a.into(),
+                "-".into(),
+                m.to_string(),
+                e.to_string(),
+            ]);
+        }
+        t
+    }
+
+    #[test]
+    fn fig5_builds_one_chart_per_function() {
+        let charts = charts_from_table(&fig5_table());
+        assert_eq!(charts.len(), 2);
+        let ip = &charts[0];
+        assert!(ip.title.contains("IP"));
+        assert_eq!(ip.series.len(), 3);
+        // Single-point series render as scatter.
+        let central = ip.series.iter().find(|s| s.label == "Centralization").unwrap();
+        assert!(!central.line);
+        // Multi-point AutoMon series are sorted by x.
+        let automon = ip.series.iter().find(|s| s.label == "AutoMon").unwrap();
+        assert!(automon.points.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn unknown_tables_make_no_charts() {
+        let t = Table::new("something_else", &["a"]);
+        assert!(charts_from_table(&t).is_empty());
+    }
+
+    #[test]
+    fn trace_tables_chart() {
+        let mut t = Table::new(
+            "fig4_trace_demo",
+            &["round", "truth", "estimate", "lower", "upper"],
+        );
+        t.push(vec!["0".into(), "1.0".into(), "1.0".into(), "0.9".into(), "1.1".into()]);
+        t.push(vec!["1".into(), "1.05".into(), "1.0".into(), "0.9".into(), "1.1".into()]);
+        let charts = charts_from_table(&t);
+        assert_eq!(charts.len(), 1);
+        assert_eq!(charts[0].series.len(), 3);
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 4: the monitored value of every evaluation function over time,
+//! with the additive approximation band `f(x0) ± ε`.
+//!
+//! The paper's panels: DNN, KLD, MLP-40, MLP-2, Quadratic, Inner Product,
+//! each at its default dimension. This harness emits one trace table per
+//! panel: `(round, truth, estimate, lower, upper)`.
+
+use automon_core::{EigenSearch, MonitorConfig};
+use automon_sim::Simulation;
+
+use crate::funcs::{self, Bench};
+use crate::{f, Scale, Table};
+
+/// Default additive bounds per panel (chosen to match the visible band
+/// width in the paper's Figure 4 relative to each function's range).
+const PANELS: &[(&str, f64)] = &[
+    ("DNN", 0.02),
+    ("KLD", 0.05),
+    ("MLP-40", 0.2),
+    ("MLP-2", 0.15),
+    ("Quadratic", 0.05),
+    ("InnerProduct", 0.5),
+];
+
+fn build(name: &str, scale: Scale) -> Bench {
+    let (rounds, records) = match scale {
+        Scale::Quick => (500, 1500),
+        Scale::Full => (1000, 20_000),
+    };
+    match name {
+        "DNN" => funcs::dnn_intrusion(records, 0xF164),
+        "KLD" => funcs::kld(20, 12, rounds * 2, 0xF164),
+        "MLP-40" => funcs::mlp_d(40, 10, rounds, 0xF164),
+        "MLP-2" => funcs::mlp_d(2, 10, rounds, 0xF164),
+        "Quadratic" => funcs::quadratic(40, 10, rounds, 0xF164),
+        "InnerProduct" => funcs::inner_product(40, 10, rounds, 0xF164),
+        other => panic!("unknown panel {other}"),
+    }
+}
+
+/// Run the Figure 4 traces.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let mut out = Vec::new();
+    for &(name, eps) in PANELS {
+        let bench = build(name, scale);
+        let cfg = MonitorConfig::builder(eps)
+            .eigen_search(EigenSearch {
+                probes: 4,
+                nm_iters: 12,
+                seed: 4,
+            ..Default::default()
+        })
+            .build();
+        let stride = (bench.workload.rounds() / 200).max(1);
+        let stats = Simulation::new(bench.f.clone(), cfg)
+            .with_trace(stride)
+            .run(&bench.workload);
+        let mut table = Table::new(
+            &format!("fig4_trace_{}", name.to_lowercase().replace('-', "_")),
+            &["round", "truth", "estimate", "lower", "upper"],
+        );
+        for p in stats.trace.as_deref().unwrap_or(&[]) {
+            table.push(vec![
+                p.round.to_string(),
+                f(p.truth),
+                f(p.estimate),
+                f(p.lower),
+                f(p.upper),
+            ]);
+        }
+        out.push(table);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_panel_builds() {
+        // One cheap panel end to end (the full set runs in the harness).
+        let bench = build("InnerProduct", Scale::Quick);
+        let cfg = MonitorConfig::builder(0.5).build();
+        let stats = Simulation::new(bench.f.clone(), cfg)
+            .with_trace(50)
+            .run(&bench.workload);
+        assert!(stats.trace.unwrap().len() > 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Figure 5: the error–communication tradeoff — the paper's headline
+//! comparison.
+//!
+//! For each function (Inner Product, Quadratic, KLD, DNN), every
+//! algorithm is run across its parameter sweep: AutoMon and CB over
+//! approximation bounds ε, Periodic over periods P, and Centralization as
+//! the fixed upper-right anchor. Each run contributes one
+//! `(messages, max_error)` point; "lower and to the left is better".
+
+use automon_core::{EigenSearch, MonitorConfig};
+use automon_sim::{run_centralization, run_convex_bound, run_periodic};
+
+use crate::funcs::{self, Bench};
+use crate::{f, Scale, Table};
+
+/// ε sweeps per function (ranges follow the value scales in Figure 4).
+fn epsilons(name: &str) -> Vec<f64> {
+    match name {
+        "InnerProduct" => vec![0.05, 0.1, 0.2, 0.4, 0.8],
+        "Quadratic" => vec![0.03, 0.06, 0.12, 0.3, 1.0],
+        "KLD" => vec![0.02, 0.05, 0.1, 0.2, 0.4],
+        "DNN" => vec![0.005, 0.01, 0.02, 0.05],
+        other => panic!("unknown function {other}"),
+    }
+}
+
+const PERIODS: &[usize] = &[1, 2, 5, 10, 20, 50, 100];
+
+fn light_search(eps: f64) -> MonitorConfig {
+    MonitorConfig::builder(eps)
+        .eigen_search(EigenSearch {
+            probes: 4,
+            nm_iters: 12,
+            seed: 5,
+            ..Default::default()
+        })
+        .build()
+}
+
+/// Run one function's sweep into `table`.
+fn sweep(table: &mut Table, bench: &Bench, name: &str, with_cb: bool) {
+    for &eps in &epsilons(name) {
+        let stats = funcs::run_tuned(bench, light_search(eps));
+        table.push(vec![
+            name.into(),
+            "AutoMon".into(),
+            f(eps),
+            stats.messages.to_string(),
+            f(stats.max_error),
+        ]);
+        if with_cb {
+            let cb = run_convex_bound(&bench.f, &bench.workload, eps);
+            table.push(vec![
+                name.into(),
+                "CB".into(),
+                f(eps),
+                cb.messages.to_string(),
+                f(cb.max_error),
+            ]);
+        }
+    }
+    for &p in PERIODS {
+        let stats = run_periodic(&bench.f, &bench.workload, p);
+        table.push(vec![
+            name.into(),
+            "Periodic".into(),
+            p.to_string(),
+            stats.messages.to_string(),
+            f(stats.max_error),
+        ]);
+    }
+    let stats = run_centralization(&bench.f, &bench.workload);
+    table.push(vec![
+        name.into(),
+        "Centralization".into(),
+        "-".into(),
+        stats.messages.to_string(),
+        f(stats.max_error),
+    ]);
+}
+
+/// Run the Figure 5 sweeps.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let (rounds, records) = match scale {
+        Scale::Quick => (600, 2000),
+        Scale::Full => (1000, 40_000),
+    };
+    let mut table = Table::new(
+        "fig5_error_vs_messages",
+        &["function", "algorithm", "param", "messages", "max_error"],
+    );
+    let ip = funcs::inner_product(40, 10, rounds, 0xF165);
+    sweep(&mut table, &ip, "InnerProduct", true);
+    let quad = funcs::quadratic(40, 10, rounds, 0xF165);
+    sweep(&mut table, &quad, "Quadratic", false);
+    let kld = funcs::kld(20, 12, rounds * 2, 0xF165);
+    sweep(&mut table, &kld, "KLD", false);
+    let dnn = funcs::dnn_intrusion(records, 0xF165);
+    sweep(&mut table, &dnn, "DNN", false);
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inner_product_sweep_shape() {
+        // Small standalone sweep to keep tests fast.
+        let bench = funcs::inner_product(4, 3, 150, 1);
+        let mut table = Table::new("t", &["function", "algorithm", "param", "messages", "max_error"]);
+        sweep(&mut table, &bench, "InnerProduct", true);
+        // 5 ε × (AutoMon + CB) + 7 periods + 1 centralization.
+        assert_eq!(table.rows.len(), 5 * 2 + 7 + 1);
+        // AutoMon error must respect its ε for this constant-Hessian f.
+        for row in &table.rows {
+            if row[1] == "AutoMon" {
+                let eps: f64 = row[2].parse().unwrap();
+                let err: f64 = row[4].parse().unwrap();
+                assert!(err <= eps + 1e-9, "{row:?}");
+            }
+        }
+    }
+}

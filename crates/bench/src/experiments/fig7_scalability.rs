@@ -1,0 +1,180 @@
+//! Figure 7 and the §4.4 scalability study.
+//!
+//! (a) messages vs input dimension `d` for KLD, MLP-d, Inner Product
+//!     (n = 12, 1000 rounds after windows fill → centralization cost of
+//!     1000 messages per node);
+//! (b) messages vs node count for MLP-40 and Inner Product (d = 40) —
+//!     the paper's finding is that the AutoMon/Centralization ratio stays
+//!     fixed as nodes are added;
+//! plus the full-sync runtime table of §4.4 (ADCD-X grows with `d`,
+//! ADCD-E stays flat after its one-time eigendecomposition).
+
+use std::time::Instant;
+
+use automon_core::{adcd, EigenSearch, MonitorConfig, NeighborhoodBox};
+use automon_linalg::vector;
+
+use crate::funcs;
+use crate::{f, Scale, Table};
+
+fn light(eps: f64) -> MonitorConfig {
+    MonitorConfig::builder(eps)
+        .eigen_search(EigenSearch {
+            probes: 4,
+            nm_iters: 12,
+            seed: 7,
+            ..Default::default()
+        })
+        .build()
+}
+
+/// Figure 7(a): impact of dimension.
+pub fn run_dimensions(scale: Scale) -> Table {
+    let dims: Vec<usize> = match scale {
+        Scale::Quick => vec![10, 20, 40],
+        Scale::Full => vec![10, 20, 40, 100, 150, 200],
+    };
+    let (n, rounds) = (12, match scale {
+        Scale::Quick => 400,
+        Scale::Full => 1000,
+    });
+    let mut table = Table::new(
+        "fig7a_dimension_scaling",
+        &["function", "d", "messages", "centralization"],
+    );
+    for &d in &dims {
+        let central = n * rounds;
+        let kld = funcs::kld(d, n, rounds, 0xF167);
+        let s = funcs::run_tuned(&kld, light(0.1));
+        table.push(vec!["KLD".into(), d.to_string(), s.messages.to_string(), central.to_string()]);
+
+        let mlp = funcs::mlp_d(d, n, rounds, 0xF167);
+        let s = funcs::run_tuned(&mlp, light(0.2));
+        table.push(vec![
+            "MLP-d".into(),
+            d.to_string(),
+            s.messages.to_string(),
+            central.to_string(),
+        ]);
+
+        let ip = funcs::inner_product(d, n, rounds, 0xF167);
+        let s = funcs::run_tuned(&ip, light(0.2));
+        table.push(vec![
+            "InnerProduct".into(),
+            d.to_string(),
+            s.messages.to_string(),
+            central.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Figure 7(b): impact of node count.
+pub fn run_nodes(scale: Scale) -> Table {
+    let node_counts: Vec<usize> = match scale {
+        Scale::Quick => vec![10, 30, 100],
+        Scale::Full => vec![10, 30, 100, 300, 1000],
+    };
+    let rounds = match scale {
+        Scale::Quick => 300,
+        Scale::Full => 1000,
+    };
+    let mut table = Table::new(
+        "fig7b_node_scaling",
+        &["function", "nodes", "messages", "centralization", "ratio"],
+    );
+    for &n in &node_counts {
+        let central = n * rounds;
+        let ip = funcs::inner_product(40, n, rounds, 0xF167);
+        let s = funcs::run_tuned(&ip, light(0.2));
+        table.push(vec![
+            "InnerProduct(d=40)".into(),
+            n.to_string(),
+            s.messages.to_string(),
+            central.to_string(),
+            f(s.messages as f64 / central as f64),
+        ]);
+        // MLP-40 is the costlier ADCD-X arm; cap it at moderate n in
+        // quick mode.
+        if matches!(scale, Scale::Full) || n <= 30 {
+            let mlp = funcs::mlp_d(40, n, rounds, 0xF167);
+            let s = funcs::run_tuned(&mlp, light(0.2));
+            table.push(vec![
+                "MLP-40".into(),
+                n.to_string(),
+                s.messages.to_string(),
+                central.to_string(),
+                f(s.messages as f64 / central as f64),
+            ]);
+        }
+    }
+    table
+}
+
+/// §4.4 runtime table: one full-sync decomposition per function and
+/// dimension, timed (the Criterion benches measure the same operations
+/// with statistical rigor; this table gives the quick overview).
+pub fn run_sync_runtime(scale: Scale) -> Table {
+    let dims: Vec<usize> = match scale {
+        Scale::Quick => vec![10, 40],
+        Scale::Full => vec![10, 40, 100, 200],
+    };
+    let mut table = Table::new(
+        "sec4_4_full_sync_runtime",
+        &["function", "adcd", "d", "millis"],
+    );
+    for &d in &dims {
+        // KLD → ADCD-X with the λ search over a neighborhood.
+        let kld = funcs::kld(d, 4, 60, 1);
+        let series = kld.workload.to_node_series();
+        let x0 = vector::mean(&series.iter().map(|s| s[0].clone()).collect::<Vec<_>>()).unwrap();
+        let b = NeighborhoodBox {
+            lo: x0.iter().map(|v| (v - 0.05).max(0.0)).collect(),
+            hi: x0.iter().map(|v| (v + 0.05).min(1.0)).collect(),
+        };
+        let cfg = light(0.1);
+        let t = Instant::now();
+        let _ = adcd::decompose(kld.f.as_ref(), &x0, Some(&b), &cfg);
+        table.push(vec![
+            "KLD".into(),
+            "X".into(),
+            d.to_string(),
+            f(t.elapsed().as_secs_f64() * 1e3),
+        ]);
+
+        // Inner Product → ADCD-E, eigendecomposition only.
+        let ip = funcs::inner_product(d, 4, 60, 1);
+        let x0 = vec![0.1; d];
+        let t = Instant::now();
+        let _ = adcd::decompose(ip.f.as_ref(), &x0, None, &cfg);
+        table.push(vec![
+            "InnerProduct".into(),
+            "E".into(),
+            d.to_string(),
+            f(t.elapsed().as_secs_f64() * 1e3),
+        ]);
+    }
+    table
+}
+
+/// All Figure 7 tables.
+pub fn run(scale: Scale) -> Vec<Table> {
+    vec![
+        run_dimensions(scale),
+        run_nodes(scale),
+        run_sync_runtime(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_table_has_both_variants() {
+        let t = run_sync_runtime(Scale::Quick);
+        assert_eq!(t.rows.len(), 4);
+        assert!(t.rows.iter().any(|r| r[1] == "X"));
+        assert!(t.rows.iter().any(|r| r[1] == "E"));
+    }
+}

@@ -1,0 +1,16 @@
+//! One module per table/figure of the paper's evaluation (§4).
+//!
+//! Each `run(scale)` returns the tables it regenerates; binaries print
+//! and persist them via [`crate::emit`].
+
+pub mod ablation_design;
+pub mod fig1_safezone;
+pub mod fig2_tradeoff;
+pub mod fig10_bandwidth;
+pub mod fig3_neighborhood;
+pub mod fig4_traces;
+pub mod fig5_tradeoff;
+pub mod fig6_percentiles;
+pub mod fig7_scalability;
+pub mod fig8_tuning;
+pub mod fig9_ablation;

@@ -1,0 +1,187 @@
+//! Benchmark harness regenerating every table and figure of the AutoMon
+//! evaluation (paper §4).
+//!
+//! Each experiment lives in [`experiments`] as a library function
+//! returning printable rows; the `src/bin/fig*.rs` binaries are thin
+//! wrappers, and `src/bin/all_experiments.rs` runs everything. Results
+//! are printed as aligned tables and written as CSV under
+//! `bench_results/`.
+//!
+//! Experiment scale: the default is sized to finish on a laptop in
+//! minutes. Set `AUTOMON_FULL=1` for paper-scale dimensions, node counts,
+//! and stream lengths (see DESIGN.md §5 for the per-figure mapping).
+
+pub mod charts;
+pub mod experiments;
+pub mod funcs;
+pub mod plot;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop-sized defaults.
+    Quick,
+    /// Paper-scale sweeps (`AUTOMON_FULL=1`).
+    Full,
+}
+
+impl Scale {
+    /// Read the scale from the environment.
+    pub fn from_env() -> Self {
+        if std::env::var("AUTOMON_FULL").map(|v| v == "1").unwrap_or(false) {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+}
+
+/// A printable result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name; doubles as the CSV file stem.
+    pub name: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        Self {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "Table::push: column mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&format!("== {} ==\n", self.name));
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write as CSV into `dir`, returning the path.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut s = self.header.join(",");
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&row.join(","));
+            s.push('\n');
+        }
+        fs::write(&path, s)?;
+        Ok(path)
+    }
+}
+
+/// The default results directory (`bench_results/` under the workspace).
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(
+        std::env::var("AUTOMON_RESULTS_DIR").unwrap_or_else(|_| "bench_results".to_string()),
+    )
+}
+
+/// Print a table, persist it as CSV, and (for known figures) render the
+/// paper-shaped SVG charts alongside.
+pub fn emit(table: &Table) {
+    println!("{}", table.render());
+    let dir = results_dir();
+    match table.write_csv(&dir) {
+        Ok(path) => println!("(written to {})", path.display()),
+        Err(e) => eprintln!("(could not write CSV: {e})"),
+    }
+    for (k, chart) in charts::charts_from_table(table).iter().enumerate() {
+        let stem = if k == 0 {
+            table.name.clone()
+        } else {
+            format!("{}_{k}", table.name)
+        };
+        match chart.write_svg(&dir, &stem) {
+            Ok(path) => println!("(chart {})", path.display()),
+            Err(e) => eprintln!("(could not write chart: {e})"),
+        }
+    }
+    println!();
+}
+
+/// Format a float compactly for table cells.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_render_and_csv() {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.push(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("bb"));
+        let dir = std::env::temp_dir().join("automon_bench_test");
+        let path = t.write_csv(&dir).unwrap();
+        let body = std::fs::read_to_string(path).unwrap();
+        assert_eq!(body, "a,bb\n1,2\n");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(1234.6), "1235");
+        assert_eq!(f(2.5), "2.500");
+        assert_eq!(f(0.123456), "0.12346");
+    }
+
+    #[test]
+    #[should_panic(expected = "column mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a"]);
+        t.push(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,334 @@
+//! Minimal SVG plotting for the experiment harness.
+//!
+//! The paper's figures are line/scatter charts; this module renders the
+//! harness's series as standalone SVG files (no plotting dependencies —
+//! the output is hand-assembled markup). Good enough to eyeball every
+//! reproduced figure next to the paper.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+    /// Draw straight segments between points.
+    pub line: bool,
+}
+
+impl Series {
+    /// A line series.
+    pub fn line(label: &str, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.to_string(),
+            points,
+            line: true,
+        }
+    }
+
+    /// A scatter (markers-only) series.
+    pub fn scatter(label: &str, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.to_string(),
+            points,
+            line: false,
+        }
+    }
+}
+
+/// Axis scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AxisScale {
+    /// Linear mapping.
+    Linear,
+    /// Log₁₀ mapping (non-positive values are dropped).
+    Log,
+}
+
+/// A single-panel chart.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    /// Panel title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// X-axis scale.
+    pub x_scale: AxisScale,
+    /// Series to draw.
+    pub series: Vec<Series>,
+}
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 160.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+const PALETTE: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#7f7f7f",
+];
+
+impl Chart {
+    /// A new empty chart with linear axes.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        Self {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            x_scale: AxisScale::Linear,
+            series: Vec::new(),
+        }
+    }
+
+    /// Use a log₁₀ x-axis (message counts span decades).
+    pub fn log_x(mut self) -> Self {
+        self.x_scale = AxisScale::Log;
+        self
+    }
+
+    /// Add a series.
+    pub fn push(&mut self, s: Series) {
+        self.series.push(s);
+    }
+
+    fn tx(&self, x: f64) -> Option<f64> {
+        match self.x_scale {
+            AxisScale::Linear => Some(x),
+            AxisScale::Log => (x > 0.0).then(|| x.log10()),
+        }
+    }
+
+    /// Render to an SVG string.
+    ///
+    /// Empty charts (no finite points) render axes only.
+    pub fn render(&self) -> String {
+        // Collect transformed points per series.
+        let transformed: Vec<Vec<(f64, f64)>> = self
+            .series
+            .iter()
+            .map(|s| {
+                s.points
+                    .iter()
+                    .filter_map(|&(x, y)| {
+                        let tx = self.tx(x)?;
+                        (tx.is_finite() && y.is_finite()).then_some((tx, y))
+                    })
+                    .collect()
+            })
+            .collect();
+        let all: Vec<(f64, f64)> = transformed.iter().flatten().copied().collect();
+        let (x0, x1) = span(all.iter().map(|p| p.0));
+        let (y0, y1) = span(all.iter().map(|p| p.1));
+
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let px = |x: f64| MARGIN_L + (x - x0) / (x1 - x0) * plot_w;
+        let py = |y: f64| MARGIN_T + plot_h - (y - y0) / (y1 - y0) * plot_h;
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" font-family="sans-serif" font-size="12">"#
+        );
+        let _ = write!(
+            svg,
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+        );
+        // Frame.
+        let _ = write!(
+            svg,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#333"/>"##
+        );
+        // Title and axis labels.
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="24" text-anchor="middle" font-size="15">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            xml(&self.title)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 12.0,
+            xml(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            xml(&self.y_label)
+        );
+        // Ticks: 5 per axis.
+        for i in 0..=4 {
+            let fx = x0 + (x1 - x0) * i as f64 / 4.0;
+            let fy = y0 + (y1 - y0) * i as f64 / 4.0;
+            let label_x = match self.x_scale {
+                AxisScale::Linear => tick(fx),
+                AxisScale::Log => tick(10f64.powf(fx)),
+            };
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}" text-anchor="middle" font-size="10">{label_x}</text>"#,
+                px(fx),
+                MARGIN_T + plot_h + 16.0
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}" text-anchor="end" font-size="10">{}</text>"#,
+                MARGIN_L - 6.0,
+                py(fy) + 4.0,
+                tick(fy)
+            );
+            let _ = write!(
+                svg,
+                r##"<line x1="{}" y1="{MARGIN_T}" x2="{}" y2="{}" stroke="#eee"/>"##,
+                px(fx),
+                px(fx),
+                MARGIN_T + plot_h
+            );
+        }
+        // Series.
+        for (k, (s, pts)) in self.series.iter().zip(&transformed).enumerate() {
+            let color = PALETTE[k % PALETTE.len()];
+            if s.line && pts.len() > 1 {
+                let path: Vec<String> = pts
+                    .iter()
+                    .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+                    .collect();
+                let _ = write!(
+                    svg,
+                    r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+                    path.join(" ")
+                );
+            }
+            for &(x, y) in pts {
+                let _ = write!(
+                    svg,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                    px(x),
+                    py(y)
+                );
+            }
+            // Legend.
+            let ly = MARGIN_T + 16.0 + 18.0 * k as f64;
+            let lx = WIDTH - MARGIN_R + 12.0;
+            let _ = write!(
+                svg,
+                r#"<circle cx="{lx}" cy="{}" r="4" fill="{color}"/><text x="{}" y="{}">{}</text>"#,
+                ly - 4.0,
+                lx + 10.0,
+                ly,
+                xml(&s.label)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+
+    /// Render and write `name.svg` into `dir`.
+    pub fn write_svg(&self, dir: &Path, name: &str) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.svg"));
+        std::fs::write(&path, self.render())?;
+        Ok(path)
+    }
+}
+
+/// Finite data span with a degenerate-range guard.
+fn span(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return (0.0, 1.0);
+    }
+    if (hi - lo).abs() < 1e-12 {
+        (lo - 0.5, hi + 0.5)
+    } else {
+        let pad = 0.04 * (hi - lo);
+        (lo - pad, hi + pad)
+    }
+}
+
+/// Compact tick label.
+fn tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100_000.0 {
+        format!("{:.0}K", v / 1000.0)
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Minimal XML escaping for labels.
+fn xml(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let mut c = Chart::new("demo", "x", "y");
+        c.push(Series::line("a", vec![(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)]));
+        c.push(Series::scatter("b", vec![(0.5, 1.5)]));
+        let svg = c.render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("polyline"));
+        assert_eq!(svg.matches("<circle").count(), 4 + 2); // 3+1 points + 2 legend dots
+        assert!(svg.contains("demo"));
+    }
+
+    #[test]
+    fn log_axis_drops_nonpositive_points() {
+        let mut c = Chart::new("t", "msgs", "err").log_x();
+        c.push(Series::line("s", vec![(0.0, 1.0), (10.0, 2.0), (100.0, 3.0)]));
+        let svg = c.render();
+        // Only the two positive-x points survive: 2 data circles + 1 legend.
+        assert_eq!(svg.matches("<circle").count(), 3);
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let mut c = Chart::new("t", "x", "y");
+        c.push(Series::scatter("s", vec![(1.0, 1.0)]));
+        let svg = c.render();
+        assert!(svg.contains("circle"));
+        let empty = Chart::new("e", "x", "y").render();
+        assert!(empty.contains("</svg>"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let c = Chart::new("a < b & c", "x", "y");
+        let svg = c.render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn writes_file() {
+        let mut c = Chart::new("t", "x", "y");
+        c.push(Series::line("s", vec![(0.0, 0.0), (1.0, 1.0)]));
+        let dir = std::env::temp_dir().join("automon_plot_test");
+        let path = c.write_svg(&dir, "demo").unwrap();
+        assert!(std::fs::read_to_string(path).unwrap().contains("<svg"));
+    }
+}

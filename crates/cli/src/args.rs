@@ -1,0 +1,112 @@
+//! Minimal `--key value` argument parsing.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A CLI failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    msg: String,
+}
+
+impl CliError {
+    /// Wrap a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parsed `--key value` arguments; repeated keys accumulate.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, Vec<String>>,
+}
+
+impl Args {
+    /// Parse an argument list of the form `--key value --key value …`.
+    pub fn parse(argv: &[String]) -> Result<Self, CliError> {
+        let mut values: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut it = argv.iter();
+        while let Some(token) = it.next() {
+            let key = token
+                .strip_prefix("--")
+                .ok_or_else(|| CliError::new(format!("expected `--flag`, got `{token}`")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::new(format!("flag `--{key}` needs a value")))?;
+            values.entry(key.to_string()).or_default().push(value.clone());
+        }
+        Ok(Self { values })
+    }
+
+    /// Last occurrence of a flag, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values
+            .get(key)
+            .and_then(|v| v.last())
+            .map(String::as_str)
+    }
+
+    /// All occurrences of a repeatable flag.
+    pub fn get_all(&self, key: &str) -> &[String] {
+        self.values.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key)
+            .ok_or_else(|| CliError::new(format!("missing required flag `--{key}`")))
+    }
+
+    /// Optional numeric flag with a default.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::new(format!("flag `--{key}`: invalid value `{raw}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_repeats() {
+        let a = Args::parse(&sv(&["--x", "1", "--y", "two", "--x", "3"])).unwrap();
+        assert_eq!(a.get("x"), Some("3"));
+        assert_eq!(a.get_all("x"), &["1".to_string(), "3".to_string()]);
+        assert_eq!(a.get("y"), Some("two"));
+        assert_eq!(a.get("z"), None);
+    }
+
+    #[test]
+    fn numeric_parsing_with_defaults() {
+        let a = Args::parse(&sv(&["--eps", "0.25"])).unwrap();
+        assert_eq!(a.num("eps", 1.0).unwrap(), 0.25);
+        assert_eq!(a.num("missing", 7usize).unwrap(), 7);
+        assert!(a.num::<usize>("eps", 0).is_err());
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(Args::parse(&sv(&["naked"])).is_err());
+        assert!(Args::parse(&sv(&["--dangling"])).is_err());
+        let a = Args::parse(&[]).unwrap();
+        assert!(a.require("anything").is_err());
+    }
+}

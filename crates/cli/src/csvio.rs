@@ -1,0 +1,119 @@
+//! CSV input/output for the `monitor` subcommand.
+
+use crate::CliError;
+
+/// One parsed update: `(round, node, vector)`.
+pub type Update = (usize, usize, Vec<f64>);
+
+/// Parse header-free CSV rows `round,node,x1,...,xd`.
+///
+/// Validates: consistent dimension, `node < nodes`, non-decreasing
+/// rounds. Blank lines and `#` comments are skipped.
+pub fn parse_csv_updates(text: &str, nodes: usize) -> Result<Vec<Update>, CliError> {
+    let mut out = Vec::new();
+    let mut dim: Option<usize> = None;
+    let mut last_round = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() < 3 {
+            return Err(CliError::new(format!(
+                "line {}: need `round,node,x1,...`",
+                lineno + 1
+            )));
+        }
+        let round: usize = fields[0]
+            .parse()
+            .map_err(|_| CliError::new(format!("line {}: bad round `{}`", lineno + 1, fields[0])))?;
+        let node: usize = fields[1]
+            .parse()
+            .map_err(|_| CliError::new(format!("line {}: bad node `{}`", lineno + 1, fields[1])))?;
+        if node >= nodes {
+            return Err(CliError::new(format!(
+                "line {}: node {node} out of range (nodes = {nodes})",
+                lineno + 1
+            )));
+        }
+        if round < last_round {
+            return Err(CliError::new(format!(
+                "line {}: rounds must be non-decreasing ({} after {})",
+                lineno + 1,
+                round,
+                last_round
+            )));
+        }
+        last_round = round;
+        let vector: Vec<f64> = fields[2..]
+            .iter()
+            .map(|f| {
+                f.parse::<f64>()
+                    .map_err(|_| CliError::new(format!("line {}: bad value `{f}`", lineno + 1)))
+            })
+            .collect::<Result<_, _>>()?;
+        match dim {
+            None => dim = Some(vector.len()),
+            Some(d) if d != vector.len() => {
+                return Err(CliError::new(format!(
+                    "line {}: dimension {} != first row's {}",
+                    lineno + 1,
+                    vector.len(),
+                    d
+                )))
+            }
+            _ => {}
+        }
+        out.push((round, node, vector));
+    }
+    if out.is_empty() {
+        return Err(CliError::new("no updates in input"));
+    }
+    Ok(out)
+}
+
+/// Render per-round estimates as CSV `round,estimate,truth,abs_error`.
+pub fn render_estimates(rows: &[(usize, f64, f64)]) -> String {
+    let mut s = String::from("round,estimate,truth,abs_error\n");
+    for &(round, est, truth) in rows {
+        s.push_str(&format!(
+            "{round},{est},{truth},{}\n",
+            (est - truth).abs()
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_valid_updates() {
+        let text = "# comment\n0,0,1.0,2.0\n0,1,3.0,4.0\n\n1,0,1.5,2.5\n";
+        let updates = parse_csv_updates(text, 2).unwrap();
+        assert_eq!(updates.len(), 3);
+        assert_eq!(updates[0], (0, 0, vec![1.0, 2.0]));
+        assert_eq!(updates[2].0, 1);
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        assert!(parse_csv_updates("0,0", 1).is_err()); // too few fields
+        assert!(parse_csv_updates("x,0,1.0", 1).is_err()); // bad round
+        assert!(parse_csv_updates("0,9,1.0", 2).is_err()); // node range
+        assert!(parse_csv_updates("1,0,1.0\n0,0,1.0", 1).is_err()); // order
+        assert!(parse_csv_updates("0,0,1.0\n1,0,1.0,2.0", 1).is_err()); // dim
+        assert!(parse_csv_updates("", 1).is_err()); // empty
+    }
+
+    #[test]
+    fn renders_estimates() {
+        let s = render_estimates(&[(0, 1.0, 1.5), (1, 2.0, 2.0)]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "round,estimate,truth,abs_error");
+        assert!(lines[1].starts_with("0,1,1.5,0.5"));
+        assert!(lines[2].starts_with("1,2,2,0"));
+    }
+}

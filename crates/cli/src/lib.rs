@@ -1,0 +1,118 @@
+//! Library backing the `automon` command-line tool.
+//!
+//! Two subcommands:
+//!
+//! * `automon simulate` — run a built-in evaluation workload (the paper's
+//!   functions and datasets) and print the communication/error summary.
+//! * `automon monitor` — run the monitoring protocol over a CSV stream of
+//!   local-vector updates (`round,node,x1,...,xd`) with a chosen built-in
+//!   function, writing per-round estimates.
+//!
+//! Argument parsing is hand-rolled (the project's dependency policy
+//! admits no CLI crates); [`Args`] implements the small `--key value`
+//! grammar both subcommands share.
+
+mod args;
+mod csvio;
+mod run;
+
+pub use args::{Args, CliError};
+pub use csvio::{parse_csv_updates, render_estimates};
+pub use run::{build_function, run_monitor, run_simulate, run_tune, MonitorOutcome};
+
+/// Entry point shared by `main.rs` and the tests.
+///
+/// Returns the text to print on success.
+pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
+    match argv.first().map(String::as_str) {
+        Some("simulate") => run_simulate(&Args::parse(&argv[1..])?),
+        Some("monitor") => run_monitor(&Args::parse(&argv[1..])?),
+        Some("tune") => run_tune(&Args::parse(&argv[1..])?),
+        Some("help") | None => Ok(usage().to_string()),
+        Some(other) => Err(CliError::new(format!(
+            "unknown subcommand `{other}`\n\n{}",
+            usage()
+        ))),
+    }
+}
+
+/// The help text.
+pub fn usage() -> &'static str {
+    "automon — automatic distributed monitoring of arbitrary functions
+
+USAGE:
+    automon simulate --function <NAME> [--epsilon E] [--nodes N]
+                     [--rounds R] [--dim D] [--seed S] [--baseline SPEC]
+    automon monitor  --function <NAME> --input <FILE.csv> --nodes N
+                     [--epsilon E] [--output FILE.csv]
+    automon tune     --function <NAME> --input <FILE.csv> --nodes N
+                     [--epsilon E]
+    automon help
+
+FUNCTIONS (built-in):
+    inner-product | quadratic | kld | variance | rozenbrock | mlp
+    (dimension via --dim where applicable)
+
+BASELINES (simulate only, repeatable):
+    centralization | periodic:<P>
+
+CSV INPUT (monitor): header-free rows `round,node,x1,...,xd`;
+rounds must be non-decreasing, nodes in 0..N.
+
+EXAMPLES:
+    automon simulate --function kld --epsilon 0.05 --nodes 12 --rounds 800
+    automon simulate --function quadratic --baseline periodic:10 \\
+                     --baseline centralization
+    automon monitor --function inner-product --dim 4 --nodes 3 \\
+                    --input updates.csv --epsilon 0.1
+    automon tune --function kld --nodes 12 --input prefix.csv"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(dispatch(&sv(&["help"])).unwrap().contains("USAGE"));
+        assert!(dispatch(&[]).unwrap().contains("USAGE"));
+        let err = dispatch(&sv(&["frobnicate"])).unwrap_err();
+        assert!(err.to_string().contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn simulate_inner_product_end_to_end() {
+        let out = dispatch(&sv(&[
+            "simulate",
+            "--function",
+            "inner-product",
+            "--dim",
+            "4",
+            "--nodes",
+            "3",
+            "--rounds",
+            "120",
+            "--epsilon",
+            "0.2",
+            "--baseline",
+            "centralization",
+            "--baseline",
+            "periodic:10",
+        ]))
+        .unwrap();
+        assert!(out.contains("AutoMon"), "{out}");
+        assert!(out.contains("Centralization"), "{out}");
+        assert!(out.contains("Periodic(10)"), "{out}");
+        assert!(out.contains("max error"), "{out}");
+    }
+
+    #[test]
+    fn simulate_rejects_bad_function() {
+        let err = dispatch(&sv(&["simulate", "--function", "nope"])).unwrap_err();
+        assert!(err.to_string().contains("unknown function"));
+    }
+}

@@ -1,0 +1,12 @@
+//! The `automon` command-line tool. See `automon help`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match automon_cli::dispatch(&argv) {
+        Ok(text) => println!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Subcommand implementations.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use automon_autodiff::AutoDiffFn;
+use automon_core::{Coordinator, MonitorConfig, MonitoredFunction, Node};
+use automon_data::synthetic::{InnerProductDataset, QuadraticDataset, RozenbrockDataset};
+use automon_data::windowed_mean_series;
+use automon_functions::{train_mlp_d, InnerProduct, KlDivergence, QuadraticForm, Rozenbrock, Variance};
+use automon_sim::{run_centralization, run_periodic, Simulation, Workload};
+
+use crate::args::{Args, CliError};
+use crate::csvio::{parse_csv_updates, render_estimates};
+
+/// Build a built-in monitored function by name.
+pub fn build_function(name: &str, dim: usize) -> Result<Arc<dyn MonitoredFunction>, CliError> {
+    Ok(match name {
+        "inner-product" => Arc::new(AutoDiffFn::new(InnerProduct::new(dim))),
+        "quadratic" => Arc::new(AutoDiffFn::new(QuadraticForm::random(dim, 7))),
+        "kld" => Arc::new(AutoDiffFn::new(KlDivergence::new(dim, 1.0 / 2400.0))),
+        "variance" => Arc::new(AutoDiffFn::new(Variance)),
+        "rozenbrock" => Arc::new(AutoDiffFn::new(Rozenbrock)),
+        "mlp" => Arc::new(AutoDiffFn::new(train_mlp_d(dim, 7))),
+        other => {
+            return Err(CliError::new(format!(
+                "unknown function `{other}` (see `automon help`)"
+            )))
+        }
+    })
+}
+
+/// Default dimension per function when `--dim` is omitted.
+fn default_dim(name: &str) -> usize {
+    match name {
+        "variance" | "rozenbrock" => 2,
+        "kld" => 20,
+        _ => 4,
+    }
+}
+
+/// Build the built-in workload matching a function name.
+fn build_workload(
+    name: &str,
+    nodes: usize,
+    rounds: usize,
+    dim: usize,
+    seed: u64,
+) -> Result<Workload, CliError> {
+    let window = 20;
+    let raw = match name {
+        "inner-product" => InnerProductDataset::generate(nodes, rounds + window - 1, dim, seed),
+        "variance" => {
+            // Augmented vectors [x, x²] from scalar samples (§6 rewriting).
+            let scalars = QuadraticDataset::generate(nodes, rounds + window - 1, 1, seed);
+            scalars
+                .into_iter()
+                .map(|s| {
+                    s.into_iter()
+                        .map(|v| vec![v[0], v[0] * v[0]])
+                        .collect()
+                })
+                .collect()
+        }
+        "quadratic" | "mlp" => QuadraticDataset::generate(nodes, rounds + window - 1, dim, seed),
+        "rozenbrock" => RozenbrockDataset::generate(nodes, rounds + window - 1, seed),
+        "kld" => {
+            let streams = automon_data::air_quality::generate(&automon_data::air_quality::AirQualityParams {
+                sites: nodes,
+                hours: rounds + 199,
+                seed,
+            });
+            return Ok(Workload::from_dense(&automon_data::air_quality::kld_series(
+                &streams,
+                200,
+                dim / 2,
+            )));
+        }
+        other => return Err(CliError::new(format!("unknown function `{other}`"))),
+    };
+    Ok(Workload::from_dense(&windowed_mean_series(&raw, window)))
+}
+
+/// Outcome summary of a monitor/simulate run.
+#[derive(Debug, Clone)]
+pub struct MonitorOutcome {
+    /// Protocol messages exchanged.
+    pub messages: usize,
+    /// Maximum observed `|estimate - truth|`.
+    pub max_error: f64,
+}
+
+/// `automon simulate …`
+pub fn run_simulate(args: &Args) -> Result<String, CliError> {
+    let function = args.require("function")?;
+    let dim = args.num("dim", default_dim(function))?;
+    let nodes = args.num("nodes", 10usize)?;
+    let rounds = args.num("rounds", 500usize)?;
+    let epsilon = args.num("epsilon", 0.1f64)?;
+    let seed = args.num("seed", 1u64)?;
+    if epsilon <= 0.0 {
+        return Err(CliError::new("--epsilon must be positive"));
+    }
+
+    let f = build_function(function, dim)?;
+    let workload = build_workload(function, nodes, rounds, dim, seed)?;
+    let sim = Simulation::new(f.clone(), MonitorConfig::builder(epsilon).build());
+    let r = if f.has_constant_hessian() {
+        None
+    } else {
+        Some(sim.tune_r(&workload.prefix((workload.rounds() / 10).clamp(20, 200))))
+    };
+    let stats = sim.run_with_r(&workload, r);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "function {function} (d = {dim}), {nodes} nodes, {} rounds, ε = {epsilon}\n",
+        workload.rounds()
+    ));
+    if let Some(r) = r {
+        out.push_str(&format!("tuned neighborhood r̂ = {r:.4}\n"));
+    }
+    out.push_str(&format!(
+        "AutoMon        : {:>8} msgs, max error {:.5}, full/lazy syncs {}/{}\n",
+        stats.messages, stats.max_error, stats.full_syncs, stats.lazy_syncs
+    ));
+    for spec in args.get_all("baseline") {
+        if spec == "centralization" {
+            let c = run_centralization(&f, &workload);
+            out.push_str(&format!(
+                "Centralization : {:>8} msgs, max error {:.5}\n",
+                c.messages, c.max_error
+            ));
+        } else if let Some(p) = spec.strip_prefix("periodic:") {
+            let period: usize = p
+                .parse()
+                .map_err(|_| CliError::new(format!("bad baseline `{spec}`")))?;
+            let s = run_periodic(&f, &workload, period);
+            out.push_str(&format!(
+                "Periodic({period})    : {:>8} msgs, max error {:.5}\n",
+                s.messages, s.max_error
+            ));
+        } else {
+            return Err(CliError::new(format!(
+                "unknown baseline `{spec}` (centralization | periodic:<P>)"
+            )));
+        }
+    }
+    Ok(out)
+}
+
+/// `automon monitor …` — run the real protocol over CSV updates.
+pub fn run_monitor(args: &Args) -> Result<String, CliError> {
+    let function = args.require("function")?;
+    let input = args.require("input")?;
+    let nodes = args.num("nodes", 0usize)?;
+    if nodes == 0 {
+        return Err(CliError::new("--nodes is required and must be positive"));
+    }
+    let epsilon = args.num("epsilon", 0.1f64)?;
+    let text = std::fs::read_to_string(input)
+        .map_err(|e| CliError::new(format!("cannot read `{input}`: {e}")))?;
+    let updates = parse_csv_updates(&text, nodes)?;
+    let dim = args.num("dim", updates[0].2.len())?;
+    if dim != updates[0].2.len() {
+        return Err(CliError::new(format!(
+            "--dim {dim} disagrees with CSV dimension {}",
+            updates[0].2.len()
+        )));
+    }
+    let f = build_function(function, dim)?;
+
+    let mut coord = Coordinator::new(f.clone(), nodes, MonitorConfig::builder(epsilon).build());
+    let mut node_actors: Vec<Node> = (0..nodes).map(|i| Node::new(i, f.clone())).collect();
+    let mut current: Vec<Option<Vec<f64>>> = vec![None; nodes];
+    let mut messages = 0usize;
+    let mut rows = Vec::new();
+    let mut max_error = 0.0f64;
+
+    let mut idx = 0usize;
+    while idx < updates.len() {
+        let round = updates[idx].0;
+        while idx < updates.len() && updates[idx].0 == round {
+            let (_, node, vector) = &updates[idx];
+            current[*node] = Some(vector.clone());
+            if let Some(m) = node_actors[*node].update_data(vector.clone()) {
+                let mut inbox = VecDeque::from([m]);
+                while let Some(msg) = inbox.pop_front() {
+                    messages += 1;
+                    for out in coord.handle(msg) {
+                        messages += 1;
+                        if let Some(reply) = node_actors[out.to].handle(out.msg) {
+                            inbox.push_back(reply);
+                        }
+                    }
+                }
+            }
+            idx += 1;
+        }
+        if let (true, Some(est)) = (current.iter().all(Option::is_some), coord.current_value()) {
+            let xs: Vec<Vec<f64>> = current.iter().map(|x| x.clone().expect("present")).collect();
+            let mean: Vec<f64> = (0..dim)
+                .map(|j| xs.iter().map(|x| x[j]).sum::<f64>() / nodes as f64)
+                .collect();
+            let truth = f.eval(&mean);
+            max_error = max_error.max((est - truth).abs());
+            rows.push((round, est, truth));
+        }
+    }
+
+    let csv = render_estimates(&rows);
+    if let Some(path) = args.get("output") {
+        std::fs::write(path, &csv)
+            .map_err(|e| CliError::new(format!("cannot write `{path}`: {e}")))?;
+        Ok(format!(
+            "monitored {} rounds: {} messages, max error {:.5}; estimates written to {path}",
+            rows.len(),
+            messages,
+            max_error
+        ))
+    } else {
+        Ok(csv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_every_builtin_function() {
+        for (name, dim) in [
+            ("inner-product", 4),
+            ("quadratic", 3),
+            ("kld", 8),
+            ("variance", 2),
+            ("rozenbrock", 2),
+        ] {
+            let f = build_function(name, dim).unwrap();
+            assert_eq!(f.dim(), dim, "{name}");
+        }
+        assert!(build_function("bogus", 2).is_err());
+    }
+
+    #[test]
+    fn monitor_runs_over_csv() {
+        let dir = std::env::temp_dir().join("automon_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("updates.csv");
+        let mut text = String::new();
+        for t in 0..40 {
+            let v = t as f64 * 0.01;
+            text.push_str(&format!("{t},0,{},{},1.0,1.0\n", v, v * 0.5));
+            text.push_str(&format!("{t},1,{},{},1.0,1.0\n", v + 0.1, v));
+        }
+        std::fs::write(&input, text).unwrap();
+        let args = Args::parse(&[
+            "--function".into(),
+            "inner-product".into(),
+            "--input".into(),
+            input.display().to_string(),
+            "--nodes".into(),
+            "2".into(),
+            "--epsilon".into(),
+            "0.2".into(),
+        ])
+        .unwrap();
+        let out = run_monitor(&args).unwrap();
+        assert!(out.starts_with("round,estimate,truth,abs_error"));
+        assert!(out.lines().count() > 30);
+        // Every reported error respects the constant-Hessian guarantee.
+        for line in out.lines().skip(1) {
+            let err: f64 = line.rsplit(',').next().unwrap().parse().unwrap();
+            assert!(err <= 0.2 + 1e-9, "{line}");
+        }
+    }
+
+    #[test]
+    fn simulate_variance_with_defaults() {
+        let args = Args::parse(&[
+            "--function".into(),
+            "variance".into(),
+            "--rounds".into(),
+            "80".into(),
+            "--nodes".into(),
+            "3".into(),
+        ])
+        .unwrap();
+        let out = run_simulate(&args).unwrap();
+        assert!(out.contains("AutoMon"));
+    }
+}
+
+/// `automon tune …` — run Algorithm 2 over a recorded CSV prefix and
+/// report the recommended neighborhood size with its violation grid.
+pub fn run_tune(args: &Args) -> Result<String, CliError> {
+    let function = args.require("function")?;
+    let input = args.require("input")?;
+    let nodes = args.num("nodes", 0usize)?;
+    if nodes == 0 {
+        return Err(CliError::new("--nodes is required and must be positive"));
+    }
+    let epsilon = args.num("epsilon", 0.1f64)?;
+    let text = std::fs::read_to_string(input)
+        .map_err(|e| CliError::new(format!("cannot read `{input}`: {e}")))?;
+    let updates = parse_csv_updates(&text, nodes)?;
+    let dim = updates[0].2.len();
+    let f = build_function(function, dim)?;
+    if f.has_constant_hessian() {
+        return Ok(format!(
+            "function `{function}` has a constant Hessian: AutoMon uses \
+             ADCD-E, which needs no neighborhood — nothing to tune."
+        ));
+    }
+
+    // Per-node series in arrival order.
+    let mut series: Vec<Vec<Vec<f64>>> = vec![Vec::new(); nodes];
+    for (_, node, vector) in updates {
+        series[node].push(vector);
+    }
+    let cfg = MonitorConfig::builder(epsilon).build();
+    let result = automon_core::tuning::tune_neighborhood_size(&f, &series, &cfg);
+
+    let mut out = format!(
+        "Algorithm 2 on {} rounds × {nodes} nodes (ε = {epsilon}):\n\
+         recommended neighborhood size r̂ = {:.6}\n\n\
+         {:>10}  {:>14}  {:>10}  {:>8}\n",
+        series.iter().map(Vec::len).max().unwrap_or(0),
+        result.r,
+        "r",
+        "neighborhood",
+        "safe zone",
+        "total"
+    );
+    for (r, counts) in &result.grid {
+        out.push_str(&format!(
+            "{r:>10.5}  {:>14}  {:>10}  {:>8}\n",
+            counts.neighborhood,
+            counts.safezone,
+            counts.total_violations()
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tune_tests {
+    use super::*;
+
+    #[test]
+    fn tune_over_csv_prefix() {
+        let dir = std::env::temp_dir().join("automon_cli_tune_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("prefix.csv");
+        let mut text = String::new();
+        for t in 0..50 {
+            for node in 0..2 {
+                let v = t as f64 * 0.02 + node as f64 * 0.01;
+                text.push_str(&format!("{t},{node},{},{}\n", v, v * 0.5));
+            }
+        }
+        std::fs::write(&input, text).unwrap();
+        let args = Args::parse(&[
+            "--function".into(),
+            "rozenbrock".into(),
+            "--input".into(),
+            input.display().to_string(),
+            "--nodes".into(),
+            "2".into(),
+            "--epsilon".into(),
+            "0.5".into(),
+        ])
+        .unwrap();
+        let out = run_tune(&args).unwrap();
+        assert!(out.contains("recommended neighborhood size"), "{out}");
+        assert!(out.contains("safe zone"), "{out}");
+    }
+
+    #[test]
+    fn tune_skips_constant_hessian_functions() {
+        let dir = std::env::temp_dir().join("automon_cli_tune_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("prefix.csv");
+        std::fs::write(&input, "0,0,1.0,2.0,3.0,4.0\n").unwrap();
+        let args = Args::parse(&[
+            "--function".into(),
+            "inner-product".into(),
+            "--input".into(),
+            input.display().to_string(),
+            "--nodes".into(),
+            "1".into(),
+        ])
+        .unwrap();
+        let out = run_tune(&args).unwrap();
+        assert!(out.contains("nothing to tune"), "{out}");
+    }
+}

@@ -1,0 +1,466 @@
+//! ADCD: Automatic DC Decomposition (paper §3.1–§3.4).
+//!
+//! Given the monitored function, a reference point `x0`, and (for ADCD-X)
+//! a neighborhood `B`, this module produces the DC decomposition from
+//! which safe zones are built:
+//!
+//! * **ADCD-X** (Lemma 1) — numerically bound the extreme eigenvalues of
+//!   the Hessian over `B`, then add/subtract the isotropic quadratic
+//!   `½|λ⁻_min|·‖x - x0‖²` / `½λ⁺_max·‖x - x0‖²`.
+//! * **ADCD-E** (Lemma 2) — for constant Hessians, split `H = H⁺ + H⁻`
+//!   by eigendecomposition; strictly larger safe zones than ADCD-X for
+//!   this class (the paper proves `H_ǧ₁ ⪰ H_ǧ₂`).
+//!
+//! The convex-vs-concave choice follows the DC heuristic of §3.4.
+
+use automon_linalg::SymEigen;
+use automon_opt::{nelder_mead, Bounds, OptimizeOptions};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{EigenSearch, MonitorConfig};
+use crate::safezone::{Curvature, DcKind, NeighborhoodBox};
+use crate::MonitoredFunction;
+
+/// Which ADCD variant produced a decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum AdcdKind {
+    /// Extreme-eigenvalue variant for general functions (paper §3.1).
+    X,
+    /// Eigendecomposition variant for constant-Hessian functions (§3.2).
+    E,
+}
+
+/// The result of running ADCD at a reference point.
+#[derive(Debug, Clone)]
+pub struct DcDecomposition {
+    /// Variant used.
+    pub kind: AdcdKind,
+    /// Convex or concave difference, per the DC heuristic (or override).
+    pub dc: DcKind,
+    /// The convex penalty for the chosen representation.
+    pub curvature: Curvature,
+    /// `λ̂_min` found over `B` (for E: the true smallest eigenvalue).
+    pub lambda_min_hat: f64,
+    /// `λ̂_max` found over `B` (for E: the true largest eigenvalue).
+    pub lambda_max_hat: f64,
+}
+
+/// Run ADCD for `f` at `x0`.
+///
+/// `neighborhood` is required for ADCD-X (it is the search region `S = B`
+/// of eq. 3) and ignored by ADCD-E, whose decomposition is valid on all of
+/// `D`. The variant is picked from `f.has_constant_hessian()` unless
+/// `cfg.adcd_override` forces one; `cfg.dc_override` likewise bypasses the
+/// DC heuristic.
+pub fn decompose(
+    f: &dyn MonitoredFunction,
+    x0: &[f64],
+    neighborhood: Option<&NeighborhoodBox>,
+    cfg: &MonitorConfig,
+) -> DcDecomposition {
+    let kind = cfg.adcd_override.unwrap_or(if f.has_constant_hessian() {
+        AdcdKind::E
+    } else {
+        AdcdKind::X
+    });
+    match kind {
+        AdcdKind::E => decompose_e(f, x0, cfg),
+        AdcdKind::X => {
+            let b = neighborhood.expect("ADCD-X requires a neighborhood");
+            decompose_x(f, x0, b, cfg)
+        }
+    }
+}
+
+/// ADCD-E (paper Lemma 2).
+fn decompose_e(f: &dyn MonitoredFunction, x0: &[f64], cfg: &MonitorConfig) -> DcDecomposition {
+    let h = f.hessian(x0);
+    let eig = SymEigen::new(&h);
+    let (lmin, lmax) = (eig.lambda_min(), eig.lambda_max());
+    // DC heuristic for constant Hessians reduces to |λ_min| ≤ λ_max
+    // (paper §3.4).
+    let dc = cfg.dc_override.unwrap_or(if lmin.abs() <= lmax {
+        DcKind::ConvexDiff
+    } else {
+        DcKind::ConcaveDiff
+    });
+    let curvature = match dc {
+        // Convex difference subtracts the NSD part: q(Δ) = ½·Δᵀ(-H⁻)Δ.
+        DcKind::ConvexDiff => Curvature::Quadratic(eig.nsd_part().scale(-1.0)),
+        // Concave difference subtracts the PSD part: q(Δ) = ½·Δᵀ H⁺ Δ.
+        DcKind::ConcaveDiff => Curvature::Quadratic(eig.psd_part()),
+        DcKind::AdmissibleOnly => unreachable!("ablation bypasses decompose"),
+    };
+    DcDecomposition {
+        kind: AdcdKind::E,
+        dc,
+        curvature,
+        lambda_min_hat: lmin,
+        lambda_max_hat: lmax,
+    }
+}
+
+/// ADCD-X (paper Lemma 1 + eq. 3).
+fn decompose_x(
+    f: &dyn MonitoredFunction,
+    x0: &[f64],
+    neighborhood: &NeighborhoodBox,
+    cfg: &MonitorConfig,
+) -> DcDecomposition {
+    let bounds = neighborhood.to_bounds();
+    let lambda_min_hat =
+        search_extreme(f, &bounds, &cfg.eigen_search, cfg.eigen_objective, Extreme::Min);
+    let lambda_max_hat =
+        search_extreme(f, &bounds, &cfg.eigen_search, cfg.eigen_objective, Extreme::Max);
+    // λ⁻ = min(0, λ̂_min), λ⁺ = max(0, λ̂_max).
+    let lambda_minus_abs = (-lambda_min_hat).max(0.0);
+    let lambda_plus = lambda_max_hat.max(0.0);
+
+    // DC heuristic (paper §3.4) at the reference point:
+    //   λ_min(H_ǧ) + λ_min(H_ȟ) ≤ |λ_max(H_ĥ) + λ_max(H_ĝ)|  → convex.
+    // With the Lemma-1 decomposition this becomes
+    //   λ_min(H(x0)) + 2|λ⁻| ≤ |λ_max(H(x0)) - 2λ⁺|.
+    // The heuristic uses the raw extremes; the safety margin only widens
+    // the final curvature penalty, it must not flip the representation.
+    let h0 = f.hessian(x0);
+    let eig0 = SymEigen::new(&h0);
+    let lhs = eig0.lambda_min() + 2.0 * lambda_minus_abs;
+    let rhs = (eig0.lambda_max() - 2.0 * lambda_plus).abs();
+    let dc = cfg
+        .dc_override
+        .unwrap_or(if lhs <= rhs { DcKind::ConvexDiff } else { DcKind::ConcaveDiff });
+    let curvature = match dc {
+        DcKind::ConvexDiff => Curvature::Scalar(lambda_minus_abs * cfg.eigen_margin),
+        DcKind::ConcaveDiff => Curvature::Scalar(lambda_plus * cfg.eigen_margin),
+        DcKind::AdmissibleOnly => unreachable!("ablation bypasses decompose"),
+    };
+    DcDecomposition {
+        kind: AdcdKind::X,
+        dc,
+        curvature,
+        lambda_min_hat,
+        lambda_max_hat,
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Extreme {
+    Min,
+    Max,
+}
+
+/// Gershgorin disc bounds on the spectrum of a symmetric matrix:
+/// `(min_i h_ii - R_i, max_i h_ii + R_i)` with `R_i = Σ_{j≠i} |h_ij|`.
+fn gershgorin_bounds(h: &automon_linalg::Matrix) -> (f64, f64) {
+    let n = h.rows();
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for i in 0..n {
+        let mut radius = 0.0;
+        for j in 0..n {
+            if i != j {
+                radius += h[(i, j)].abs();
+            }
+        }
+        lo = lo.min(h[(i, i)] - radius);
+        hi = hi.max(h[(i, i)] + radius);
+    }
+    (lo, hi)
+}
+
+/// Numerically bound an extreme eigenvalue of `H(x)` over a box:
+/// seeded probing of the box (always including its center) followed by a
+/// box-projected Nelder–Mead polish from the incumbent.
+fn search_extreme(
+    f: &dyn MonitoredFunction,
+    bounds: &Bounds,
+    es: &EigenSearch,
+    objective: crate::config::EigenObjective,
+    which: Extreme,
+) -> f64 {
+    // Objective in minimization form.
+    let eval = |x: &[f64]| -> f64 {
+        let h = f.hessian(x);
+        match objective {
+            crate::config::EigenObjective::Exact => {
+                let eig = SymEigen::new(&h);
+                match which {
+                    Extreme::Min => eig.lambda_min(),
+                    Extreme::Max => -eig.lambda_max(),
+                }
+            }
+            crate::config::EigenObjective::Gershgorin => {
+                let (lo, hi) = gershgorin_bounds(&h);
+                match which {
+                    Extreme::Min => lo,
+                    Extreme::Max => -hi,
+                }
+            }
+        }
+    };
+
+    let mut best_x = bounds.center();
+    let mut best_v = eval(&best_x);
+    let mut rng = SmallRng::seed_from_u64(es.seed ^ (which == Extreme::Max) as u64);
+    let d = bounds.dim();
+    for _ in 0..es.probes {
+        let p: Vec<f64> = (0..d)
+            .map(|i| {
+                if bounds.lo[i] < bounds.hi[i] {
+                    rng.gen_range(bounds.lo[i]..=bounds.hi[i])
+                } else {
+                    bounds.lo[i]
+                }
+            })
+            .collect();
+        let v = eval(&p);
+        if v < best_v {
+            best_v = v;
+            best_x = p;
+        }
+    }
+    if es.nm_iters > 0 && d <= es.nm_dim_cap {
+        let opts = OptimizeOptions {
+            max_iters: es.nm_iters,
+            tol: 1e-10,
+            ..Default::default()
+        };
+        let mut obj = eval;
+        let r = nelder_mead(&mut obj, &best_x, bounds, &opts);
+        if r.value < best_v {
+            best_v = r.value;
+        }
+    }
+    match which {
+        Extreme::Min => best_v,
+        Extreme::Max => -best_v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MonitorConfig;
+    use crate::safezone::NeighborhoodBox;
+    use automon_autodiff::{AutoDiffFn, Scalar, ScalarFn};
+    use automon_linalg::Matrix;
+
+    struct Saddle;
+    impl ScalarFn for Saddle {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn call<S: Scalar>(&self, x: &[S]) -> S {
+            // f = -x₀² + x₁²: constant Hessian diag(-2, 2).
+            -x[0] * x[0] + x[1] * x[1]
+        }
+    }
+
+    struct Sin1;
+    impl ScalarFn for Sin1 {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn call<S: Scalar>(&self, x: &[S]) -> S {
+            x[0].sin()
+        }
+    }
+
+    fn cfg() -> MonitorConfig {
+        MonitorConfig::builder(0.1).build()
+    }
+
+    #[test]
+    fn saddle_gets_adcd_e_with_exact_split() {
+        let f = AutoDiffFn::new(Saddle);
+        assert!(automon_autodiff::DifferentiableFn::has_constant_hessian(&f));
+        let d = decompose(&f, &[0.0, 0.0], None, &cfg());
+        assert_eq!(d.kind, AdcdKind::E);
+        assert!((d.lambda_min_hat + 2.0).abs() < 1e-9);
+        assert!((d.lambda_max_hat - 2.0).abs() < 1e-9);
+        // |λ_min| = λ_max → heuristic picks convex.
+        assert_eq!(d.dc, DcKind::ConvexDiff);
+        // Convex curvature is -H⁻ = diag(2, 0).
+        match &d.curvature {
+            Curvature::Quadratic(m) => {
+                assert!(m.approx_eq(&Matrix::from_diag(&[2.0, 0.0]), 1e-9))
+            }
+            other => panic!("expected quadratic curvature, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adcd_e_concave_override_uses_psd_part() {
+        let f = AutoDiffFn::new(Saddle);
+        let c = MonitorConfig::builder(0.1).dc(DcKind::ConcaveDiff).build();
+        let d = decompose(&f, &[0.0, 0.0], None, &c);
+        match &d.curvature {
+            Curvature::Quadratic(m) => {
+                assert!(m.approx_eq(&Matrix::from_diag(&[0.0, 2.0]), 1e-9))
+            }
+            other => panic!("expected quadratic curvature, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sin_gets_adcd_x_with_tight_extremes() {
+        // Over B = [π/2 - 1, π/2 + 1], f'' = -sin ranges in
+        // [-1, -sin(π/2 - 1)] ≈ [-1, -0.54].
+        let f = AutoDiffFn::new(Sin1);
+        let x0 = [std::f64::consts::FRAC_PI_2];
+        let b = NeighborhoodBox {
+            lo: vec![x0[0] - 1.0],
+            hi: vec![x0[0] + 1.0],
+        };
+        let d = decompose(&f, &x0, Some(&b), &cfg());
+        assert_eq!(d.kind, AdcdKind::X);
+        assert!((d.lambda_min_hat + 1.0).abs() < 1e-6, "{}", d.lambda_min_hat);
+        assert!(
+            (d.lambda_max_hat + (std::f64::consts::FRAC_PI_2 - 1.0).sin()).abs() < 1e-6,
+            "{}",
+            d.lambda_max_hat
+        );
+        // All curvature is negative → λ⁺ = 0; heuristic picks convex with
+        // |λ⁻| = 1.
+        assert_eq!(d.dc, DcKind::ConvexDiff);
+        match d.curvature {
+            Curvature::Scalar(c) => assert!((c - 1.0).abs() < 1e-6),
+            ref other => panic!("expected scalar curvature, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn convex_function_yields_zero_penalty_convex_diff() {
+        struct Norm;
+        impl ScalarFn for Norm {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn call<S: Scalar>(&self, x: &[S]) -> S {
+                (x[0] * x[0] + x[1] * x[1] + S::from_f64(1.0)).sqrt()
+            }
+        }
+        // √(‖x‖² + 1) is convex: λ_min ≥ 0 everywhere → λ⁻ = 0 and the DC
+        // heuristic must choose the convex difference (paper §3.7).
+        let f = AutoDiffFn::new(Norm);
+        let b = NeighborhoodBox {
+            lo: vec![-1.0, -1.0],
+            hi: vec![1.0, 1.0],
+        };
+        let c = MonitorConfig::builder(0.1).adcd(AdcdKind::X).build();
+        let d = decompose(&f, &[0.2, -0.1], Some(&b), &c);
+        assert_eq!(d.dc, DcKind::ConvexDiff);
+        match d.curvature {
+            Curvature::Scalar(c) => assert!(c.abs() < 1e-9, "λ⁻ should be 0, got {c}"),
+            ref other => panic!("expected scalar curvature, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eigen_margin_scales_penalty() {
+        let f = AutoDiffFn::new(Sin1);
+        let x0 = [std::f64::consts::FRAC_PI_2];
+        let b = NeighborhoodBox {
+            lo: vec![x0[0] - 1.0],
+            hi: vec![x0[0] + 1.0],
+        };
+        let c = MonitorConfig::builder(0.1).eigen_margin(2.0).build();
+        let d = decompose(&f, &x0, Some(&b), &c);
+        match d.curvature {
+            Curvature::Scalar(c) => assert!((c - 2.0).abs() < 1e-5),
+            ref other => panic!("expected scalar curvature, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a neighborhood")]
+    fn adcd_x_without_neighborhood_panics() {
+        let f = AutoDiffFn::new(Sin1);
+        let c = MonitorConfig::builder(0.1).adcd(AdcdKind::X).build();
+        decompose(&f, &[0.0], None, &c);
+    }
+}
+
+#[cfg(test)]
+mod gershgorin_tests {
+    use super::*;
+    use crate::config::MonitorConfig;
+    use crate::safezone::NeighborhoodBox;
+    use automon_autodiff::{AutoDiffFn, Scalar, ScalarFn};
+    use automon_linalg::Matrix;
+
+    #[test]
+    fn gershgorin_brackets_true_spectrum() {
+        let mut m = Matrix::from_rows(3, 3, vec![2.0, 1.0, 0.5, 1.0, -1.0, 0.2, 0.5, 0.2, 3.0]);
+        m.symmetrize();
+        let (lo, hi) = gershgorin_bounds(&m);
+        let eig = SymEigen::new(&m);
+        assert!(lo <= eig.lambda_min() + 1e-12);
+        assert!(hi >= eig.lambda_max() - 1e-12);
+    }
+
+    #[test]
+    fn gershgorin_decomposition_is_more_conservative() {
+        struct Sin1;
+        impl ScalarFn for Sin1 {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn call<S: Scalar>(&self, x: &[S]) -> S {
+                x[0].sin()
+            }
+        }
+        let f = AutoDiffFn::new(Sin1);
+        let x0 = [std::f64::consts::FRAC_PI_2];
+        let b = NeighborhoodBox {
+            lo: vec![x0[0] - 1.0],
+            hi: vec![x0[0] + 1.0],
+        };
+        let exact = decompose(&f, &x0, Some(&b), &MonitorConfig::builder(0.1).build());
+        let gersh = decompose(
+            &f,
+            &x0,
+            Some(&b),
+            &MonitorConfig::builder(0.1).gershgorin_bounds().build(),
+        );
+        // 1-D Gershgorin equals the diagonal, so bounds coincide here;
+        // the invariant is bracketing: λ̂ ranges at least as wide.
+        assert!(gersh.lambda_min_hat <= exact.lambda_min_hat + 1e-9);
+        assert!(gersh.lambda_max_hat >= exact.lambda_max_hat - 1e-9);
+    }
+
+    #[test]
+    fn gershgorin_widens_multidim_penalty() {
+        // Coupled non-constant Hessian: off-diagonals make Gershgorin
+        // strictly conservative.
+        struct Coupled;
+        impl ScalarFn for Coupled {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn call<S: Scalar>(&self, x: &[S]) -> S {
+                (x[0] * x[1]).sin()
+            }
+        }
+        let f = AutoDiffFn::new(Coupled);
+        let x0 = [0.5, 0.5];
+        let b = NeighborhoodBox {
+            lo: vec![0.0, 0.0],
+            hi: vec![1.0, 1.0],
+        };
+        let exact = decompose(&f, &x0, Some(&b), &MonitorConfig::builder(0.1).build());
+        let gersh = decompose(
+            &f,
+            &x0,
+            Some(&b),
+            &MonitorConfig::builder(0.1).gershgorin_bounds().build(),
+        );
+        assert!(
+            gersh.lambda_min_hat < exact.lambda_min_hat,
+            "gersh {} vs exact {}",
+            gersh.lambda_min_hat,
+            exact.lambda_min_hat
+        );
+    }
+}

@@ -1,0 +1,758 @@
+//! The AutoMon coordinator algorithm (paper Algorithm 1, coordinator side)
+//! with slack and LRU lazy sync (paper §3.5).
+
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use automon_linalg::vector;
+
+use crate::adcd::{self, AdcdKind, DcDecomposition};
+use crate::config::{ApproximationKind, MonitorConfig};
+use crate::messages::{CoordinatorMessage, NodeId, NodeMessage, Outbound};
+use crate::safezone::{Curvature, DcKind, Domain, SafeZone, ViolationKind};
+use crate::MonitoredFunction;
+
+/// Counters the coordinator accumulates over a run.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CoordinatorStats {
+    /// Full syncs performed (including the initial one).
+    pub full_syncs: usize,
+    /// Lazy syncs that resolved without a full sync.
+    pub lazy_syncs: usize,
+    /// Neighborhood violations received.
+    pub neighborhood_violations: usize,
+    /// Safe-zone violations received.
+    pub safezone_violations: usize,
+    /// Faulty-constraint reports received (§3.7 sanity check).
+    pub faulty_reports: usize,
+    /// Times the adaptive heuristic doubled `r` (§3.6).
+    pub r_doublings: usize,
+}
+
+/// A restorable snapshot of the coordinator's protocol state
+/// (everything except the function and configuration, which are code).
+///
+/// Produce with [`Coordinator::snapshot`], persist anywhere (`serde`),
+/// and revive with [`Coordinator::restore`] +
+/// [`Coordinator::resync_messages`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CoordinatorSnapshot {
+    /// Number of nodes.
+    pub n: usize,
+    /// Neighborhood radius in force.
+    pub r: f64,
+    /// Constraints in force, if initialized.
+    pub zone: Option<SafeZone>,
+    /// Per-node slack vectors.
+    pub slack: Vec<Vec<f64>>,
+    /// Last known raw local vectors.
+    pub known_x: Vec<Option<Vec<f64>>>,
+    /// LRU contact order (front = least recent).
+    pub lru: Vec<NodeId>,
+    /// Accumulated statistics.
+    pub stats: CoordinatorStats,
+    /// Adaptive-growth counter (§3.6).
+    pub consecutive_neighborhood: usize,
+}
+
+/// A notification from the coordinator to the embedding application.
+///
+/// The paper's motivating use case is *acting* on the monitored value
+/// (e.g. raising an intrusion alert); register a callback with
+/// [`Coordinator::set_observer`] to be told whenever the approximation
+/// or the protocol state changes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoordinatorEvent {
+    /// A full sync installed a new reference point; `value` is the new
+    /// approximation `f(x0)`.
+    FullSync {
+        /// The new approximation.
+        value: f64,
+        /// Lower threshold now in force.
+        lower: f64,
+        /// Upper threshold now in force.
+        upper: f64,
+    },
+    /// A lazy sync rebalanced the given number of nodes (the
+    /// approximation did not change).
+    LazySync {
+        /// Size of the balancing set.
+        nodes: usize,
+    },
+    /// The adaptive heuristic doubled the neighborhood radius.
+    NeighborhoodDoubled {
+        /// The new radius.
+        r: f64,
+    },
+    /// A node reported faulty constraints (§3.7 sanity check).
+    FaultyConstraints {
+        /// The reporting node.
+        node: NodeId,
+    },
+}
+
+/// Observer callback type.
+pub type Observer = Box<dyn FnMut(&CoordinatorEvent) + Send>;
+
+/// Violation-resolution state.
+enum SyncState {
+    /// Waiting for every node's first vector.
+    Initializing,
+    /// All constraints in force; nothing outstanding.
+    Monitoring,
+    /// Lazy sync in progress: `set` is the balancing set `S`, `pending`
+    /// the node whose vector was requested.
+    Lazy {
+        set: BTreeSet<NodeId>,
+        pending: Option<NodeId>,
+    },
+    /// Full sync in progress, waiting for `pending`'s vectors.
+    Full { pending: BTreeSet<NodeId> },
+}
+
+/// The AutoMon coordinator.
+///
+/// Drive it by feeding every [`NodeMessage`] to [`Coordinator::handle`]
+/// and forwarding the returned [`Outbound`] messages to their nodes.
+pub struct Coordinator {
+    f: Arc<dyn MonitoredFunction>,
+    n: usize,
+    cfg: MonitorConfig,
+    domain: Domain,
+    r: f64,
+    zone: Option<SafeZone>,
+    slack: Vec<Vec<f64>>,
+    known_x: Vec<Option<Vec<f64>>>,
+    /// Least-recently-contacted order; front = least recent.
+    lru: VecDeque<NodeId>,
+    state: SyncState,
+    stats: CoordinatorStats,
+    /// Cached ADCD-E decomposition (constant Hessian ⇒ computed once).
+    e_cache: Option<DcDecomposition>,
+    /// Nodes that already hold the current curvature (can receive the
+    /// matrix-free `NewConstraintsCached`).
+    node_has_curvature: Vec<bool>,
+    /// Consecutive neighborhood violations without a safe-zone violation.
+    consecutive_neighborhood: usize,
+    /// Application callback for protocol events.
+    observer: Option<Observer>,
+}
+
+impl Coordinator {
+    /// Create a coordinator for `n` nodes monitoring `f`.
+    pub fn new(f: Arc<dyn MonitoredFunction>, n: usize, cfg: MonitorConfig) -> Self {
+        assert!(n > 0, "Coordinator: need at least one node");
+        let d = f.dim();
+        let domain = Domain::of(f.as_ref());
+        let r = cfg.neighborhood.initial_r();
+        Self {
+            f,
+            n,
+            cfg,
+            domain,
+            r,
+            zone: None,
+            slack: vec![vec![0.0; d]; n],
+            known_x: vec![None; n],
+            lru: (0..n).collect(),
+            state: SyncState::Initializing,
+            stats: CoordinatorStats::default(),
+            e_cache: None,
+            node_has_curvature: vec![false; n],
+            consecutive_neighborhood: 0,
+            observer: None,
+        }
+    }
+
+    /// Register a callback invoked on every protocol event (sync,
+    /// adaptive growth, faulty constraints). Replaces any previous
+    /// observer.
+    pub fn set_observer(&mut self, observer: Observer) {
+        self.observer = Some(observer);
+    }
+
+    fn notify(&mut self, event: CoordinatorEvent) {
+        if let Some(obs) = &mut self.observer {
+            obs(&event);
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CoordinatorStats {
+        &self.stats
+    }
+
+    /// The current approximation `f(x0)`, once initialized.
+    pub fn current_value(&self) -> Option<f64> {
+        self.zone.as_ref().map(|z| z.f0)
+    }
+
+    /// The safe zone currently in force.
+    pub fn zone(&self) -> Option<&SafeZone> {
+        self.zone.as_ref()
+    }
+
+    /// The current neighborhood radius `r`.
+    pub fn neighborhood_r(&self) -> f64 {
+        self.r
+    }
+
+    /// Override the neighborhood radius (e.g. from offline tuning,
+    /// Algorithm 2). Takes effect at the next full sync.
+    pub fn set_neighborhood_r(&mut self, r: f64) {
+        assert!(r > 0.0, "neighborhood radius must be positive");
+        self.r = r;
+    }
+
+    /// Capture a restorable snapshot of the protocol state.
+    ///
+    /// Only available while no violation resolution is in flight
+    /// (`None` otherwise): a mid-sync snapshot would strand the pending
+    /// pulls. Pair with [`Coordinator::restore`] and
+    /// [`Coordinator::resync_messages`] for coordinator failover.
+    pub fn snapshot(&self) -> Option<CoordinatorSnapshot> {
+        match self.state {
+            SyncState::Monitoring | SyncState::Initializing => Some(CoordinatorSnapshot {
+                n: self.n,
+                r: self.r,
+                zone: self.zone.clone(),
+                slack: self.slack.clone(),
+                known_x: self.known_x.clone(),
+                lru: self.lru.iter().copied().collect(),
+                stats: self.stats.clone(),
+                consecutive_neighborhood: self.consecutive_neighborhood,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Rebuild a coordinator from a snapshot.
+    ///
+    /// The function and configuration are supplied by the caller (they
+    /// are code, not state) and must match the snapshotting process's.
+    ///
+    /// # Panics
+    /// Panics when the function dimension disagrees with the snapshot.
+    pub fn restore(
+        f: Arc<dyn MonitoredFunction>,
+        cfg: MonitorConfig,
+        snap: CoordinatorSnapshot,
+    ) -> Self {
+        let d = f.dim();
+        assert!(
+            snap.slack.iter().all(|s| s.len() == d),
+            "restore: snapshot dimension mismatch"
+        );
+        let state = if snap.known_x.iter().all(Option::is_some) && snap.zone.is_some() {
+            SyncState::Monitoring
+        } else {
+            SyncState::Initializing
+        };
+        // The domain is code-derived, exactly as in `new`.
+        let domain = Domain::of(f.as_ref());
+        Self {
+            f,
+            n: snap.n,
+            cfg,
+            domain,
+            r: snap.r,
+            zone: snap.zone,
+            slack: snap.slack,
+            known_x: snap.known_x,
+            lru: snap.lru.into_iter().collect(),
+            state,
+            stats: snap.stats,
+            e_cache: None,
+            // Conservative after failover: the first post-restore sync
+            // re-ships curvature to everyone.
+            node_has_curvature: vec![false; snap.n],
+            consecutive_neighborhood: snap.consecutive_neighborhood,
+            observer: None,
+        }
+    }
+
+    /// Messages that re-install the current constraints on every node —
+    /// what a restored (or restarted) coordinator broadcasts so nodes
+    /// converge back to a known state.
+    ///
+    /// Empty when no constraints exist yet.
+    pub fn resync_messages(&self) -> Vec<Outbound> {
+        let Some(zone) = &self.zone else {
+            return Vec::new();
+        };
+        (0..self.n)
+            .map(|i| Outbound {
+                to: i,
+                msg: CoordinatorMessage::NewConstraints {
+                    zone: zone.clone(),
+                    slack: self.slack[i].clone(),
+                },
+            })
+            .collect()
+    }
+
+    /// Process one node message; returns the coordinator's replies.
+    pub fn handle(&mut self, msg: NodeMessage) -> Vec<Outbound> {
+        let sender = msg.sender();
+        assert!(sender < self.n, "message from unknown node {sender}");
+        let (vector, violation) = match msg {
+            NodeMessage::Violation {
+                kind, local_vector, ..
+            } => (local_vector, Some(kind)),
+            NodeMessage::LocalVector { vector, .. } => (vector, None),
+        };
+        self.known_x[sender] = Some(vector);
+        self.touch_lru(sender);
+        if let Some(kind) = violation {
+            self.record_violation(kind);
+            if kind == ViolationKind::FaultyConstraints {
+                self.notify(CoordinatorEvent::FaultyConstraints { node: sender });
+            }
+        }
+
+        match std::mem::replace(&mut self.state, SyncState::Monitoring) {
+            SyncState::Initializing => {
+                if self.known_x.iter().all(Option::is_some) {
+                    self.full_sync()
+                } else {
+                    self.state = SyncState::Initializing;
+                    Vec::new()
+                }
+            }
+            SyncState::Monitoring => {
+                // A LocalVector reply can straggle in after its sync was
+                // resolved (e.g. a lazy sync satisfied by another node's
+                // violation report); absorb it as a free refresh.
+                let Some(kind) = violation else {
+                    return Vec::new();
+                };
+                debug_assert_ne!(kind, ViolationKind::Uninitialized, "node re-registered");
+                let lazy_applicable = self.cfg.enable_lazy_sync
+                    && self.cfg.enable_slack
+                    && kind != ViolationKind::FaultyConstraints
+                    && self.n > 1;
+                if !lazy_applicable {
+                    return self.begin_full_sync([sender].into_iter().collect());
+                }
+                let mut set = BTreeSet::new();
+                set.insert(sender);
+                self.continue_lazy(set)
+            }
+            SyncState::Lazy { mut set, pending } => {
+                set.insert(sender);
+                if violation == Some(ViolationKind::FaultyConstraints) {
+                    return self.begin_full_sync(set);
+                }
+                match pending {
+                    Some(p) if p != sender => {
+                        // Still waiting for p; keep state.
+                        self.state = SyncState::Lazy {
+                            set,
+                            pending: Some(p),
+                        };
+                        Vec::new()
+                    }
+                    _ => self.continue_lazy(set),
+                }
+            }
+            SyncState::Full { mut pending } => {
+                pending.remove(&sender);
+                if pending.is_empty() {
+                    self.full_sync()
+                } else {
+                    self.state = SyncState::Full { pending };
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    fn record_violation(&mut self, kind: ViolationKind) {
+        match kind {
+            ViolationKind::Neighborhood => {
+                self.stats.neighborhood_violations += 1;
+                self.consecutive_neighborhood += 1;
+                // Adaptive growth heuristic (paper §3.6): after
+                // `factor · n` consecutive neighborhood violations with no
+                // intervening safe-zone violation, double r.
+                if self.cfg.neighborhood.is_adaptive()
+                    && self.consecutive_neighborhood >= self.cfg.adaptive_r_factor * self.n
+                {
+                    self.r *= 2.0;
+                    self.stats.r_doublings += 1;
+                    self.consecutive_neighborhood = 0;
+                    self.notify(CoordinatorEvent::NeighborhoodDoubled { r: self.r });
+                }
+            }
+            ViolationKind::SafeZone => {
+                self.stats.safezone_violations += 1;
+                self.consecutive_neighborhood = 0;
+            }
+            ViolationKind::FaultyConstraints => {
+                self.stats.faulty_reports += 1;
+                self.consecutive_neighborhood = 0;
+                // The reporting node is recorded by the caller; id is
+                // threaded through `handle`, so notify there.
+            }
+            ViolationKind::Uninitialized => {}
+        }
+    }
+
+    fn touch_lru(&mut self, node: NodeId) {
+        if let Some(pos) = self.lru.iter().position(|&x| x == node) {
+            self.lru.remove(pos);
+        }
+        self.lru.push_back(node);
+    }
+
+    /// Try to resolve with the current balancing set, growing it via the
+    /// LRU strategy; escalate to full sync past `n/2` (paper §3.5).
+    fn continue_lazy(&mut self, set: BTreeSet<NodeId>) -> Vec<Outbound> {
+        if self.try_balance(&set) {
+            let b = self.balance_point(&set);
+            let mut out = Vec::with_capacity(set.len());
+            for &i in &set {
+                let xi = self.known_x[i].as_ref().expect("vector known for set member");
+                self.slack[i] = vector::sub(&b, xi);
+                out.push(Outbound {
+                    to: i,
+                    msg: CoordinatorMessage::SlackUpdate {
+                        slack: self.slack[i].clone(),
+                    },
+                });
+            }
+            self.stats.lazy_syncs += 1;
+            self.notify(CoordinatorEvent::LazySync { nodes: set.len() });
+            self.state = SyncState::Monitoring;
+            return out;
+        }
+        if 2 * set.len() > self.n {
+            return self.begin_full_sync(set);
+        }
+        // Grow S with the least-recently-used node outside it.
+        let next = self.lru.iter().copied().find(|i| !set.contains(i));
+        match next {
+            Some(p) => {
+                self.touch_lru(p);
+                self.state = SyncState::Lazy {
+                    set,
+                    pending: Some(p),
+                };
+                vec![Outbound {
+                    to: p,
+                    msg: CoordinatorMessage::RequestLocalVector,
+                }]
+            }
+            None => self.begin_full_sync(set),
+        }
+    }
+
+    /// Average of the slack-adjusted vectors of the balancing set.
+    fn balance_point(&self, set: &BTreeSet<NodeId>) -> Vec<f64> {
+        let adjusted: Vec<Vec<f64>> = set
+            .iter()
+            .map(|&i| {
+                let xi = self.known_x[i].as_ref().expect("vector known");
+                vector::add(xi, &self.slack[i])
+            })
+            .collect();
+        vector::mean(&adjusted).expect("non-empty balancing set")
+    }
+
+    /// `true` when the balance point satisfies all local constraints.
+    fn try_balance(&self, set: &BTreeSet<NodeId>) -> bool {
+        let Some(zone) = &self.zone else {
+            return false;
+        };
+        let b = self.balance_point(set);
+        zone.contains(self.f.as_ref(), &b)
+    }
+
+    /// Request vectors from every node not in `have`, or sync immediately
+    /// if everything is known.
+    fn begin_full_sync(&mut self, have: BTreeSet<NodeId>) -> Vec<Outbound> {
+        let pending: BTreeSet<NodeId> = (0..self.n).filter(|i| !have.contains(i)).collect();
+        if pending.is_empty() {
+            return self.full_sync();
+        }
+        let out = pending
+            .iter()
+            .map(|&i| Outbound {
+                to: i,
+                msg: CoordinatorMessage::RequestLocalVector,
+            })
+            .collect();
+        self.state = SyncState::Full { pending };
+        out
+    }
+
+    /// Paper Algorithm 1, `CoordinatorFullSync`: recompute `x0`,
+    /// thresholds, decomposition, safe zone, and slack; broadcast.
+    fn full_sync(&mut self) -> Vec<Outbound> {
+        let xs: Vec<Vec<f64>> = self
+            .known_x
+            .iter()
+            .map(|x| x.clone().expect("full sync requires all vectors"))
+            .collect();
+        let x0 = vector::mean(&xs).expect("at least one node");
+        let (f0, grad0) = self.f.eval_grad(&x0);
+        let (l, u) = self.thresholds(f0);
+
+        let zone = if self.cfg.disable_adcd {
+            SafeZone {
+                x0: x0.clone(),
+                f0,
+                grad0,
+                l,
+                u,
+                dc: DcKind::AdmissibleOnly,
+                curvature: Curvature::Scalar(0.0),
+                neighborhood: None,
+            }
+        } else {
+            let use_e = self
+                .cfg
+                .adcd_override
+                .map(|k| k == AdcdKind::E)
+                .unwrap_or_else(|| self.f.has_constant_hessian());
+            if use_e {
+                // Constant Hessian: decomposition computed once, then
+                // cached (paper §4.4: "eigendecomposition is done only
+                // once at initialization").
+                if self.e_cache.is_none() {
+                    self.e_cache = Some(adcd::decompose(self.f.as_ref(), &x0, None, &self.cfg));
+                }
+                let dec = self.e_cache.as_ref().expect("just cached");
+                SafeZone {
+                    x0: x0.clone(),
+                    f0,
+                    grad0,
+                    l,
+                    u,
+                    dc: dec.dc,
+                    curvature: dec.curvature.clone(),
+                    neighborhood: None,
+                }
+            } else {
+                let b = self.domain.neighborhood(&x0, self.r);
+                let dec = adcd::decompose(self.f.as_ref(), &x0, Some(&b), &self.cfg);
+                SafeZone {
+                    x0: x0.clone(),
+                    f0,
+                    grad0,
+                    l,
+                    u,
+                    dc: dec.dc,
+                    curvature: dec.curvature.clone(),
+                    neighborhood: Some(b),
+                }
+            }
+        };
+
+        // A node that already holds this exact curvature gets the
+        // matrix-free form — for ADCD-E the O(d²) penalty never crosses
+        // the wire after the first sync (paper §4.4).
+        let curvature_unchanged = self
+            .zone
+            .as_ref()
+            .is_some_and(|old| old.curvature == zone.curvature && old.dc == zone.dc);
+        let mut out = Vec::with_capacity(self.n);
+        for (i, xi) in xs.iter().enumerate() {
+            self.slack[i] = if self.cfg.enable_slack {
+                vector::sub(&x0, xi)
+            } else {
+                vec![0.0; x0.len()]
+            };
+            let msg = if curvature_unchanged && self.node_has_curvature[i] {
+                CoordinatorMessage::NewConstraintsCached {
+                    update: crate::messages::ZoneUpdate {
+                        x0: zone.x0.clone(),
+                        f0: zone.f0,
+                        grad0: zone.grad0.clone(),
+                        l: zone.l,
+                        u: zone.u,
+                        dc: zone.dc,
+                        neighborhood: zone.neighborhood.clone(),
+                    },
+                    slack: self.slack[i].clone(),
+                }
+            } else {
+                self.node_has_curvature[i] = true;
+                CoordinatorMessage::NewConstraints {
+                    zone: zone.clone(),
+                    slack: self.slack[i].clone(),
+                }
+            };
+            out.push(Outbound { to: i, msg });
+        }
+        self.notify(CoordinatorEvent::FullSync {
+            value: zone.f0,
+            lower: zone.l,
+            upper: zone.u,
+        });
+        self.zone = Some(zone);
+        self.stats.full_syncs += 1;
+        // Note: the consecutive-neighborhood-violation counter (paper
+        // §3.6) deliberately survives full syncs — only an intervening
+        // safe-zone violation resets it, so a too-small `r` that keeps
+        // forcing syncs still triggers adaptive growth.
+        self.state = SyncState::Monitoring;
+        out
+    }
+
+    /// Thresholds from `f(x0)` (paper §2).
+    fn thresholds(&self, f0: f64) -> (f64, f64) {
+        match self.cfg.approximation {
+            ApproximationKind::Additive => (f0 - self.cfg.epsilon, f0 + self.cfg.epsilon),
+            ApproximationKind::Multiplicative => {
+                let a = (1.0 - self.cfg.epsilon) * f0;
+                let b = (1.0 + self.cfg.epsilon) * f0;
+                (a.min(b), a.max(b))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Node;
+    use automon_autodiff::{AutoDiffFn, Scalar, ScalarFn};
+
+    struct Sum2;
+    impl ScalarFn for Sum2 {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn call<S: Scalar>(&self, x: &[S]) -> S {
+            x[0] + x[1]
+        }
+    }
+
+    fn setup(n: usize, cfg: MonitorConfig) -> (Coordinator, Vec<Node>) {
+        let f: Arc<dyn MonitoredFunction> = Arc::new(AutoDiffFn::new(Sum2));
+        let coord = Coordinator::new(f.clone(), n, cfg);
+        let nodes = (0..n).map(|i| Node::new(i, f.clone())).collect();
+        (coord, nodes)
+    }
+
+    /// Deliver `first` and every cascading reply FIFO; returns the number
+    /// of messages exchanged.
+    fn route(coord: &mut Coordinator, nodes: &mut [Node], first: NodeMessage) -> usize {
+        let mut inbox = std::collections::VecDeque::from([first]);
+        let mut count = 0usize;
+        while let Some(m) = inbox.pop_front() {
+            count += 1;
+            for out in coord.handle(m) {
+                count += 1;
+                if let Some(reply) = nodes[out.to].handle(out.msg) {
+                    inbox.push_back(reply);
+                }
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn initializes_after_all_register() {
+        let (mut coord, mut nodes) = setup(3, MonitorConfig::builder(0.5).build());
+        for i in 0..3 {
+            let m = nodes[i].update_data(vec![i as f64, 0.0]).unwrap();
+            route(&mut coord, &mut nodes, m);
+        }
+        // After three registrations the coordinator full-synced.
+        assert_eq!(coord.stats().full_syncs, 1);
+        // x0 = mean([0,0],[1,0],[2,0]) = [1, 0]; f(x0) = 1.
+        assert_eq!(coord.current_value(), Some(1.0));
+        assert_eq!(nodes[2].current_value(), Some(1.0));
+    }
+
+    #[test]
+    fn lazy_sync_resolves_opposite_drifts() {
+        // Linear function: safe zone contains the whole slab
+        // L ≤ x₀+x₁ ≤ U. Two nodes drift in opposite directions; their
+        // average stays at the reference, so lazy sync must resolve
+        // without a second full sync.
+        let (mut coord, mut nodes) = setup(2, MonitorConfig::builder(0.4).build());
+        for i in 0..nodes.len() {
+            if let Some(m) = nodes[i].update_data(vec![0.0, 0.0]) {
+                for out in coord.handle(m) {
+                    let _ = nodes[out.to].handle(out.msg);
+                }
+            }
+        }
+        assert_eq!(coord.stats().full_syncs, 1);
+
+        // Both nodes drift by ±1 in x₀ (each violating ε = 0.4); the
+        // drifts cancel, so a single lazy sync must resolve them.
+        let m0 = nodes[0].update_data(vec![1.0, 0.0]).expect("violation");
+        let m1 = nodes[1].update_data(vec![-1.0, 0.0]).expect("violation");
+        // Deliver both reports through one FIFO queue, as a transport would.
+        let mut inbox = std::collections::VecDeque::from([m0, m1]);
+        while let Some(m) = inbox.pop_front() {
+            for out in coord.handle(m) {
+                if let Some(reply) = nodes[out.to].handle(out.msg) {
+                    inbox.push_back(reply);
+                }
+            }
+        }
+        assert_eq!(coord.stats().lazy_syncs, 1, "{:?}", coord.stats());
+        assert_eq!(coord.stats().full_syncs, 1);
+        // Both nodes keep monitoring silently at the balanced point.
+        assert!(nodes[0].update_data(vec![1.0, 0.0]).is_none());
+        assert!(nodes[1].update_data(vec![-1.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn full_sync_when_lazy_disabled() {
+        let cfg = MonitorConfig::builder(0.4).without_lazy_sync().build();
+        let (mut coord, mut nodes) = setup(2, cfg);
+        let init = |coord: &mut Coordinator, nodes: &mut Vec<Node>| {
+            for i in 0..2 {
+                if let Some(m) = nodes[i].update_data(vec![0.0, 0.0]) {
+                    for out in coord.handle(m) {
+                        let _ = nodes[out.to].handle(out.msg);
+                    }
+                }
+            }
+        };
+        init(&mut coord, &mut nodes);
+        assert_eq!(coord.stats().full_syncs, 1);
+
+        let m = nodes[0].update_data(vec![5.0, 0.0]).expect("violation");
+        let mut inbox = vec![m];
+        while let Some(m) = inbox.pop() {
+            for out in coord.handle(m) {
+                if let Some(reply) = nodes[out.to].handle(out.msg) {
+                    inbox.push(reply);
+                }
+            }
+        }
+        assert_eq!(coord.stats().full_syncs, 2);
+        assert_eq!(coord.stats().lazy_syncs, 0);
+        // New reference: mean([5,0],[0,0]) = [2.5, 0] → f = 2.5.
+        assert_eq!(coord.current_value(), Some(2.5));
+    }
+
+    #[test]
+    fn thresholds_additive_and_multiplicative() {
+        let (coord, _) = setup(1, MonitorConfig::builder(0.1).build());
+        assert_eq!(coord.thresholds(2.0), (1.9, 2.1));
+        let (coord, _) = setup(1, MonitorConfig::builder(0.1).multiplicative().build());
+        let (l, u) = coord.thresholds(2.0);
+        assert!((l - 1.8).abs() < 1e-12);
+        assert!((u - 2.2).abs() < 1e-12);
+        // Negative f(x0): bounds stay ordered.
+        let (l, u) = coord.thresholds(-2.0);
+        assert!(l < u);
+        assert!((l + 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_neighborhood_r_applies() {
+        let (mut coord, _) = setup(2, MonitorConfig::builder(0.1).build());
+        coord.set_neighborhood_r(0.25);
+        assert_eq!(coord.neighborhood_r(), 0.25);
+    }
+}

@@ -1,0 +1,144 @@
+//! Protocol messages exchanged between nodes and the coordinator.
+//!
+//! AutoMon is transport-agnostic (paper §3.8): the library produces and
+//! consumes message *values*, and the application moves them over a fabric
+//! of its choice. All message types are `serde`-serializable; the
+//! `automon-net` crate provides a compact binary codec and an in-process
+//! fabric with byte accounting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::safezone::{DcKind, NeighborhoodBox, SafeZone, ViolationKind};
+
+/// Node identifier, dense in `0..n`.
+pub type NodeId = usize;
+
+/// Message from a node to the coordinator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeMessage {
+    /// A local-constraint violation, carrying the current raw local
+    /// vector so the coordinator needs no follow-up round trip.
+    Violation {
+        /// Reporting node.
+        node: NodeId,
+        /// What was violated.
+        kind: ViolationKind,
+        /// The node's raw (un-slacked) local vector.
+        local_vector: Vec<f64>,
+    },
+    /// Reply to [`CoordinatorMessage::RequestLocalVector`].
+    LocalVector {
+        /// Replying node.
+        node: NodeId,
+        /// The node's raw local vector.
+        vector: Vec<f64>,
+    },
+}
+
+impl NodeMessage {
+    /// The sending node.
+    pub fn sender(&self) -> NodeId {
+        match *self {
+            NodeMessage::Violation { node, .. } | NodeMessage::LocalVector { node, .. } => node,
+        }
+    }
+}
+
+/// The curvature-free part of a safe zone: everything a full sync
+/// changes when the DC decomposition itself is unchanged (constant
+/// Hessian ⇒ constant penalty, recomputed never — paper §4.4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZoneUpdate {
+    /// New reference point `x0`.
+    pub x0: Vec<f64>,
+    /// `f(x0)`.
+    pub f0: f64,
+    /// `∇f(x0)`.
+    pub grad0: Vec<f64>,
+    /// Lower threshold.
+    pub l: f64,
+    /// Upper threshold.
+    pub u: f64,
+    /// DC representation in force.
+    pub dc: DcKind,
+    /// Neighborhood box, if restricted.
+    pub neighborhood: Option<NeighborhoodBox>,
+}
+
+/// Message from the coordinator to one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CoordinatorMessage {
+    /// Pull the node's current local vector (lazy or full sync).
+    RequestLocalVector,
+    /// Install new local constraints and this node's slack vector
+    /// (full sync).
+    NewConstraints {
+        /// The safe zone to monitor.
+        zone: SafeZone,
+        /// This node's slack `sᵢ`.
+        slack: Vec<f64>,
+    },
+    /// Full-sync constraints whose curvature penalty is byte-identical
+    /// to the node's current one (always the case for ADCD-E after the
+    /// first sync): the node reuses its stored curvature, and the
+    /// O(d²) matrix payload never crosses the wire again (§4.4, §4.7).
+    NewConstraintsCached {
+        /// The curvature-free zone fields.
+        update: ZoneUpdate,
+        /// This node's slack `sᵢ`.
+        slack: Vec<f64>,
+    },
+    /// Rebalanced slack for a node in the balancing set (lazy sync).
+    SlackUpdate {
+        /// This node's new slack `sᵢ`.
+        slack: Vec<f64>,
+    },
+}
+
+/// An addressed coordinator message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outbound {
+    /// Destination node.
+    pub to: NodeId,
+    /// Payload.
+    pub msg: CoordinatorMessage,
+}
+
+/// Addressing helper for transports that support broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recipient {
+    /// A single node.
+    Node(NodeId),
+    /// Every node.
+    Broadcast,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sender_extraction() {
+        let m = NodeMessage::Violation {
+            node: 3,
+            kind: ViolationKind::SafeZone,
+            local_vector: vec![1.0],
+        };
+        assert_eq!(m.sender(), 3);
+        let m = NodeMessage::LocalVector {
+            node: 7,
+            vector: vec![],
+        };
+        assert_eq!(m.sender(), 7);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = CoordinatorMessage::SlackUpdate {
+            slack: vec![0.5, -0.5],
+        };
+        let s = serde_json::to_string(&m).unwrap();
+        let back: CoordinatorMessage = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,283 @@
+//! The AutoMon node algorithm (paper Algorithm 1, node side).
+//!
+//! A node keeps its raw local vector `x`, the slack `s` assigned by the
+//! coordinator, and the current [`SafeZone`]. On every data update it
+//! checks the slack-adjusted vector `x + s` against the constraints and
+//! reports a violation at most once per resolution cycle; while a report
+//! is outstanding further updates stay silent until new constraints or a
+//! slack rebalance arrive.
+
+use std::sync::Arc;
+
+use crate::messages::{CoordinatorMessage, NodeId, NodeMessage};
+use crate::safezone::{SafeZone, ViolationKind};
+use crate::MonitoredFunction;
+use automon_linalg::vector;
+
+/// One monitoring node.
+pub struct Node {
+    id: NodeId,
+    f: Arc<dyn MonitoredFunction>,
+    x: Option<Vec<f64>>,
+    slack: Vec<f64>,
+    zone: Option<SafeZone>,
+    /// A violation has been reported and not yet resolved.
+    pending: bool,
+}
+
+impl Node {
+    /// Create node `id` monitoring `f`.
+    pub fn new(id: NodeId, f: Arc<dyn MonitoredFunction>) -> Self {
+        let d = f.dim();
+        Self {
+            id,
+            f,
+            x: None,
+            slack: vec![0.0; d],
+            zone: None,
+            pending: false,
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The installed safe zone, if any.
+    pub fn zone(&self) -> Option<&SafeZone> {
+        self.zone.as_ref()
+    }
+
+    /// The current approximation `f(x0)` (paper §3.8,
+    /// `node.current_value()`), available once constraints arrived.
+    pub fn current_value(&self) -> Option<f64> {
+        self.zone.as_ref().map(|z| z.f0)
+    }
+
+    /// The raw local vector last supplied.
+    pub fn local_vector(&self) -> Option<&[f64]> {
+        self.x.as_deref()
+    }
+
+    /// The current slack vector.
+    pub fn slack(&self) -> &[f64] {
+        &self.slack
+    }
+
+    /// `true` while a violation report awaits resolution.
+    pub fn is_pending(&self) -> bool {
+        self.pending
+    }
+
+    /// Install a new local vector (paper `node.update_data(x)`).
+    ///
+    /// Returns the message to forward to the coordinator, if any.
+    ///
+    /// # Panics
+    /// Panics if `x` has the wrong dimension.
+    pub fn update_data(&mut self, x: Vec<f64>) -> Option<NodeMessage> {
+        assert_eq!(x.len(), self.f.dim(), "update_data: wrong dimension");
+        self.x = Some(x);
+        self.check()
+    }
+
+    /// Re-check the current vector against the constraints.
+    fn check(&mut self) -> Option<NodeMessage> {
+        if self.pending {
+            return None;
+        }
+        let x = self.x.as_ref()?;
+        let Some(zone) = &self.zone else {
+            // First contact: register with the coordinator.
+            self.pending = true;
+            return Some(NodeMessage::Violation {
+                node: self.id,
+                kind: ViolationKind::Uninitialized,
+                local_vector: x.clone(),
+            });
+        };
+        let adjusted = vector::add(x, &self.slack);
+        let kind = zone.check(self.f.as_ref(), &adjusted)?;
+        self.pending = true;
+        Some(NodeMessage::Violation {
+            node: self.id,
+            kind,
+            local_vector: x.clone(),
+        })
+    }
+
+    /// Process a coordinator message (paper `node.message_received`).
+    ///
+    /// Returns the reply to send back, if any.
+    pub fn handle(&mut self, msg: CoordinatorMessage) -> Option<NodeMessage> {
+        match msg {
+            CoordinatorMessage::RequestLocalVector => {
+                let vector = self
+                    .x
+                    .clone()
+                    .expect("coordinator requested a vector before any data update");
+                Some(NodeMessage::LocalVector {
+                    node: self.id,
+                    vector,
+                })
+            }
+            CoordinatorMessage::NewConstraints { zone, slack } => {
+                assert_eq!(slack.len(), self.f.dim(), "slack dimension mismatch");
+                self.zone = Some(zone);
+                self.slack = slack;
+                self.pending = false;
+                None
+            }
+            CoordinatorMessage::NewConstraintsCached { update, slack } => {
+                assert_eq!(slack.len(), self.f.dim(), "slack dimension mismatch");
+                let curvature = self
+                    .zone
+                    .as_ref()
+                    .map(|z| z.curvature.clone())
+                    .expect("cached constraints before any full constraints");
+                self.zone = Some(SafeZone {
+                    x0: update.x0,
+                    f0: update.f0,
+                    grad0: update.grad0,
+                    l: update.l,
+                    u: update.u,
+                    dc: update.dc,
+                    curvature,
+                    neighborhood: update.neighborhood,
+                });
+                self.slack = slack;
+                self.pending = false;
+                None
+            }
+            CoordinatorMessage::SlackUpdate { slack } => {
+                assert_eq!(slack.len(), self.f.dim(), "slack dimension mismatch");
+                self.slack = slack;
+                self.pending = false;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::safezone::{Curvature, DcKind};
+    use automon_autodiff::{AutoDiffFn, Scalar, ScalarFn};
+
+    struct Identity1;
+    impl ScalarFn for Identity1 {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn call<S: Scalar>(&self, x: &[S]) -> S {
+            x[0]
+        }
+    }
+
+    fn f() -> Arc<dyn MonitoredFunction> {
+        Arc::new(AutoDiffFn::new(Identity1))
+    }
+
+    fn zone() -> SafeZone {
+        // f(x) = x, x0 = 0, ε = 1: safe zone is simply |x| ≤ 1.
+        SafeZone {
+            x0: vec![0.0],
+            f0: 0.0,
+            grad0: vec![1.0],
+            l: -1.0,
+            u: 1.0,
+            dc: DcKind::ConvexDiff,
+            curvature: Curvature::Scalar(0.0),
+            neighborhood: None,
+        }
+    }
+
+    #[test]
+    fn first_update_registers() {
+        let mut n = Node::new(0, f());
+        let m = n.update_data(vec![0.5]).expect("registration message");
+        assert!(matches!(
+            m,
+            NodeMessage::Violation {
+                kind: ViolationKind::Uninitialized,
+                ..
+            }
+        ));
+        // Second update while pending stays silent.
+        assert!(n.update_data(vec![0.6]).is_none());
+    }
+
+    #[test]
+    fn monitors_quietly_inside_zone() {
+        let mut n = Node::new(1, f());
+        let _ = n.update_data(vec![0.0]);
+        n.handle(CoordinatorMessage::NewConstraints {
+            zone: zone(),
+            slack: vec![0.0],
+        });
+        assert!(!n.is_pending());
+        assert!(n.update_data(vec![0.3]).is_none());
+        assert!(n.update_data(vec![-0.9]).is_none());
+        assert_eq!(n.current_value(), Some(0.0));
+    }
+
+    #[test]
+    fn reports_violation_once() {
+        let mut n = Node::new(2, f());
+        let _ = n.update_data(vec![0.0]);
+        n.handle(CoordinatorMessage::NewConstraints {
+            zone: zone(),
+            slack: vec![0.0],
+        });
+        let m = n.update_data(vec![1.5]).expect("violation");
+        match m {
+            NodeMessage::Violation {
+                node,
+                kind,
+                local_vector,
+            } => {
+                assert_eq!(node, 2);
+                assert_eq!(kind, ViolationKind::SafeZone);
+                assert_eq!(local_vector, vec![1.5]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Suppressed while pending.
+        assert!(n.update_data(vec![2.0]).is_none());
+        // Resolution re-arms the check.
+        n.handle(CoordinatorMessage::SlackUpdate { slack: vec![-1.5] });
+        assert!(!n.is_pending());
+        // 2.0 + (-1.5) = 0.5 is inside — silent.
+        assert!(n.update_data(vec![2.0]).is_none());
+        // 3.0 - 1.5 = 1.5 violates again.
+        assert!(n.update_data(vec![3.0]).is_some());
+    }
+
+    #[test]
+    fn slack_shifts_the_checked_point() {
+        let mut n = Node::new(0, f());
+        let _ = n.update_data(vec![0.0]);
+        n.handle(CoordinatorMessage::NewConstraints {
+            zone: zone(),
+            slack: vec![0.9],
+        });
+        // 0.3 + 0.9 = 1.2 > 1 → violation even though raw x is inside.
+        assert!(n.update_data(vec![0.3]).is_some());
+    }
+
+    #[test]
+    fn replies_with_local_vector() {
+        let mut n = Node::new(4, f());
+        let _ = n.update_data(vec![0.7]);
+        let m = n.handle(CoordinatorMessage::RequestLocalVector).unwrap();
+        assert_eq!(
+            m,
+            NodeMessage::LocalVector {
+                node: 4,
+                vector: vec![0.7]
+            }
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Datasets and stream plumbing for the AutoMon evaluation (paper §4.2).
+//!
+//! Synthetic generators reproduce the paper's described processes exactly;
+//! the two real-world datasets the paper uses (KDD-Cup-99 and the Beijing
+//! multi-site air-quality archive) are replaced by *simulated substitutes*
+//! that preserve the trajectory characteristics driving AutoMon's
+//! communication — drift, bursts, node skew, and update schedules. The
+//! substitutions are documented in DESIGN.md §4.
+//!
+//! Everything is deterministic under a seed.
+//!
+//! * [`SlidingWindow`] / [`windowed_mean_series`] — the mean-of-last-`W`
+//!   local vectors of §4.1.
+//! * [`HistogramWindow`] — binned probability vectors over a sliding
+//!   window (KLD's `[p, q]` local vectors).
+//! * [`synthetic`] — MLP-d drift data, inner-product phases, quadratic
+//!   outlier node, Rozenbrock noise, and the §4.6 saddle-drift script.
+//! * [`air_quality`] — 12-site correlated AR(1) pollutant processes
+//!   (Beijing substitute).
+//! * [`intrusion`] — Gaussian-mixture connection records with
+//!   application-skewed node assignment and one-node-per-round updates
+//!   (KDD substitute).
+
+pub mod air_quality;
+pub mod intrusion;
+pub mod regression;
+mod rng;
+pub mod sketch;
+pub mod synthetic;
+mod window;
+
+pub use rng::NormalSampler;
+pub use window::{windowed_mean_series, HistogramWindow, SlidingWindow};

@@ -1,0 +1,159 @@
+//! Augmented local vectors for least-squares monitoring.
+//!
+//! The paper's §6 notes that many computations become functions of the
+//! average by *augmenting* the local vectors (citing the least-squares
+//! monitoring of Gabel et al., KDD '15). This module provides that
+//! rewriting for simple linear regression: each node summarizes its
+//! window of `(x, y)` pairs as the moment vector
+//! `[ mean(x), mean(y), mean(x²), mean(xy) ]`, whose across-node average
+//! is the global moment vector — from which the regression slope (or any
+//! moment-expressible statistic) is a plain function
+//! (`automon_functions::RegressionSlope`).
+
+use crate::NormalSampler;
+use std::collections::VecDeque;
+
+/// A sliding window over `(x, y)` pairs maintaining the regression
+/// moment vector `[mx, my, mxx, mxy]`.
+#[derive(Debug, Clone)]
+pub struct MomentWindow {
+    cap: usize,
+    buf: VecDeque<(f64, f64)>,
+    sums: [f64; 4],
+}
+
+impl MomentWindow {
+    /// A window of `cap` pairs.
+    ///
+    /// # Panics
+    /// Panics when `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "MomentWindow: zero capacity");
+        Self {
+            cap,
+            buf: VecDeque::with_capacity(cap + 1),
+            sums: [0.0; 4],
+        }
+    }
+
+    /// Push one `(x, y)` pair.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.sums[0] += x;
+        self.sums[1] += y;
+        self.sums[2] += x * x;
+        self.sums[3] += x * y;
+        self.buf.push_back((x, y));
+        if self.buf.len() > self.cap {
+            let (ox, oy) = self.buf.pop_front().expect("non-empty");
+            self.sums[0] -= ox;
+            self.sums[1] -= oy;
+            self.sums[2] -= ox * ox;
+            self.sums[3] -= ox * oy;
+        }
+    }
+
+    /// `true` once `cap` pairs are held.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.cap
+    }
+
+    /// The moment local vector `[mx, my, mxx, mxy]`, or `None` if empty.
+    pub fn local_vector(&self) -> Option<Vec<f64>> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let inv = 1.0 / self.buf.len() as f64;
+        Some(self.sums.iter().map(|s| s * inv).collect())
+    }
+}
+
+/// Generate per-node `(x, y)` streams whose underlying slope drifts over
+/// time: `y = slope(t)·x + noise`, `x ~ N(0, 1)`.
+pub fn drifting_slope_streams(
+    nodes: usize,
+    rounds: usize,
+    seed: u64,
+) -> Vec<Vec<(f64, f64)>> {
+    (0..nodes)
+        .map(|i| {
+            let mut rng = NormalSampler::new(seed.wrapping_add(i as u64 * 127));
+            (0..rounds)
+                .map(|t| {
+                    let slope = 1.0 + 0.8 * (t as f64 / rounds.max(1) as f64)
+                        + 0.05 * (i as f64 - nodes as f64 / 2.0) / nodes.max(1) as f64;
+                    let x = rng.normal(0.0, 1.0);
+                    let y = slope * x + rng.normal(0.0, 0.2);
+                    (x, y)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Turn raw pair streams into moment local-vector series (starting once
+/// all windows are full).
+pub fn moment_series(streams: &[Vec<(f64, f64)>], window: usize) -> Vec<Vec<Vec<f64>>> {
+    streams
+        .iter()
+        .map(|stream| {
+            let mut win = MomentWindow::new(window);
+            let mut out = Vec::new();
+            for &(x, y) in stream {
+                win.push(x, y);
+                if win.is_full() {
+                    out.push(win.local_vector().expect("full window"));
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_match_direct_computation() {
+        let mut w = MomentWindow::new(3);
+        w.push(1.0, 2.0);
+        w.push(2.0, 4.0);
+        w.push(3.0, 6.0);
+        let v = w.local_vector().unwrap();
+        let expect = [2.0, 4.0, 14.0 / 3.0, 28.0 / 3.0];
+        for (a, b) in v.iter().zip(expect) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        // Eviction removes the oldest pair.
+        w.push(4.0, 8.0);
+        let v = w.local_vector().unwrap();
+        assert_eq!(v[0], 3.0);
+        assert_eq!(v[1], 6.0);
+    }
+
+    #[test]
+    fn drifting_streams_have_increasing_slope() {
+        let streams = drifting_slope_streams(2, 2000, 3);
+        // Estimate the slope in the first and last quarter by regression.
+        let slope_of = |pairs: &[(f64, f64)]| -> f64 {
+            let n = pairs.len() as f64;
+            let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+            let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+            let mxx = pairs.iter().map(|p| p.0 * p.0).sum::<f64>() / n;
+            let mxy = pairs.iter().map(|p| p.0 * p.1).sum::<f64>() / n;
+            (mxy - mx * my) / (mxx - mx * mx)
+        };
+        let early = slope_of(&streams[0][..500]);
+        let late = slope_of(&streams[0][1500..]);
+        assert!(late > early + 0.3, "early {early} late {late}");
+    }
+
+    #[test]
+    fn moment_series_shapes() {
+        let streams = drifting_slope_streams(3, 100, 5);
+        let series = moment_series(&streams, 25);
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0].len(), 76);
+        assert_eq!(series[0][0].len(), 4);
+    }
+}

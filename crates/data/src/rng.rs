@@ -1,0 +1,93 @@
+//! Seeded Gaussian sampling.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic N(0, 1) sampler (Box–Muller over `SmallRng`).
+///
+/// The `rand_distr` crate is deliberately not used: the pre-approved
+/// dependency set contains only `rand`, and Box–Muller is all the
+/// evaluation needs.
+#[derive(Debug, Clone)]
+pub struct NormalSampler {
+    rng: SmallRng,
+    spare: Option<f64>,
+}
+
+impl NormalSampler {
+    /// A sampler seeded deterministically.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// One standard-normal draw.
+    pub fn standard(&mut self) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// One N(mean, std²) draw.
+    pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.standard()
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen_range(0.0..1.0)
+    }
+
+    /// A uniform integer in `0..n`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+
+    /// A Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = NormalSampler::new(5);
+        let mut b = NormalSampler::new(5);
+        for _ in 0..10 {
+            assert_eq!(a.standard(), b.standard());
+        }
+    }
+
+    #[test]
+    fn moments_are_plausible() {
+        let mut s = NormalSampler::new(11);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| s.normal(3.0, 2.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn helpers_in_range() {
+        let mut s = NormalSampler::new(2);
+        for _ in 0..100 {
+            let u = s.uniform();
+            assert!((0.0..1.0).contains(&u));
+            assert!(s.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! AMS-style linear sketches of frequency vectors.
+//!
+//! The paper's §5 observes that AutoMon composes with *linear* sketches:
+//! since `sketch(Σᵢ xᵢ) = Σᵢ sketch(xᵢ)` for a shared seed, the average
+//! of per-node sketches is the sketch of the average frequency vector,
+//! so AutoMon can monitor `f = query ∘ sketch` by treating the sketch as
+//! the local vector. This module provides the classic AMS (tug-of-war)
+//! sketch in the turnstile model; the matching second-moment query
+//! function lives in `automon-functions` (`F2FromSketch`) — a quadratic
+//! form, so AutoMon automatically selects ADCD-E for it.
+
+/// An AMS (tug-of-war) sketch: `s_j = Σ_i σ_j(i) · c_i` for item counts
+/// `c` and per-row random signs `σ_j`.
+///
+/// ```
+/// use automon_data::sketch::AmsSketch;
+///
+/// let mut sk = AmsSketch::new(256, 42);
+/// sk.update(7, 3.0);   // item 7 seen three times
+/// sk.update(9, 4.0);   // item 9 seen four times
+/// // F₂ = 3² + 4² = 25, estimated from the sketch alone.
+/// assert!((sk.f2_estimate() - 25.0).abs() < 12.0);
+/// // Turnstile deletes work too:
+/// sk.update(9, -4.0);
+/// assert!((sk.f2_estimate() - 9.0).abs() < 6.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AmsSketch {
+    width: usize,
+    seed: u64,
+    state: Vec<f64>,
+}
+
+impl AmsSketch {
+    /// A zeroed sketch of `width` counters.
+    ///
+    /// All sketches that will be aggregated must share the same `seed`
+    /// (that is what makes the sign functions — and thus the sketch —
+    /// identical linear maps on every node).
+    ///
+    /// # Panics
+    /// Panics when `width` is zero.
+    pub fn new(width: usize, seed: u64) -> Self {
+        assert!(width > 0, "AmsSketch: zero width");
+        Self {
+            width,
+            seed,
+            state: vec![0.0; width],
+        }
+    }
+
+    /// Number of counters.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The random sign `σ_j(item) ∈ {-1, +1}` (splitmix64-based hash,
+    /// deterministic in `(seed, row, item)`).
+    pub fn sign(&self, row: usize, item: u64) -> f64 {
+        let mut z = self
+            .seed
+            .wrapping_add((row as u64).wrapping_mul(0x9E3779B97F4A7C15))
+            .wrapping_add(item.wrapping_mul(0xBF58476D1CE4E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        if z & 1 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Turnstile update: item count changes by `delta`.
+    pub fn update(&mut self, item: u64, delta: f64) {
+        for j in 0..self.width {
+            self.state[j] += self.sign(j, item) * delta;
+        }
+    }
+
+    /// The sketch vector (AutoMon's local vector).
+    pub fn vector(&self) -> &[f64] {
+        &self.state
+    }
+
+    /// The sketch's own second-moment (F₂) estimate: `mean_j s_j²`.
+    pub fn f2_estimate(&self) -> f64 {
+        self.state.iter().map(|s| s * s).sum::<f64>() / self.width as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signs_are_deterministic_and_balanced() {
+        let s = AmsSketch::new(8, 42);
+        assert_eq!(s.sign(0, 7), s.sign(0, 7));
+        let mut plus = 0;
+        for item in 0..1000u64 {
+            if s.sign(3, item) > 0.0 {
+                plus += 1;
+            }
+        }
+        assert!((400..600).contains(&plus), "plus = {plus}");
+    }
+
+    #[test]
+    fn sketch_is_linear_in_updates() {
+        let mut a = AmsSketch::new(16, 7);
+        let mut b = AmsSketch::new(16, 7);
+        let mut sum = AmsSketch::new(16, 7);
+        for (item, delta) in [(1u64, 2.0), (5, -1.0), (9, 3.0)] {
+            a.update(item, delta);
+            sum.update(item, delta);
+        }
+        for (item, delta) in [(2u64, 1.0), (5, 4.0)] {
+            b.update(item, delta);
+            sum.update(item, delta);
+        }
+        let merged: Vec<f64> = a
+            .vector()
+            .iter()
+            .zip(b.vector())
+            .map(|(x, y)| x + y)
+            .collect();
+        for (m, s) in merged.iter().zip(sum.vector()) {
+            assert!((m - s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn f2_estimate_is_close_for_wide_sketch() {
+        // True F2 of counts {a: 3, b: 4} is 25.
+        let mut s = AmsSketch::new(512, 11);
+        s.update(100, 3.0);
+        s.update(200, 4.0);
+        let est = s.f2_estimate();
+        assert!((est - 25.0).abs() < 10.0, "estimate {est}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = AmsSketch::new(4, 1);
+        let b = AmsSketch::new(4, 2);
+        let diff = (0..100u64).any(|i| a.sign(0, i) != b.sign(0, i));
+        assert!(diff);
+    }
+}

@@ -1,0 +1,245 @@
+//! Synthetic data generators matching the paper's descriptions (§4.2,
+//! §4.5, §4.6).
+
+use crate::NormalSampler;
+
+/// MLP-d evaluation data (paper §4.2).
+///
+/// `x₁ ~ N(μ(t), 0.1²)` with `μ` rising gradually from −2; coordinates
+/// `x₂..x_d` are `N(2, 0.1²)` for half the nodes and `N(-2, 0.1²)` for the
+/// rest. Outliers: `μ` jumps to 0 for 20 rounds starting at rounds 720
+/// and 760.
+#[derive(Debug, Clone)]
+pub struct MlpDataset;
+
+impl MlpDataset {
+    /// Generate raw samples `out[node][round]`.
+    pub fn generate(nodes: usize, rounds: usize, d: usize, seed: u64) -> Vec<Vec<Vec<f64>>> {
+        assert!(d >= 2, "MlpDataset: need d ≥ 2");
+        let mut out = vec![Vec::with_capacity(rounds); nodes];
+        let mut rngs: Vec<NormalSampler> = (0..nodes)
+            .map(|i| NormalSampler::new(seed.wrapping_add(i as u64 * 7919)))
+            .collect();
+        for t in 0..rounds {
+            // μ rises from -2 toward 0.5 over the run, with outlier dips.
+            let progress = t as f64 / rounds.max(1) as f64;
+            let mut mu = -2.0 + 2.5 * progress;
+            let outlier = (720..740).contains(&t) || (760..780).contains(&t);
+            if outlier {
+                mu = 0.0;
+            }
+            for (i, rng) in rngs.iter_mut().enumerate() {
+                let mut x = Vec::with_capacity(d);
+                x.push(rng.normal(mu, 0.1));
+                let center = if i < nodes / 2 { 2.0 } else { -2.0 };
+                for _ in 1..d {
+                    x.push(rng.normal(center, 0.1));
+                }
+                out[i].push(x);
+            }
+        }
+        out
+    }
+}
+
+/// Inner-product evaluation data (paper §4.2): `f(⟨u, v⟩)` follows a
+/// schedule of quiet phases and rapid changes — monotonic rise, slow sine,
+/// fast sine, constant.
+#[derive(Debug, Clone)]
+pub struct InnerProductDataset;
+
+impl InnerProductDataset {
+    /// Generate raw samples `out[node][round]`, each of dimension `d`
+    /// (`d/2` for each of `u` and `v`).
+    pub fn generate(nodes: usize, rounds: usize, d: usize, seed: u64) -> Vec<Vec<Vec<f64>>> {
+        assert!(d.is_multiple_of(2) && d > 0, "InnerProductDataset: even d required");
+        let half = d / 2;
+        let mut out = vec![Vec::with_capacity(rounds); nodes];
+        let mut rngs: Vec<NormalSampler> = (0..nodes)
+            .map(|i| NormalSampler::new(seed.wrapping_add(i as u64 * 104_729)))
+            .collect();
+        // Per-coordinate base magnitude keeps f = Σ uᵢvᵢ ≈ a(t)·b(t)
+        // regardless of dimension.
+        let scale = (1.0 / half as f64).sqrt();
+        for t in 0..rounds {
+            let phase = t as f64 / rounds.max(1) as f64;
+            let (a, b) = Self::targets(phase);
+            for (i, rng) in rngs.iter_mut().enumerate() {
+                let mut x = Vec::with_capacity(d);
+                for _ in 0..half {
+                    x.push(a * scale + rng.normal(0.0, 0.05 * scale));
+                }
+                for _ in 0..half {
+                    x.push(b * scale + rng.normal(0.0, 0.05 * scale));
+                }
+                out[i].push(x);
+            }
+        }
+        out
+    }
+
+    /// The `(a(t), b(t))` factor schedule: monotonic rise, low-frequency
+    /// sine, high-frequency sine, then a constant plateau.
+    fn targets(phase: f64) -> (f64, f64) {
+        use std::f64::consts::PI;
+        if phase < 0.25 {
+            // Monotonic increase from 0.2 to 1.2.
+            (0.2 + 4.0 * phase, 1.0)
+        } else if phase < 0.5 {
+            // Low-frequency sine.
+            let t = (phase - 0.25) * 4.0;
+            (1.2 + 0.8 * (2.0 * PI * t).sin(), 1.0)
+        } else if phase < 0.75 {
+            // High-frequency sine: fast enough that coarse periodic
+            // sampling aliases it (the paper's "rapid changes").
+            let t = (phase - 0.5) * 4.0;
+            (1.2 + 0.8 * (40.0 * PI * t).sin(), 1.0)
+        } else {
+            // Quiet plateau.
+            (1.2, 1.0)
+        }
+    }
+}
+
+/// Quadratic-form evaluation data (paper §4.2): every entry `N(0, 0.1²)`,
+/// except one "outlier" node alternating 40-round blocks of `N(0, 0.1²)`
+/// and `N(-10, 0.1²)`.
+#[derive(Debug, Clone)]
+pub struct QuadraticDataset;
+
+impl QuadraticDataset {
+    /// Generate raw samples `out[node][round]`.
+    pub fn generate(nodes: usize, rounds: usize, d: usize, seed: u64) -> Vec<Vec<Vec<f64>>> {
+        let mut out = vec![Vec::with_capacity(rounds); nodes];
+        let mut rngs: Vec<NormalSampler> = (0..nodes)
+            .map(|i| NormalSampler::new(seed.wrapping_add(i as u64 * 31)))
+            .collect();
+        for t in 0..rounds {
+            for (i, rng) in rngs.iter_mut().enumerate() {
+                let outlier_block = i == 0 && (t / 40) % 2 == 1;
+                let mean = if outlier_block { -10.0 } else { 0.0 };
+                out[i].push((0..d).map(|_| rng.normal(mean, 0.1)).collect());
+            }
+        }
+        out
+    }
+}
+
+/// Rozenbrock tuning data (paper §3.6, §4.5): `x₁, x₂ ~ N(0, 0.2²)`.
+#[derive(Debug, Clone)]
+pub struct RozenbrockDataset;
+
+impl RozenbrockDataset {
+    /// Generate raw samples `out[node][round]` of dimension 2.
+    pub fn generate(nodes: usize, rounds: usize, seed: u64) -> Vec<Vec<Vec<f64>>> {
+        let mut out = vec![Vec::with_capacity(rounds); nodes];
+        let mut rngs: Vec<NormalSampler> = (0..nodes)
+            .map(|i| NormalSampler::new(seed.wrapping_add(i as u64 * 613)))
+            .collect();
+        for _ in 0..rounds {
+            for (i, rng) in rngs.iter_mut().enumerate() {
+                out[i].push(vec![rng.normal(0.0, 0.2), rng.normal(0.0, 0.2)]);
+            }
+        }
+        out
+    }
+}
+
+/// The §4.6 ablation script: four nodes start at `(0, 0)` and drift
+/// linearly toward `(1, 0)`, `(-1, 0)`, `(1, 1)`, `(1, -1)`; two nodes
+/// get outlier excursions between rounds 650 and 700.
+#[derive(Debug, Clone)]
+pub struct SaddleDriftDataset;
+
+impl SaddleDriftDataset {
+    /// Generate raw samples `out[node][round]` for exactly four nodes.
+    pub fn generate(rounds: usize, seed: u64) -> Vec<Vec<Vec<f64>>> {
+        const TARGETS: [(f64, f64); 4] = [(1.0, 0.0), (-1.0, 0.0), (1.0, 1.0), (1.0, -1.0)];
+        let mut out: Vec<Vec<Vec<f64>>> = (0..4).map(|_| Vec::with_capacity(rounds)).collect();
+        let mut rngs: Vec<NormalSampler> = (0..4)
+            .map(|i| NormalSampler::new(seed.wrapping_add(i as u64 * 97)))
+            .collect();
+        for t in 0..rounds {
+            let progress = t as f64 / rounds.max(1) as f64;
+            for (i, rng) in rngs.iter_mut().enumerate() {
+                let (tx, ty) = TARGETS[i];
+                let mut x = tx * progress;
+                let mut y = ty * progress;
+                // Outliers on nodes 2 and 3 between rounds 650 and 700.
+                if (650..700).contains(&t) && i >= 2 {
+                    x += 1.5;
+                    y -= 1.5;
+                }
+                out[i].push(vec![
+                    x + rng.normal(0.0, 0.004),
+                    y + rng.normal(0.0, 0.004),
+                ]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_dataset_shapes_and_outliers() {
+        let data = MlpDataset::generate(4, 800, 5, 1);
+        assert_eq!(data.len(), 4);
+        assert_eq!(data[0].len(), 800);
+        assert_eq!(data[0][0].len(), 5);
+        // Outlier rounds pull x₁ near 0 while normal late rounds sit near μ.
+        let x1_outlier = data[0][725][0];
+        assert!(x1_outlier.abs() < 0.5, "outlier x1 = {x1_outlier}");
+        // Half the nodes center the tail coordinates at +2, half at -2.
+        assert!(data[0][0][1] > 1.0);
+        assert!(data[3][0][1] < -1.0);
+    }
+
+    #[test]
+    fn quadratic_outlier_node_alternates() {
+        let data = QuadraticDataset::generate(3, 120, 2, 9);
+        // Node 0 in rounds 40..80 is centered at -10.
+        assert!(data[0][60][0] < -5.0);
+        // Outside the block it's near 0.
+        assert!(data[0][10][0].abs() < 1.0);
+        // Other nodes never dip.
+        assert!(data[1][60][0].abs() < 1.0);
+    }
+
+    #[test]
+    fn rozenbrock_noise_scale() {
+        let data = RozenbrockDataset::generate(2, 500, 3);
+        let flat: Vec<f64> = data[0].iter().map(|v| v[0]).collect();
+        let mean = flat.iter().sum::<f64>() / flat.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn saddle_drift_targets() {
+        let data = SaddleDriftDataset::generate(1000, 4);
+        assert_eq!(data.len(), 4);
+        // Final positions approach the drift targets.
+        let last0 = &data[0][999];
+        assert!((last0[0] - 1.0).abs() < 0.1);
+        assert!(last0[1].abs() < 0.1);
+        let last1 = &data[1][999];
+        assert!((last1[0] + 1.0).abs() < 0.1);
+        // Outlier block displaces nodes 2 and 3 only.
+        let mid2 = &data[2][675];
+        let mid1 = &data[1][675];
+        assert!(mid2[0] > 1.5);
+        assert!(mid1[0] < 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = QuadraticDataset::generate(2, 10, 3, 42);
+        let b = QuadraticDataset::generate(2, 10, 3, 42);
+        assert_eq!(a, b);
+        let c = QuadraticDataset::generate(2, 10, 3, 43);
+        assert_ne!(a, c);
+    }
+}

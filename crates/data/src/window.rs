@@ -1,0 +1,250 @@
+//! Sliding windows over data streams.
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity sliding window maintaining the mean of the last `W`
+/// sample vectors (paper §4.1: "the local vector is defined as the
+/// average of the last W samples in the window").
+///
+/// ```
+/// use automon_data::SlidingWindow;
+///
+/// let mut w = SlidingWindow::new(2, 1);
+/// w.push(vec![1.0]);
+/// w.push(vec![3.0]);
+/// assert_eq!(w.mean(), Some(vec![2.0]));
+/// w.push(vec![5.0]); // evicts 1.0
+/// assert_eq!(w.mean(), Some(vec![4.0]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    cap: usize,
+    dim: usize,
+    buf: VecDeque<Vec<f64>>,
+    sum: Vec<f64>,
+}
+
+impl SlidingWindow {
+    /// A window of `cap` samples of dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics when `cap` is zero.
+    pub fn new(cap: usize, dim: usize) -> Self {
+        assert!(cap > 0, "SlidingWindow: capacity must be positive");
+        Self {
+            cap,
+            dim,
+            buf: VecDeque::with_capacity(cap + 1),
+            sum: vec![0.0; dim],
+        }
+    }
+
+    /// Push a sample, evicting the oldest when full.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn push(&mut self, sample: Vec<f64>) {
+        assert_eq!(sample.len(), self.dim, "SlidingWindow: dimension mismatch");
+        for (s, x) in self.sum.iter_mut().zip(&sample) {
+            *s += x;
+        }
+        self.buf.push_back(sample);
+        if self.buf.len() > self.cap {
+            let old = self.buf.pop_front().expect("non-empty buffer");
+            for (s, x) in self.sum.iter_mut().zip(&old) {
+                *s -= x;
+            }
+        }
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when no samples were pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// `true` once the window holds `cap` samples.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.cap
+    }
+
+    /// The mean of the buffered samples, or `None` when empty.
+    ///
+    /// Recomputed from the running sum; the eviction arithmetic keeps it
+    /// O(d) per call.
+    pub fn mean(&self) -> Option<Vec<f64>> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let inv = 1.0 / self.buf.len() as f64;
+        Some(self.sum.iter().map(|s| s * inv).collect())
+    }
+}
+
+/// Turn raw per-node sample streams into local-vector series using a mean
+/// sliding window of length `w`. The series starts once the window is
+/// full (paper §4.2: "We start updating the nodes with data only after
+/// all the sliding windows of all the nodes are full").
+pub fn windowed_mean_series(raw: &[Vec<Vec<f64>>], w: usize) -> Vec<Vec<Vec<f64>>> {
+    raw.iter()
+        .map(|stream| {
+            let dim = stream.first().map(Vec::len).unwrap_or(0);
+            let mut win = SlidingWindow::new(w, dim);
+            let mut out = Vec::with_capacity(stream.len().saturating_sub(w - 1));
+            for s in stream {
+                win.push(s.clone());
+                if win.is_full() {
+                    out.push(win.mean().expect("full window has a mean"));
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// A sliding window of scalar pairs binned into two histograms — the KLD
+/// local vector `[p, q]` (paper §4.2: PM10 as `P`, PM2.5 as `Q`, values
+/// in `[0, max_value]` split into `bins` bins).
+#[derive(Debug, Clone)]
+pub struct HistogramWindow {
+    bins: usize,
+    max_value: f64,
+    cap: usize,
+    buf: VecDeque<(usize, usize)>,
+    counts_p: Vec<usize>,
+    counts_q: Vec<usize>,
+}
+
+impl HistogramWindow {
+    /// A histogram window of `cap` pairs, `bins` bins over
+    /// `[0, max_value]`.
+    ///
+    /// # Panics
+    /// Panics when `cap` or `bins` is zero, or `max_value ≤ 0`.
+    pub fn new(cap: usize, bins: usize, max_value: f64) -> Self {
+        assert!(cap > 0 && bins > 0, "HistogramWindow: empty shape");
+        assert!(max_value > 0.0, "HistogramWindow: non-positive range");
+        Self {
+            bins,
+            max_value,
+            cap,
+            buf: VecDeque::with_capacity(cap + 1),
+            counts_p: vec![0; bins],
+            counts_q: vec![0; bins],
+        }
+    }
+
+    fn bin(&self, v: f64) -> usize {
+        let t = (v / self.max_value).clamp(0.0, 1.0);
+        ((t * self.bins as f64) as usize).min(self.bins - 1)
+    }
+
+    /// Push one `(p_value, q_value)` pair.
+    pub fn push(&mut self, p_value: f64, q_value: f64) {
+        let bp = self.bin(p_value);
+        let bq = self.bin(q_value);
+        self.counts_p[bp] += 1;
+        self.counts_q[bq] += 1;
+        self.buf.push_back((bp, bq));
+        if self.buf.len() > self.cap {
+            let (op, oq) = self.buf.pop_front().expect("non-empty buffer");
+            self.counts_p[op] -= 1;
+            self.counts_q[oq] -= 1;
+        }
+    }
+
+    /// `true` once the window holds `cap` pairs.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.cap
+    }
+
+    /// The packed local vector `[p, q]` of bin proportions
+    /// (length `2 · bins`), or `None` when empty.
+    pub fn local_vector(&self) -> Option<Vec<f64>> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let inv = 1.0 / self.buf.len() as f64;
+        let mut out = Vec::with_capacity(2 * self.bins);
+        out.extend(self.counts_p.iter().map(|&c| c as f64 * inv));
+        out.extend(self.counts_q.iter().map(|&c| c as f64 * inv));
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_mean_matches_direct_mean() {
+        let mut w = SlidingWindow::new(3, 1);
+        w.push(vec![1.0]);
+        w.push(vec![2.0]);
+        assert_eq!(w.mean(), Some(vec![1.5]));
+        w.push(vec![3.0]);
+        assert!(w.is_full());
+        assert_eq!(w.mean(), Some(vec![2.0]));
+        w.push(vec![10.0]); // evicts 1.0
+        assert_eq!(w.mean(), Some(vec![5.0]));
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn empty_window_has_no_mean() {
+        let w = SlidingWindow::new(2, 3);
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), None);
+    }
+
+    #[test]
+    fn windowed_series_starts_when_full() {
+        let raw = vec![vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]]];
+        let out = windowed_mean_series(&raw, 2);
+        assert_eq!(out[0], vec![vec![1.5], vec![2.5], vec![3.5]]);
+    }
+
+    #[test]
+    fn histogram_window_proportions() {
+        let mut h = HistogramWindow::new(4, 2, 10.0);
+        h.push(1.0, 9.0); // p-bin 0, q-bin 1
+        h.push(2.0, 8.0); // p-bin 0, q-bin 1
+        h.push(7.0, 1.0); // p-bin 1, q-bin 0
+        h.push(8.0, 2.0);
+        assert!(h.is_full());
+        let v = h.local_vector().unwrap();
+        assert_eq!(v, vec![0.5, 0.5, 0.5, 0.5]);
+        // Eviction shifts proportions: evicting (1, 9) and adding (9, 9)
+        // moves one p count from bin 0 to bin 1 and leaves q unchanged.
+        h.push(9.0, 9.0);
+        let v = h.local_vector().unwrap();
+        assert_eq!(v, vec![0.25, 0.75, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn bin_edges_clamp() {
+        let h = HistogramWindow::new(1, 5, 500.0);
+        assert_eq!(h.bin(-3.0), 0);
+        assert_eq!(h.bin(0.0), 0);
+        assert_eq!(h.bin(499.9), 4);
+        assert_eq!(h.bin(500.0), 4);
+        assert_eq!(h.bin(1e9), 4);
+    }
+
+    #[test]
+    fn histogram_sums_to_one_per_half() {
+        let mut h = HistogramWindow::new(8, 3, 100.0);
+        for i in 0..20 {
+            h.push((i * 7 % 100) as f64, (i * 13 % 100) as f64);
+        }
+        let v = h.local_vector().unwrap();
+        let p_sum: f64 = v[..3].iter().sum();
+        let q_sum: f64 = v[3..].iter().sum();
+        assert!((p_sum - 1.0).abs() < 1e-12);
+        assert!((q_sum - 1.0).abs() < 1e-12);
+    }
+}

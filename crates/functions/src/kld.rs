@@ -1,0 +1,203 @@
+//! KL divergence and entropy over histogram local vectors.
+
+use automon_autodiff::{Scalar, ScalarFn};
+
+/// τ-smoothed Kullback–Leibler divergence (paper §4.2).
+///
+/// The local vector packs two histograms `x = [p, q]` with `d/2` bins
+/// each; the function is
+///
+/// ```text
+/// f(x) = Σᵢ (pᵢ + τ) · ln((pᵢ + τ) / (qᵢ + τ))
+/// ```
+///
+/// with `τ = 1/(n·W)` (the minimal representable probability for `n`
+/// nodes and window `W`), exactly the paper's variant for avoiding zero
+/// entries. KLD is jointly convex in `(p, q)`, so AutoMon's deterministic
+/// error guarantee applies (paper §3.7). The declared domain keeps the
+/// eigenvalue search inside the probability simplex box `[0, 1]^d`.
+///
+/// ```
+/// use automon_autodiff::AutoDiffFn;
+/// use automon_functions::KlDivergence;
+///
+/// let f = AutoDiffFn::new(KlDivergence::new(4, 1e-6));
+/// // Identical histograms → divergence ≈ 0.
+/// assert!(f.eval(&[0.3, 0.7, 0.3, 0.7]).abs() < 1e-9);
+/// // Skewed P against uniform Q → positive divergence.
+/// assert!(f.eval(&[0.9, 0.1, 0.5, 0.5]) > 0.2);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct KlDivergence {
+    d: usize,
+    tau: f64,
+}
+
+impl KlDivergence {
+    /// KLD over `d/2`-bin histogram pairs with smoothing `tau`.
+    ///
+    /// # Panics
+    /// Panics when `d` is odd or zero, or `tau ≤ 0`.
+    pub fn new(d: usize, tau: f64) -> Self {
+        assert!(d > 0 && d.is_multiple_of(2), "KlDivergence: dimension must be even");
+        assert!(tau > 0.0, "KlDivergence: tau must be positive");
+        Self { d, tau }
+    }
+
+    /// The paper's `τ = 1/(n·W)` for `n` nodes and window length `W`.
+    pub fn with_paper_tau(d: usize, nodes: usize, window: usize) -> Self {
+        Self::new(d, 1.0 / (nodes as f64 * window as f64))
+    }
+
+    /// The smoothing constant in use.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+}
+
+impl ScalarFn for KlDivergence {
+    fn dim(&self) -> usize {
+        self.d
+    }
+
+    fn call<S: Scalar>(&self, x: &[S]) -> S {
+        let half = self.d / 2;
+        let tau = S::from_f64(self.tau);
+        let mut acc = S::from_f64(0.0);
+        for i in 0..half {
+            let p = x[i] + tau;
+            let q = x[half + i] + tau;
+            acc = acc + p * (p.ln() - q.ln());
+        }
+        acc
+    }
+
+    fn lower_bounds(&self) -> Option<Vec<f64>> {
+        Some(vec![0.0; self.d])
+    }
+
+    fn upper_bounds(&self) -> Option<Vec<f64>> {
+        Some(vec![1.0; self.d])
+    }
+}
+
+/// τ-smoothed Shannon entropy `f(p) = -Σ (pᵢ + τ) ln(pᵢ + τ)` over a
+/// single histogram (concave; a natural companion workload to KLD from
+/// the GM literature).
+#[derive(Debug, Clone, Copy)]
+pub struct Entropy {
+    d: usize,
+    tau: f64,
+}
+
+impl Entropy {
+    /// Entropy over `d`-bin histograms with smoothing `tau`.
+    ///
+    /// # Panics
+    /// Panics when `d` is zero or `tau ≤ 0`.
+    pub fn new(d: usize, tau: f64) -> Self {
+        assert!(d > 0, "Entropy: dimension must be positive");
+        assert!(tau > 0.0, "Entropy: tau must be positive");
+        Self { d, tau }
+    }
+}
+
+impl ScalarFn for Entropy {
+    fn dim(&self) -> usize {
+        self.d
+    }
+
+    fn call<S: Scalar>(&self, x: &[S]) -> S {
+        let tau = S::from_f64(self.tau);
+        let mut acc = S::from_f64(0.0);
+        for &xi in x {
+            let p = xi + tau;
+            acc = acc + p * p.ln();
+        }
+        -acc
+    }
+
+    fn lower_bounds(&self) -> Option<Vec<f64>> {
+        Some(vec![0.0; self.d])
+    }
+
+    fn upper_bounds(&self) -> Option<Vec<f64>> {
+        Some(vec![1.0; self.d])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automon_autodiff::{AutoDiffFn, DifferentiableFn};
+    use automon_linalg::SymEigen;
+
+    #[test]
+    fn kld_of_identical_histograms_is_zero() {
+        let f = AutoDiffFn::new(KlDivergence::new(4, 1e-3));
+        let x = [0.3, 0.7, 0.3, 0.7];
+        assert!(f.eval(&x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kld_is_positive_for_different_histograms() {
+        let f = AutoDiffFn::new(KlDivergence::new(4, 1e-3));
+        assert!(f.eval(&[0.9, 0.1, 0.1, 0.9]) > 0.0);
+    }
+
+    #[test]
+    fn kld_hessian_is_psd_in_domain() {
+        // Joint convexity: the Hessian must be PSD at interior points.
+        let f = AutoDiffFn::new(KlDivergence::new(4, 1e-2));
+        for x in [
+            [0.5, 0.5, 0.5, 0.5],
+            [0.2, 0.8, 0.6, 0.4],
+            [0.9, 0.1, 0.3, 0.7],
+        ] {
+            let h = f.hessian(&x);
+            let eig = SymEigen::new(&h);
+            assert!(
+                eig.lambda_min() >= -1e-9,
+                "λ_min = {} at {:?}",
+                eig.lambda_min(),
+                x
+            );
+        }
+    }
+
+    #[test]
+    fn kld_is_not_constant_hessian() {
+        let f = AutoDiffFn::new(KlDivergence::new(4, 1e-2));
+        assert!(!f.has_constant_hessian());
+    }
+
+    #[test]
+    fn paper_tau_formula() {
+        let f = KlDivergence::with_paper_tau(10, 12, 200);
+        assert!((f.tau() - 1.0 / 2400.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn entropy_peaks_at_uniform() {
+        let f = AutoDiffFn::new(Entropy::new(2, 1e-6));
+        let uniform = f.eval(&[0.5, 0.5]);
+        let skewed = f.eval(&[0.9, 0.1]);
+        assert!(uniform > skewed);
+        assert!((uniform - 2.0f64.ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn entropy_hessian_is_nsd() {
+        let f = AutoDiffFn::new(Entropy::new(3, 1e-3));
+        let h = f.hessian(&[0.2, 0.3, 0.5]);
+        let eig = SymEigen::new(&h);
+        assert!(eig.lambda_max() <= 1e-9);
+    }
+
+    #[test]
+    fn domains_declared() {
+        let f = AutoDiffFn::new(KlDivergence::new(4, 1e-3));
+        assert_eq!(DifferentiableFn::lower_bounds(&f), Some(vec![0.0; 4]));
+        assert_eq!(DifferentiableFn::upper_bounds(&f), Some(vec![1.0; 4]));
+    }
+}

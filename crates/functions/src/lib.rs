@@ -1,0 +1,33 @@
+//! The monitored functions used in the AutoMon evaluation (paper §4.2).
+//!
+//! Every function is written once over the generic AD scalar
+//! ([`automon_autodiff::ScalarFn`]) — the library's answer to "hand
+//! AutoMon the source code of `f`":
+//!
+//! * [`InnerProduct`] — `f([u, v]) = ⟨u, v⟩`; constant Hessian, so AutoMon
+//!   selects ADCD-E, matching the hand-crafted Convex Bound decomposition
+//!   `⟨u,v⟩ = ¼‖u+v‖² - ¼‖u-v‖²` (paper §4.3 proves equivalence).
+//! * [`QuadraticForm`] — `f(x) = xᵀQx`; constant Hessian `Q + Qᵀ`.
+//! * [`KlDivergence`] — τ-smoothed KL divergence of two histograms packed
+//!   into one local vector `[p, q]`; jointly convex, so AutoMon's error
+//!   guarantee applies (paper §3.7, §4.2).
+//! * [`Entropy`] — τ-smoothed Shannon entropy (concave companion of KLD).
+//! * [`MlpFunction`] — any trained [`automon_nn::Mlp`] evaluated
+//!   generically; covers both MLP-d (tanh) and the intrusion-detection
+//!   DNN (ReLU + sigmoid).
+//! * [`Rozenbrock`] — the paper's neighborhood-tuning stress function
+//!   (§3.6, §4.5), spelled as in the paper.
+//! * [`Sine`] — the Figure 1 illustration function.
+//! * [`SaddleQuadratic`] — `f = -x₁² + x₂²`, the §4.6 ablation function.
+//! * [`Variance`] — `f([m₁, m₂]) = m₂ - m₁²` over augmented locals
+//!   `[x, x²]`, the classic GM variance-monitoring task.
+
+mod extensions;
+mod kld;
+mod mlp;
+mod simple;
+
+pub use extensions::{CosineSimilarity, F2FromSketch, FrequencyMoment, PearsonCorrelation, RegressionSlope};
+pub use kld::{Entropy, KlDivergence};
+pub use mlp::{mlp_d_target, train_mlp_d, IntrusionDnnSpec, MlpFunction};
+pub use simple::{InnerProduct, QuadraticForm, Rozenbrock, SaddleQuadratic, Sine, Variance};

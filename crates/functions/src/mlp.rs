@@ -1,0 +1,252 @@
+//! Neural networks as monitored functions.
+//!
+//! A trained [`Mlp`] becomes a monitored function by evaluating its
+//! forward pass *generically over the AD scalar*: the weights are plain
+//! constants, only the input vector is differentiated. This is exactly
+//! the paper's `f_nn` from §1 — `W₃·tanh(W₂·tanh(W₁·x + b₁) + b₂) + b₃` —
+//! generalized to any architecture the `automon-nn` substrate can train.
+
+use automon_autodiff::{Scalar, ScalarFn};
+use automon_nn::{train, Activation, Loss, Mlp, TrainOptions};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A trained network evaluated as a scalar monitored function.
+///
+/// The network must have a single output neuron.
+#[derive(Debug, Clone)]
+pub struct MlpFunction {
+    net: Mlp,
+}
+
+impl MlpFunction {
+    /// Wrap a trained network.
+    ///
+    /// # Panics
+    /// Panics when the network has more than one output.
+    pub fn new(net: Mlp) -> Self {
+        assert_eq!(net.out_dim(), 1, "MlpFunction: need a single output");
+        Self { net }
+    }
+
+    /// The wrapped network.
+    pub fn net(&self) -> &Mlp {
+        &self.net
+    }
+}
+
+impl ScalarFn for MlpFunction {
+    fn dim(&self) -> usize {
+        self.net.in_dim()
+    }
+
+    fn call<S: Scalar>(&self, x: &[S]) -> S {
+        let mut h: Vec<S> = x.to_vec();
+        for layer in &self.net.layers {
+            let z = automon_autodiff::ops::affine(&layer.w, &layer.b, &h);
+            h = z
+                .into_iter()
+                .map(|v| match layer.act {
+                    Activation::Identity => v,
+                    Activation::Tanh => v.tanh(),
+                    Activation::Relu => v.relu(),
+                    Activation::Sigmoid => v.sigmoid(),
+                })
+                .collect();
+        }
+        h[0]
+    }
+}
+
+/// The target the paper trains MLP-d to approximate (§4.2):
+/// `x₁ · exp(-1/(d-1) · Σᵢ xᵢ²)`.
+pub fn mlp_d_target(x: &[f64]) -> f64 {
+    let d = x.len();
+    assert!(d >= 2, "mlp_d_target: need d ≥ 2");
+    let s: f64 = x.iter().map(|v| v * v).sum();
+    x[0] * (-s / (d - 1) as f64).exp()
+}
+
+/// Train the paper's MLP-d: a `d`-input network with three tanh hidden
+/// layers and an identity output, fitted to [`mlp_d_target`] on inputs
+/// covering the evaluation's data range (`x₁ ∈ [-3, 1]`, others around
+/// `±2`). Deterministic per seed.
+pub fn train_mlp_d(d: usize, seed: u64) -> MlpFunction {
+    let hidden = 16.max(d / 2);
+    let mut net = Mlp::new(
+        &[d, hidden, hidden, hidden, 1],
+        &[
+            Activation::Tanh,
+            Activation::Tanh,
+            Activation::Tanh,
+            Activation::Identity,
+        ],
+        seed,
+    );
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1CE);
+    let samples = 1200.min(300 + 20 * d);
+    let mut inputs = Vec::with_capacity(samples);
+    let mut targets = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut x = vec![0.0; d];
+        x[0] = rng.gen_range(-3.0..=1.0);
+        for xi in x.iter_mut().skip(1) {
+            // Mixture around ±2 like the evaluation data, plus some spread.
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            *xi = sign * rng.gen_range(1.0..=3.0);
+        }
+        targets.push(vec![mlp_d_target(&x)]);
+        inputs.push(x);
+    }
+    let opts = TrainOptions {
+        epochs: 60,
+        lr: 5e-3,
+        batch_size: 32,
+        loss: Loss::Mse,
+        seed,
+        ..Default::default()
+    };
+    train(&mut net, &inputs, &targets, &opts);
+    MlpFunction::new(net)
+}
+
+/// Architecture of the intrusion-detection DNN (paper §4.2).
+#[derive(Debug, Clone)]
+pub struct IntrusionDnnSpec {
+    /// Hidden-layer widths (all ReLU); the output is one sigmoid neuron.
+    pub hidden: Vec<usize>,
+    /// Input feature count (the paper's KDD records have 41).
+    pub input: usize,
+}
+
+impl IntrusionDnnSpec {
+    /// The paper's exact architecture: 512-64-32-16-8 ReLU hidden layers.
+    pub fn paper() -> Self {
+        Self {
+            hidden: vec![512, 64, 32, 16, 8],
+            input: 41,
+        }
+    }
+
+    /// A scaled-down architecture (64-32-16-8-8) with the same depth and
+    /// activation structure, for fast experiment turnaround. DESIGN.md
+    /// documents this substitution.
+    pub fn scaled() -> Self {
+        Self {
+            hidden: vec![64, 32, 16, 8, 8],
+            input: 41,
+        }
+    }
+
+    /// Build the untrained network for this spec.
+    pub fn build(&self, seed: u64) -> Mlp {
+        let mut sizes = Vec::with_capacity(self.hidden.len() + 2);
+        sizes.push(self.input);
+        sizes.extend_from_slice(&self.hidden);
+        sizes.push(1);
+        let mut acts = vec![Activation::Relu; self.hidden.len()];
+        acts.push(Activation::Sigmoid);
+        Mlp::new(&sizes, &acts, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automon_autodiff::{finite_diff, AutoDiffFn, DifferentiableFn};
+
+    #[test]
+    fn generic_forward_matches_f64_forward() {
+        let net = Mlp::new(
+            &[3, 5, 1],
+            &[Activation::Tanh, Activation::Identity],
+            21,
+        );
+        let expect = net.forward(&[0.1, -0.5, 0.8])[0];
+        let f = AutoDiffFn::new(MlpFunction::new(net));
+        assert!((f.eval(&[0.1, -0.5, 0.8]) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let net = Mlp::new(
+            &[2, 6, 6, 1],
+            &[Activation::Tanh, Activation::Tanh, Activation::Identity],
+            33,
+        );
+        let f = AutoDiffFn::new(MlpFunction::new(net));
+        let x = [0.4, -0.9];
+        let (_, g) = f.grad(&x);
+        let fd = finite_diff::gradient(|y| f.eval(y), &x, 1e-6);
+        for (a, b) in g.iter().zip(&fd) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn relu_network_differentiates() {
+        let spec = IntrusionDnnSpec {
+            hidden: vec![8, 4],
+            input: 5,
+        };
+        let f = AutoDiffFn::new(MlpFunction::new(spec.build(7)));
+        let x = [0.3, -0.2, 0.9, 0.0, -1.1];
+        let v = f.eval(&x);
+        assert!((0.0..=1.0).contains(&v), "sigmoid output {v}");
+        let (_, g) = f.grad(&x);
+        assert_eq!(g.len(), 5);
+        // A non-constant Hessian network must be routed to ADCD-X.
+        assert!(!f.has_constant_hessian());
+    }
+
+    #[test]
+    fn mlp_d_target_shape() {
+        assert_eq!(mlp_d_target(&[0.0, 1.0]), 0.0);
+        assert!(mlp_d_target(&[1.0, 0.0]) > 0.0);
+        assert!(mlp_d_target(&[-1.0, 0.0]) < 0.0);
+    }
+
+    #[test]
+    fn trained_mlp_2_tracks_target_loosely() {
+        let f = train_mlp_d(2, 1);
+        let ad = AutoDiffFn::new(f);
+        // Average |error| over a grid must beat the trivial zero predictor.
+        let mut err = 0.0;
+        let mut base = 0.0;
+        let mut count = 0;
+        for i in 0..10 {
+            for j in 0..10 {
+                let x = [-3.0 + 0.4 * i as f64, -3.0 + 0.6 * j as f64];
+                let t = mlp_d_target(&x);
+                err += (ad.eval(&x) - t).abs();
+                base += t.abs();
+                count += 1;
+            }
+        }
+        assert!(
+            err / count as f64 <= base / count as f64,
+            "train error {} vs baseline {}",
+            err / count as f64,
+            base / count as f64
+        );
+    }
+
+    #[test]
+    fn paper_and_scaled_specs() {
+        let p = IntrusionDnnSpec::paper();
+        assert_eq!(p.hidden, vec![512, 64, 32, 16, 8]);
+        assert_eq!(p.input, 41);
+        let s = IntrusionDnnSpec::scaled();
+        assert_eq!(s.hidden.len(), p.hidden.len());
+        let net = s.build(3);
+        assert_eq!(net.in_dim(), 41);
+        assert_eq!(net.out_dim(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "single output")]
+    fn multi_output_rejected() {
+        let net = Mlp::new(&[2, 2], &[Activation::Identity], 0);
+        MlpFunction::new(net);
+    }
+}

@@ -1,0 +1,286 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! ADCD-E (paper Lemma 2) needs the full spectral decomposition
+//! `H = QΛQᵀ` of a constant Hessian so it can split it into a PSD part
+//! `H⁺ = QΛ⁺Qᵀ` and an NSD part `H⁻ = QΛ⁻Qᵀ`. The DC heuristic (paper
+//! §3.4) and ADCD-X both need extreme eigenvalues of Hessians evaluated
+//! at points. Cyclic Jacobi is exact enough (off-diagonal mass is driven
+//! below a configurable threshold), unconditionally convergent for
+//! symmetric input, and produces an orthonormal `Q` as a by-product.
+
+use crate::Matrix;
+
+/// Options controlling the Jacobi iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct JacobiOptions {
+    /// Stop when the largest off-diagonal magnitude falls below
+    /// `tol * frobenius_norm`.
+    pub tol: f64,
+    /// Hard cap on full sweeps (each sweep rotates every off-diagonal pair).
+    pub max_sweeps: usize,
+}
+
+impl Default for JacobiOptions {
+    fn default() -> Self {
+        Self {
+            tol: 1e-12,
+            max_sweeps: 64,
+        }
+    }
+}
+
+/// The eigendecomposition `H = QΛQᵀ` of a symmetric matrix.
+///
+/// Eigenvalues are sorted ascending; `vectors` holds the corresponding
+/// eigenvectors as columns and is orthonormal.
+///
+/// ```
+/// use automon_linalg::{Matrix, SymEigen};
+///
+/// // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+/// let h = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+/// let eig = SymEigen::new(&h);
+/// assert!((eig.lambda_min() - 1.0).abs() < 1e-10);
+/// assert!((eig.lambda_max() - 3.0).abs() < 1e-10);
+/// // Lemma 2's split: H⁺ + H⁻ = H, with H⁺ ⪰ 0 ⪰ H⁻.
+/// assert!(eig.psd_part().add(&eig.nsd_part()).approx_eq(&h, 1e-9));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues `λ₁ ≤ λ₂ ≤ … ≤ λ_d`.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvector matrix `Q`; column `j` pairs with `values[j]`.
+    pub vectors: Matrix,
+}
+
+impl SymEigen {
+    /// Decompose a symmetric matrix with default options.
+    ///
+    /// # Panics
+    /// Panics if `h` is not square. Input asymmetry up to roundoff is
+    /// tolerated: the matrix is symmetrized first.
+    pub fn new(h: &Matrix) -> Self {
+        Self::with_options(h, JacobiOptions::default())
+    }
+
+    /// Decompose with explicit [`JacobiOptions`].
+    pub fn with_options(h: &Matrix, opts: JacobiOptions) -> Self {
+        assert_eq!(h.rows(), h.cols(), "SymEigen: matrix must be square");
+        let n = h.rows();
+        let mut a = h.clone();
+        a.symmetrize();
+        let mut q = Matrix::identity(n);
+
+        if n > 0 {
+            let scale = a.frobenius_norm().max(f64::MIN_POSITIVE);
+            let threshold = opts.tol * scale;
+            for _sweep in 0..opts.max_sweeps {
+                if a.max_off_diagonal() <= threshold {
+                    break;
+                }
+                for p in 0..n {
+                    for r in (p + 1)..n {
+                        jacobi_rotate(&mut a, &mut q, p, r);
+                    }
+                }
+            }
+        }
+
+        // Extract and sort ascending, permuting eigenvectors along.
+        let mut idx: Vec<usize> = (0..n).collect();
+        let diag: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
+        idx.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).expect("NaN eigenvalue"));
+        let values: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
+        let vectors = Matrix::from_fn(n, n, |i, j| q[(i, idx[j])]);
+        Self { values, vectors }
+    }
+
+    /// Smallest eigenvalue `λ_min`.
+    pub fn lambda_min(&self) -> f64 {
+        *self.values.first().expect("empty decomposition")
+    }
+
+    /// Largest eigenvalue `λ_max`.
+    pub fn lambda_max(&self) -> f64 {
+        *self.values.last().expect("empty decomposition")
+    }
+
+    /// Reconstruct `QΛQᵀ` (testing / verification helper).
+    pub fn reconstruct(&self) -> Matrix {
+        self.compose(|l| l)
+    }
+
+    /// The PSD part `H⁺ = QΛ⁺Qᵀ` where `Λ⁺` keeps only non-negative
+    /// eigenvalues (paper Lemma 2).
+    pub fn psd_part(&self) -> Matrix {
+        self.compose(|l| if l > 0.0 { l } else { 0.0 })
+    }
+
+    /// The NSD part `H⁻ = QΛ⁻Qᵀ` where `Λ⁻` keeps only negative
+    /// eigenvalues (paper Lemma 2). `psd_part() + nsd_part() = H`.
+    pub fn nsd_part(&self) -> Matrix {
+        self.compose(|l| if l < 0.0 { l } else { 0.0 })
+    }
+
+    /// `Q·f(Λ)·Qᵀ` for an element-wise eigenvalue map `f`.
+    fn compose(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        let n = self.values.len();
+        let q = &self.vectors;
+        let mut out = Matrix::zeros(n, n);
+        for k in 0..n {
+            let lk = f(self.values[k]);
+            if lk == 0.0 {
+                continue;
+            }
+            for i in 0..n {
+                let qik = q[(i, k)];
+                if qik == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[(i, j)] += lk * qik * q[(j, k)];
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One Jacobi rotation zeroing `a[(p, r)]`, accumulating into `q`.
+fn jacobi_rotate(a: &mut Matrix, q: &mut Matrix, p: usize, r: usize) {
+    let apr = a[(p, r)];
+    if apr.abs() < f64::MIN_POSITIVE {
+        return;
+    }
+    let app = a[(p, p)];
+    let arr = a[(r, r)];
+    let theta = (arr - app) / (2.0 * apr);
+    // Stable tangent of the rotation angle.
+    let t = if theta >= 0.0 {
+        1.0 / (theta + (1.0 + theta * theta).sqrt())
+    } else {
+        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = t * c;
+    let n = a.rows();
+
+    for k in 0..n {
+        let akp = a[(k, p)];
+        let akr = a[(k, r)];
+        a[(k, p)] = c * akp - s * akr;
+        a[(k, r)] = s * akp + c * akr;
+    }
+    for k in 0..n {
+        let apk = a[(p, k)];
+        let ark = a[(r, k)];
+        a[(p, k)] = c * apk - s * ark;
+        a[(r, k)] = s * apk + c * ark;
+    }
+    // Re-impose exact zeros to fight drift.
+    a[(p, r)] = 0.0;
+    a[(r, p)] = 0.0;
+
+    for k in 0..n {
+        let qkp = q[(k, p)];
+        let qkr = q[(k, r)];
+        q[(k, p)] = c * qkp - s * qkr;
+        q[(k, r)] = s * qkp + c * qkr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(vals: Vec<f64>, n: usize) -> Matrix {
+        let mut m = Matrix::from_rows(n, n, vals);
+        m.symmetrize();
+        m
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_diagonal() {
+        let d = Matrix::from_diag(&[3.0, -1.0, 2.0]);
+        let e = SymEigen::new(&d);
+        assert_eq!(e.values, vec![-1.0, 2.0, 3.0]);
+        assert_eq!(e.lambda_min(), -1.0);
+        assert_eq!(e.lambda_max(), 3.0);
+    }
+
+    #[test]
+    fn known_2x2_spectrum() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let a = sym(vec![2.0, 1.0, 1.0, 2.0], 2);
+        let e = SymEigen::new(&a);
+        assert!((e.values[0] - 1.0).abs() < 1e-10);
+        assert!((e.values[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let a = sym(
+            vec![4.0, 1.0, -2.0, 1.0, 2.0, 0.0, -2.0, 0.0, 3.0],
+            3,
+        );
+        let e = SymEigen::new(&a);
+        assert!(e.reconstruct().approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = sym(vec![1.0, 2.0, 3.0, 2.0, 5.0, -1.0, 3.0, -1.0, 0.0], 3);
+        let e = SymEigen::new(&a);
+        let qtq = e.vectors.transpose().matmul(&e.vectors);
+        assert!(qtq.approx_eq(&Matrix::identity(3), 1e-9));
+    }
+
+    #[test]
+    fn psd_nsd_split_sums_to_original() {
+        let a = sym(vec![0.0, 2.0, 2.0, 0.0], 2); // eigenvalues ±2
+        let e = SymEigen::new(&a);
+        let plus = e.psd_part();
+        let minus = e.nsd_part();
+        assert!(plus.add(&minus).approx_eq(&a, 1e-9));
+        // H⁺ is PSD, H⁻ is NSD.
+        let ep = SymEigen::new(&plus);
+        let em = SymEigen::new(&minus);
+        assert!(ep.lambda_min() >= -1e-9);
+        assert!(em.lambda_max() <= 1e-9);
+    }
+
+    #[test]
+    fn psd_matrix_has_zero_nsd_part() {
+        let a = sym(vec![2.0, 1.0, 1.0, 2.0], 2);
+        let e = SymEigen::new(&a);
+        assert!(e.nsd_part().approx_eq(&Matrix::zeros(2, 2), 1e-9));
+        assert!(e.psd_part().approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn empty_and_single_element() {
+        let e0 = SymEigen::new(&Matrix::zeros(0, 0));
+        assert!(e0.values.is_empty());
+        let e1 = SymEigen::new(&Matrix::from_diag(&[7.0]));
+        assert_eq!(e1.values, vec![7.0]);
+    }
+
+    #[test]
+    fn handles_larger_random_like_matrix() {
+        // Deterministic pseudo-random symmetric matrix; checks reconstruction.
+        let n = 20;
+        let mut seed = 42u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut a = Matrix::from_fn(n, n, |_, _| next());
+        a.symmetrize();
+        let e = SymEigen::new(&a);
+        assert!(e.reconstruct().approx_eq(&a, 1e-8));
+        // Trace equals the eigenvalue sum.
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let lsum: f64 = e.values.iter().sum();
+        assert!((trace - lsum).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,25 @@
+//! Dense linear algebra substrate for AutoMon.
+//!
+//! AutoMon's ADCD machinery needs a small, dependable set of dense
+//! linear-algebra primitives:
+//!
+//! * vector arithmetic over `&[f64]` slices ([`vector`]),
+//! * a row-major dense [`Matrix`] with the handful of operations the
+//!   protocol uses (mat-vec, quadratic forms, symmetry checks),
+//! * a symmetric eigendecomposition ([`SymEigen`], cyclic Jacobi) used by
+//!   ADCD-E to split a constant Hessian into PSD and NSD parts and by the
+//!   DC heuristic to read off extreme eigenvalues.
+//!
+//! The paper's prototype delegates these to NumPy/MKL; this crate is the
+//! from-scratch Rust replacement. Jacobi iteration was chosen over
+//! Householder + QL because it is simple, unconditionally stable for
+//! symmetric matrices, and produces orthonormal eigenvectors directly —
+//! the matrices AutoMon decomposes are at most a few hundred rows, far
+//! below the size where Jacobi's O(d³) per sweep becomes a bottleneck.
+
+mod eigen;
+mod matrix;
+pub mod vector;
+
+pub use eigen::{JacobiOptions, SymEigen};
+pub use matrix::Matrix;

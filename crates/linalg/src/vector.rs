@@ -1,0 +1,156 @@
+//! Vector arithmetic over plain `&[f64]` slices.
+//!
+//! AutoMon represents local vectors, reference points, gradients, and slack
+//! as `Vec<f64>`; these free functions implement the arithmetic the
+//! protocol needs without committing callers to a wrapper type.
+
+/// Dot product `⟨a, b⟩`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean norm `‖a‖²`.
+pub fn norm_sq(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum()
+}
+
+/// Euclidean norm `‖a‖`.
+pub fn norm(a: &[f64]) -> f64 {
+    norm_sq(a).sqrt()
+}
+
+/// Infinity norm `max |aᵢ|`.
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0, |m, x| m.max(x.abs()))
+}
+
+/// Element-wise sum `a + b`.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise difference `a - b`.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Scalar multiple `c · a`.
+pub fn scale(a: &[f64], c: f64) -> Vec<f64> {
+    a.iter().map(|x| c * x).collect()
+}
+
+/// In-place `y += c · x` (BLAS axpy).
+pub fn axpy(y: &mut [f64], c: f64, x: &[f64]) {
+    assert_eq!(y.len(), x.len(), "axpy: dimension mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += c * xi;
+    }
+}
+
+/// Arithmetic mean of a set of equal-length vectors.
+///
+/// Returns `None` when `vs` is empty.
+pub fn mean(vs: &[Vec<f64>]) -> Option<Vec<f64>> {
+    let first = vs.first()?;
+    let d = first.len();
+    let mut out = vec![0.0; d];
+    for v in vs {
+        assert_eq!(v.len(), d, "mean: dimension mismatch");
+        axpy(&mut out, 1.0, v);
+    }
+    let inv = 1.0 / vs.len() as f64;
+    for o in &mut out {
+        *o *= inv;
+    }
+    Some(out)
+}
+
+/// Squared Euclidean distance `‖a - b‖²`.
+pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dist_sq: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// `true` when every `|aᵢ - bᵢ| ≤ tol`.
+pub fn approx_eq(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
+}
+
+/// Clamp each coordinate of `x` into `[lo[i], hi[i]]`.
+pub fn clamp_box(x: &[f64], lo: &[f64], hi: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), lo.len());
+    assert_eq!(x.len(), hi.len());
+    x.iter()
+        .zip(lo.iter().zip(hi))
+        .map(|(&xi, (&l, &h))| xi.clamp(l, h))
+        .collect()
+}
+
+/// `true` when `lo[i] ≤ x[i] ≤ hi[i]` for every coordinate.
+pub fn in_box(x: &[f64], lo: &[f64], hi: &[f64]) -> bool {
+    x.iter()
+        .zip(lo.iter().zip(hi))
+        .all(|(&xi, (&l, &h))| xi >= l && xi <= h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let a = [3.0, 4.0];
+        assert_eq!(dot(&a, &a), 25.0);
+        assert_eq!(norm_sq(&a), 25.0);
+        assert_eq!(norm(&a), 5.0);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = [1.0, 2.0];
+        let b = [10.0, 20.0];
+        assert_eq!(add(&a, &b), vec![11.0, 22.0]);
+        assert_eq!(sub(&b, &a), vec![9.0, 18.0]);
+        assert_eq!(scale(&a, 3.0), vec![3.0, 6.0]);
+        let mut y = vec![1.0, 1.0];
+        axpy(&mut y, 2.0, &a);
+        assert_eq!(y, vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let vs = vec![vec![0.0, 2.0], vec![2.0, 4.0]];
+        assert_eq!(mean(&vs), Some(vec![1.0, 3.0]));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn distances_and_eq() {
+        assert_eq!(dist_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert!(approx_eq(&[1.0], &[1.0 + 1e-12], 1e-9));
+        assert!(!approx_eq(&[1.0], &[1.1], 1e-9));
+        assert!(!approx_eq(&[1.0], &[1.0, 2.0], 1e-9));
+    }
+
+    #[test]
+    fn box_operations() {
+        let lo = [0.0, 0.0];
+        let hi = [1.0, 1.0];
+        assert_eq!(clamp_box(&[-1.0, 0.5], &lo, &hi), vec![0.0, 0.5]);
+        assert!(in_box(&[0.5, 1.0], &lo, &hi));
+        assert!(!in_box(&[0.5, 1.5], &lo, &hi));
+    }
+
+    #[test]
+    #[should_panic(expected = "dot: dimension mismatch")]
+    fn dot_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests for the dense-matrix substrate.
+
+use automon_linalg::{Matrix, SymEigen};
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |d| Matrix::from_rows(rows, cols, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_is_compatible_with_matvec(
+        a in matrix(3, 4),
+        b in matrix(4, 2),
+        x in proptest::collection::vec(-5.0f64..5.0, 2),
+    ) {
+        // (A·B)·x == A·(B·x)
+        let lhs = a.matmul(&b).matvec(&x);
+        let rhs = a.matvec(&b.matvec(&x));
+        for (l, r) in lhs.iter().zip(&rhs) {
+            prop_assert!((l - r).abs() < 1e-9 * (1.0 + r.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in matrix(3, 5)) {
+        prop_assert!(a.transpose().transpose().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn symmetrize_is_idempotent(a in matrix(4, 4)) {
+        let mut once = a.clone();
+        once.symmetrize();
+        let mut twice = once.clone();
+        twice.symmetrize();
+        prop_assert!(once.approx_eq(&twice, 0.0));
+        prop_assert!(once.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn quadratic_form_of_identity_is_norm_sq(
+        x in proptest::collection::vec(-5.0f64..5.0, 4),
+    ) {
+        let i = Matrix::identity(4);
+        let q = i.quadratic_form(&x);
+        let n: f64 = x.iter().map(|v| v * v).sum();
+        prop_assert!((q - n).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigenvalues_of_scaled_identity(c in -5.0f64..5.0) {
+        let m = Matrix::identity(3).scale(c);
+        let e = SymEigen::new(&m);
+        for &l in &e.values {
+            prop_assert!((l - c).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn add_sub_round_trip(a in matrix(3, 3), b in matrix(3, 3)) {
+        prop_assert!(a.add(&b).sub(&b).approx_eq(&a, 1e-12));
+    }
+}

@@ -1,0 +1,346 @@
+//! Message fabrics: in-process accounting and channel-based transport.
+
+use automon_core::{Coordinator, CoordinatorMessage, Node, NodeId, NodeMessage, Outbound};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::wire;
+
+/// Per-direction traffic counters (paper §4.7's payload/traffic split).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Messages from nodes to the coordinator.
+    pub node_to_coord_msgs: usize,
+    /// Messages from the coordinator to nodes.
+    pub coord_to_node_msgs: usize,
+    /// Payload bytes from nodes to the coordinator.
+    pub node_to_coord_payload: usize,
+    /// Payload bytes from the coordinator to nodes.
+    pub coord_to_node_payload: usize,
+}
+
+impl TrafficStats {
+    /// Total messages in both directions.
+    pub fn total_msgs(&self) -> usize {
+        self.node_to_coord_msgs + self.coord_to_node_msgs
+    }
+
+    /// Total payload bytes in both directions.
+    pub fn total_payload(&self) -> usize {
+        self.node_to_coord_payload + self.coord_to_node_payload
+    }
+
+    /// Total *traffic* bytes including `overhead` per-message transport
+    /// framing (TCP/IP + messaging-stack headers; Figure 10's orange
+    /// series).
+    pub fn total_traffic(&self, overhead: usize) -> usize {
+        self.total_payload() + overhead * self.total_msgs()
+    }
+}
+
+/// An in-process fabric that *really* serializes every message (payload
+/// sizes are measured, not estimated) and accounts messages and bytes in
+/// both directions while delivering synchronously.
+#[derive(Debug, Default)]
+pub struct CountingFabric {
+    stats: TrafficStats,
+    per_node: Vec<usize>,
+}
+
+impl CountingFabric {
+    /// A fresh fabric with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated counters.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Messages involving each node (sent or received), for analyzing
+    /// skew — e.g. whether the DNN workload's round-robin split keeps
+    /// the per-node load balanced.
+    pub fn per_node_messages(&self) -> &[usize] {
+        &self.per_node
+    }
+
+    fn bump_node(&mut self, node: usize) {
+        if self.per_node.len() <= node {
+            self.per_node.resize(node + 1, 0);
+        }
+        self.per_node[node] += 1;
+    }
+
+    /// Deliver a node message to the coordinator (through the codec) and
+    /// return its replies, each of which must then be delivered with
+    /// [`CountingFabric::deliver_to_node`].
+    pub fn deliver_to_coordinator(
+        &mut self,
+        coord: &mut Coordinator,
+        msg: NodeMessage,
+    ) -> Vec<Outbound> {
+        let frame = wire::encode_node_message(&msg);
+        self.stats.node_to_coord_msgs += 1;
+        self.stats.node_to_coord_payload += frame.len();
+        self.bump_node(msg.sender());
+        let decoded = wire::decode_node_message(&frame).expect("self-encoded frame decodes");
+        coord.handle(decoded)
+    }
+
+    /// Deliver one coordinator message to its node; returns the node's
+    /// reply, if any.
+    pub fn deliver_to_node(&mut self, node: &mut Node, out: Outbound) -> Option<NodeMessage> {
+        debug_assert_eq!(node.id(), out.to, "misrouted message");
+        let frame = wire::encode_coordinator_message(&out.msg);
+        self.stats.coord_to_node_msgs += 1;
+        self.stats.coord_to_node_payload += frame.len();
+        self.bump_node(out.to);
+        let decoded =
+            wire::decode_coordinator_message(&frame).expect("self-encoded frame decodes");
+        node.handle(decoded)
+    }
+
+    /// Convenience: deliver `first` and every cascading reply until the
+    /// exchange quiesces (FIFO, like an ordered transport).
+    pub fn route(
+        &mut self,
+        coord: &mut Coordinator,
+        nodes: &mut [Node],
+        first: NodeMessage,
+    ) {
+        let mut inbox = std::collections::VecDeque::from([first]);
+        while let Some(m) = inbox.pop_front() {
+            for out in self.deliver_to_coordinator(coord, m) {
+                let to = out.to;
+                if let Some(reply) = self.deliver_to_node(&mut nodes[to], out) {
+                    inbox.push_back(reply);
+                }
+            }
+        }
+    }
+}
+
+/// A crossbeam-channel fabric carrying encoded frames between threads —
+/// the in-process stand-in for the paper's ZeroMQ deployment (§4.7).
+pub struct ChannelFabric {
+    coord_rx: Receiver<Vec<u8>>,
+    coord_tx: Sender<Vec<u8>>,
+    node_txs: Vec<Sender<Vec<u8>>>,
+    node_rxs: Vec<Option<Receiver<Vec<u8>>>>,
+}
+
+impl ChannelFabric {
+    /// A fabric connecting one coordinator with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        let (coord_tx, coord_rx) = unbounded();
+        let mut node_txs = Vec::with_capacity(n);
+        let mut node_rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            node_txs.push(tx);
+            node_rxs.push(Some(rx));
+        }
+        Self {
+            coord_rx,
+            coord_tx,
+            node_txs,
+            node_rxs,
+        }
+    }
+
+    /// The coordinator's endpoint (take once).
+    pub fn coordinator_endpoint(&mut self) -> CoordinatorEndpoint {
+        CoordinatorEndpoint {
+            rx: self.coord_rx.clone(),
+            node_txs: self.node_txs.clone(),
+        }
+    }
+
+    /// Node `id`'s endpoint (take once per node).
+    ///
+    /// # Panics
+    /// Panics when taken twice for the same node.
+    pub fn node_endpoint(&mut self, id: NodeId) -> NodeEndpoint {
+        NodeEndpoint {
+            id,
+            tx: self.coord_tx.clone(),
+            rx: self.node_rxs[id].take().expect("endpoint already taken"),
+        }
+    }
+}
+
+/// The coordinator's side of a [`ChannelFabric`].
+pub struct CoordinatorEndpoint {
+    rx: Receiver<Vec<u8>>,
+    node_txs: Vec<Sender<Vec<u8>>>,
+}
+
+impl CoordinatorEndpoint {
+    /// Block for the next node message; `None` when all nodes hung up.
+    pub fn recv(&self) -> Option<NodeMessage> {
+        let frame = self.rx.recv().ok()?;
+        Some(wire::decode_node_message(&frame).expect("valid frame"))
+    }
+
+    /// Send one outbound message to its node.
+    pub fn send(&self, out: &Outbound) {
+        let frame = wire::encode_coordinator_message(&out.msg);
+        // A disconnected node (receiver dropped) is fine during shutdown.
+        let _ = self.node_txs[out.to].send(frame.to_vec());
+    }
+}
+
+/// One node's side of a [`ChannelFabric`].
+pub struct NodeEndpoint {
+    id: NodeId,
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl NodeEndpoint {
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Send a node message to the coordinator.
+    pub fn send(&self, msg: &NodeMessage) {
+        let frame = wire::encode_node_message(msg);
+        let _ = self.tx.send(frame.to_vec());
+    }
+
+    /// Non-blocking poll for a coordinator message.
+    pub fn try_recv(&self) -> Option<CoordinatorMessage> {
+        let frame = self.rx.try_recv().ok()?;
+        Some(wire::decode_coordinator_message(&frame).expect("valid frame"))
+    }
+
+    /// Blocking receive; `None` when the coordinator hung up.
+    pub fn recv(&self) -> Option<CoordinatorMessage> {
+        let frame = self.rx.recv().ok()?;
+        Some(wire::decode_coordinator_message(&frame).expect("valid frame"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automon_autodiff::{AutoDiffFn, Scalar, ScalarFn};
+    use automon_core::{MonitorConfig, MonitoredFunction};
+    use std::sync::Arc;
+
+    pub(super) struct Mean1;
+    impl ScalarFn for Mean1 {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn call<S: Scalar>(&self, x: &[S]) -> S {
+            x[0]
+        }
+    }
+
+    pub(super) fn fabric_mean1() -> Mean1 {
+        Mean1
+    }
+
+    fn f() -> Arc<dyn MonitoredFunction> {
+        Arc::new(AutoDiffFn::new(Mean1))
+    }
+
+    #[test]
+    fn counting_fabric_accounts_both_directions() {
+        let f = f();
+        let mut coord = Coordinator::new(f.clone(), 2, MonitorConfig::builder(0.5).build());
+        let mut nodes = vec![Node::new(0, f.clone()), Node::new(1, f.clone())];
+        let mut fabric = CountingFabric::new();
+        for i in 0..2 {
+            if let Some(m) = nodes[i].update_data(vec![0.0]) {
+                fabric.route(&mut coord, &mut nodes, m);
+            }
+        }
+        let st = fabric.stats();
+        // 2 registrations up, 2 NewConstraints down.
+        assert_eq!(st.node_to_coord_msgs, 2);
+        assert_eq!(st.coord_to_node_msgs, 2);
+        assert!(st.node_to_coord_payload > 0);
+        assert!(st.coord_to_node_payload > st.node_to_coord_payload);
+        assert_eq!(st.total_msgs(), 4);
+        assert_eq!(
+            st.total_traffic(66),
+            st.total_payload() + 66 * st.total_msgs()
+        );
+    }
+
+    #[test]
+    fn channel_fabric_moves_frames_across_threads() {
+        let mut fabric = ChannelFabric::new(1);
+        let coord_ep = fabric.coordinator_endpoint();
+        let node_ep = fabric.node_endpoint(0);
+
+        let t = std::thread::spawn(move || {
+            let msg = coord_ep.recv().expect("one message");
+            assert_eq!(msg.sender(), 0);
+            coord_ep.send(&Outbound {
+                to: 0,
+                msg: CoordinatorMessage::RequestLocalVector,
+            });
+        });
+
+        node_ep.send(&NodeMessage::LocalVector {
+            node: 0,
+            vector: vec![1.0, 2.0],
+        });
+        let got = node_ep.recv().expect("reply");
+        assert_eq!(got, CoordinatorMessage::RequestLocalVector);
+        t.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint already taken")]
+    fn node_endpoint_single_take() {
+        let mut fabric = ChannelFabric::new(1);
+        let _a = fabric.node_endpoint(0);
+        let _b = fabric.node_endpoint(0);
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+    use automon_core::{Coordinator, Node};
+    use std::sync::Arc;
+
+    #[test]
+    fn per_node_counters_track_involvement() {
+        let f: Arc<dyn automon_core::MonitoredFunction> = Arc::new(
+            automon_autodiff::AutoDiffFn::new(super::tests::fabric_mean1()),
+        );
+        let mut coord =
+            Coordinator::new(f.clone(), 2, automon_core::MonitorConfig::builder(0.5).build());
+        let mut nodes = vec![Node::new(0, f.clone()), Node::new(1, f.clone())];
+        let mut fabric = CountingFabric::new();
+        for i in 0..2 {
+            if let Some(m) = nodes[i].update_data(vec![0.0]) {
+                fabric.route(&mut coord, &mut nodes, m);
+            }
+        }
+        // Each node: 1 registration + 1 constraint install.
+        assert_eq!(fabric.per_node_messages(), &[2, 2]);
+        let total: usize = fabric.per_node_messages().iter().sum();
+        assert_eq!(total, fabric.stats().total_msgs());
+    }
+
+    #[test]
+    fn traffic_stats_arithmetic() {
+        let st = TrafficStats {
+            node_to_coord_msgs: 3,
+            coord_to_node_msgs: 2,
+            node_to_coord_payload: 100,
+            coord_to_node_payload: 250,
+        };
+        assert_eq!(st.total_msgs(), 5);
+        assert_eq!(st.total_payload(), 350);
+        assert_eq!(st.total_traffic(0), 350);
+        assert_eq!(st.total_traffic(66), 350 + 5 * 66);
+    }
+}

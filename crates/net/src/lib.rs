@@ -1,0 +1,31 @@
+//! Messaging fabric for AutoMon.
+//!
+//! The paper treats messaging as the application's concern (§3.8): the
+//! library produces and consumes message *contents*, and a fabric such as
+//! ZeroMQ moves them. This crate supplies the Rust equivalents used by
+//! the evaluation:
+//!
+//! * [`wire`] — a compact, hand-rolled binary codec for every protocol
+//!   message. Payload sizes are deterministic, which is what the §4.7
+//!   bandwidth experiments measure.
+//! * [`CountingFabric`] — an in-process fabric that round-trips every
+//!   message through the codec (so the bytes are real, not estimated),
+//!   accumulating per-direction message and byte counts plus a
+//!   configurable per-message transport overhead — reproducing the
+//!   payload-vs-traffic split of Figure 10.
+//! * [`ChannelFabric`] — a crossbeam-channel fabric carrying encoded
+//!   frames between threads, for applications that want the
+//!   coordinator and nodes actually decoupled (the ZeroMQ-style
+//!   deployment of §4.7, minus the WAN).
+//! * [`delta`] — sparse delta compression for local vectors, the §5
+//!   bandwidth-reduction direction the paper defers to future work.
+//! * [`tcp`] — the protocol over real `std::net` sockets with
+//!   length-prefixed frames: the dependency-free ZeroMQ replacement for
+//!   actual multi-process deployments.
+
+pub mod delta;
+mod fabric;
+pub mod tcp;
+pub mod wire;
+
+pub use fabric::{ChannelFabric, CoordinatorEndpoint, CountingFabric, NodeEndpoint, TrafficStats};

@@ -1,0 +1,290 @@
+//! TCP transport: AutoMon's protocol over real sockets.
+//!
+//! The paper's deployment moves frames with ZeroMQ (§3.8, §4.7); this
+//! module is the dependency-free equivalent on `std::net`. Frames are
+//! length-prefixed wire-codec messages; each node opens one connection
+//! and introduces itself with a hello frame carrying its id.
+//!
+//! Concurrency model: the coordinator accepts `n` connections, spawns a
+//! reader thread per node that decodes frames into one mpsc channel, and
+//! writes replies directly to the (mutex-guarded) streams. Nodes use a
+//! plain blocking or polling read on their single connection.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use automon_core::{CoordinatorMessage, NodeId, NodeMessage, Outbound};
+
+use crate::wire;
+
+/// Transport failure.
+#[derive(Debug)]
+pub enum TcpError {
+    /// Socket-level error.
+    Io(std::io::Error),
+    /// Frame decoded but malformed.
+    Wire(wire::WireError),
+    /// Peer closed the connection.
+    Disconnected,
+}
+
+impl From<std::io::Error> for TcpError {
+    fn from(e: std::io::Error) -> Self {
+        TcpError::Io(e)
+    }
+}
+
+impl std::fmt::Display for TcpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TcpError::Io(e) => write!(f, "io: {e}"),
+            TcpError::Wire(e) => write!(f, "wire: {e}"),
+            TcpError::Disconnected => write!(f, "peer disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TcpError {}
+
+/// Write one length-prefixed frame.
+fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> Result<(), TcpError> {
+    stream.write_all(&(frame.len() as u32).to_le_bytes())?;
+    stream.write_all(frame)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Read one length-prefixed frame.
+fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>, TcpError> {
+    let mut len = [0u8; 4];
+    if let Err(e) = stream.read_exact(&mut len) {
+        return if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            Err(TcpError::Disconnected)
+        } else {
+            Err(TcpError::Io(e))
+        };
+    }
+    let n = u32::from_le_bytes(len) as usize;
+    let mut buf = vec![0u8; n];
+    stream.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Coordinator side of the TCP transport.
+pub struct TcpCoordinatorTransport {
+    rx: Receiver<NodeMessage>,
+    writers: Vec<Arc<Mutex<TcpStream>>>,
+}
+
+impl TcpCoordinatorTransport {
+    /// Bind `addr`, accept exactly `n` node connections (each must send
+    /// a hello [`NodeMessage::LocalVector`]-shaped frame carrying its
+    /// id), and start the reader threads.
+    pub fn bind(addr: SocketAddr, n: usize) -> Result<(Self, SocketAddr), TcpError> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let (tx, rx): (Sender<NodeMessage>, Receiver<NodeMessage>) = channel();
+        let mut writers: Vec<Option<Arc<Mutex<TcpStream>>>> = (0..n).map(|_| None).collect();
+
+        for _ in 0..n {
+            let (mut stream, _) = listener.accept()?;
+            stream.set_nodelay(true)?;
+            // Hello frame identifies the node.
+            let hello = read_frame(&mut stream)?;
+            let msg = wire::decode_node_message(&hello).map_err(TcpError::Wire)?;
+            let id = msg.sender();
+            assert!(id < n, "hello from unknown node {id}");
+            let shared = Arc::new(Mutex::new(stream.try_clone()?));
+            writers[id] = Some(shared);
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                while let Ok(frame) = read_frame(&mut stream) {
+                    let Ok(msg) = wire::decode_node_message(&frame) else {
+                        break;
+                    };
+                    if tx.send(msg).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        let writers = writers
+            .into_iter()
+            .map(|w| w.expect("every node said hello"))
+            .collect();
+        Ok((Self { rx, writers }, local))
+    }
+
+    /// Blocking receive of the next node message; `None` when every node
+    /// hung up.
+    pub fn recv(&self) -> Option<NodeMessage> {
+        self.rx.recv().ok()
+    }
+
+    /// Receive with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<NodeMessage> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Send one outbound message to its node.
+    pub fn send(&self, out: &Outbound) -> Result<(), TcpError> {
+        let frame = wire::encode_coordinator_message(&out.msg);
+        let mut stream = self.writers[out.to].lock().expect("writer lock");
+        write_frame(&mut stream, &frame)
+    }
+}
+
+/// Node side of the TCP transport.
+pub struct TcpNodeTransport {
+    id: NodeId,
+    stream: TcpStream,
+}
+
+impl TcpNodeTransport {
+    /// Connect to the coordinator and introduce this node.
+    pub fn connect(addr: SocketAddr, id: NodeId) -> Result<Self, TcpError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let hello = wire::encode_node_message(&NodeMessage::LocalVector {
+            node: id,
+            vector: Vec::new(),
+        });
+        write_frame(&mut stream, &hello)?;
+        Ok(Self { id, stream })
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Send a node message.
+    pub fn send(&mut self, msg: &NodeMessage) -> Result<(), TcpError> {
+        debug_assert_eq!(msg.sender(), self.id, "sending as the wrong node");
+        let frame = wire::encode_node_message(msg);
+        write_frame(&mut self.stream, &frame)
+    }
+
+    /// Blocking receive of the next coordinator message.
+    pub fn recv(&mut self) -> Result<CoordinatorMessage, TcpError> {
+        let frame = read_frame(&mut self.stream)?;
+        wire::decode_coordinator_message(&frame).map_err(TcpError::Wire)
+    }
+
+    /// Non-blocking poll: `Ok(None)` when no complete frame is ready.
+    ///
+    /// Uses a short read timeout under the hood; call it from the node's
+    /// update loop.
+    pub fn try_recv(&mut self) -> Result<Option<CoordinatorMessage>, TcpError> {
+        self.stream.set_read_timeout(Some(Duration::from_millis(1)))?;
+        let result = match read_frame(&mut self.stream) {
+            Ok(frame) => wire::decode_coordinator_message(&frame)
+                .map(Some)
+                .map_err(TcpError::Wire),
+            Err(TcpError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        };
+        self.stream.set_read_timeout(None)?;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automon_autodiff::{AutoDiffFn, Scalar, ScalarFn};
+    use automon_core::{Coordinator, MonitorConfig, MonitoredFunction, Node};
+
+    struct Mean1;
+    impl ScalarFn for Mean1 {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn call<S: Scalar>(&self, x: &[S]) -> S {
+            x[0]
+        }
+    }
+
+    #[test]
+    fn full_monitoring_session_over_tcp() {
+        let f: Arc<dyn MonitoredFunction> = Arc::new(AutoDiffFn::new(Mean1));
+        let n = 2;
+
+        // The coordinator must accept while nodes connect: bind the
+        // listener in a thread and hand back the transport.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener); // free the port for the real bind below
+        let coord_thread = {
+            let f = f.clone();
+            std::thread::spawn(move || {
+                let (tp, _) =
+                    TcpCoordinatorTransport::bind(addr, n).expect("bind and accept");
+                let mut coord =
+                    Coordinator::new(f, n, MonitorConfig::builder(0.5).build());
+                // Serve until both nodes finish (they close; recv drains).
+                let mut served = 0usize;
+                while let Some(msg) = tp.recv_timeout(Duration::from_secs(5)) {
+                    served += 1;
+                    for out in coord.handle(msg) {
+                        if tp.send(&out).is_err() {
+                            break;
+                        }
+                    }
+                    if served >= 6 {
+                        break;
+                    }
+                }
+                (coord.current_value(), served)
+            })
+        };
+
+        // Give the listener a moment to bind.
+        std::thread::sleep(Duration::from_millis(100));
+        let mut workers = Vec::new();
+        for id in 0..n {
+            let f = f.clone();
+            workers.push(std::thread::spawn(move || {
+                let mut tp = TcpNodeTransport::connect(addr, id).expect("connect");
+                let mut node = Node::new(id, f);
+                for t in 0..30 {
+                    while let Ok(Some(msg)) = tp.try_recv() {
+                        if let Some(reply) = node.handle(msg) {
+                            tp.send(&reply).unwrap();
+                        }
+                    }
+                    let x = vec![t as f64 * 0.01 + id as f64 * 0.1];
+                    if let Some(report) = node.update_data(x) {
+                        tp.send(&report).unwrap();
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                // Serve any last sync traffic.
+                for _ in 0..20 {
+                    if let Ok(Some(msg)) = tp.try_recv() {
+                        if let Some(reply) = node.handle(msg) {
+                            tp.send(&reply).unwrap();
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                node.current_value()
+            }));
+        }
+        let node_values: Vec<Option<f64>> =
+            workers.into_iter().map(|w| w.join().unwrap()).collect();
+        let (coord_value, served) = coord_thread.join().unwrap();
+        assert!(served >= 2, "coordinator must have served registrations");
+        assert!(coord_value.is_some());
+        // Every node received constraints (hence an estimate).
+        assert!(node_values.iter().all(Option::is_some), "{node_values:?}");
+    }
+}

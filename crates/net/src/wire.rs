@@ -1,0 +1,490 @@
+//! Compact binary wire format for AutoMon protocol messages.
+//!
+//! Layout conventions: little-endian throughout; `u8` tags for enums;
+//! `u32` lengths; raw `f64` bits for floats. The format is versioned with
+//! a leading magic byte so stray frames fail fast instead of decoding
+//! into garbage.
+
+use automon_core::{
+    Curvature, CoordinatorMessage, DcKind, NeighborhoodBox, NodeMessage, SafeZone, ViolationKind,
+    ZoneUpdate,
+};
+use automon_linalg::Matrix;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Format version magic (bump on layout changes).
+const MAGIC: u8 = 0xA7;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame shorter than its declared contents.
+    Truncated,
+    /// Unknown tag byte at the given offset description.
+    BadTag(&'static str, u8),
+    /// Magic byte mismatch (not an AutoMon frame or wrong version).
+    BadMagic(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadTag(what, t) => write!(f, "bad {what} tag {t:#x}"),
+            WireError::BadMagic(m) => write!(f, "bad magic {m:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encode a node→coordinator message.
+pub fn encode_node_message(msg: &NodeMessage) -> Bytes {
+    let mut b = BytesMut::with_capacity(64);
+    b.put_u8(MAGIC);
+    match msg {
+        NodeMessage::Violation {
+            node,
+            kind,
+            local_vector,
+        } => {
+            b.put_u8(0);
+            b.put_u32_le(*node as u32);
+            b.put_u8(violation_tag(*kind));
+            put_vec(&mut b, local_vector);
+        }
+        NodeMessage::LocalVector { node, vector } => {
+            b.put_u8(1);
+            b.put_u32_le(*node as u32);
+            put_vec(&mut b, vector);
+        }
+    }
+    b.freeze()
+}
+
+/// Decode a node→coordinator message.
+pub fn decode_node_message(mut buf: &[u8]) -> Result<NodeMessage, WireError> {
+    check_magic(&mut buf)?;
+    let tag = get_u8(&mut buf)?;
+    match tag {
+        0 => {
+            let node = get_u32(&mut buf)? as usize;
+            let kind = violation_from_tag(get_u8(&mut buf)?)?;
+            let local_vector = get_vec(&mut buf)?;
+            Ok(NodeMessage::Violation {
+                node,
+                kind,
+                local_vector,
+            })
+        }
+        1 => {
+            let node = get_u32(&mut buf)? as usize;
+            let vector = get_vec(&mut buf)?;
+            Ok(NodeMessage::LocalVector { node, vector })
+        }
+        t => Err(WireError::BadTag("node message", t)),
+    }
+}
+
+/// Encode a coordinator→node message.
+pub fn encode_coordinator_message(msg: &CoordinatorMessage) -> Bytes {
+    let mut b = BytesMut::with_capacity(64);
+    b.put_u8(MAGIC);
+    match msg {
+        CoordinatorMessage::RequestLocalVector => b.put_u8(0),
+        CoordinatorMessage::NewConstraints { zone, slack } => {
+            b.put_u8(1);
+            put_zone(&mut b, zone);
+            put_vec(&mut b, slack);
+        }
+        CoordinatorMessage::SlackUpdate { slack } => {
+            b.put_u8(2);
+            put_vec(&mut b, slack);
+        }
+        CoordinatorMessage::NewConstraintsCached { update, slack } => {
+            b.put_u8(3);
+            put_zone_update(&mut b, update);
+            put_vec(&mut b, slack);
+        }
+    }
+    b.freeze()
+}
+
+/// Decode a coordinator→node message.
+pub fn decode_coordinator_message(mut buf: &[u8]) -> Result<CoordinatorMessage, WireError> {
+    check_magic(&mut buf)?;
+    let tag = get_u8(&mut buf)?;
+    match tag {
+        0 => Ok(CoordinatorMessage::RequestLocalVector),
+        1 => {
+            let zone = get_zone(&mut buf)?;
+            let slack = get_vec(&mut buf)?;
+            Ok(CoordinatorMessage::NewConstraints { zone, slack })
+        }
+        2 => Ok(CoordinatorMessage::SlackUpdate {
+            slack: get_vec(&mut buf)?,
+        }),
+        3 => {
+            let update = get_zone_update(&mut buf)?;
+            let slack = get_vec(&mut buf)?;
+            Ok(CoordinatorMessage::NewConstraintsCached { update, slack })
+        }
+        t => Err(WireError::BadTag("coordinator message", t)),
+    }
+}
+
+fn violation_tag(kind: ViolationKind) -> u8 {
+    match kind {
+        ViolationKind::Uninitialized => 0,
+        ViolationKind::Neighborhood => 1,
+        ViolationKind::SafeZone => 2,
+        ViolationKind::FaultyConstraints => 3,
+    }
+}
+
+fn violation_from_tag(t: u8) -> Result<ViolationKind, WireError> {
+    Ok(match t {
+        0 => ViolationKind::Uninitialized,
+        1 => ViolationKind::Neighborhood,
+        2 => ViolationKind::SafeZone,
+        3 => ViolationKind::FaultyConstraints,
+        t => return Err(WireError::BadTag("violation kind", t)),
+    })
+}
+
+fn put_vec(b: &mut BytesMut, v: &[f64]) {
+    b.put_u32_le(v.len() as u32);
+    for &x in v {
+        b.put_f64_le(x);
+    }
+}
+
+fn put_matrix(b: &mut BytesMut, m: &Matrix) {
+    b.put_u32_le(m.rows() as u32);
+    b.put_u32_le(m.cols() as u32);
+    for &x in m.as_slice() {
+        b.put_f64_le(x);
+    }
+}
+
+fn put_zone(b: &mut BytesMut, z: &SafeZone) {
+    put_vec(b, &z.x0);
+    b.put_f64_le(z.f0);
+    put_vec(b, &z.grad0);
+    b.put_f64_le(z.l);
+    b.put_f64_le(z.u);
+    b.put_u8(match z.dc {
+        DcKind::ConvexDiff => 0,
+        DcKind::ConcaveDiff => 1,
+        DcKind::AdmissibleOnly => 2,
+    });
+    match &z.curvature {
+        Curvature::Scalar(c) => {
+            b.put_u8(0);
+            b.put_f64_le(*c);
+        }
+        Curvature::Quadratic(m) => {
+            b.put_u8(1);
+            put_matrix(b, m);
+        }
+    }
+    match &z.neighborhood {
+        None => b.put_u8(0),
+        Some(nb) => {
+            b.put_u8(1);
+            put_vec(b, &nb.lo);
+            put_vec(b, &nb.hi);
+        }
+    }
+}
+
+fn put_zone_update(b: &mut BytesMut, z: &ZoneUpdate) {
+    put_vec(b, &z.x0);
+    b.put_f64_le(z.f0);
+    put_vec(b, &z.grad0);
+    b.put_f64_le(z.l);
+    b.put_f64_le(z.u);
+    b.put_u8(match z.dc {
+        DcKind::ConvexDiff => 0,
+        DcKind::ConcaveDiff => 1,
+        DcKind::AdmissibleOnly => 2,
+    });
+    match &z.neighborhood {
+        None => b.put_u8(0),
+        Some(nb) => {
+            b.put_u8(1);
+            put_vec(b, &nb.lo);
+            put_vec(b, &nb.hi);
+        }
+    }
+}
+
+fn get_zone_update(buf: &mut &[u8]) -> Result<ZoneUpdate, WireError> {
+    let x0 = get_vec(buf)?;
+    let f0 = get_f64(buf)?;
+    let grad0 = get_vec(buf)?;
+    let l = get_f64(buf)?;
+    let u = get_f64(buf)?;
+    let dc = match get_u8(buf)? {
+        0 => DcKind::ConvexDiff,
+        1 => DcKind::ConcaveDiff,
+        2 => DcKind::AdmissibleOnly,
+        t => return Err(WireError::BadTag("dc kind", t)),
+    };
+    let neighborhood = match get_u8(buf)? {
+        0 => None,
+        1 => Some(NeighborhoodBox {
+            lo: get_vec(buf)?,
+            hi: get_vec(buf)?,
+        }),
+        t => return Err(WireError::BadTag("neighborhood", t)),
+    };
+    Ok(ZoneUpdate {
+        x0,
+        f0,
+        grad0,
+        l,
+        u,
+        dc,
+        neighborhood,
+    })
+}
+
+fn check_magic(buf: &mut &[u8]) -> Result<(), WireError> {
+    let m = get_u8(buf)?;
+    if m != MAGIC {
+        return Err(WireError::BadMagic(m));
+    }
+    Ok(())
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8, WireError> {
+    if buf.remaining() < 1 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_f64(buf: &mut &[u8]) -> Result<f64, WireError> {
+    if buf.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_f64_le())
+}
+
+fn get_vec(buf: &mut &[u8]) -> Result<Vec<f64>, WireError> {
+    let n = get_u32(buf)? as usize;
+    if buf.remaining() < n * 8 {
+        return Err(WireError::Truncated);
+    }
+    Ok((0..n).map(|_| buf.get_f64_le()).collect())
+}
+
+fn get_matrix(buf: &mut &[u8]) -> Result<Matrix, WireError> {
+    let rows = get_u32(buf)? as usize;
+    let cols = get_u32(buf)? as usize;
+    if buf.remaining() < rows * cols * 8 {
+        return Err(WireError::Truncated);
+    }
+    let data = (0..rows * cols).map(|_| buf.get_f64_le()).collect();
+    Ok(Matrix::from_rows(rows, cols, data))
+}
+
+fn get_zone(buf: &mut &[u8]) -> Result<SafeZone, WireError> {
+    let x0 = get_vec(buf)?;
+    let f0 = get_f64(buf)?;
+    let grad0 = get_vec(buf)?;
+    let l = get_f64(buf)?;
+    let u = get_f64(buf)?;
+    let dc = match get_u8(buf)? {
+        0 => DcKind::ConvexDiff,
+        1 => DcKind::ConcaveDiff,
+        2 => DcKind::AdmissibleOnly,
+        t => return Err(WireError::BadTag("dc kind", t)),
+    };
+    let curvature = match get_u8(buf)? {
+        0 => Curvature::Scalar(get_f64(buf)?),
+        1 => Curvature::Quadratic(get_matrix(buf)?),
+        t => return Err(WireError::BadTag("curvature", t)),
+    };
+    let neighborhood = match get_u8(buf)? {
+        0 => None,
+        1 => Some(NeighborhoodBox {
+            lo: get_vec(buf)?,
+            hi: get_vec(buf)?,
+        }),
+        t => return Err(WireError::BadTag("neighborhood", t)),
+    };
+    Ok(SafeZone {
+        x0,
+        f0,
+        grad0,
+        l,
+        u,
+        dc,
+        curvature,
+        neighborhood,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_zone() -> SafeZone {
+        SafeZone {
+            x0: vec![1.0, -2.0],
+            f0: 3.5,
+            grad0: vec![0.25, 0.75],
+            l: 3.0,
+            u: 4.0,
+            dc: DcKind::ConvexDiff,
+            curvature: Curvature::Scalar(1.25),
+            neighborhood: Some(NeighborhoodBox {
+                lo: vec![0.0, -3.0],
+                hi: vec![2.0, -1.0],
+            }),
+        }
+    }
+
+    #[test]
+    fn node_message_round_trips() {
+        for msg in [
+            NodeMessage::Violation {
+                node: 5,
+                kind: ViolationKind::Neighborhood,
+                local_vector: vec![1.0, 2.0, 3.0],
+            },
+            NodeMessage::LocalVector {
+                node: 0,
+                vector: vec![],
+            },
+        ] {
+            let bytes = encode_node_message(&msg);
+            assert_eq!(decode_node_message(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn coordinator_message_round_trips() {
+        for msg in [
+            CoordinatorMessage::RequestLocalVector,
+            CoordinatorMessage::SlackUpdate {
+                slack: vec![0.5, -0.5],
+            },
+            CoordinatorMessage::NewConstraints {
+                zone: sample_zone(),
+                slack: vec![1.0, 2.0],
+            },
+        ] {
+            let bytes = encode_coordinator_message(&msg);
+            assert_eq!(decode_coordinator_message(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn quadratic_curvature_round_trips() {
+        let mut z = sample_zone();
+        z.curvature = Curvature::Quadratic(Matrix::from_rows(2, 2, vec![1.0, 0.5, 0.5, 2.0]));
+        z.neighborhood = None;
+        let msg = CoordinatorMessage::NewConstraints {
+            zone: z,
+            slack: vec![0.0, 0.0],
+        };
+        let bytes = encode_coordinator_message(&msg);
+        assert_eq!(decode_coordinator_message(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn payload_sizes_are_compact() {
+        // Violation with d = 40: magic + tag + node + kind + len + 40·8
+        // = 1 + 1 + 4 + 1 + 4 + 320 = 331 bytes.
+        let msg = NodeMessage::Violation {
+            node: 1,
+            kind: ViolationKind::SafeZone,
+            local_vector: vec![0.0; 40],
+        };
+        assert_eq!(encode_node_message(&msg).len(), 331);
+    }
+
+    #[test]
+    fn rejects_bad_frames() {
+        assert_eq!(decode_node_message(&[]), Err(WireError::Truncated));
+        assert_eq!(decode_node_message(&[0x00, 0x00]), Err(WireError::BadMagic(0)));
+        assert_eq!(
+            decode_node_message(&[MAGIC, 9]),
+            Err(WireError::BadTag("node message", 9))
+        );
+        // Truncated vector payload.
+        let good = encode_node_message(&NodeMessage::LocalVector {
+            node: 0,
+            vector: vec![1.0, 2.0],
+        });
+        assert_eq!(
+            decode_node_message(&good[..good.len() - 3]),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(WireError::Truncated.to_string(), "truncated frame");
+        assert!(WireError::BadMagic(7).to_string().contains("0x7"));
+    }
+}
+
+#[cfg(test)]
+mod cached_constraint_tests {
+    use super::*;
+
+    #[test]
+    fn cached_constraints_round_trip_and_shrink_payload() {
+        let d = 40;
+        let zone = SafeZone {
+            x0: vec![0.1; d],
+            f0: 1.0,
+            grad0: vec![0.2; d],
+            l: 0.9,
+            u: 1.1,
+            dc: DcKind::ConvexDiff,
+            curvature: Curvature::Quadratic(Matrix::identity(d)),
+            neighborhood: None,
+        };
+        let full = CoordinatorMessage::NewConstraints {
+            zone: zone.clone(),
+            slack: vec![0.0; d],
+        };
+        let cached = CoordinatorMessage::NewConstraintsCached {
+            update: ZoneUpdate {
+                x0: zone.x0.clone(),
+                f0: zone.f0,
+                grad0: zone.grad0.clone(),
+                l: zone.l,
+                u: zone.u,
+                dc: zone.dc,
+                neighborhood: zone.neighborhood.clone(),
+            },
+            slack: vec![0.0; d],
+        };
+        let full_frame = encode_coordinator_message(&full);
+        let cached_frame = encode_coordinator_message(&cached);
+        assert_eq!(
+            decode_coordinator_message(&cached_frame).unwrap(),
+            cached
+        );
+        // The d×d matrix (40·40·8 = 12.8 KB) stays off the wire.
+        assert!(
+            cached_frame.len() + d * d * 8 <= full_frame.len() + 16,
+            "cached {} vs full {}",
+            cached_frame.len(),
+            full_frame.len()
+        );
+    }
+}

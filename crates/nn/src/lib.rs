@@ -1,0 +1,23 @@
+//! Neural-network training substrate for AutoMon's evaluation workloads.
+//!
+//! Two monitored functions in the paper's evaluation (§4.2) are trained
+//! neural networks:
+//!
+//! * **MLP-d** — a 3-hidden-layer tanh network trained to approximate
+//!   `x₁·exp(-Σxᵢ²/(d-1))`;
+//! * **DNN intrusion detection** — a 5-hidden-layer ReLU network with a
+//!   sigmoid output, trained on connection records.
+//!
+//! The paper trains these with standard Python tooling; this crate is the
+//! minimal from-scratch Rust equivalent: dense layers, tanh/ReLU/sigmoid
+//! activations, MSE and binary-cross-entropy losses, and SGD-with-momentum
+//! and Adam optimizers, all fully deterministic under a seed. Trained
+//! weights are plain `f64` tensors (serializable), which the
+//! `automon-functions` crate then evaluates *generically over the AD
+//! scalar* so AutoMon can differentiate through the network.
+
+mod mlp;
+mod train;
+
+pub use mlp::{Activation, Layer, Mlp};
+pub use train::{train, Loss, Optimizer, TrainOptions, TrainReport};

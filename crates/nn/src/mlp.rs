@@ -1,0 +1,334 @@
+//! Dense multi-layer perceptron with forward pass and backprop.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Element-wise activation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// `x ↦ x`.
+    Identity,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit `max(x, 0)`.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Apply the activation.
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => x,
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Derivative, expressed in terms of the *activated* output `y`.
+    pub fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+        }
+    }
+}
+
+/// One dense layer: `y = act(W·x + b)` with `W` stored row-major
+/// (`out_dim × in_dim`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Layer {
+    /// Row-major weights, `out_dim × in_dim`.
+    pub w: Vec<f64>,
+    /// Biases, length `out_dim`.
+    pub b: Vec<f64>,
+    /// Input width.
+    pub in_dim: usize,
+    /// Output width.
+    pub out_dim: usize,
+    /// Activation applied element-wise to the affine output.
+    pub act: Activation,
+}
+
+impl Layer {
+    /// Xavier/Glorot-initialized layer.
+    pub fn xavier(in_dim: usize, out_dim: usize, act: Activation, rng: &mut SmallRng) -> Self {
+        let limit = (6.0 / (in_dim + out_dim) as f64).sqrt();
+        let w = (0..in_dim * out_dim)
+            .map(|_| rng.gen_range(-limit..=limit))
+            .collect();
+        Self {
+            w,
+            b: vec![0.0; out_dim],
+            in_dim,
+            out_dim,
+            act,
+        }
+    }
+
+    /// Pre-activation affine output `W·x + b`.
+    pub fn affine(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim, "Layer::affine: input width mismatch");
+        let mut z = self.b.clone();
+        for (zo, row) in z.iter_mut().zip(self.w.chunks_exact(self.in_dim)) {
+            *zo += row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>();
+        }
+        z
+    }
+
+    /// Activated output `act(W·x + b)`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        self.affine(x).into_iter().map(|z| self.act.apply(z)).collect()
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+/// A dense feed-forward network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    /// Layers, input first.
+    pub layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Build a network with the given layer widths and activations.
+    ///
+    /// `sizes` has `L+1` entries (input width first); `acts` has `L`.
+    ///
+    /// # Panics
+    /// Panics if the lengths disagree or fewer than one layer is requested.
+    pub fn new(sizes: &[usize], acts: &[Activation], seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "Mlp::new: need at least one layer");
+        assert_eq!(sizes.len() - 1, acts.len(), "Mlp::new: sizes/acts mismatch");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let layers = sizes
+            .windows(2)
+            .zip(acts)
+            .map(|(w, &act)| Layer::xavier(w[0], w[1], act, &mut rng))
+            .collect();
+        Self { layers }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("non-empty network").in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty network").out_dim
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut h = x.to_vec();
+        for layer in &self.layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// Forward pass keeping every layer's activated output (for backprop).
+    /// `result[0]` is the input; `result[L]` the network output.
+    pub fn forward_trace(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        let mut trace = Vec::with_capacity(self.layers.len() + 1);
+        trace.push(x.to_vec());
+        for layer in &self.layers {
+            let next = layer.forward(trace.last().expect("non-empty trace"));
+            trace.push(next);
+        }
+        trace
+    }
+
+    /// Backpropagate an output-gradient through the network.
+    ///
+    /// `grad_out` is `∂loss/∂output` (length `out_dim`); `trace` comes from
+    /// [`Mlp::forward_trace`]. Returns per-layer `(∂loss/∂W, ∂loss/∂b)` in
+    /// layer order.
+    pub fn backprop(&self, trace: &[Vec<f64>], grad_out: &[f64]) -> Vec<(Vec<f64>, Vec<f64>)> {
+        assert_eq!(trace.len(), self.layers.len() + 1, "backprop: bad trace");
+        let mut grads = vec![(Vec::new(), Vec::new()); self.layers.len()];
+        // delta = ∂loss/∂(activated output of current layer)
+        let mut delta = grad_out.to_vec();
+        for (l, layer) in self.layers.iter().enumerate().rev() {
+            let out = &trace[l + 1];
+            let inp = &trace[l];
+            // ∂loss/∂z = delta ⊙ act'(z), using the activated-output form.
+            let dz: Vec<f64> = delta
+                .iter()
+                .zip(out)
+                .map(|(&d, &y)| d * layer.act.derivative_from_output(y))
+                .collect();
+            let mut dw = vec![0.0; layer.w.len()];
+            for (o, dzo) in dz.iter().enumerate() {
+                for (i, inpi) in inp.iter().enumerate() {
+                    dw[o * layer.in_dim + i] = dzo * inpi;
+                }
+            }
+            let db = dz.clone();
+            // Propagate to the previous layer's activated output.
+            let mut prev = vec![0.0; layer.in_dim];
+            for (row, dzo) in layer.w.chunks_exact(layer.in_dim).zip(&dz) {
+                for (p, w) in prev.iter_mut().zip(row) {
+                    *p += w * dzo;
+                }
+            }
+            grads[l] = (dw, db);
+            delta = prev;
+        }
+        grads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activations_and_derivatives() {
+        assert_eq!(Activation::Identity.apply(3.0), 3.0);
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-15);
+        let y = Activation::Tanh.apply(0.3);
+        assert!((Activation::Tanh.derivative_from_output(y) - (1.0 - y * y)).abs() < 1e-15);
+        assert_eq!(Activation::Relu.derivative_from_output(2.0), 1.0);
+        assert_eq!(Activation::Relu.derivative_from_output(0.0), 0.0);
+    }
+
+    #[test]
+    fn forward_of_known_weights() {
+        // Single identity layer y = 2x + 1.
+        let layer = Layer {
+            w: vec![2.0],
+            b: vec![1.0],
+            in_dim: 1,
+            out_dim: 1,
+            act: Activation::Identity,
+        };
+        let net = Mlp { layers: vec![layer] };
+        assert_eq!(net.forward(&[3.0]), vec![7.0]);
+        assert_eq!(net.in_dim(), 1);
+        assert_eq!(net.out_dim(), 1);
+        assert_eq!(net.param_count(), 2);
+    }
+
+    #[test]
+    fn trace_has_all_layers() {
+        let net = Mlp::new(&[2, 3, 1], &[Activation::Tanh, Activation::Identity], 7);
+        let trace = net.forward_trace(&[0.1, -0.2]);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[1].len(), 3);
+        assert_eq!(trace[2], net.forward(&[0.1, -0.2]));
+    }
+
+    #[test]
+    fn backprop_matches_finite_difference() {
+        let mut net = Mlp::new(&[2, 4, 1], &[Activation::Tanh, Activation::Identity], 11);
+        let x = [0.3, -0.8];
+        let target = 0.7;
+        let loss = |net: &Mlp| {
+            let y = net.forward(&x)[0];
+            0.5 * (y - target) * (y - target)
+        };
+        let trace = net.forward_trace(&x);
+        let y = trace.last().unwrap()[0];
+        let grads = net.backprop(&trace, &[y - target]);
+
+        // Check several weights per layer against finite differences.
+        let h = 1e-6;
+        #[allow(clippy::needless_range_loop)] // net is mutably re-borrowed inside
+        for l in 0..net.layers.len() {
+            for k in [0usize, net.layers[l].w.len() / 2] {
+                let orig = net.layers[l].w[k];
+                net.layers[l].w[k] = orig + h;
+                let fp = loss(&net);
+                net.layers[l].w[k] = orig - h;
+                let fm = loss(&net);
+                net.layers[l].w[k] = orig;
+                let fd = (fp - fm) / (2.0 * h);
+                assert!(
+                    (grads[l].0[k] - fd).abs() < 1e-5,
+                    "layer {l} w[{k}]: {} vs {}",
+                    grads[l].0[k],
+                    fd
+                );
+            }
+            // And one bias.
+            let orig = net.layers[l].b[0];
+            net.layers[l].b[0] = orig + h;
+            let fp = loss(&net);
+            net.layers[l].b[0] = orig - h;
+            let fm = loss(&net);
+            net.layers[l].b[0] = orig;
+            let fd = (fp - fm) / (2.0 * h);
+            assert!((grads[l].1[0] - fd).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn seeded_construction_is_deterministic() {
+        let a = Mlp::new(&[3, 5, 1], &[Activation::Relu, Activation::Sigmoid], 42);
+        let b = Mlp::new(&[3, 5, 1], &[Activation::Relu, Activation::Sigmoid], 42);
+        assert_eq!(a.layers[0].w, b.layers[0].w);
+        let c = Mlp::new(&[3, 5, 1], &[Activation::Relu, Activation::Sigmoid], 43);
+        assert_ne!(a.layers[0].w, c.layers[0].w);
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes/acts mismatch")]
+    fn mismatched_spec_panics() {
+        Mlp::new(&[2, 3], &[Activation::Tanh, Activation::Tanh], 0);
+    }
+}
+
+impl Mlp {
+    /// Serialize the trained network to JSON (weights, biases,
+    /// activations) — how evaluation harnesses persist the paper's
+    /// MLP-d / DNN models between runs.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("Mlp serializes")
+    }
+
+    /// Load a network from [`Mlp::to_json`] output.
+    ///
+    /// # Errors
+    /// Returns the underlying parse error message on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip_preserves_behaviour() {
+        let net = Mlp::new(&[3, 4, 1], &[Activation::Tanh, Activation::Sigmoid], 9);
+        let json = net.to_json();
+        let back = Mlp::from_json(&json).unwrap();
+        let x = [0.2, -0.7, 1.1];
+        assert_eq!(net.forward(&x), back.forward(&x));
+        assert!(Mlp::from_json("not json").is_err());
+    }
+}

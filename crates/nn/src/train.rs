@@ -1,0 +1,349 @@
+//! Mini-batch training loop with SGD-momentum and Adam.
+
+use crate::Mlp;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Training loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loss {
+    /// Mean squared error (regression: MLP-d).
+    Mse,
+    /// Binary cross-entropy over a sigmoid output (classification: DNN).
+    Bce,
+}
+
+impl Loss {
+    /// Loss value for one sample.
+    pub fn value(self, pred: &[f64], target: &[f64]) -> f64 {
+        match self {
+            Loss::Mse => {
+                pred.iter()
+                    .zip(target)
+                    .map(|(p, t)| 0.5 * (p - t) * (p - t))
+                    .sum::<f64>()
+                    / pred.len() as f64
+            }
+            Loss::Bce => {
+                let eps = 1e-12;
+                pred.iter()
+                    .zip(target)
+                    .map(|(&p, &t)| {
+                        let p = p.clamp(eps, 1.0 - eps);
+                        -(t * p.ln() + (1.0 - t) * (1.0 - p).ln())
+                    })
+                    .sum::<f64>()
+                    / pred.len() as f64
+            }
+        }
+    }
+
+    /// `∂loss/∂pred` for one sample.
+    pub fn gradient(self, pred: &[f64], target: &[f64]) -> Vec<f64> {
+        let n = pred.len() as f64;
+        match self {
+            Loss::Mse => pred.iter().zip(target).map(|(p, t)| (p - t) / n).collect(),
+            Loss::Bce => {
+                let eps = 1e-12;
+                pred.iter()
+                    .zip(target)
+                    .map(|(&p, &t)| {
+                        let p = p.clamp(eps, 1.0 - eps);
+                        (p - t) / (p * (1.0 - p)) / n
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Parameter-update rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Optimizer {
+    /// SGD with momentum coefficient.
+    Sgd {
+        /// Momentum coefficient in `[0, 1)`.
+        momentum: f64,
+    },
+    /// Adam with the usual `(β₁, β₂, ε)`.
+    Adam {
+        /// First-moment decay.
+        beta1: f64,
+        /// Second-moment decay.
+        beta2: f64,
+        /// Denominator stabilizer.
+        eps: f64,
+    },
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainOptions {
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Update rule.
+    pub optimizer: Optimizer,
+    /// Loss function.
+    pub loss: Loss,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        Self {
+            epochs: 50,
+            lr: 1e-2,
+            batch_size: 32,
+            optimizer: Optimizer::Adam {
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+            },
+            loss: Loss::Mse,
+            seed: 7,
+        }
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean training loss after each epoch.
+    pub epoch_losses: Vec<f64>,
+}
+
+impl TrainReport {
+    /// The final epoch's mean loss.
+    pub fn final_loss(&self) -> f64 {
+        *self.epoch_losses.last().expect("at least one epoch")
+    }
+}
+
+/// Optimizer state: one slot per (layer, tensor).
+struct OptState {
+    m_w: Vec<Vec<f64>>,
+    v_w: Vec<Vec<f64>>,
+    m_b: Vec<Vec<f64>>,
+    v_b: Vec<Vec<f64>>,
+    t: usize,
+}
+
+/// Train `net` on `(inputs, targets)` pairs.
+///
+/// # Panics
+/// Panics if `inputs` and `targets` lengths differ or either is empty.
+pub fn train(
+    net: &mut Mlp,
+    inputs: &[Vec<f64>],
+    targets: &[Vec<f64>],
+    opts: &TrainOptions,
+) -> TrainReport {
+    assert_eq!(inputs.len(), targets.len(), "train: inputs/targets mismatch");
+    assert!(!inputs.is_empty(), "train: empty dataset");
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let mut order: Vec<usize> = (0..inputs.len()).collect();
+    let mut state = OptState {
+        m_w: net.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
+        v_w: net.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
+        m_b: net.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+        v_b: net.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+        t: 0,
+    };
+
+    let mut epoch_losses = Vec::with_capacity(opts.epochs);
+    for _ in 0..opts.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        for batch in order.chunks(opts.batch_size.max(1)) {
+            // Accumulate batch gradients.
+            let mut acc: Vec<(Vec<f64>, Vec<f64>)> = net
+                .layers
+                .iter()
+                .map(|l| (vec![0.0; l.w.len()], vec![0.0; l.b.len()]))
+                .collect();
+            for &k in batch {
+                let trace = net.forward_trace(&inputs[k]);
+                let pred = trace.last().expect("trace output");
+                epoch_loss += opts.loss.value(pred, &targets[k]);
+                let gout = opts.loss.gradient(pred, &targets[k]);
+                let grads = net.backprop(&trace, &gout);
+                for (a, g) in acc.iter_mut().zip(&grads) {
+                    for (ai, gi) in a.0.iter_mut().zip(&g.0) {
+                        *ai += gi;
+                    }
+                    for (ai, gi) in a.1.iter_mut().zip(&g.1) {
+                        *ai += gi;
+                    }
+                }
+            }
+            let inv = 1.0 / batch.len() as f64;
+            state.t += 1;
+            for (l, (dw, db)) in acc.into_iter().enumerate() {
+                apply_update(
+                    &mut net.layers[l].w,
+                    &dw,
+                    inv,
+                    opts,
+                    &mut state.m_w[l],
+                    &mut state.v_w[l],
+                    state.t,
+                );
+                apply_update(
+                    &mut net.layers[l].b,
+                    &db,
+                    inv,
+                    opts,
+                    &mut state.m_b[l],
+                    &mut state.v_b[l],
+                    state.t,
+                );
+            }
+        }
+        epoch_losses.push(epoch_loss / inputs.len() as f64);
+    }
+    TrainReport { epoch_losses }
+}
+
+fn apply_update(
+    params: &mut [f64],
+    grad_sum: &[f64],
+    inv_batch: f64,
+    opts: &TrainOptions,
+    m: &mut [f64],
+    v: &mut [f64],
+    t: usize,
+) {
+    match opts.optimizer {
+        Optimizer::Sgd { momentum } => {
+            for ((p, &g), mi) in params.iter_mut().zip(grad_sum).zip(m.iter_mut()) {
+                let g = g * inv_batch;
+                *mi = momentum * *mi + g;
+                *p -= opts.lr * *mi;
+            }
+        }
+        Optimizer::Adam { beta1, beta2, eps } => {
+            let bc1 = 1.0 - beta1.powi(t as i32);
+            let bc2 = 1.0 - beta2.powi(t as i32);
+            for (((p, &g), mi), vi) in params
+                .iter_mut()
+                .zip(grad_sum)
+                .zip(m.iter_mut())
+                .zip(v.iter_mut())
+            {
+                let g = g * inv_batch;
+                *mi = beta1 * *mi + (1.0 - beta1) * g;
+                *vi = beta2 * *vi + (1.0 - beta2) * g * g;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *p -= opts.lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Activation;
+
+    #[test]
+    fn learns_linear_function() {
+        // y = 2x - 1 with a single identity neuron.
+        let mut net = Mlp::new(&[1, 1], &[Activation::Identity], 3);
+        let inputs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 25.0 - 1.0]).collect();
+        let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![2.0 * x[0] - 1.0]).collect();
+        let report = train(
+            &mut net,
+            &inputs,
+            &targets,
+            &TrainOptions {
+                epochs: 300,
+                lr: 0.05,
+                ..Default::default()
+            },
+        );
+        assert!(report.final_loss() < 1e-5, "loss {}", report.final_loss());
+        let y = net.forward(&[0.5])[0];
+        assert!((y - 0.0).abs() < 0.05, "y = {y}");
+    }
+
+    #[test]
+    fn loss_decreases_on_nonlinear_target() {
+        let mut net = Mlp::new(&[2, 8, 1], &[Activation::Tanh, Activation::Identity], 5);
+        let inputs: Vec<Vec<f64>> = (0..100)
+            .map(|i| {
+                let t = i as f64 / 50.0 - 1.0;
+                vec![t, t * t]
+            })
+            .collect();
+        let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![(x[0] * 3.0).sin()]).collect();
+        let report = train(
+            &mut net,
+            &inputs,
+            &targets,
+            &TrainOptions {
+                epochs: 100,
+                ..Default::default()
+            },
+        );
+        assert!(report.epoch_losses[0] > report.final_loss());
+        assert!(report.final_loss() < 0.05, "loss {}", report.final_loss());
+    }
+
+    #[test]
+    fn bce_classifier_separates_classes() {
+        // Classify sign of x with a sigmoid neuron.
+        let mut net = Mlp::new(&[1, 1], &[Activation::Sigmoid], 9);
+        let inputs: Vec<Vec<f64>> = (-20..=20).map(|i| vec![i as f64 / 5.0]).collect();
+        let targets: Vec<Vec<f64>> = inputs
+            .iter()
+            .map(|x| vec![if x[0] > 0.0 { 1.0 } else { 0.0 }])
+            .collect();
+        let opts = TrainOptions {
+            epochs: 200,
+            lr: 0.1,
+            loss: Loss::Bce,
+            ..Default::default()
+        };
+        train(&mut net, &inputs, &targets, &opts);
+        assert!(net.forward(&[2.0])[0] > 0.9);
+        assert!(net.forward(&[-2.0])[0] < 0.1);
+    }
+
+    #[test]
+    fn sgd_momentum_also_trains() {
+        let mut net = Mlp::new(&[1, 1], &[Activation::Identity], 3);
+        let inputs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 10.0]).collect();
+        let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![x[0]]).collect();
+        let opts = TrainOptions {
+            epochs: 200,
+            lr: 0.05,
+            optimizer: Optimizer::Sgd { momentum: 0.9 },
+            ..Default::default()
+        };
+        let report = train(&mut net, &inputs, &targets, &opts);
+        assert!(report.final_loss() < 1e-4);
+    }
+
+    #[test]
+    fn loss_functions_sane() {
+        assert_eq!(Loss::Mse.value(&[1.0], &[1.0]), 0.0);
+        assert!(Loss::Mse.value(&[2.0], &[0.0]) > 0.0);
+        assert!(Loss::Bce.value(&[0.99], &[1.0]) < Loss::Bce.value(&[0.5], &[1.0]));
+        let g = Loss::Mse.gradient(&[3.0], &[1.0]);
+        assert_eq!(g, vec![2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let mut net = Mlp::new(&[1, 1], &[Activation::Identity], 0);
+        train(&mut net, &[], &[], &TrainOptions::default());
+    }
+}

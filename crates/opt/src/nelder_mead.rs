@@ -1,0 +1,187 @@
+//! Box-projected Nelder–Mead simplex search.
+
+use crate::{Bounds, OptimizeOptions, OptimizeResult};
+
+/// Minimize `f` over `bounds` with a Nelder–Mead simplex whose candidate
+/// points are projected onto the box.
+///
+/// Used as the derivative-free polishing stage after projected gradient
+/// descent: ADCD-X's objective `λ_min(H(x))` has kinks wherever the two
+/// smallest eigenvalues cross, and simplex search is insensitive to them.
+pub fn nelder_mead(
+    f: &mut impl FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    bounds: &Bounds,
+    opts: &OptimizeOptions,
+) -> OptimizeResult {
+    const ALPHA: f64 = 1.0; // reflection
+    const GAMMA: f64 = 2.0; // expansion
+    const RHO: f64 = 0.5; // contraction
+    const SIGMA: f64 = 0.5; // shrink
+
+    let d = bounds.dim();
+    assert_eq!(x0.len(), d, "nelder_mead: start has wrong dimension");
+    let mut evals = 0usize;
+    let eval = |f: &mut dyn FnMut(&[f64]) -> f64, evals: &mut usize, x: &[f64]| {
+        *evals += 1;
+        f(x)
+    };
+
+    // Initial simplex: start point plus a per-axis offset scaled to the box.
+    let x0 = bounds.project(x0);
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(d + 1);
+    simplex.push(x0.clone());
+    for i in 0..d {
+        let span = (bounds.hi[i] - bounds.lo[i]).max(1e-12);
+        let mut p = x0.clone();
+        let delta = 0.05 * span;
+        p[i] = if p[i] + delta <= bounds.hi[i] {
+            p[i] + delta
+        } else {
+            p[i] - delta
+        };
+        simplex.push(bounds.project(&p));
+    }
+    let mut values: Vec<f64> = simplex
+        .iter()
+        .map(|p| eval(f, &mut evals, p))
+        .collect();
+
+    let mut converged = false;
+    for _ in 0..opts.max_iters {
+        // Order ascending by value.
+        let mut order: Vec<usize> = (0..=d).collect();
+        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaN objective"));
+        let best = order[0];
+        let worst = order[d];
+        let second_worst = order[d.saturating_sub(1)];
+
+        // Convergence: simplex diameter below tolerance.
+        let diameter = simplex
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .zip(&simplex[best])
+                    .fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()))
+            })
+            .fold(0.0, f64::max);
+        if diameter <= opts.tol {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; d];
+        for (k, p) in simplex.iter().enumerate() {
+            if k == worst {
+                continue;
+            }
+            for i in 0..d {
+                centroid[i] += p[i];
+            }
+        }
+        for c in &mut centroid {
+            *c /= d as f64;
+        }
+
+        let blend = |t: f64| -> Vec<f64> {
+            bounds.project(
+                &centroid
+                    .iter()
+                    .zip(&simplex[worst])
+                    .map(|(&c, &w)| c + t * (c - w))
+                    .collect::<Vec<_>>(),
+            )
+        };
+
+        let reflected = blend(ALPHA);
+        let fr = eval(f, &mut evals, &reflected);
+        if fr < values[best] {
+            let expanded = blend(GAMMA);
+            let fe = eval(f, &mut evals, &expanded);
+            if fe < fr {
+                simplex[worst] = expanded;
+                values[worst] = fe;
+            } else {
+                simplex[worst] = reflected;
+                values[worst] = fr;
+            }
+        } else if fr < values[second_worst] {
+            simplex[worst] = reflected;
+            values[worst] = fr;
+        } else {
+            let contracted = blend(-RHO);
+            let fc = eval(f, &mut evals, &contracted);
+            if fc < values[worst] {
+                simplex[worst] = contracted;
+                values[worst] = fc;
+            } else {
+                // Shrink toward the best vertex.
+                let best_point = simplex[best].clone();
+                for k in 0..=d {
+                    if k == best {
+                        continue;
+                    }
+                    let shrunk: Vec<f64> = simplex[k]
+                        .iter()
+                        .zip(&best_point)
+                        .map(|(&p, &b)| b + SIGMA * (p - b))
+                        .collect();
+                    simplex[k] = bounds.project(&shrunk);
+                    values[k] = eval(f, &mut evals, &simplex[k]);
+                }
+            }
+        }
+    }
+
+    let (bi, bv) = values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN objective"))
+        .expect("non-empty simplex");
+    OptimizeResult {
+        x: simplex[bi].clone(),
+        value: *bv,
+        evals,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_rosenbrock_in_box() {
+        let b = Bounds::new(vec![-2.0, -2.0], vec![2.0, 2.0]);
+        let mut f = |x: &[f64]| {
+            (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+        };
+        let opts = OptimizeOptions {
+            max_iters: 2000,
+            tol: 1e-10,
+            ..Default::default()
+        };
+        let r = nelder_mead(&mut f, &[-1.0, 1.0], &b, &opts);
+        assert!((r.x[0] - 1.0).abs() < 1e-3, "{:?}", r);
+        assert!((r.x[1] - 1.0).abs() < 1e-3, "{:?}", r);
+    }
+
+    #[test]
+    fn handles_nonsmooth_objective() {
+        let b = Bounds::new(vec![-1.0, -1.0], vec![1.0, 1.0]);
+        let mut f = |x: &[f64]| x[0].abs() + (x[1] - 0.5).abs();
+        let r = nelder_mead(&mut f, &[0.9, -0.9], &b, &OptimizeOptions::default());
+        assert!(r.x[0].abs() < 1e-3, "{:?}", r);
+        assert!((r.x[1] - 0.5).abs() < 1e-3, "{:?}", r);
+    }
+
+    #[test]
+    fn stays_inside_box() {
+        let b = Bounds::new(vec![0.0], vec![1.0]);
+        let mut f = |x: &[f64]| -x[0]; // pushes toward hi
+        let r = nelder_mead(&mut f, &[0.1], &b, &OptimizeOptions::default());
+        assert!(r.x[0] <= 1.0 + 1e-12);
+        assert!((r.x[0] - 1.0).abs() < 1e-6);
+    }
+}

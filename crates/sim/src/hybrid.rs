@@ -1,0 +1,286 @@
+//! Hybrid monitoring: AutoMon with an automatic Periodic fallback.
+//!
+//! The paper's §6 suggests "switching on the fly to other monitoring
+//! approaches (e.g. Periodic)" when AutoMon's constraints thrash — e.g.
+//! when extreme curvature makes safe zones so small that every round
+//! violates. This runner implements that policy:
+//!
+//! * run AutoMon normally, tracking the violation rate over a sliding
+//!   window of rounds;
+//! * when the rate exceeds `switch_threshold`, drop to Periodic mode for
+//!   `cooldown` rounds (every node ships its vector every `period`
+//!   rounds; the coordinator's estimate is exact-but-stale);
+//! * after the cooldown, re-enter AutoMon with a fresh full sync.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use automon_core::{Coordinator, MonitorConfig, MonitoredFunction, Node, NodeMessage};
+use automon_linalg::vector;
+use automon_net::{wire, CountingFabric};
+
+use crate::stats::RunStats;
+use crate::workload::Workload;
+
+/// Policy knobs for the hybrid runner.
+#[derive(Debug, Clone, Copy)]
+pub struct HybridConfig {
+    /// Violation-per-round rate (over `rate_window` rounds) that triggers
+    /// the fallback.
+    pub switch_threshold: f64,
+    /// Rounds over which the violation rate is measured.
+    pub rate_window: usize,
+    /// Periodic reporting period while in fallback mode.
+    pub period: usize,
+    /// Rounds to stay in fallback before re-trying AutoMon.
+    pub cooldown: usize,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        Self {
+            switch_threshold: 0.8,
+            rate_window: 25,
+            period: 1,
+            cooldown: 50,
+        }
+    }
+}
+
+/// Statistics specific to the hybrid policy.
+#[derive(Debug, Clone, Default)]
+pub struct HybridStats {
+    /// The underlying run statistics.
+    pub run: RunStats,
+    /// Number of AutoMon → Periodic switches.
+    pub fallbacks: usize,
+    /// Rounds spent in Periodic mode.
+    pub periodic_rounds: usize,
+}
+
+/// Run the hybrid policy over a workload.
+pub fn run_hybrid(
+    f: &Arc<dyn MonitoredFunction>,
+    workload: &Workload,
+    cfg: MonitorConfig,
+    hybrid: HybridConfig,
+) -> HybridStats {
+    assert!(hybrid.period > 0, "run_hybrid: period must be positive");
+    let n = workload.nodes();
+    let mut coord = Coordinator::new(f.clone(), n, cfg.clone());
+    let mut nodes: Vec<Node> = (0..n).map(|i| Node::new(i, f.clone())).collect();
+    let mut fabric = CountingFabric::new();
+
+    let mut current: Vec<Option<Vec<f64>>> = vec![None; n];
+    let mut errors = Vec::new();
+    let mut recent_violations: VecDeque<usize> = VecDeque::new();
+    let mut fallbacks = 0usize;
+    let mut periodic_rounds = 0usize;
+    let mut periodic_until: Option<usize> = None;
+    // Extra (periodic-mode) traffic accounted separately from the fabric.
+    let mut extra_msgs = 0usize;
+    let mut extra_bytes = 0usize;
+    let mut periodic_estimate: Option<f64> = None;
+    let mut missed = 0usize;
+
+    for t in 0..workload.rounds() {
+        let mut round_violations = 0usize;
+        let in_fallback = periodic_until.is_some_and(|until| t < until);
+
+        for (node, x) in workload.updates(t) {
+            current[*node] = Some(x.clone());
+            if in_fallback {
+                // Nodes stay silent; the periodic shipper below reports.
+                continue;
+            }
+            if let Some(m) = nodes[*node].update_data(x.clone()) {
+                if matches!(m, NodeMessage::Violation { .. }) {
+                    round_violations += 1;
+                }
+                fabric.route(&mut coord, &mut nodes, m);
+            }
+        }
+
+        if in_fallback {
+            periodic_rounds += 1;
+            if t % hybrid.period == 0 {
+                for (i, cur) in current.iter().enumerate() {
+                    if let Some(x) = cur {
+                        let frame = wire::encode_node_message(&NodeMessage::LocalVector {
+                            node: i,
+                            vector: x.clone(),
+                        });
+                        extra_msgs += 1;
+                        extra_bytes += frame.len();
+                    }
+                }
+                if current.iter().all(Option::is_some) {
+                    let xs: Vec<Vec<f64>> =
+                        current.iter().map(|x| x.clone().expect("present")).collect();
+                    periodic_estimate = Some(f.eval(&vector::mean(&xs).expect("n > 0")));
+                }
+            }
+            if periodic_until == Some(t + 1) {
+                // Cooldown over: resync AutoMon on fresh vectors by
+                // replaying the current state as data updates.
+                periodic_until = None;
+                for i in 0..n {
+                    if let Some(x) = current[i].clone() {
+                        if let Some(m) = nodes[i].update_data(x) {
+                            fabric.route(&mut coord, &mut nodes, m);
+                        }
+                    }
+                }
+            }
+        } else {
+            // Violation-rate bookkeeping and switch decision.
+            recent_violations.push_back(round_violations);
+            if recent_violations.len() > hybrid.rate_window {
+                recent_violations.pop_front();
+            }
+            if recent_violations.len() == hybrid.rate_window {
+                let rate = recent_violations.iter().sum::<usize>() as f64
+                    / hybrid.rate_window as f64;
+                if rate > hybrid.switch_threshold {
+                    periodic_until = Some(t + 1 + hybrid.cooldown);
+                    fallbacks += 1;
+                    recent_violations.clear();
+                }
+            }
+        }
+
+        // Error measurement against the active estimate.
+        let estimate = if in_fallback {
+            periodic_estimate
+        } else {
+            coord.current_value()
+        };
+        if let (true, Some(est)) = (current.iter().all(Option::is_some), estimate) {
+            let xs: Vec<Vec<f64>> =
+                current.iter().map(|x| x.clone().expect("present")).collect();
+            let truth = f.eval(&vector::mean(&xs).expect("n > 0"));
+            errors.push((est - truth).abs());
+            if !in_fallback {
+                if let Some(zone) = coord.zone() {
+                    if !zone.admissible(truth) {
+                        missed += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let st = coord.stats();
+    let traffic = fabric.stats();
+    let mut run = RunStats {
+        messages: traffic.total_msgs() + extra_msgs,
+        payload_bytes: traffic.total_payload() + extra_bytes,
+        missed_violation_rounds: missed,
+        neighborhood_violations: st.neighborhood_violations,
+        safezone_violations: st.safezone_violations,
+        faulty_reports: st.faulty_reports,
+        full_syncs: st.full_syncs,
+        lazy_syncs: st.lazy_syncs,
+        trace: None,
+        ..RunStats::default()
+    };
+    run.set_errors(errors);
+    HybridStats {
+        run,
+        fallbacks,
+        periodic_rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automon_autodiff::{AutoDiffFn, Scalar, ScalarFn};
+
+    struct Mean1;
+    impl ScalarFn for Mean1 {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn call<S: Scalar>(&self, x: &[S]) -> S {
+            x[0]
+        }
+    }
+
+    fn f() -> Arc<dyn MonitoredFunction> {
+        Arc::new(AutoDiffFn::new(Mean1))
+    }
+
+    #[test]
+    fn quiet_data_never_falls_back() {
+        let series: Vec<Vec<Vec<f64>>> = (0..3).map(|_| vec![vec![1.0]; 100]).collect();
+        let w = Workload::from_dense(&series);
+        let stats = run_hybrid(
+            &f(),
+            &w,
+            MonitorConfig::builder(0.5).build(),
+            HybridConfig::default(),
+        );
+        assert_eq!(stats.fallbacks, 0);
+        assert_eq!(stats.periodic_rounds, 0);
+        assert_eq!(stats.run.max_error, 0.0);
+    }
+
+    #[test]
+    fn thrashing_data_triggers_fallback() {
+        // ε tiny + rapidly moving aggregate → violation every round.
+        let series: Vec<Vec<Vec<f64>>> = (0..3)
+            .map(|i| {
+                (0..200)
+                    .map(|t| vec![t as f64 * 0.5 + i as f64])
+                    .collect()
+            })
+            .collect();
+        let w = Workload::from_dense(&series);
+        let hybrid = HybridConfig {
+            switch_threshold: 0.5,
+            rate_window: 10,
+            period: 1,
+            cooldown: 40,
+        };
+        let stats = run_hybrid(&f(), &w, MonitorConfig::builder(1e-3).build(), hybrid);
+        assert!(stats.fallbacks >= 1, "{stats:?}");
+        assert!(stats.periodic_rounds > 0);
+        // With period 1 the fallback estimate is exact, so error stays
+        // bounded even while thrashing.
+        assert!(stats.run.max_error <= 2.0, "{stats:?}");
+    }
+
+    #[test]
+    fn fallback_resumes_automon_after_cooldown() {
+        // Thrash for the first half, then go quiet.
+        let series: Vec<Vec<Vec<f64>>> = (0..2)
+            .map(|i| {
+                (0..300)
+                    .map(|t| {
+                        if t < 100 {
+                            vec![t as f64 * 1.0 + i as f64]
+                        } else {
+                            vec![100.0 + i as f64]
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let w = Workload::from_dense(&series);
+        let hybrid = HybridConfig {
+            switch_threshold: 0.5,
+            rate_window: 10,
+            period: 1,
+            cooldown: 30,
+        };
+        let stats = run_hybrid(&f(), &w, MonitorConfig::builder(0.01).build(), hybrid);
+        assert!(stats.fallbacks >= 1);
+        // After the quiet stretch begins, AutoMon resumes: periodic
+        // rounds must be far fewer than the total.
+        assert!(
+            stats.periodic_rounds < 200,
+            "stuck in fallback: {stats:?}"
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Discrete-event simulation of AutoMon and its baselines (paper §4.1).
+//!
+//! The paper evaluates with "discrete event simulation \[of\] the
+//! distributed network on a single machine": in each round nodes read
+//! data updates, update local vectors, and run the node algorithm; the
+//! coordinator resolves violations synchronously. This crate reproduces
+//! that harness:
+//!
+//! * [`Workload`] — per-round local-vector updates, either dense (every
+//!   node updates every round, the synthetic datasets) or event-driven
+//!   (one node per round, the DNN intrusion stream).
+//! * [`Simulation`] — runs AutoMon (or any `MonitorConfig` ablation)
+//!   over a workload through the byte-accounting fabric, recording
+//!   communication, approximation error, violation counts, and optional
+//!   per-round traces.
+//! * [`baselines`] — Centralization, Periodic(P), and the hand-crafted
+//!   Convex Bound (CB) arm for inner-product monitoring.
+//! * [`RunStats`] — max/p99/mean error, message and payload totals, and
+//!   trace points for the time-series figures.
+
+pub mod baselines;
+pub mod hybrid;
+mod runner;
+mod stats;
+mod workload;
+
+pub use baselines::{run_centralization, run_convex_bound, run_periodic, Baseline};
+pub use hybrid::{run_hybrid, HybridConfig, HybridStats};
+pub use runner::Simulation;
+pub use stats::{RunStats, TracePoint};
+pub use workload::Workload;

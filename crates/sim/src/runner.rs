@@ -1,0 +1,263 @@
+//! The AutoMon simulation runner.
+
+use std::sync::Arc;
+
+use automon_core::{Coordinator, MonitorConfig, MonitoredFunction, Node};
+use automon_linalg::vector;
+use automon_net::CountingFabric;
+
+use crate::stats::{RunStats, TracePoint};
+use crate::workload::Workload;
+
+/// A configured AutoMon simulation (paper §4.1's harness).
+///
+/// Per round: apply the workload's updates to the nodes, route every
+/// resulting message through a byte-accounting fabric until the protocol
+/// quiesces, then measure `|f(x0) - f(x̄)|` against the true aggregate.
+pub struct Simulation {
+    f: Arc<dyn MonitoredFunction>,
+    cfg: MonitorConfig,
+    record_trace: bool,
+    trace_stride: usize,
+}
+
+impl Simulation {
+    /// A simulation of `f` under `cfg`.
+    pub fn new(f: Arc<dyn MonitoredFunction>, cfg: MonitorConfig) -> Self {
+        Self {
+            f,
+            cfg,
+            record_trace: false,
+            trace_stride: 1,
+        }
+    }
+
+    /// Record a per-round [`TracePoint`] every `stride` rounds.
+    pub fn with_trace(mut self, stride: usize) -> Self {
+        self.record_trace = true;
+        self.trace_stride = stride.max(1);
+        self
+    }
+
+    /// Tune the neighborhood size on a prefix of the workload
+    /// (paper Algorithm 2) and return the recommendation.
+    pub fn tune_r(&self, tuning_prefix: &Workload) -> f64 {
+        let series = tuning_prefix.to_node_series();
+        automon_core::tuning::tune_neighborhood_size(&self.f, &series, &self.cfg).r
+    }
+
+    /// Run the workload to completion.
+    pub fn run(&self, workload: &Workload) -> RunStats {
+        self.run_with_r(workload, None)
+    }
+
+    /// Run with an explicit neighborhood radius (e.g. from [`Self::tune_r`]).
+    pub fn run_with_r(&self, workload: &Workload, r: Option<f64>) -> RunStats {
+        let n = workload.nodes();
+        let mut coord = Coordinator::new(self.f.clone(), n, self.cfg.clone());
+        if let Some(r) = r {
+            coord.set_neighborhood_r(r);
+        }
+        let mut nodes: Vec<Node> = (0..n).map(|i| Node::new(i, self.f.clone())).collect();
+        let mut fabric = CountingFabric::new();
+
+        let mut current: Vec<Option<Vec<f64>>> = vec![None; n];
+        let mut errors = Vec::with_capacity(workload.rounds());
+        let mut missed = 0usize;
+        let mut trace = Vec::new();
+
+        for t in 0..workload.rounds() {
+            for (node, x) in workload.updates(t) {
+                current[*node] = Some(x.clone());
+                if let Some(m) = nodes[*node].update_data(x.clone()) {
+                    fabric.route(&mut coord, &mut nodes, m);
+                }
+            }
+
+            // Measure once initialized and every node has data.
+            let all_present = current.iter().all(Option::is_some);
+            let estimate = coord.current_value();
+            if let (true, Some(est)) = (all_present, estimate) {
+                let xs: Vec<Vec<f64>> = current.iter().map(|x| x.clone().expect("present")).collect();
+                let truth = self.f.eval(&vector::mean(&xs).expect("n > 0"));
+                errors.push((est - truth).abs());
+                let zone = coord.zone().expect("initialized");
+                if !zone.admissible(truth) {
+                    missed += 1;
+                }
+                if self.record_trace && t % self.trace_stride == 0 {
+                    trace.push(TracePoint {
+                        round: t,
+                        truth,
+                        estimate: est,
+                        lower: zone.l,
+                        upper: zone.u,
+                        cumulative_messages: fabric.stats().total_msgs(),
+                    });
+                }
+            }
+        }
+
+        let st = coord.stats();
+        let traffic = fabric.stats();
+        let mut out = RunStats {
+            messages: traffic.total_msgs(),
+            payload_bytes: traffic.total_payload(),
+            missed_violation_rounds: missed,
+            neighborhood_violations: st.neighborhood_violations,
+            safezone_violations: st.safezone_violations,
+            faulty_reports: st.faulty_reports,
+            full_syncs: st.full_syncs,
+            lazy_syncs: st.lazy_syncs,
+            trace: if self.record_trace { Some(trace) } else { None },
+            ..RunStats::default()
+        };
+        out.set_errors(errors);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automon_autodiff::{AutoDiffFn, Scalar, ScalarFn};
+    use automon_functions::InnerProduct;
+
+    struct Mean1;
+    impl ScalarFn for Mean1 {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn call<S: Scalar>(&self, x: &[S]) -> S {
+            x[0]
+        }
+    }
+
+    #[test]
+    fn error_stays_within_epsilon_for_linear_function() {
+        // Linear f: ADCD-E with exact decomposition — the §3.7 guarantee
+        // applies, so the measured error must stay ≤ ε.
+        let eps = 0.3;
+        let series: Vec<Vec<Vec<f64>>> = (0..3)
+            .map(|i| {
+                (0..200)
+                    .map(|t| vec![(t as f64 * 0.01) + i as f64 * 0.05])
+                    .collect()
+            })
+            .collect();
+        let w = Workload::from_dense(&series);
+        let sim = Simulation::new(
+            Arc::new(AutoDiffFn::new(Mean1)),
+            MonitorConfig::builder(eps).build(),
+        );
+        let stats = sim.run(&w);
+        assert!(stats.max_error <= eps + 1e-9, "{stats:?}");
+        assert_eq!(stats.missed_violation_rounds, 0);
+        assert!(stats.messages > 0);
+        assert!(stats.full_syncs >= 1);
+    }
+
+    #[test]
+    fn quiet_data_costs_only_initialization() {
+        let series: Vec<Vec<Vec<f64>>> =
+            (0..4).map(|_| vec![vec![1.0, 2.0, 3.0, 4.0]; 100]).collect();
+        let w = Workload::from_dense(&series);
+        let sim = Simulation::new(
+            Arc::new(AutoDiffFn::new(InnerProduct::new(4))),
+            MonitorConfig::builder(0.1).build(),
+        );
+        let stats = sim.run(&w);
+        // 4 registrations + 4 NewConstraints, nothing else.
+        assert_eq!(stats.messages, 8, "{stats:?}");
+        assert_eq!(stats.full_syncs, 1);
+        assert_eq!(stats.max_error, 0.0);
+    }
+
+    #[test]
+    fn trace_is_recorded_with_stride() {
+        let series: Vec<Vec<Vec<f64>>> = (0..2).map(|_| vec![vec![0.5]; 50]).collect();
+        let w = Workload::from_dense(&series);
+        let sim = Simulation::new(
+            Arc::new(AutoDiffFn::new(Mean1)),
+            MonitorConfig::builder(0.1).build(),
+        )
+        .with_trace(10);
+        let stats = sim.run(&w);
+        let trace = stats.trace.expect("trace enabled");
+        assert_eq!(trace.len(), 5);
+        assert_eq!(trace[0].round, 0);
+        assert_eq!(trace[1].round, 10);
+        assert!(trace.iter().all(|p| (p.truth - 0.5).abs() < 1e-12));
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use automon_autodiff::{AutoDiffFn, Scalar, ScalarFn};
+
+    struct Mean1;
+    impl ScalarFn for Mean1 {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn call<S: Scalar>(&self, x: &[S]) -> S {
+            x[0]
+        }
+    }
+
+    #[test]
+    fn trace_bounds_bracket_the_estimate() {
+        let eps = 0.25;
+        let series: Vec<Vec<Vec<f64>>> = (0..2)
+            .map(|i| (0..80).map(|t| vec![t as f64 * 0.02 + i as f64 * 0.01]).collect())
+            .collect();
+        let w = Workload::from_dense(&series);
+        let sim = Simulation::new(
+            Arc::new(AutoDiffFn::new(Mean1)),
+            MonitorConfig::builder(eps).build(),
+        )
+        .with_trace(1);
+        let stats = sim.run(&w);
+        for p in stats.trace.as_deref().unwrap() {
+            assert!(p.lower <= p.estimate && p.estimate <= p.upper, "{p:?}");
+            assert!((p.upper - p.lower - 2.0 * eps).abs() < 1e-12);
+        }
+        // Cumulative message counts are non-decreasing.
+        let msgs: Vec<usize> = stats
+            .trace
+            .as_deref()
+            .unwrap()
+            .iter()
+            .map(|p| p.cumulative_messages)
+            .collect();
+        assert!(msgs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn run_with_fixed_r_matches_explicit_coordinator_r() {
+        // run_with_r(Some(r)) and a Fixed(r) config agree exactly.
+        let series: Vec<Vec<Vec<f64>>> = (0..2)
+            .map(|i| (0..60).map(|t| vec![(t as f64 * 0.05).sin() + i as f64 * 0.01]).collect())
+            .collect();
+        let w = Workload::from_dense(&series);
+        struct Cube;
+        impl ScalarFn for Cube {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn call<S: Scalar>(&self, x: &[S]) -> S {
+                x[0] * x[0] * x[0]
+            }
+        }
+        let f: Arc<dyn MonitoredFunction> = Arc::new(AutoDiffFn::new(Cube));
+        let a = Simulation::new(f.clone(), MonitorConfig::builder(0.2).build())
+            .run_with_r(&w, Some(0.3));
+        let cfg = MonitorConfig::builder(0.2)
+            .neighborhood(automon_core::NeighborhoodMode::Fixed(0.3))
+            .build();
+        let b = Simulation::new(f, cfg).run(&w);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.max_error, b.max_error);
+    }
+}

@@ -1,0 +1,101 @@
+//! Run statistics and traces.
+
+use serde::Serialize;
+
+/// One per-round trace sample for the time-series figures (4 and 9).
+#[derive(Debug, Clone, Serialize)]
+pub struct TracePoint {
+    /// Simulation round.
+    pub round: usize,
+    /// The true `f(x̄)` over current local vectors.
+    pub truth: f64,
+    /// The coordinator-side approximation `f(x0)`.
+    pub estimate: f64,
+    /// Lower threshold `L` in force.
+    pub lower: f64,
+    /// Upper threshold `U` in force.
+    pub upper: f64,
+    /// Cumulative protocol messages so far.
+    pub cumulative_messages: usize,
+}
+
+/// Aggregated results of one monitoring run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RunStats {
+    /// Total protocol messages (both directions).
+    pub messages: usize,
+    /// Total payload bytes (both directions, real encoded sizes).
+    pub payload_bytes: usize,
+    /// Maximum `|estimate - truth|` over measured rounds.
+    pub max_error: f64,
+    /// Mean absolute error over measured rounds.
+    pub mean_error: f64,
+    /// 99th-percentile absolute error.
+    pub p99_error: f64,
+    /// Rounds where error was measured.
+    pub measured_rounds: usize,
+    /// Rounds where the true value escaped `[L, U]` while every local
+    /// constraint held — the *missed violations* of paper §2/§4.6.
+    pub missed_violation_rounds: usize,
+    /// Neighborhood violations reported to the coordinator.
+    pub neighborhood_violations: usize,
+    /// Safe-zone violations reported to the coordinator.
+    pub safezone_violations: usize,
+    /// Faulty-constraint reports (§3.7 sanity check).
+    pub faulty_reports: usize,
+    /// Full syncs (including the initial one).
+    pub full_syncs: usize,
+    /// Lazy syncs resolved without a full sync.
+    pub lazy_syncs: usize,
+    /// Optional per-round trace (enabled via the runner).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub trace: Option<Vec<TracePoint>>,
+}
+
+impl RunStats {
+    /// Finalize error aggregates from raw per-round errors.
+    pub(crate) fn set_errors(&mut self, mut errors: Vec<f64>) {
+        self.measured_rounds = errors.len();
+        if errors.is_empty() {
+            return;
+        }
+        self.max_error = errors.iter().fold(0.0f64, |m, e| m.max(*e));
+        self.mean_error = errors.iter().sum::<f64>() / errors.len() as f64;
+        errors.sort_by(|a, b| a.partial_cmp(b).expect("no NaN errors"));
+        let idx = ((errors.len() as f64) * 0.99).ceil() as usize;
+        self.p99_error = errors[idx.saturating_sub(1).min(errors.len() - 1)];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_aggregates() {
+        let mut s = RunStats::default();
+        let mut errors: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        errors.reverse();
+        s.set_errors(errors);
+        assert_eq!(s.measured_rounds, 100);
+        assert_eq!(s.max_error, 100.0);
+        assert_eq!(s.mean_error, 50.5);
+        assert_eq!(s.p99_error, 99.0);
+    }
+
+    #[test]
+    fn empty_errors_leave_zeroes() {
+        let mut s = RunStats::default();
+        s.set_errors(Vec::new());
+        assert_eq!(s.max_error, 0.0);
+        assert_eq!(s.measured_rounds, 0);
+    }
+
+    #[test]
+    fn single_error() {
+        let mut s = RunStats::default();
+        s.set_errors(vec![0.25]);
+        assert_eq!(s.max_error, 0.25);
+        assert_eq!(s.p99_error, 0.25);
+    }
+}

@@ -1,0 +1,142 @@
+//! DNN intrusion detection over distributed routers (paper §1 and §4.2).
+//!
+//! This is the paper's headline scenario: a deep neural network scores
+//! the *average* of router feature vectors for attack likelihood, and no
+//! hand-crafted distributed monitoring solution exists for a DNN.
+//!
+//! The pipeline below mirrors the evaluation end to end:
+//! 1. generate a simulated connection-record stream (KDD substitute —
+//!    see DESIGN.md §4) split over 9 nodes by application type;
+//! 2. train the monitored DNN (5 ReLU hidden layers + sigmoid output)
+//!    with the `automon-nn` substrate;
+//! 3. monitor the network's output with AutoMon, one node update per
+//!    round, and compare against centralization.
+//!
+//! Run with: `cargo run --release --example intrusion_detection`
+
+use automon::data::intrusion::{IntrusionDataset, IntrusionParams, FEATURES, NODES};
+use automon::data::SlidingWindow;
+use automon::functions::{IntrusionDnnSpec, MlpFunction};
+use automon::nn::{train, Loss, TrainOptions};
+use automon::prelude::*;
+use automon::sim::{run_centralization, Workload};
+use std::sync::Arc;
+
+fn main() {
+    let params = IntrusionParams {
+        records: 3000,
+        attack_fraction: 0.2,
+        seed: 99,
+    };
+
+    // 1. Simulated connection records, one node update per record.
+    println!("generating simulated intrusion stream ({} records)…", params.records);
+    let dataset = IntrusionDataset::generate(&params);
+
+    // 2. Train the detector (scaled-down architecture for example speed;
+    //    swap in `IntrusionDnnSpec::paper()` for the 512-wide original).
+    println!("training the DNN detector…");
+    let (xs, ys) = IntrusionDataset::training_set(&params, 2000);
+    let mut net = IntrusionDnnSpec::scaled().build(7);
+    let report = train(
+        &mut net,
+        &xs,
+        &ys,
+        &TrainOptions {
+            epochs: 8,
+            lr: 1e-3,
+            batch_size: 32,
+            loss: Loss::Bce,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    println!("  final training loss: {:.4}", report.final_loss());
+
+    // Simple holdout accuracy so the detector is demonstrably real.
+    let (txs, tys) = IntrusionDataset::training_set(
+        &IntrusionParams {
+            seed: params.seed ^ 0xFF,
+            ..params.clone()
+        },
+        1000,
+    );
+    let correct = txs
+        .iter()
+        .zip(&tys)
+        .filter(|(x, y)| (net.forward(x)[0] > 0.5) == (y[0] > 0.5))
+        .count();
+    println!("  holdout accuracy   : {:.3}", correct as f64 / txs.len() as f64);
+
+    // 3. Monitor the trained network over the distributed stream.
+    //    Each node's local vector is the mean of its last 20 records.
+    let window = 20;
+    let mut windows: Vec<SlidingWindow> =
+        (0..NODES).map(|_| SlidingWindow::new(window, FEATURES)).collect();
+    let mut events = Vec::new();
+    for (node, rec) in &dataset.events {
+        windows[*node].push(rec.features.clone());
+        if windows[*node].is_full() {
+            events.push((*node, windows[*node].mean().expect("full window")));
+        }
+    }
+    println!("monitoring {} node updates…", events.len());
+    let workload = Workload::from_events(NODES, &events);
+
+    let f: Arc<dyn MonitoredFunction> = Arc::new(AutoDiffFn::new(MlpFunction::new(net)));
+    let epsilon = 0.02;
+    // A light eigenvalue-search budget: at DNN scale the λ search
+    // dominates full-sync cost, and the §3.7 sanity check compensates
+    // for any under-estimation.
+    let cfg = MonitorConfig::builder(epsilon)
+        .eigen_search(automon::core::EigenSearch {
+            probes: 4,
+            nm_iters: 12,
+            seed: 1,
+            ..Default::default()
+        })
+        .build();
+    let sim = Simulation::new(f.clone(), cfg);
+    // Tune the neighborhood size on a prefix, like the paper does for
+    // real datasets (~1.5% of the stream).
+    let r = sim.tune_r(&workload.prefix(workload.rounds() / 20));
+    println!("  tuned neighborhood size r̂ = {r:.3}");
+    let stats = sim.run_with_r(&workload, Some(r));
+    let central = run_centralization(&f, &workload);
+    let periodic1 = automon::sim::run_periodic(&f, &workload, 1);
+    let periodic20 = automon::sim::run_periodic(&f, &workload, 20);
+
+    // The paper's DNN comparison (§4.3): in this event-driven workload
+    // only ONE node updates per round, so Centralization is the cheap
+    // anchor; the meaningful adaptive baseline is Periodic, which ships
+    // all n vectors every P rounds regardless of change. AutoMon must
+    // beat Periodic at matched error.
+    println!("results (ε = {epsilon}):");
+    println!(
+        "  AutoMon        : {:>7} msgs, max error {:.4}, p99 {:.4}",
+        stats.messages, stats.max_error, stats.p99_error
+    );
+    println!(
+        "  Periodic(1)    : {:>7} msgs, max error {:.4}",
+        periodic1.messages, periodic1.max_error
+    );
+    println!(
+        "  Periodic(20)   : {:>7} msgs, max error {:.4}",
+        periodic20.messages, periodic20.max_error
+    );
+    println!(
+        "  Centralization : {:>7} msgs, max error {:.4} (one-update-per-round anchor)",
+        central.messages, central.max_error
+    );
+    println!(
+        "  violations (nbhd/sz): {}/{}; full/lazy syncs: {}/{}",
+        stats.neighborhood_violations,
+        stats.safezone_violations,
+        stats.full_syncs,
+        stats.lazy_syncs
+    );
+    assert!(
+        stats.messages < periodic1.messages,
+        "AutoMon should beat Periodic(1) on messages"
+    );
+}

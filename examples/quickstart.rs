@@ -1,0 +1,99 @@
+//! Quickstart: monitor a custom nonlinear function of distributed data.
+//!
+//! Three "sensors" each hold a 2-dimensional local vector that drifts over
+//! time. We monitor `f(x̄) = exp(-‖x̄‖²)` — a nonlinear function with no
+//! hand-crafted distributed solution — to within ε = 0.05, and compare the
+//! messages AutoMon spends against centralizing every update.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use automon::prelude::*;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The monitored function, written once over the generic AD scalar.
+/// This is all AutoMon needs — no gradients, no Hessians, no analysis.
+struct GaussianBump;
+
+impl ScalarFn for GaussianBump {
+    fn dim(&self) -> usize {
+        2
+    }
+    fn call<S: Scalar>(&self, x: &[S]) -> S {
+        (-(x[0] * x[0] + x[1] * x[1])).exp()
+    }
+}
+
+/// Deliver one node report and every cascading reply; count messages.
+fn route(coord: &mut Coordinator, nodes: &mut [Node], first: NodeMessage) -> usize {
+    let mut inbox = VecDeque::from([first]);
+    let mut count = 0;
+    while let Some(m) = inbox.pop_front() {
+        count += 1;
+        for out in coord.handle(m) {
+            count += 1;
+            if let Some(reply) = nodes[out.to].handle(out.msg) {
+                inbox.push_back(reply);
+            }
+        }
+    }
+    count
+}
+
+fn main() {
+    let n = 3;
+    let rounds = 1000;
+    let epsilon = 0.05;
+
+    // Build the monitored function and the protocol actors.
+    let f: Arc<dyn MonitoredFunction> = Arc::new(AutoDiffFn::new(GaussianBump));
+    let cfg = MonitorConfig::builder(epsilon).build();
+    let mut coordinator = Coordinator::new(f.clone(), n, cfg);
+    let mut nodes: Vec<Node> = (0..n).map(|i| Node::new(i, f.clone())).collect();
+
+    // Drive the protocol over a synthetic drift; the application owns the
+    // messaging loop (here: direct function calls).
+    let mut messages = 0usize;
+    let mut max_err = 0.0f64;
+    let mut worst_round = 0usize;
+    for t in 0..rounds {
+        let mut locals = Vec::with_capacity(n);
+        for i in 0..n {
+            // Each node drifts on its own circle — the aggregate drifts too.
+            let phase = t as f64 / 250.0 + i as f64;
+            let x = vec![0.6 * phase.cos(), 0.4 * phase.sin()];
+            locals.push(x.clone());
+            if let Some(report) = nodes[i].update_data(x) {
+                messages += route(&mut coordinator, &mut nodes, report);
+            }
+        }
+
+        // Compare the coordinator's estimate with the exact value.
+        if let Some(estimate) = coordinator.current_value() {
+            let mean: Vec<f64> = (0..2)
+                .map(|j| locals.iter().map(|x| x[j]).sum::<f64>() / n as f64)
+                .collect();
+            let truth = f.eval(&mean);
+            let err = (estimate - truth).abs();
+            if err > max_err {
+                max_err = err;
+                worst_round = t;
+            }
+        }
+    }
+
+    let centralization = n * rounds;
+    println!("monitored f(x̄) = exp(-‖x̄‖²) over {n} nodes for {rounds} rounds");
+    println!("  error bound ε     : {epsilon}");
+    println!("  max observed error: {max_err:.4} (round {worst_round})");
+    println!("  AutoMon messages  : {messages}");
+    println!("  Centralization    : {centralization}");
+    println!(
+        "  savings           : {:.1}x fewer messages",
+        centralization as f64 / messages as f64
+    );
+    assert!(
+        max_err <= epsilon * 2.0,
+        "error escaped the expected envelope"
+    );
+}

@@ -1,0 +1,181 @@
+//! Cross-crate simulation tests: baselines ordering, communication
+//! savings, event-driven workloads, and the CB equivalence (paper §4.3).
+
+use automon::data::intrusion::{IntrusionDataset, IntrusionParams, NODES};
+use automon::data::SlidingWindow;
+use automon::functions::{IntrusionDnnSpec, MlpFunction};
+use automon::prelude::*;
+use automon::sim::{run_centralization, run_convex_bound, run_periodic, Workload};
+use std::sync::Arc;
+
+fn drift_series(nodes: usize, rounds: usize, d: usize) -> Vec<Vec<Vec<f64>>> {
+    (0..nodes)
+        .map(|i| {
+            (0..rounds)
+                .map(|t| {
+                    (0..d)
+                        .map(|j| {
+                            0.5 + 0.3 * ((t as f64 / 80.0) + i as f64 * 0.3 + j as f64).sin()
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn automon_beats_centralization_on_smooth_drift() {
+    let f: Arc<dyn MonitoredFunction> = Arc::new(AutoDiffFn::new(InnerProduct::new(4)));
+    let series = drift_series(5, 400, 4);
+    let w = Workload::from_dense(&series);
+    let stats = Simulation::new(f.clone(), MonitorConfig::builder(0.2).build()).run(&w);
+    let central = run_centralization(&f, &w);
+    assert!(
+        stats.messages < central.messages / 2,
+        "AutoMon {} vs centralization {}",
+        stats.messages,
+        central.messages
+    );
+    assert!(stats.max_error <= 0.2 + 1e-9);
+}
+
+#[test]
+fn periodic_message_count_scales_inversely_with_period() {
+    let f: Arc<dyn MonitoredFunction> = Arc::new(AutoDiffFn::new(InnerProduct::new(4)));
+    let w = Workload::from_dense(&drift_series(3, 200, 4));
+    let m: Vec<usize> = [1usize, 5, 25]
+        .iter()
+        .map(|&p| run_periodic(&f, &w, p).messages)
+        .collect();
+    assert!(m[0] > m[1] && m[1] > m[2], "{m:?}");
+    assert_eq!(m[0], 600);
+    // Error grows with period.
+    let e: Vec<f64> = [1usize, 25]
+        .iter()
+        .map(|&p| run_periodic(&f, &w, p).max_error)
+        .collect();
+    assert!(e[0] <= e[1]);
+}
+
+#[test]
+fn cb_and_automon_coincide_for_inner_product() {
+    // Paper §4.3: AutoMon's ADCD-E decomposition of the inner product is
+    // exactly the hand-crafted Convex Bound; the two runs must match in
+    // both messages and error.
+    let f: Arc<dyn MonitoredFunction> = Arc::new(AutoDiffFn::new(InnerProduct::new(4)));
+    let w = Workload::from_dense(&drift_series(4, 300, 4));
+    let eps = 0.25;
+    let automon = Simulation::new(f.clone(), MonitorConfig::builder(eps).build()).run(&w);
+    let cb = run_convex_bound(&f, &w, eps);
+    assert_eq!(automon.messages, cb.messages);
+    assert_eq!(automon.full_syncs, cb.full_syncs);
+    assert!((automon.max_error - cb.max_error).abs() < 1e-12);
+}
+
+#[test]
+fn event_driven_dnn_workload_runs_end_to_end() {
+    // The full intrusion pipeline at reduced scale: generate records,
+    // train the DNN, monitor one node update per round.
+    let params = IntrusionParams {
+        records: 1200,
+        attack_fraction: 0.2,
+        seed: 3,
+    };
+    let dataset = IntrusionDataset::generate(&params);
+    let (xs, ys) = IntrusionDataset::training_set(&params, 400);
+    let spec = IntrusionDnnSpec {
+        hidden: vec![16, 8, 8, 4, 4],
+        input: 41,
+    };
+    let mut net = spec.build(1);
+    automon::nn::train(
+        &mut net,
+        &xs,
+        &ys,
+        &automon::nn::TrainOptions {
+            epochs: 3,
+            lr: 1e-3,
+            loss: automon::nn::Loss::Bce,
+            ..Default::default()
+        },
+    );
+
+    let mut windows: Vec<SlidingWindow> =
+        (0..NODES).map(|_| SlidingWindow::new(10, 41)).collect();
+    let mut events = Vec::new();
+    for (node, rec) in &dataset.events {
+        windows[*node].push(rec.features.clone());
+        if windows[*node].is_full() {
+            events.push((*node, windows[*node].mean().unwrap()));
+        }
+    }
+    let w = Workload::from_events(NODES, &events);
+    let f: Arc<dyn MonitoredFunction> = Arc::new(AutoDiffFn::new(MlpFunction::new(net)));
+    let eps = 0.05;
+    let stats = Simulation::new(f.clone(), MonitorConfig::builder(eps).build()).run(&w);
+    let central = run_centralization(&f, &w);
+    assert!(stats.messages > 0);
+    assert!(
+        stats.messages < central.messages,
+        "AutoMon {} vs centralization {}",
+        stats.messages,
+        central.messages
+    );
+    // No deterministic guarantee for a ReLU DNN, but the error envelope
+    // must stay reasonable (paper Fig. 6 shows it stays near the bound).
+    assert!(stats.max_error <= 5.0 * eps, "{stats:?}");
+}
+
+#[test]
+fn ablation_no_adcd_suffers_missed_violations() {
+    // The §4.6 ablation: drifting opposed nodes on f = -x₁² + x₂².
+    // Without ADCD the local checks pass while the global value escapes —
+    // missed violations with unbounded error. With ADCD, error ≤ ε.
+    let f: Arc<dyn MonitoredFunction> =
+        Arc::new(AutoDiffFn::new(automon::functions::SaddleQuadratic));
+    let raw = automon::data::synthetic::SaddleDriftDataset::generate(1000, 9);
+    let w = Workload::from_dense(&raw);
+    let eps = 0.05;
+
+    let with_adcd =
+        Simulation::new(f.clone(), MonitorConfig::builder(eps).build()).run(&w);
+    let without_adcd = Simulation::new(
+        f.clone(),
+        MonitorConfig::builder(eps).without_adcd().build(),
+    )
+    .run(&w);
+    let without_slack = Simulation::new(
+        f.clone(),
+        MonitorConfig::builder(eps)
+            .without_adcd()
+            .without_slack()
+            .without_lazy_sync()
+            .build(),
+    )
+    .run(&w);
+
+    // ADCD keeps the deterministic bound.
+    assert!(with_adcd.max_error <= eps + 1e-9, "{with_adcd:?}");
+    assert_eq!(with_adcd.missed_violation_rounds, 0);
+    // Without ADCD the non-convex admissible check misses violations and
+    // the bound is no longer honored (paper §4.6, Fig. 9 top).
+    assert!(
+        without_adcd.missed_violation_rounds > 0,
+        "expected missed violations without ADCD: {without_adcd:?}"
+    );
+    assert!(
+        without_adcd.max_error > eps,
+        "expected the bound to break without ADCD: {without_adcd:?}"
+    );
+    // Removing slack/lazy sync restores low error by brute force — at a
+    // communication cost exceeding centralization (Fig. 9 bottom).
+    let centralization_msgs = 4 * w.rounds();
+    assert!(
+        without_slack.messages > centralization_msgs,
+        "no-slack arm should out-message centralization: {} vs {centralization_msgs}",
+        without_slack.messages
+    );
+    assert!(without_slack.max_error <= eps + 1e-9);
+    assert!(with_adcd.messages < without_slack.messages / 10);
+}

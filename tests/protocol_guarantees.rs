@@ -1,0 +1,171 @@
+//! End-to-end tests of AutoMon's correctness guarantees (paper §3.7).
+//!
+//! For constant-Hessian functions (ADCD-E) and convex functions (ADCD-X
+//! with λ⁻ = 0), the decomposition is a *true* DC decomposition, so the
+//! reported approximation must never exceed ε. These tests drive full
+//! monitoring runs and assert exactly that.
+
+use automon::data::synthetic::QuadraticDataset;
+use automon::data::windowed_mean_series;
+use automon::prelude::*;
+use automon::sim::Workload;
+use std::sync::Arc;
+
+fn run(f: Arc<dyn MonitoredFunction>, series: &[Vec<Vec<f64>>], eps: f64) -> RunStats {
+    let cfg = MonitorConfig::builder(eps).build();
+    Simulation::new(f, cfg).run(&Workload::from_dense(series))
+}
+
+#[test]
+fn inner_product_never_exceeds_epsilon() {
+    // Constant Hessian ⇒ ADCD-E ⇒ deterministic guarantee, per §3.7.
+    let f: Arc<dyn MonitoredFunction> = Arc::new(AutoDiffFn::new(InnerProduct::new(6)));
+    let series: Vec<Vec<Vec<f64>>> = (0..5)
+        .map(|i| {
+            (0..300)
+                .map(|t| {
+                    let a = (t as f64 / 40.0 + i as f64).sin() * 0.5 + 1.0;
+                    vec![a, a * 0.5, -a, 1.0, 0.7, a * 0.3]
+                })
+                .collect()
+        })
+        .collect();
+    for eps in [0.1, 0.5, 1.0] {
+        let stats = run(f.clone(), &series, eps);
+        assert!(
+            stats.max_error <= eps + 1e-9,
+            "ε = {eps}: max error {} with {} messages",
+            stats.max_error,
+            stats.messages
+        );
+        assert_eq!(stats.missed_violation_rounds, 0, "ε = {eps}");
+        assert_eq!(stats.faulty_reports, 0, "ε = {eps}");
+    }
+}
+
+#[test]
+fn quadratic_form_with_outlier_node_respects_bound() {
+    // The paper's Quadratic workload: one node's data swings violently
+    // (alternating N(0, 0.1²) and N(-10, 0.1²) blocks). Constant Hessian
+    // keeps the deterministic guarantee in force throughout.
+    let q = QuadraticForm::random(4, 11);
+    let f: Arc<dyn MonitoredFunction> = Arc::new(AutoDiffFn::new(q));
+    let raw = QuadraticDataset::generate(4, 300, 4, 5);
+    let series = windowed_mean_series(&raw, 10);
+    let eps = 0.5;
+    let stats = run(f, &series, eps);
+    assert!(
+        stats.max_error <= eps + 1e-9,
+        "max error {} ({} messages)",
+        stats.max_error,
+        stats.messages
+    );
+    assert_eq!(stats.missed_violation_rounds, 0);
+    // The outlier node must have caused real protocol work.
+    assert!(stats.full_syncs + stats.lazy_syncs > 1, "{stats:?}");
+}
+
+#[test]
+fn convex_kld_respects_bound() {
+    // KLD is convex ⇒ λ⁻_min = 0 ⇒ the convex difference is exact even
+    // under ADCD-X (paper §3.7's second guarantee class).
+    let bins = 4;
+    let f: Arc<dyn MonitoredFunction> = Arc::new(AutoDiffFn::new(KlDivergence::new(
+        2 * bins,
+        1.0 / 800.0,
+    )));
+    // Drifting histograms, always normalized.
+    let series: Vec<Vec<Vec<f64>>> = (0..4)
+        .map(|i| {
+            (0..250)
+                .map(|t| {
+                    let w = 0.5 + 0.4 * ((t as f64 / 60.0) + i as f64 * 0.7).sin();
+                    let p = vec![w / 2.0, (1.0 - w) / 2.0, w / 4.0, (2.0 - w) / 4.0];
+                    let q = vec![0.25; 4];
+                    let mut x = p;
+                    x.extend(q);
+                    x
+                })
+                .collect()
+        })
+        .collect();
+    for eps in [0.05, 0.2] {
+        let stats = run(f.clone(), &series, eps);
+        assert!(
+            stats.max_error <= eps + 1e-9,
+            "ε = {eps}: max error {}",
+            stats.max_error
+        );
+        assert_eq!(stats.missed_violation_rounds, 0);
+    }
+}
+
+#[test]
+fn multiplicative_approximation_respects_relative_bound() {
+    let f: Arc<dyn MonitoredFunction> = Arc::new(AutoDiffFn::new(InnerProduct::new(4)));
+    let series: Vec<Vec<Vec<f64>>> = (0..3)
+        .map(|i| {
+            (0..200)
+                .map(|t| {
+                    let a = 2.0 + (t as f64 / 50.0 + i as f64).sin() * 0.3;
+                    vec![a, a, 1.0, 1.0]
+                })
+                .collect()
+        })
+        .collect();
+    let eps = 0.1;
+    let cfg = MonitorConfig::builder(eps).multiplicative().build();
+    let stats =
+        Simulation::new(f.clone(), cfg).run(&Workload::from_dense(&series));
+    // |f(x0) - f(x̄)| ≤ ε·|f(x0)|: check via the recorded maximum against
+    // the smallest |f| value on this data (~4), conservatively.
+    assert!(stats.max_error <= eps * 6.0, "{stats:?}");
+    assert_eq!(stats.missed_violation_rounds, 0);
+}
+
+#[test]
+fn nonconvex_function_sanity_check_catches_faulty_constraints() {
+    // For a non-convex, non-constant-Hessian function monitored with an
+    // (intentionally) crippled eigenvalue search, the §3.7 sanity check
+    // must convert bad constraints into full syncs rather than silent
+    // error: the estimate must still track within a small envelope.
+    struct Wavy;
+    impl ScalarFn for Wavy {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn call<S: automon::prelude::Scalar>(&self, x: &[S]) -> S {
+            (x[0] * S::from_f64(2.0)).sin() + x[1] * x[1]
+        }
+    }
+    let f: Arc<dyn MonitoredFunction> = Arc::new(AutoDiffFn::new(Wavy));
+    let series: Vec<Vec<Vec<f64>>> = (0..3)
+        .map(|i| {
+            (0..300)
+                .map(|t| {
+                    vec![
+                        (t as f64 / 30.0) + i as f64 * 0.2,
+                        ((t as f64) / 45.0).cos() * 0.5,
+                    ]
+                })
+                .collect()
+        })
+        .collect();
+    let eps = 0.3;
+    // Cripple the eigen search: 0 probes beyond the center, no polish.
+    let cfg = MonitorConfig::builder(eps)
+        .eigen_search(automon::core::EigenSearch {
+            probes: 0,
+            nm_iters: 0,
+            seed: 1,
+            ..Default::default()
+        })
+        .build();
+    let stats = Simulation::new(f, cfg).run(&Workload::from_dense(&series));
+    // The sanity check turns under-estimated curvature into syncs; the
+    // error can transiently exceed ε but must stay near it.
+    assert!(
+        stats.max_error <= 3.0 * eps,
+        "sanity check failed to contain the error: {stats:?}"
+    );
+}
