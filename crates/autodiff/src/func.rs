@@ -1,7 +1,9 @@
 //! User-facing function wrappers: evaluation, gradients, Hessians.
 
+use crate::graph::GraphWorkspace;
 use crate::{Dual, Scalar, Tape};
 use automon_linalg::Matrix;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A multivariate scalar function written once over a generic [`Scalar`].
 ///
@@ -93,6 +95,75 @@ pub trait DifferentiableFn: Send + Sync {
     /// several well-spread domain points at wrap time (see the
     /// `AutoDiffFn` docs for the rationale).
     fn has_constant_hessian(&self) -> bool;
+
+    /// The constant Hessian itself, when [`Self::has_constant_hessian`]
+    /// and the implementation kept one around.
+    ///
+    /// [`AutoDiffFn`] shares the Hessian already computed by its
+    /// wrap-time constancy probes, so ADCD-E never pays for a redundant
+    /// recomputation at the first full sync. `None` (the default) makes
+    /// callers fall back to [`Self::hessian`].
+    fn constant_hessian(&self) -> Option<Matrix> {
+        None
+    }
+
+    /// A reusable Hessian evaluator for repeated queries.
+    ///
+    /// The returned evaluator owns whatever scratch state it needs, so
+    /// hot loops (the ADCD-X eigenvalue search evaluates dozens of
+    /// Hessians per full sync) can keep one per worker thread and avoid
+    /// re-tracing and re-allocating per query. The default delegates to
+    /// [`Self::hessian`]; [`AutoDiffFn`] overrides it with a
+    /// record-once/replay-many graph workspace that is bit-identical to
+    /// the tape path.
+    fn hessian_eval(&self) -> Box<dyn HessianEvaluator + '_> {
+        Box::new(FallbackHessianEval { f: self })
+    }
+}
+
+/// A stateful Hessian evaluator writing into caller-owned storage.
+///
+/// Obtained from [`DifferentiableFn::hessian_eval`]; each instance is
+/// single-threaded (`&mut self`) but `Send`, so parallel searches hand
+/// one to each worker.
+pub trait HessianEvaluator: Send {
+    /// Input dimension `d`.
+    fn dim(&self) -> usize;
+
+    /// Write the full symmetrized Hessian `H(x)` into `out` (`d × d`).
+    fn hessian_into(&mut self, x: &[f64], out: &mut Matrix);
+}
+
+/// Default evaluator: delegates to [`DifferentiableFn::hessian`].
+struct FallbackHessianEval<'a, F: DifferentiableFn + ?Sized> {
+    f: &'a F,
+}
+
+impl<F: DifferentiableFn + ?Sized> HessianEvaluator for FallbackHessianEval<'_, F> {
+    fn dim(&self) -> usize {
+        self.f.dim()
+    }
+
+    fn hessian_into(&mut self, x: &[f64], out: &mut Matrix) {
+        *out = self.f.hessian(x);
+    }
+}
+
+/// Graph-workspace evaluator used by [`AutoDiffFn`]: records the op
+/// structure once per point and replays `d` seed tangents.
+struct GraphHessianEval<'a, F: ScalarFn> {
+    f: &'a F,
+    ws: GraphWorkspace,
+}
+
+impl<F: ScalarFn> HessianEvaluator for GraphHessianEval<'_, F> {
+    fn dim(&self) -> usize {
+        self.f.dim()
+    }
+
+    fn hessian_into(&mut self, x: &[f64], out: &mut Matrix) {
+        self.ws.hessian_into(self.f, x, out);
+    }
 }
 
 /// Differentiable wrapper around a [`ScalarFn`].
@@ -103,18 +174,47 @@ pub trait DifferentiableFn: Send + Sync {
 pub struct AutoDiffFn<F: ScalarFn> {
     f: F,
     constant_hessian: bool,
+    /// The Hessian from the wrap-time constancy probes, kept when it is
+    /// constant so ADCD-E reuses it instead of recomputing at `x0`.
+    cached_hessian: Option<Matrix>,
+    /// Op count observed on the last trace (0 = not yet traced); sizes
+    /// subsequent tape arenas so they never regrow.
+    op_hint: AtomicUsize,
 }
 
 impl<F: ScalarFn> AutoDiffFn<F> {
     /// Wrap `f`, probing for Hessian constancy unless `f` hints it.
+    ///
+    /// When the Hessian is constant — detected or hinted — the probe
+    /// Hessian is cached and shared with ADCD-E through
+    /// [`DifferentiableFn::constant_hessian`], so wrap-time detection and
+    /// the first decomposition are one code path instead of two.
     pub fn new(f: F) -> Self {
-        let constant_hessian = match f.constant_hessian_hint() {
-            Some(b) => b,
-            None => Self::detect_constant_hessian(&f),
+        let (constant_hessian, cached_hessian) = match f.constant_hessian_hint() {
+            Some(true) => {
+                let h = HessianProbe { f: &f }.hessian_at(&Self::probe_points(&f)[0]);
+                (true, Some(h))
+            }
+            Some(false) => (false, None),
+            None => {
+                let (constant, h0) = Self::detect_constant_hessian(&f);
+                (constant, constant.then_some(h0))
+            }
         };
         Self {
             f,
             constant_hessian,
+            cached_hessian,
+            op_hint: AtomicUsize::new(0),
+        }
+    }
+
+    /// Arena capacity for the next trace: the observed op count, or the
+    /// historical default before anything has been traced.
+    fn tape_capacity(&self) -> usize {
+        match self.op_hint.load(Ordering::Relaxed) {
+            0 => 256,
+            n => n,
         }
     }
 
@@ -131,24 +231,27 @@ impl<F: ScalarFn> AutoDiffFn<F> {
 
     /// One reverse pass: `(f(x), ∇f(x))`.
     pub fn grad(&self, x: &[f64]) -> (f64, Vec<f64>) {
-        let tape = Tape::<f64>::new();
+        let tape = Tape::<f64>::with_capacity(self.tape_capacity());
         let vars: Vec<_> = x.iter().map(|&xi| tape.var(xi)).collect();
         let out = self.f.call(&vars);
         let g = tape.gradient(out, &vars);
+        self.op_hint.store(tape.len(), Ordering::Relaxed);
         (out.value(), g)
     }
 
     /// Hessian-vector product `H(x)·v` via forward-over-reverse.
     pub fn hvp(&self, x: &[f64], v: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), v.len(), "hvp: dimension mismatch");
-        let tape = Tape::<Dual>::new();
+        let tape = Tape::<Dual>::with_capacity(self.tape_capacity());
         let vars: Vec<_> = x
             .iter()
             .zip(v)
             .map(|(&xi, &vi)| tape.var(Dual::new(xi, vi)))
             .collect();
         let out = self.f.call(&vars);
-        tape.gradient(out, &vars).into_iter().map(|d| d.d).collect()
+        let g = tape.gradient(out, &vars);
+        self.op_hint.store(tape.len(), Ordering::Relaxed);
+        g.into_iter().map(|d| d.d).collect()
     }
 
     /// The full symmetrized Hessian (d Hessian-vector products).
@@ -165,7 +268,20 @@ impl<F: ScalarFn> AutoDiffFn<F> {
     /// agreeing on all probes is astronomically unlikely; the
     /// [`ScalarFn::constant_hessian_hint`] override covers pathological
     /// cases. The probe points are kept inside the declared domain box.
-    fn detect_constant_hessian(f: &F) -> bool {
+    fn detect_constant_hessian(f: &F) -> (bool, Matrix) {
+        let probes = Self::probe_points(f);
+        let helper = HessianProbe { f };
+        let h0 = helper.hessian_at(&probes[0]);
+        let scale = h0.frobenius_norm().max(1.0);
+        let constant = probes[1..]
+            .iter()
+            .all(|p| helper.hessian_at(p).approx_eq(&h0, 1e-9 * scale));
+        (constant, h0)
+    }
+
+    /// Three deterministic, irrational-ish probes to dodge symmetry,
+    /// clamped into the declared domain box.
+    fn probe_points(f: &F) -> [Vec<f64>; 3] {
         let d = f.dim();
         let lo = f.lower_bounds();
         let hi = f.upper_bounds();
@@ -182,18 +298,11 @@ impl<F: ScalarFn> AutoDiffFn<F> {
             }
             x
         };
-        // Three deterministic, irrational-ish probes to dodge symmetry.
-        let probes: [Vec<f64>; 3] = [
+        [
             clamp((0..d).map(|i| 0.137 + 0.061 * i as f64).collect()),
             clamp((0..d).map(|i| 0.731 - 0.017 * i as f64).collect()),
             clamp((0..d).map(|i| (-0.311f64).powi((i % 3) as i32 + 1)).collect()),
-        ];
-        let helper = HessianProbe { f };
-        let h0 = helper.hessian_at(&probes[0]);
-        let scale = h0.frobenius_norm().max(1.0);
-        probes[1..]
-            .iter()
-            .all(|p| helper.hessian_at(p).approx_eq(&h0, 1e-9 * scale))
+        ]
     }
 }
 
@@ -254,6 +363,17 @@ impl<F: ScalarFn> DifferentiableFn for AutoDiffFn<F> {
 
     fn has_constant_hessian(&self) -> bool {
         self.constant_hessian
+    }
+
+    fn constant_hessian(&self) -> Option<Matrix> {
+        self.cached_hessian.clone()
+    }
+
+    fn hessian_eval(&self) -> Box<dyn HessianEvaluator + '_> {
+        Box::new(GraphHessianEval {
+            f: &self.f,
+            ws: GraphWorkspace::new(),
+        })
     }
 }
 

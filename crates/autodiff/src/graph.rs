@@ -1,0 +1,931 @@
+//! Record-once / replay-many computation graphs for batched Hessians.
+//!
+//! The tape in [`crate::Tape`] re-traces the monitored function from
+//! scratch for every derivative query: a full Hessian via
+//! forward-over-reverse costs `d` traces of `f`, each paying `RefCell`
+//! borrows, node pushes, and fresh adjoint allocations. For the ADCD-X
+//! eigenvalue search — dozens of Hessians per full sync — that tracing
+//! overhead dominates.
+//!
+//! This module records the *op structure* of `f` once per evaluation
+//! point into a flat [`GraphWorkspace`] arena and then replays a single
+//! **batched** forward-over-reverse pass over the frozen graph carrying
+//! all `d` seed tangents side by side ("lanes"), writing the Hessian
+//! straight into a caller-owned matrix. Primal values, op dispatch, and
+//! the adjoint-primal chain are shared across lanes — only the tangent
+//! arithmetic is per-lane — and no allocation happens after the
+//! workspace has warmed up.
+//!
+//! # Bit-identity contract
+//!
+//! The replay reproduces the results of the tape path **bit for bit**:
+//! lane `j` performs exactly the scalar arithmetic that a `Tape<Dual>`
+//! run seeded with tangent `e_j` performs, expanded from the `Var<Dual>`
+//! token sequences (e.g. division computes `a * (1/b)` with the
+//! reciprocal materialized first, because that is what `Var::div`
+//! records; a subtraction's right partial carries the `-0.0` tangent of
+//! `-one`), and the reverse sweep accumulates adjoints in the same
+//! operand order as [`crate::Tape::gradient`]. Sharing the primal work
+//! is sound because tangents never feed back into primals. The tests at
+//! the bottom of this file assert exact `f64::to_bits` equality against
+//! the tape-based Hessian across op coverage and probe points; the
+//! ADCD parallel pipeline relies on this to keep `Parallelism` settings
+//! protocol-equivalent.
+//!
+//! Functions whose recorded structure depends on the evaluation point —
+//! `abs`/`max` branches (and thus `relu`/`min`) or data-dependent
+//! control flow through [`Scalar::value`] — are detected during
+//! recording and re-recorded at every new point; everything else is
+//! recorded exactly once per workspace lifetime.
+
+use crate::{Scalar, ScalarFn};
+use automon_linalg::Matrix;
+use std::cell::{Cell, RefCell};
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A graph operand: another node's output or an inline constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Operand {
+    /// Index of the producing node.
+    Var(u32),
+    /// A free constant (never differentiated, mirroring constant `Var`s).
+    Const(f64),
+}
+
+/// One recorded operation. Branches (`abs`, `max`) are resolved at
+/// record time: the chosen side is baked into the opcode, which is valid
+/// because replay happens at the same evaluation point.
+#[derive(Debug, Clone, Copy)]
+enum GOp {
+    /// An independent input variable.
+    Input,
+    Add(Operand, Operand),
+    Sub(Operand, Operand),
+    Mul(Operand, Operand),
+    Div(Operand, Operand),
+    Neg(Operand),
+    Exp(Operand),
+    Ln(Operand),
+    Tanh(Operand),
+    Sin(Operand),
+    Cos(Operand),
+    Sqrt(Operand),
+    Powi(Operand, i32),
+    /// `abs` that took the non-negative branch.
+    AbsPos(Operand),
+    /// `abs` that took the negative branch.
+    AbsNeg(Operand),
+    /// `max` won by the left operand (ties go left, as in `Var::max`).
+    MaxLeft(Operand, Operand),
+    /// `max` won by the right operand.
+    MaxRight(Operand, Operand),
+}
+
+impl GOp {
+    /// Whether this op's opcode depends on the evaluation point.
+    fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            GOp::AbsPos(_) | GOp::AbsNeg(_) | GOp::MaxLeft(..) | GOp::MaxRight(..)
+        )
+    }
+}
+
+/// Recording arena handed to the generic function body via [`GVar`]s.
+struct GraphArena {
+    nodes: RefCell<Vec<GOp>>,
+    /// Set when user code observed a variable's primal through
+    /// [`Scalar::value`] — the graph may then depend on the point through
+    /// control flow we cannot see, so it must be re-recorded per point.
+    value_observed: Cell<bool>,
+}
+
+impl GraphArena {
+    fn push(&self, op: GOp) -> u32 {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(op);
+        (nodes.len() - 1) as u32
+    }
+
+    fn var(&self, v: f64) -> GVar<'_> {
+        GVar {
+            arena: Some(self),
+            idx: self.push(GOp::Input),
+            v,
+        }
+    }
+}
+
+/// The recording scalar: carries the `f64` primal (which equals the
+/// primal a `Tape<Dual>` run would carry, tangents never feed primals)
+/// and appends opcodes to the arena.
+struct GVar<'t> {
+    arena: Option<&'t GraphArena>,
+    idx: u32,
+    v: f64,
+}
+
+impl Clone for GVar<'_> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl Copy for GVar<'_> {}
+
+impl std::fmt::Debug for GVar<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GVar")
+            .field("idx", &self.idx)
+            .field("v", &self.v)
+            .field("const", &self.arena.is_none())
+            .finish()
+    }
+}
+
+impl<'t> GVar<'t> {
+    fn operand(&self) -> Operand {
+        match self.arena {
+            Some(_) => Operand::Var(self.idx),
+            None => Operand::Const(self.v),
+        }
+    }
+
+    /// Record a binary op, or fold to a constant when both operands are
+    /// constants (exactly as `Var::binary` falls through to a tapeless
+    /// `Var`). `v` must already follow the `Var` primal token sequence.
+    fn binary(self, other: Self, v: f64, op: fn(Operand, Operand) -> GOp) -> Self {
+        let arena = self.arena.or(other.arena);
+        match arena {
+            None => GVar {
+                arena: None,
+                idx: 0,
+                v,
+            },
+            Some(t) => GVar {
+                arena: Some(t),
+                idx: t.push(op(self.operand(), other.operand())),
+                v,
+            },
+        }
+    }
+
+    fn unary(self, v: f64, op: fn(Operand) -> GOp) -> Self {
+        match self.arena {
+            None => GVar {
+                arena: None,
+                idx: 0,
+                v,
+            },
+            Some(t) => GVar {
+                arena: Some(t),
+                idx: t.push(op(Operand::Var(self.idx))),
+                v,
+            },
+        }
+    }
+}
+
+impl<'t> Add for GVar<'t> {
+    type Output = Self;
+    fn add(self, o: Self) -> Self {
+        self.binary(o, self.v + o.v, GOp::Add)
+    }
+}
+
+impl<'t> Sub for GVar<'t> {
+    type Output = Self;
+    fn sub(self, o: Self) -> Self {
+        self.binary(o, self.v - o.v, GOp::Sub)
+    }
+}
+
+impl<'t> Mul for GVar<'t> {
+    type Output = Self;
+    fn mul(self, o: Self) -> Self {
+        self.binary(o, self.v * o.v, GOp::Mul)
+    }
+}
+
+impl<'t> Div for GVar<'t> {
+    type Output = Self;
+    fn div(self, o: Self) -> Self {
+        // `Var::div` materializes the reciprocal and multiplies —
+        // `a * (1/b)` differs from `a / b` in the last ulp, so the primal
+        // must mirror it.
+        let inv = 1.0 / o.v;
+        self.binary(o, self.v * inv, GOp::Div)
+    }
+}
+
+impl<'t> Neg for GVar<'t> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        self.unary(-self.v, GOp::Neg)
+    }
+}
+
+impl<'t> Scalar for GVar<'t> {
+    fn from_f64(c: f64) -> Self {
+        GVar {
+            arena: None,
+            idx: 0,
+            v: c,
+        }
+    }
+
+    fn value(&self) -> f64 {
+        if let Some(t) = self.arena {
+            t.value_observed.set(true);
+        }
+        self.v
+    }
+
+    fn exp(self) -> Self {
+        self.unary(self.v.exp(), GOp::Exp)
+    }
+
+    fn ln(self) -> Self {
+        self.unary(self.v.ln(), GOp::Ln)
+    }
+
+    fn tanh(self) -> Self {
+        self.unary(self.v.tanh(), GOp::Tanh)
+    }
+
+    fn sin(self) -> Self {
+        self.unary(self.v.sin(), GOp::Sin)
+    }
+
+    fn cos(self) -> Self {
+        self.unary(self.v.cos(), GOp::Cos)
+    }
+
+    fn sqrt(self) -> Self {
+        self.unary(self.v.sqrt(), GOp::Sqrt)
+    }
+
+    fn powi(self, n: i32) -> Self {
+        match self.arena {
+            None => GVar {
+                arena: None,
+                idx: 0,
+                v: self.v.powi(n),
+            },
+            Some(t) => GVar {
+                arena: Some(t),
+                idx: t.push(GOp::Powi(Operand::Var(self.idx), n)),
+                v: self.v.powi(n),
+            },
+        }
+    }
+
+    fn abs(self) -> Self {
+        // Branch on the primal exactly like `Var::abs` (which compares
+        // `self.v.value() >= 0.0`); NaN takes the negative branch there
+        // and here alike.
+        if self.v >= 0.0 {
+            self.unary(self.v, GOp::AbsPos)
+        } else {
+            self.unary(-self.v, GOp::AbsNeg)
+        }
+    }
+
+    fn max(self, other: Self) -> Self {
+        if self.v >= other.v {
+            self.binary(other, self.v, GOp::MaxLeft)
+        } else {
+            self.binary(other, other.v, GOp::MaxRight)
+        }
+    }
+}
+
+/// Where a local partial's tangent lanes live: a constant broadcast to
+/// every lane (`Add`'s `one` has tangent `0.0`, `Sub`'s `-one` has
+/// `-0.0` — the sign matters for bit-identity), the value tangents of an
+/// already-computed node (`Mul` partials are the operand values, `Exp`'s
+/// is its own output), or a scratch slot holding a freshly materialized
+/// expression (`Div`, `Ln`, `Tanh`, …).
+#[derive(Debug, Clone, Copy)]
+enum Tan {
+    Const(f64),
+    Node(u32),
+    Slot(u32),
+}
+
+/// Reusable arena for batched Hessian evaluation: record the graph of a
+/// [`ScalarFn`] once per point, then replay one forward-over-reverse
+/// pass carrying all `d` unit seed tangents into caller-owned storage.
+pub struct GraphWorkspace {
+    nodes: Vec<GOp>,
+    /// Index of the output node of the last recording.
+    out: usize,
+    n_inputs: usize,
+    /// Recording captured point-dependent structure (resolved branches or
+    /// `value()` observations) and must be redone at each new point.
+    point_dependent: bool,
+    /// The point of the last recording (compared only when
+    /// `point_dependent`).
+    recorded_at: Vec<f64>,
+    /// Per-node forward primal values (lane-independent).
+    vals_v: Vec<f64>,
+    /// Per-node forward value tangents, `n_inputs` lanes per node.
+    lanes: Vec<f64>,
+    /// Per-node local partial primals `[∂/∂a, ∂/∂b]`.
+    part_v: Vec<[f64; 2]>,
+    /// Per-node local partial tangent sources.
+    part_t: Vec<[Tan; 2]>,
+    /// Scratch lanes for [`Tan::Slot`] partials.
+    slots: Vec<f64>,
+    /// Reverse adjoint primals and tangent lanes.
+    adj_v: Vec<f64>,
+    adj_d: Vec<f64>,
+    /// All-zero lane row standing in for constant operands' tangents.
+    zero_lane: Vec<f64>,
+}
+
+impl Default for GraphWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GraphWorkspace {
+    /// An empty workspace; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            out: 0,
+            n_inputs: 0,
+            point_dependent: true,
+            recorded_at: Vec::new(),
+            vals_v: Vec::new(),
+            lanes: Vec::new(),
+            part_v: Vec::new(),
+            part_t: Vec::new(),
+            slots: Vec::new(),
+            adj_v: Vec::new(),
+            adj_d: Vec::new(),
+            zero_lane: Vec::new(),
+        }
+    }
+
+    /// Number of ops in the recorded graph (0 before the first record) —
+    /// doubles as the op-count hint for sizing fresh tapes.
+    pub fn op_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Record the computation graph of `f` at `x`.
+    ///
+    /// # Panics
+    /// Panics if the output does not depend on the inputs (constant
+    /// output), matching the tape's `gradient` contract.
+    fn record<F: ScalarFn + ?Sized>(&mut self, f: &F, x: &[f64]) {
+        let mut nodes = std::mem::take(&mut self.nodes);
+        nodes.clear();
+        let arena = GraphArena {
+            nodes: RefCell::new(nodes),
+            value_observed: Cell::new(false),
+        };
+        let vars: Vec<GVar<'_>> = x.iter().map(|&xi| arena.var(xi)).collect();
+        let out = f.call(&vars);
+        assert!(
+            out.arena.is_some(),
+            "gradient: output is a constant"
+        );
+        self.out = out.idx as usize;
+        self.n_inputs = x.len();
+        self.nodes = arena.nodes.into_inner();
+        self.point_dependent =
+            arena.value_observed.get() || self.nodes.iter().any(GOp::is_branch);
+        self.recorded_at.clear();
+        self.recorded_at.extend_from_slice(x);
+    }
+
+    /// The full symmetrized Hessian of `f` at `x`, written into `h`.
+    ///
+    /// Bit-identical to assembling `d` tape Hessian-vector products and
+    /// symmetrizing (the [`crate::DifferentiableFn::hessian`] default).
+    pub fn hessian_into<F: ScalarFn + ?Sized>(&mut self, f: &F, x: &[f64], h: &mut Matrix) {
+        let d = f.dim();
+        assert_eq!(x.len(), d, "hessian_into: dimension mismatch");
+        assert_eq!(h.rows(), d, "hessian_into: output rows");
+        assert_eq!(h.cols(), d, "hessian_into: output cols");
+        if self.nodes.is_empty()
+            || self.n_inputs != d
+            || (self.point_dependent && self.recorded_at != x)
+        {
+            self.record(f, x);
+        }
+        self.replay_all(x, h);
+        h.symmetrize();
+    }
+
+    /// One batched forward-over-reverse pass over all `d` seed tangents;
+    /// writes the full (pre-symmetrization) Hessian. Lane `j` of every
+    /// tangent buffer computes the exact scalar sequence of a `Dual`
+    /// replay seeded with `e_j` — see the module docs for the contract.
+    fn replay_all(&mut self, x: &[f64], h: &mut Matrix) {
+        let n = self.nodes.len();
+        let d = self.n_inputs;
+        let Self {
+            nodes,
+            vals_v,
+            lanes,
+            part_v,
+            part_t,
+            slots,
+            zero_lane,
+            adj_v,
+            adj_d,
+            ..
+        } = self;
+        vals_v.clear();
+        vals_v.resize(n, 0.0);
+        lanes.clear();
+        lanes.resize(n * d, 0.0);
+        part_v.clear();
+        part_v.resize(n, [0.0; 2]);
+        part_t.clear();
+        part_t.resize(n, [Tan::Const(0.0); 2]);
+        slots.clear();
+        zero_lane.clear();
+        zero_lane.resize(d, 0.0);
+
+        // Operand → (primal, value-tangent lanes). Operand indices always
+        // precede the consuming node, so their rows live in `prev`.
+        fn res<'a>(
+            o: Operand,
+            vals_v: &[f64],
+            prev: &'a [f64],
+            zero: &'a [f64],
+            d: usize,
+        ) -> (f64, &'a [f64]) {
+            match o {
+                Operand::Var(k) => {
+                    let k = k as usize;
+                    (vals_v[k], &prev[k * d..(k + 1) * d])
+                }
+                Operand::Const(c) => (c, zero),
+            }
+        }
+        // Operand → tangent source for a `Mul`-style partial (the partial
+        // *is* the operand value, so its tangents are that node's lanes;
+        // constants have the zero tangent of `Dual::from_f64`).
+        fn tan_of(o: Operand) -> Tan {
+            match o {
+                Operand::Var(k) => Tan::Node(k),
+                Operand::Const(_) => Tan::Const(0.0),
+            }
+        }
+
+        // Forward pass: primal once per node, tangents per lane, in the
+        // exact `Var<Dual>` token sequences.
+        let mut input = 0usize;
+        for i in 0..n {
+            let (prev, rest) = lanes.split_at_mut(i * d);
+            let prev = &prev[..];
+            let row = &mut rest[..d];
+            match nodes[i] {
+                GOp::Input => {
+                    vals_v[i] = x[input];
+                    for (l, r) in row.iter_mut().enumerate() {
+                        *r = if l == input { 1.0 } else { 0.0 };
+                    }
+                    input += 1;
+                }
+                GOp::Add(a, b) => {
+                    let (av, at) = res(a, vals_v, prev, zero_lane, d);
+                    let (bv, bt) = res(b, vals_v, prev, zero_lane, d);
+                    vals_v[i] = av + bv;
+                    for l in 0..d {
+                        row[l] = at[l] + bt[l];
+                    }
+                    part_v[i] = [1.0, 1.0];
+                }
+                GOp::Sub(a, b) => {
+                    let (av, at) = res(a, vals_v, prev, zero_lane, d);
+                    let (bv, bt) = res(b, vals_v, prev, zero_lane, d);
+                    vals_v[i] = av - bv;
+                    for l in 0..d {
+                        row[l] = at[l] - bt[l];
+                    }
+                    part_v[i] = [1.0, -1.0];
+                    // `-one` carries a `-0.0` tangent (negated zero).
+                    part_t[i] = [Tan::Const(0.0), Tan::Const(-0.0)];
+                }
+                GOp::Mul(a, b) => {
+                    let (av, at) = res(a, vals_v, prev, zero_lane, d);
+                    let (bv, bt) = res(b, vals_v, prev, zero_lane, d);
+                    vals_v[i] = av * bv;
+                    for l in 0..d {
+                        row[l] = at[l] * bv + av * bt[l];
+                    }
+                    part_v[i] = [bv, av];
+                    part_t[i] = [tan_of(b), tan_of(a)];
+                }
+                GOp::Div(a, b) => {
+                    let (av, at) = res(a, vals_v, prev, zero_lane, d);
+                    let (bv, bt) = res(b, vals_v, prev, zero_lane, d);
+                    // inv = one / bv; value = av * inv; pb = -av*inv*inv.
+                    let inv_v = 1.0 / bv;
+                    let s0 = slots.len();
+                    slots.resize(s0 + 2 * d, 0.0);
+                    for l in 0..d {
+                        slots[s0 + l] = (0.0 * bv - 1.0 * bt[l]) / (bv * bv);
+                    }
+                    vals_v[i] = av * inv_v;
+                    let m1_v = (-av) * inv_v;
+                    for l in 0..d {
+                        let inv_d = slots[s0 + l];
+                        row[l] = at[l] * inv_v + av * inv_d;
+                        let m1_d = (-at[l]) * inv_v + (-av) * inv_d;
+                        slots[s0 + d + l] = m1_d * inv_v + m1_v * inv_d;
+                    }
+                    part_v[i] = [inv_v, m1_v * inv_v];
+                    part_t[i] = [
+                        Tan::Slot((s0 / d) as u32),
+                        Tan::Slot((s0 / d + 1) as u32),
+                    ];
+                }
+                GOp::Neg(a) => {
+                    let (av, at) = res(a, vals_v, prev, zero_lane, d);
+                    vals_v[i] = -av;
+                    for l in 0..d {
+                        row[l] = -at[l];
+                    }
+                    part_v[i] = [-1.0, 0.0];
+                }
+                GOp::Exp(a) => {
+                    let (av, at) = res(a, vals_v, prev, zero_lane, d);
+                    let e_v = av.exp();
+                    vals_v[i] = e_v;
+                    for l in 0..d {
+                        row[l] = at[l] * e_v;
+                    }
+                    // pa is the output itself.
+                    part_v[i] = [e_v, 0.0];
+                    part_t[i] = [Tan::Node(i as u32), Tan::Const(0.0)];
+                }
+                GOp::Ln(a) => {
+                    let (av, at) = res(a, vals_v, prev, zero_lane, d);
+                    vals_v[i] = av.ln();
+                    let s0 = slots.len();
+                    slots.resize(s0 + d, 0.0);
+                    // pa = one / av.
+                    for l in 0..d {
+                        row[l] = at[l] / av;
+                        slots[s0 + l] = (0.0 * av - 1.0 * at[l]) / (av * av);
+                    }
+                    part_v[i] = [1.0 / av, 0.0];
+                    part_t[i] = [Tan::Slot((s0 / d) as u32), Tan::Const(0.0)];
+                }
+                GOp::Tanh(a) => {
+                    let (av, at) = res(a, vals_v, prev, zero_lane, d);
+                    let t_v = av.tanh();
+                    vals_v[i] = t_v;
+                    let s0 = slots.len();
+                    slots.resize(s0 + d, 0.0);
+                    // pa = one - t*t, with t's tangent in `row`.
+                    for l in 0..d {
+                        row[l] = at[l] * (1.0 - t_v * t_v);
+                        slots[s0 + l] = 0.0 - (row[l] * t_v + t_v * row[l]);
+                    }
+                    part_v[i] = [1.0 - t_v * t_v, 0.0];
+                    part_t[i] = [Tan::Slot((s0 / d) as u32), Tan::Const(0.0)];
+                }
+                GOp::Sin(a) => {
+                    let (av, at) = res(a, vals_v, prev, zero_lane, d);
+                    vals_v[i] = av.sin();
+                    let s0 = slots.len();
+                    slots.resize(s0 + d, 0.0);
+                    // pa = av.cos().
+                    for l in 0..d {
+                        row[l] = at[l] * av.cos();
+                        slots[s0 + l] = -at[l] * av.sin();
+                    }
+                    part_v[i] = [av.cos(), 0.0];
+                    part_t[i] = [Tan::Slot((s0 / d) as u32), Tan::Const(0.0)];
+                }
+                GOp::Cos(a) => {
+                    let (av, at) = res(a, vals_v, prev, zero_lane, d);
+                    vals_v[i] = av.cos();
+                    let s0 = slots.len();
+                    slots.resize(s0 + d, 0.0);
+                    // pa = -av.sin().
+                    for l in 0..d {
+                        row[l] = -at[l] * av.sin();
+                        slots[s0 + l] = -(at[l] * av.cos());
+                    }
+                    part_v[i] = [-av.sin(), 0.0];
+                    part_t[i] = [Tan::Slot((s0 / d) as u32), Tan::Const(0.0)];
+                }
+                GOp::Sqrt(a) => {
+                    let (av, at) = res(a, vals_v, prev, zero_lane, d);
+                    let s_v = av.sqrt();
+                    vals_v[i] = s_v;
+                    let s0 = slots.len();
+                    slots.resize(s0 + d, 0.0);
+                    // pa = Dual::from_f64(0.5) / s, with s's tangent in `row`.
+                    for l in 0..d {
+                        row[l] = at[l] * 0.5 / s_v;
+                        slots[s0 + l] = (0.0 * s_v - 0.5 * row[l]) / (s_v * s_v);
+                    }
+                    part_v[i] = [0.5 / s_v, 0.0];
+                    part_t[i] = [Tan::Slot((s0 / d) as u32), Tan::Const(0.0)];
+                }
+                GOp::Powi(a, p) => {
+                    let (av, at) = res(a, vals_v, prev, zero_lane, d);
+                    vals_v[i] = av.powi(p);
+                    let s0 = slots.len();
+                    slots.resize(s0 + d, 0.0);
+                    // pa = Dual::from_f64(p) * av.powi(p - 1).
+                    let q_v = av.powi(p - 1);
+                    for l in 0..d {
+                        row[l] = at[l] * f64::from(p) * q_v;
+                        let q_d = at[l] * f64::from(p - 1) * av.powi(p - 2);
+                        slots[s0 + l] = 0.0 * q_v + f64::from(p) * q_d;
+                    }
+                    part_v[i] = [f64::from(p) * q_v, 0.0];
+                    part_t[i] = [Tan::Slot((s0 / d) as u32), Tan::Const(0.0)];
+                }
+                GOp::AbsPos(a) => {
+                    let (av, at) = res(a, vals_v, prev, zero_lane, d);
+                    vals_v[i] = av;
+                    row.copy_from_slice(at);
+                    part_v[i] = [1.0, 0.0];
+                }
+                GOp::AbsNeg(a) => {
+                    let (av, at) = res(a, vals_v, prev, zero_lane, d);
+                    vals_v[i] = -av;
+                    for l in 0..d {
+                        row[l] = -at[l];
+                    }
+                    part_v[i] = [-1.0, 0.0];
+                }
+                GOp::MaxLeft(a, _) => {
+                    let (av, at) = res(a, vals_v, prev, zero_lane, d);
+                    vals_v[i] = av;
+                    row.copy_from_slice(at);
+                    part_v[i] = [1.0, 0.0];
+                }
+                GOp::MaxRight(_, b) => {
+                    let (bv, bt) = res(b, vals_v, prev, zero_lane, d);
+                    vals_v[i] = bv;
+                    row.copy_from_slice(bt);
+                    part_v[i] = [0.0, 1.0];
+                }
+            }
+        }
+
+        // Reverse sweep, accumulating in the tape's operand order: the
+        // `self` partial first, then `other`, skipping constants —
+        // exactly `Tape::gradient`'s compacted-parent order. Each
+        // accumulation mirrors `adj[p] = adj[p] + partial * a` in Dual
+        // arithmetic: primal once, tangents per lane.
+        adj_v.clear();
+        adj_v.resize(n, 0.0);
+        adj_d.clear();
+        adj_d.resize(n * d, 0.0);
+        adj_v[self.out] = 1.0;
+        for i in (0..=self.out).rev() {
+            let (aprev, arest) = adj_d.split_at_mut(i * d);
+            let a_row = &arest[..d];
+            let a_v = adj_v[i];
+            let [pav, pbv] = part_v[i];
+            let [pat, pbt] = part_t[i];
+            let mut accumulate = |aprev: &mut [f64], p: u32, pv: f64, pt: Tan| {
+                let p = p as usize;
+                adj_v[p] += pv * a_v;
+                let dst = &mut aprev[p * d..(p + 1) * d];
+                match pt {
+                    Tan::Const(c) => {
+                        for (l, t) in dst.iter_mut().enumerate() {
+                            *t += c * a_v + pv * a_row[l];
+                        }
+                    }
+                    Tan::Node(k) => {
+                        let k = k as usize;
+                        let src = &lanes[k * d..(k + 1) * d];
+                        for (l, t) in dst.iter_mut().enumerate() {
+                            *t += src[l] * a_v + pv * a_row[l];
+                        }
+                    }
+                    Tan::Slot(s) => {
+                        let s = s as usize;
+                        let src = &slots[s * d..(s + 1) * d];
+                        for (l, t) in dst.iter_mut().enumerate() {
+                            *t += src[l] * a_v + pv * a_row[l];
+                        }
+                    }
+                }
+            };
+            match nodes[i] {
+                GOp::Input => {}
+                GOp::Add(oa, ob)
+                | GOp::Sub(oa, ob)
+                | GOp::Mul(oa, ob)
+                | GOp::Div(oa, ob)
+                | GOp::MaxLeft(oa, ob)
+                | GOp::MaxRight(oa, ob) => {
+                    if let Operand::Var(p) = oa {
+                        accumulate(aprev, p, pav, pat);
+                    }
+                    if let Operand::Var(p) = ob {
+                        accumulate(aprev, p, pbv, pbt);
+                    }
+                }
+                GOp::Neg(oa)
+                | GOp::Exp(oa)
+                | GOp::Ln(oa)
+                | GOp::Tanh(oa)
+                | GOp::Sin(oa)
+                | GOp::Cos(oa)
+                | GOp::Sqrt(oa)
+                | GOp::Powi(oa, _)
+                | GOp::AbsPos(oa)
+                | GOp::AbsNeg(oa) => {
+                    if let Operand::Var(p) = oa {
+                        accumulate(aprev, p, pav, pat);
+                    }
+                }
+            }
+        }
+
+        for i in 0..d {
+            for j in 0..d {
+                h[(i, j)] = adj_d[i * d + j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AutoDiffFn, DifferentiableFn};
+
+    fn assert_bit_identical<F: ScalarFn>(f: F, points: &[Vec<f64>]) {
+        let d = f.dim();
+        let wrapped = AutoDiffFn::new(f);
+        let mut ws = GraphWorkspace::new();
+        let mut h = Matrix::zeros(d, d);
+        for x in points {
+            let reference = DifferentiableFn::hessian(&wrapped, x);
+            ws.hessian_into(wrapped.inner(), x, &mut h);
+            for i in 0..d {
+                for jj in 0..d {
+                    assert_eq!(
+                        h[(i, jj)].to_bits(),
+                        reference[(i, jj)].to_bits(),
+                        "H[{i},{jj}] at {x:?}: graph {} vs tape {}",
+                        h[(i, jj)],
+                        reference[(i, jj)]
+                    );
+                }
+            }
+        }
+    }
+
+    struct Poly;
+    impl ScalarFn for Poly {
+        fn dim(&self) -> usize {
+            3
+        }
+        fn call<S: Scalar>(&self, x: &[S]) -> S {
+            // Mixed products, constants on both sides, powi, neg.
+            x[0] * x[0] * x[1] - S::from_f64(3.0) * x[2].powi(3)
+                + x[1] * S::from_f64(0.7)
+                + (-x[0]) * x[2]
+        }
+    }
+
+    struct DivLog;
+    impl ScalarFn for DivLog {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn call<S: Scalar>(&self, x: &[S]) -> S {
+            // KLD-style: division (the `a * (1/b)` token sequence) + ln.
+            x[0] * (x[0] / x[1]).ln() + x[1] / S::from_f64(2.0) + S::from_f64(1.0) / x[0]
+        }
+    }
+
+    struct Transcendental;
+    impl ScalarFn for Transcendental {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn call<S: Scalar>(&self, x: &[S]) -> S {
+            x[0].sin() * x[1].exp() + (x[0] * x[1]).cos() + x[1].tanh().sqrt()
+                + x[0].sigmoid()
+                + (x[0] * x[0] + S::from_f64(1.0)).powf_const(0.3)
+        }
+    }
+
+    struct Branchy;
+    impl ScalarFn for Branchy {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn call<S: Scalar>(&self, x: &[S]) -> S {
+            // relu/max/min/abs resolve branches at record time.
+            (x[0] * x[1]).relu() + x[0].abs() * x[1] + Scalar::max(x[0], x[1]) * x[0]
+                + Scalar::min(x[0] * x[0], x[1])
+        }
+    }
+
+    struct ValueBranch;
+    impl ScalarFn for ValueBranch {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn call<S: Scalar>(&self, x: &[S]) -> S {
+            // Data-dependent control flow through `value()`.
+            if x[0].value() > 0.5 {
+                x[0] * x[0] * x[1]
+            } else {
+                x[1] * x[1].exp()
+            }
+        }
+    }
+
+    #[test]
+    fn polynomial_bit_identical() {
+        assert_bit_identical(
+            Poly,
+            &[
+                vec![0.3, -0.8, 1.7],
+                vec![1.0, 2.0, 3.0],
+                vec![-0.137, 0.952, -2.5],
+            ],
+        );
+    }
+
+    #[test]
+    fn division_and_log_bit_identical() {
+        assert_bit_identical(DivLog, &[vec![0.3, 0.8], vec![1.7, 0.21], vec![2.9, 5.3]]);
+    }
+
+    #[test]
+    fn transcendentals_bit_identical() {
+        assert_bit_identical(
+            Transcendental,
+            &[vec![0.4, 0.9], vec![-1.3, 0.08], vec![2.2, 1.6]],
+        );
+    }
+
+    #[test]
+    fn branches_bit_identical_and_rerecorded() {
+        // Points on both sides of every branch.
+        assert_bit_identical(
+            Branchy,
+            &[
+                vec![0.5, 0.25],
+                vec![-0.5, 0.25],
+                vec![0.5, -0.9],
+                vec![-0.7, -0.2],
+            ],
+        );
+    }
+
+    #[test]
+    fn value_observation_forces_rerecord() {
+        assert_bit_identical(ValueBranch, &[vec![0.9, 0.4], vec![0.1, 0.4]]);
+        // And the workspace marks itself point-dependent.
+        let mut ws = GraphWorkspace::new();
+        let mut h = Matrix::zeros(2, 2);
+        ws.hessian_into(&ValueBranch, &[0.9, 0.4], &mut h);
+        assert!(ws.point_dependent);
+    }
+
+    #[test]
+    fn branch_free_graph_recorded_once() {
+        let mut ws = GraphWorkspace::new();
+        let mut h = Matrix::zeros(3, 3);
+        ws.hessian_into(&Poly, &[0.1, 0.2, 0.3], &mut h);
+        assert!(!ws.point_dependent);
+        let ops = ws.op_count();
+        assert!(ops > 0);
+        // A second point must not re-record (same op count, same arena).
+        ws.hessian_into(&Poly, &[0.9, -0.4, 0.5], &mut h);
+        assert_eq!(ws.op_count(), ops);
+    }
+
+    #[test]
+    #[should_panic(expected = "output is a constant")]
+    fn constant_output_panics() {
+        struct ConstOut;
+        impl ScalarFn for ConstOut {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn call<S: Scalar>(&self, _x: &[S]) -> S {
+                S::from_f64(4.0)
+            }
+        }
+        let mut ws = GraphWorkspace::new();
+        let mut h = Matrix::zeros(1, 1);
+        ws.hessian_into(&ConstOut, &[0.0], &mut h);
+    }
+}

@@ -50,11 +50,13 @@
 mod dual;
 pub mod finite_diff;
 mod func;
+mod graph;
 pub mod ops;
 mod scalar;
 mod tape;
 
 pub use dual::Dual;
-pub use func::{AutoDiffFn, DifferentiableFn, ScalarFn};
+pub use func::{AutoDiffFn, DifferentiableFn, HessianEvaluator, ScalarFn};
+pub use graph::GraphWorkspace;
 pub use scalar::{lit, Scalar};
 pub use tape::{Tape, Var};

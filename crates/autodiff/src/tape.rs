@@ -33,10 +33,17 @@ impl<V: Scalar> Default for Tape<V> {
 }
 
 impl<V: Scalar> Tape<V> {
-    /// An empty tape.
+    /// An empty tape with the default arena capacity.
     pub fn new() -> Self {
+        Self::with_capacity(256)
+    }
+
+    /// An empty tape sized for `ops` nodes — callers that know the op
+    /// count of the function they are about to trace (e.g. from a prior
+    /// trace) avoid arena regrowth entirely.
+    pub fn with_capacity(ops: usize) -> Self {
         Self {
-            nodes: RefCell::new(Vec::with_capacity(256)),
+            nodes: RefCell::new(Vec::with_capacity(ops)),
         }
     }
 

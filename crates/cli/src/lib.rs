@@ -43,8 +43,9 @@ pub fn usage() -> &'static str {
 USAGE:
     automon simulate --function <NAME> [--epsilon E] [--nodes N]
                      [--rounds R] [--dim D] [--seed S] [--baseline SPEC]
+                     [--parallelism P]
     automon monitor  --function <NAME> --input <FILE.csv> --nodes N
-                     [--epsilon E] [--output FILE.csv]
+                     [--epsilon E] [--output FILE.csv] [--parallelism P]
     automon tune     --function <NAME> --input <FILE.csv> --nodes N
                      [--epsilon E]
     automon help
@@ -55,6 +56,11 @@ FUNCTIONS (built-in):
 
 BASELINES (simulate only, repeatable):
     centralization | periodic:<P>
+
+PARALLELISM:
+    --parallelism 0 sizes the full-sync pipeline to the machine
+    (default); 1 forces the sequential reference path; N uses N
+    worker threads. Results are identical for every setting.
 
 CSV INPUT (monitor): header-free rows `round,node,x1,...,xd`;
 rounds must be non-decreasing, nodes in 0..N.

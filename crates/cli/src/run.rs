@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use automon_autodiff::AutoDiffFn;
-use automon_core::{Coordinator, MonitorConfig, MonitoredFunction, Node};
+use automon_core::{Coordinator, MonitorConfig, MonitoredFunction, Node, Parallelism};
 use automon_data::synthetic::{InnerProductDataset, QuadraticDataset, RozenbrockDataset};
 use automon_data::windowed_mean_series;
 use automon_functions::{train_mlp_d, InnerProduct, KlDivergence, QuadraticForm, Rozenbrock, Variance};
@@ -28,6 +28,12 @@ pub fn build_function(name: &str, dim: usize) -> Result<Arc<dyn MonitoredFunctio
             )))
         }
     })
+}
+
+/// Parse `--parallelism` (0 = auto-size to the machine, 1 = the
+/// sequential reference path, n ≥ 2 = that many workers).
+fn parse_parallelism(args: &Args) -> Result<Parallelism, CliError> {
+    Ok(Parallelism::from(args.num("parallelism", 0usize)?))
 }
 
 /// Default dimension per function when `--dim` is omitted.
@@ -104,7 +110,10 @@ pub fn run_simulate(args: &Args) -> Result<String, CliError> {
 
     let f = build_function(function, dim)?;
     let workload = build_workload(function, nodes, rounds, dim, seed)?;
-    let sim = Simulation::new(f.clone(), MonitorConfig::builder(epsilon).build());
+    let cfg = MonitorConfig::builder(epsilon)
+        .parallelism(parse_parallelism(args)?)
+        .build();
+    let sim = Simulation::new(f.clone(), cfg);
     let r = if f.has_constant_hessian() {
         None
     } else {
@@ -170,7 +179,10 @@ pub fn run_monitor(args: &Args) -> Result<String, CliError> {
     }
     let f = build_function(function, dim)?;
 
-    let mut coord = Coordinator::new(f.clone(), nodes, MonitorConfig::builder(epsilon).build());
+    let cfg = MonitorConfig::builder(epsilon)
+        .parallelism(parse_parallelism(args)?)
+        .build();
+    let mut coord = Coordinator::new(f.clone(), nodes, cfg);
     let mut node_actors: Vec<Node> = (0..nodes).map(|i| Node::new(i, f.clone())).collect();
     let mut current: Vec<Option<Vec<f64>>> = vec![None; nodes];
     let mut messages = 0usize;

@@ -13,12 +13,13 @@
 //!
 //! The convex-vs-concave choice follows the DC heuristic of §3.4.
 
-use automon_linalg::SymEigen;
+use automon_linalg::{EigenWorkspace, Matrix, SymEigen};
 use automon_opt::{nelder_mead, Bounds, OptimizeOptions};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::config::{EigenSearch, MonitorConfig};
+use crate::config::{EigenObjective, EigenSearch, MonitorConfig};
+use crate::par::par_map_with;
 use crate::safezone::{Curvature, DcKind, NeighborhoodBox};
 use crate::MonitoredFunction;
 
@@ -75,7 +76,13 @@ pub fn decompose(
 
 /// ADCD-E (paper Lemma 2).
 fn decompose_e(f: &dyn MonitoredFunction, x0: &[f64], cfg: &MonitorConfig) -> DcDecomposition {
-    let h = f.hessian(x0);
+    // A constant Hessian was already evaluated once during detection;
+    // reuse it instead of paying d more Hessian-vector products here.
+    // When ADCD-E is forced on a function whose Hessian was not detected
+    // constant, fall back to evaluating at the reference point.
+    let h = f
+        .constant_hessian()
+        .unwrap_or_else(|| f.hessian(x0));
     let eig = SymEigen::new(&h);
     let (lmin, lmax) = (eig.lambda_min(), eig.lambda_max());
     // DC heuristic for constant Hessians reduces to |λ_min| ≤ λ_max
@@ -109,10 +116,20 @@ fn decompose_x(
     cfg: &MonitorConfig,
 ) -> DcDecomposition {
     let bounds = neighborhood.to_bounds();
-    let lambda_min_hat =
-        search_extreme(f, &bounds, &cfg.eigen_search, cfg.eigen_objective, Extreme::Min);
-    let lambda_max_hat =
-        search_extreme(f, &bounds, &cfg.eigen_search, cfg.eigen_objective, Extreme::Max);
+    let workers = cfg.parallelism.workers();
+    let (lambda_min_hat, lambda_max_hat, lambda0_min, lambda0_max) = if workers == 0 {
+        // Legacy one-probe-at-a-time path, kept verbatim: the batched
+        // pipeline below is proptested bit-identical against it.
+        let lmin =
+            search_extreme(f, &bounds, &cfg.eigen_search, cfg.eigen_objective, Extreme::Min);
+        let lmax =
+            search_extreme(f, &bounds, &cfg.eigen_search, cfg.eigen_objective, Extreme::Max);
+        let h0 = f.hessian(x0);
+        let eig0 = SymEigen::new(&h0);
+        (lmin, lmax, eig0.lambda_min(), eig0.lambda_max())
+    } else {
+        search_extremes_batched(f, x0, &bounds, &cfg.eigen_search, cfg.eigen_objective, workers)
+    };
     // λ⁻ = min(0, λ̂_min), λ⁺ = max(0, λ̂_max).
     let lambda_minus_abs = (-lambda_min_hat).max(0.0);
     let lambda_plus = lambda_max_hat.max(0.0);
@@ -123,10 +140,8 @@ fn decompose_x(
     //   λ_min(H(x0)) + 2|λ⁻| ≤ |λ_max(H(x0)) - 2λ⁺|.
     // The heuristic uses the raw extremes; the safety margin only widens
     // the final curvature penalty, it must not flip the representation.
-    let h0 = f.hessian(x0);
-    let eig0 = SymEigen::new(&h0);
-    let lhs = eig0.lambda_min() + 2.0 * lambda_minus_abs;
-    let rhs = (eig0.lambda_max() - 2.0 * lambda_plus).abs();
+    let lhs = lambda0_min + 2.0 * lambda_minus_abs;
+    let rhs = (lambda0_max - 2.0 * lambda_plus).abs();
     let dc = cfg
         .dc_override
         .unwrap_or(if lhs <= rhs { DcKind::ConvexDiff } else { DcKind::ConcaveDiff });
@@ -236,6 +251,154 @@ fn search_extreme(
         Extreme::Min => best_v,
         Extreme::Max => -best_v,
     }
+}
+
+/// Both extreme-eigenvalue searches plus the DC heuristic's
+/// reference-point spectrum, batched and fanned across `workers`
+/// threads. Returns `(λ̂_min, λ̂_max, λ_min(H(x0)), λ_max(H(x0)))`.
+///
+/// Bit-identical to running [`search_extreme`] for each extreme followed
+/// by `SymEigen::new(&f.hessian(x0))`, for every `workers ≥ 1`:
+///
+/// * probe points are pre-generated from the same per-search seeded
+///   streams the sequential loop consumes (generation never depends on
+///   evaluation results, so hoisting it is exact);
+/// * per-point Hessians come from [`HessianEvaluator`] replays and
+///   eigenvalues from [`EigenWorkspace`], both bit-identical to the
+///   `f.hessian` + [`SymEigen`] pair they replace — and allocation-free
+///   across points, which is where the single-thread speedup lives;
+/// * [`par_map_with`] pins each result to its item's slot, and the
+///   argmin reductions then replay the sequential order (center first,
+///   probes in stream order, strict `<`);
+/// * the center Hessian is decomposed once and shared by both searches —
+///   the sequential path decomposes the same matrix twice and Jacobi is
+///   deterministic, so the shared values match both uses exactly.
+///
+/// [`HessianEvaluator`]: automon_autodiff::HessianEvaluator
+fn search_extremes_batched(
+    f: &dyn MonitoredFunction,
+    x0: &[f64],
+    bounds: &Bounds,
+    es: &EigenSearch,
+    objective: EigenObjective,
+    workers: usize,
+) -> (f64, f64, f64, f64) {
+    let d = bounds.dim();
+    let gen_probes = |which: Extreme| -> Vec<Vec<f64>> {
+        let mut rng = SmallRng::seed_from_u64(es.seed ^ (which == Extreme::Max) as u64);
+        (0..es.probes)
+            .map(|_| {
+                (0..d)
+                    .map(|i| {
+                        if bounds.lo[i] < bounds.hi[i] {
+                            rng.gen_range(bounds.lo[i]..=bounds.hi[i])
+                        } else {
+                            bounds.lo[i]
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let min_probes = gen_probes(Extreme::Min);
+    let max_probes = gen_probes(Extreme::Max);
+    let center = bounds.center();
+
+    let mut points: Vec<&[f64]> = Vec::with_capacity(2 + 2 * es.probes);
+    points.push(&center);
+    points.push(x0);
+    points.extend(min_probes.iter().map(Vec::as_slice));
+    points.extend(max_probes.iter().map(Vec::as_slice));
+
+    let extremes: Vec<(f64, f64)> = par_map_with(
+        &points,
+        workers,
+        || (f.hessian_eval(), EigenWorkspace::new(), Matrix::zeros(d, d)),
+        |(he, ws, h), idx, &x| {
+            he.hessian_into(x, h);
+            // x0 (index 1) feeds the DC heuristic, which reads exact
+            // eigenvalues regardless of the probe objective.
+            if idx == 1 || objective == EigenObjective::Exact {
+                ws.extreme_eigenvalues(h)
+            } else {
+                gershgorin_bounds(h)
+            }
+        },
+    );
+    let (lambda0_min, lambda0_max) = extremes[1];
+
+    let signed = |which: Extreme, (lo, hi): (f64, f64)| match which {
+        Extreme::Min => lo,
+        Extreme::Max => -hi,
+    };
+    // The argmin replays the sequential order: center first, then
+    // probes in stream order under strict `<`. `None` keeps the center.
+    let reduce = |which: Extreme, probe_vals: &[(f64, f64)]| {
+        let mut best_v = signed(which, extremes[0]);
+        let mut best_i: Option<usize> = None;
+        for (i, &lohi) in probe_vals.iter().enumerate() {
+            let v = signed(which, lohi);
+            if v < best_v {
+                best_v = v;
+                best_i = Some(i);
+            }
+        }
+        (best_v, best_i)
+    };
+    let (min_v, min_i) = reduce(Extreme::Min, &extremes[2..2 + es.probes]);
+    let (max_v, max_i) = reduce(Extreme::Max, &extremes[2 + es.probes..]);
+    let min_x: &[f64] = min_i.map_or(&center, |i| &min_probes[i]);
+    let max_x: &[f64] = max_i.map_or(&center, |i| &max_probes[i]);
+
+    // Nelder–Mead is adaptive, so each polish stays sequential
+    // internally; the two extremes' polishes are independent and run
+    // concurrently when a second worker is available.
+    let polish = |which: Extreme, start: &[f64], incumbent: f64| -> f64 {
+        let mut he = f.hessian_eval();
+        let mut ws = EigenWorkspace::new();
+        let mut h = Matrix::zeros(d, d);
+        let mut eval = |x: &[f64]| -> f64 {
+            he.hessian_into(x, &mut h);
+            match objective {
+                EigenObjective::Exact => signed(which, ws.extreme_eigenvalues(&h)),
+                EigenObjective::Gershgorin => signed(which, gershgorin_bounds(&h)),
+            }
+        };
+        let opts = OptimizeOptions {
+            max_iters: es.nm_iters,
+            tol: 1e-10,
+            ..Default::default()
+        };
+        let r = nelder_mead(&mut eval, start, bounds, &opts);
+        if r.value < incumbent {
+            r.value
+        } else {
+            incumbent
+        }
+    };
+    let (min_v, max_v) = if es.nm_iters > 0 && d <= es.nm_dim_cap {
+        if workers >= 2 {
+            let polish = &polish;
+            crossbeam::scope(|s| {
+                let hmin = s.spawn(move |_| polish(Extreme::Min, min_x, min_v));
+                let hmax = s.spawn(move |_| polish(Extreme::Max, max_x, max_v));
+                (
+                    hmin.join().unwrap_or_else(|e| std::panic::resume_unwind(e)),
+                    hmax.join().unwrap_or_else(|e| std::panic::resume_unwind(e)),
+                )
+            })
+            .unwrap_or_else(|e| std::panic::resume_unwind(e))
+        } else {
+            (
+                polish(Extreme::Min, min_x, min_v),
+                polish(Extreme::Max, max_x, max_v),
+            )
+        }
+    } else {
+        (min_v, max_v)
+    };
+
+    (min_v, -max_v, lambda0_min, lambda0_max)
 }
 
 #[cfg(test)]
@@ -379,6 +542,50 @@ mod tests {
         let f = AutoDiffFn::new(Sin1);
         let c = MonitorConfig::builder(0.1).adcd(AdcdKind::X).build();
         decompose(&f, &[0.0], None, &c);
+    }
+
+    #[test]
+    fn batched_search_bit_identical_to_sequential() {
+        use crate::config::Parallelism;
+        struct Coupled;
+        impl ScalarFn for Coupled {
+            fn dim(&self) -> usize {
+                3
+            }
+            fn call<S: Scalar>(&self, x: &[S]) -> S {
+                (x[0] * x[1]).sin() + x[2].exp() * x[0] - x[1] / (x[2] + S::from_f64(2.0))
+            }
+        }
+        let f = AutoDiffFn::new(Coupled);
+        let x0 = [0.3, -0.2, 0.1];
+        let b = NeighborhoodBox {
+            lo: vec![-0.2, -0.7, -0.4],
+            hi: vec![0.8, 0.3, 0.6],
+        };
+        for objective in [false, true] {
+            let build = |p: Parallelism| {
+                let mut c = MonitorConfig::builder(0.1).parallelism(p);
+                if objective {
+                    c = c.gershgorin_bounds();
+                }
+                c.build()
+            };
+            let seq = decompose(&f, &x0, Some(&b), &build(Parallelism::Sequential));
+            for workers in [1usize, 2, 5] {
+                let par = decompose(&f, &x0, Some(&b), &build(Parallelism::Threads(workers)));
+                assert_eq!(
+                    par.lambda_min_hat.to_bits(),
+                    seq.lambda_min_hat.to_bits(),
+                    "λ̂_min diverged at {workers} workers (gershgorin={objective})"
+                );
+                assert_eq!(
+                    par.lambda_max_hat.to_bits(),
+                    seq.lambda_max_hat.to_bits(),
+                    "λ̂_max diverged at {workers} workers (gershgorin={objective})"
+                );
+                assert_eq!(par.dc, seq.dc);
+            }
+        }
     }
 }
 

@@ -55,6 +55,54 @@ pub enum EigenObjective {
     Gershgorin,
 }
 
+/// Degree of parallelism for the full-sync hot path (ADCD-X eigen
+/// search, per-node constraint checks).
+///
+/// The batched pipeline (`Threads`/`Auto`) is deterministic: probe
+/// points are pre-generated from the same seeded streams as the
+/// sequential path and reductions happen in a fixed order, so results
+/// are bit-identical for every worker count `≥ 1`. `Sequential` instead
+/// runs the original one-probe-at-a-time code path verbatim, byte for
+/// byte — kept both as the reference the batched path is tested
+/// against and as a rollback switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Legacy single-threaded code path (pre-batching behavior).
+    Sequential,
+    /// Batched pipeline on `n` worker threads (`n = 1` runs the batched
+    /// pipeline inline, without spawning).
+    Threads(usize),
+    /// Batched pipeline sized to `std::thread::available_parallelism()`.
+    #[default]
+    Auto,
+}
+
+impl Parallelism {
+    /// Number of worker threads the batched pipeline will use; `0` means
+    /// the legacy sequential path.
+    pub fn workers(&self) -> usize {
+        match *self {
+            Parallelism::Sequential => 0,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+impl From<usize> for Parallelism {
+    /// CLI-friendly conversion: `0` → `Auto`, `1` → `Sequential`,
+    /// `n ≥ 2` → `Threads(n)`.
+    fn from(n: usize) -> Self {
+        match n {
+            0 => Parallelism::Auto,
+            1 => Parallelism::Sequential,
+            n => Parallelism::Threads(n),
+        }
+    }
+}
+
 /// Budget for the extreme-eigenvalue search of ADCD-X (paper eq. 3).
 ///
 /// The search evaluates `λ(H(x))` — a full Hessian plus an
@@ -122,6 +170,8 @@ pub struct MonitorConfig {
     /// How per-probe extreme eigenvalues are computed (exact vs
     /// Gershgorin bounds; §6 extension).
     pub eigen_objective: EigenObjective,
+    /// Degree of parallelism for the full-sync hot path.
+    pub parallelism: Parallelism,
     /// Options for the general-purpose optimizer (tuning procedures).
     pub opt: OptimizeOptions,
     /// Consecutive-neighborhood-violation threshold factor: `r` doubles
@@ -160,6 +210,7 @@ impl MonitorConfigBuilder {
                 eigen_margin: 1.0,
                 eigen_search: EigenSearch::default(),
                 eigen_objective: EigenObjective::Exact,
+                parallelism: Parallelism::default(),
                 opt: OptimizeOptions::default(),
                 adaptive_r_factor: 5,
             },
@@ -230,6 +281,12 @@ impl MonitorConfigBuilder {
         self
     }
 
+    /// Set the full-sync parallelism policy.
+    pub fn parallelism(mut self, p: Parallelism) -> Self {
+        self.cfg.parallelism = p;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> MonitorConfig {
         self.cfg
@@ -268,6 +325,24 @@ mod tests {
         assert!(!cfg.enable_lazy_sync);
         assert!(cfg.disable_adcd);
         assert_eq!(cfg.eigen_margin, 1.5);
+    }
+
+    #[test]
+    fn parallelism_mapping() {
+        assert_eq!(Parallelism::from(0), Parallelism::Auto);
+        assert_eq!(Parallelism::from(1), Parallelism::Sequential);
+        assert_eq!(Parallelism::from(4), Parallelism::Threads(4));
+        assert_eq!(Parallelism::Sequential.workers(), 0);
+        assert_eq!(Parallelism::Threads(3).workers(), 3);
+        assert!(Parallelism::Auto.workers() >= 1);
+        let cfg = MonitorConfig::builder(0.1)
+            .parallelism(Parallelism::Threads(2))
+            .build();
+        assert_eq!(cfg.parallelism, Parallelism::Threads(2));
+        assert_eq!(
+            MonitorConfig::builder(0.1).build().parallelism,
+            Parallelism::Auto
+        );
     }
 
     #[test]

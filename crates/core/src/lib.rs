@@ -33,11 +33,12 @@ mod config;
 pub mod coordinator;
 pub mod messages;
 pub mod node;
+pub mod par;
 pub mod safezone;
 pub mod tuning;
 
 pub use adcd::{AdcdKind, DcDecomposition};
-pub use config::{ApproximationKind, EigenObjective, EigenSearch, MonitorConfig, MonitorConfigBuilder, NeighborhoodMode};
+pub use config::{ApproximationKind, EigenObjective, EigenSearch, MonitorConfig, MonitorConfigBuilder, NeighborhoodMode, Parallelism};
 pub use coordinator::{Coordinator, CoordinatorEvent, CoordinatorSnapshot, CoordinatorStats, Observer};
 pub use messages::{CoordinatorMessage, NodeId, NodeMessage, Outbound, Recipient, ZoneUpdate};
 pub use node::Node;

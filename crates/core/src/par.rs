@@ -1,0 +1,126 @@
+//! Deterministic fork-join for the full-sync hot path.
+//!
+//! The coordinator's expensive sync work — extreme-eigenvalue probes in
+//! ADCD-X and per-node safe-zone checks during resolution — is
+//! embarrassingly parallel, but AutoMon's protocol tests (and the
+//! paper's reproducibility claims) demand that the monitoring trace not
+//! depend on the worker count. [`par_map_with`] guarantees that: items
+//! are striped over scoped worker threads, each result is written back
+//! to its item's slot, and the caller reduces over the returned `Vec` in
+//! item order. Thread scheduling can change *when* a result is computed
+//! but never *where* it lands, so any order-sensitive reduction (e.g.
+//! strict-`<` argmin) sees the exact sequence the inline path produces.
+
+/// Map `f` over `items` on up to `workers` scoped threads, preserving
+/// item order in the output.
+///
+/// Each worker owns one context built by `init` — scratch buffers,
+/// tapes, eigen workspaces — so the hot path allocates per *worker*, not
+/// per item. With `workers <= 1` (or a single item) everything runs
+/// inline on the caller's thread with one context and no spawns; the
+/// output is identical either way.
+///
+/// # Panics
+/// Propagates panics from `f`/`init` after all workers have joined.
+pub fn par_map_with<T, R, C, I, F>(items: &[T], workers: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, usize, &T) -> R + Sync,
+{
+    if workers <= 1 || items.len() <= 1 {
+        let mut ctx = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut ctx, i, t))
+            .collect();
+    }
+    let w = workers.min(items.len());
+    let init = &init;
+    let f = &f;
+    let parts: Vec<Vec<(usize, R)>> = crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..w)
+            .map(|k| {
+                s.spawn(move |_| {
+                    let mut ctx = init();
+                    items
+                        .iter()
+                        .enumerate()
+                        .skip(k)
+                        .step_by(w)
+                        .map(|(i, t)| (i, f(&mut ctx, i, t)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+    .unwrap_or_else(|e| std::panic::resume_unwind(e));
+
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    for part in parts {
+        for (i, r) in part {
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("par_map_with: missing result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<usize> = (0..37).collect();
+        let seq = par_map_with(&items, 1, || (), |_, i, &t| (i, t * t));
+        for workers in [2, 3, 8, 64] {
+            let par = par_map_with(&items, workers, || (), |_, i, &t| (i, t * t));
+            assert_eq!(par, seq);
+        }
+    }
+
+    #[test]
+    fn context_is_per_worker_and_reused() {
+        // Each worker counts the items it handled; totals must cover all.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let handled = AtomicUsize::new(0);
+        let items: Vec<u8> = vec![0; 100];
+        par_map_with(
+            &items,
+            4,
+            || 0usize,
+            |seen, _, _| {
+                *seen += 1;
+                handled.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(handled.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<i32> = vec![];
+        assert!(par_map_with(&none, 8, || (), |_, _, &t| t).is_empty());
+        assert_eq!(par_map_with(&[5], 8, || (), |_, _, &t| t * 3), vec![15]);
+    }
+
+    #[test]
+    #[should_panic(expected = "item 5 exploded")]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..8).collect();
+        par_map_with(&items, 2, || (), |_, i, _| {
+            if i == 5 {
+                panic!("item 5 exploded");
+            }
+        });
+    }
+}

@@ -81,20 +81,31 @@ impl IntrusionDataset {
         let mut round_robin_ecr = 0usize;
         let mut round_robin_private = 0usize;
         let mut events = Vec::with_capacity(params.records);
-        // Attack activity arrives in bursts: a two-state process.
+        // Attack activity arrives in bursts: a two-state process whose
+        // stationary burst occupancy is chosen so the overall attack
+        // rate hits `attack_fraction`. With attack probabilities of 0.85
+        // in-burst and 0.02 quiet, occupancy must be
+        // (fraction − 0.02) / (0.85 − 0.02), and with a fixed burst-exit
+        // rate the entry rate follows from occ = entry / (entry + exit).
+        const BURST_ATTACK: f64 = 0.85;
+        const QUIET_ATTACK: f64 = 0.02;
+        const BURST_EXIT: f64 = 0.01;
+        let occupancy = ((params.attack_fraction - QUIET_ATTACK) / (BURST_ATTACK - QUIET_ATTACK))
+            .clamp(0.0, 0.95);
+        let burst_entry = BURST_EXIT * occupancy / (1.0 - occupancy);
         let mut in_burst = false;
         for t in 0..params.records {
             if in_burst {
-                if rng.chance(0.01) {
+                if rng.chance(BURST_EXIT) {
                     in_burst = false;
                 }
-            } else if rng.chance(params.attack_fraction * 0.01 / 0.2) {
+            } else if rng.chance(burst_entry) {
                 in_burst = true;
             }
             let is_attack = if in_burst {
-                rng.chance(0.85)
+                rng.chance(BURST_ATTACK)
             } else {
-                rng.chance(0.02)
+                rng.chance(QUIET_ATTACK)
             };
             // Application mix: ECR-like dominates (55%), private 25%,
             // http 12%, tail 8% — mirroring KDD's heavy skew.

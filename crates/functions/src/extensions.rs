@@ -225,7 +225,7 @@ impl CosineSimilarity {
     /// # Panics
     /// Panics when `d` is odd/zero or `ridge ≤ 0`.
     pub fn new(d: usize, ridge: f64) -> Self {
-        assert!(d > 0 && d % 2 == 0, "CosineSimilarity: even dimension");
+        assert!(d > 0 && d.is_multiple_of(2), "CosineSimilarity: even dimension");
         assert!(ridge > 0.0, "CosineSimilarity: positive ridge required");
         Self { d, ridge }
     }

@@ -70,21 +70,7 @@ impl SymEigen {
         let mut a = h.clone();
         a.symmetrize();
         let mut q = Matrix::identity(n);
-
-        if n > 0 {
-            let scale = a.frobenius_norm().max(f64::MIN_POSITIVE);
-            let threshold = opts.tol * scale;
-            for _sweep in 0..opts.max_sweeps {
-                if a.max_off_diagonal() <= threshold {
-                    break;
-                }
-                for p in 0..n {
-                    for r in (p + 1)..n {
-                        jacobi_rotate(&mut a, &mut q, p, r);
-                    }
-                }
-            }
-        }
+        jacobi_sweeps(&mut a, Some(&mut q), &opts);
 
         // Extract and sort ascending, permuting eigenvectors along.
         let mut idx: Vec<usize> = (0..n).collect();
@@ -146,10 +132,44 @@ impl SymEigen {
     }
 }
 
+/// Run cyclic Jacobi sweeps on `a` until the off-diagonal mass falls
+/// below `tol · ‖A‖_F`, optionally accumulating rotations into `q`.
+///
+/// This is the shared kernel behind [`SymEigen`] and [`EigenWorkspace`]:
+/// both must perform the exact same rotation sequence so eigenvalues
+/// from either path agree bit for bit. The sweep is *threshold-cyclic*:
+/// pairs already below the convergence threshold are skipped (classic
+/// threshold Jacobi), which prunes the last sweep to a no-op and most
+/// rotations on near-diagonal input. Skipping only leaves sub-threshold
+/// mass behind, so the eigenvalue perturbation stays within the
+/// convergence tolerance that callers already accept.
+fn jacobi_sweeps(a: &mut Matrix, mut q: Option<&mut Matrix>, opts: &JacobiOptions) {
+    let n = a.rows();
+    if n == 0 {
+        return;
+    }
+    let scale = a.frobenius_norm().max(f64::MIN_POSITIVE);
+    let threshold = opts.tol * scale;
+    for _sweep in 0..opts.max_sweeps {
+        if a.max_off_diagonal() <= threshold {
+            break;
+        }
+        for p in 0..n {
+            for r in (p + 1)..n {
+                jacobi_rotate(a, q.as_deref_mut(), p, r, threshold);
+            }
+        }
+    }
+}
+
 /// One Jacobi rotation zeroing `a[(p, r)]`, accumulating into `q`.
-fn jacobi_rotate(a: &mut Matrix, q: &mut Matrix, p: usize, r: usize) {
+/// Pairs at or below `skip_threshold` (the convergence threshold) are
+/// left untouched — see [`jacobi_sweeps`].
+fn jacobi_rotate(a: &mut Matrix, q: Option<&mut Matrix>, p: usize, r: usize, skip_threshold: f64) {
     let apr = a[(p, r)];
-    if apr.abs() < f64::MIN_POSITIVE {
+    // NaN also skips (the comparison is ordered on purpose).
+    let rotate = apr.abs() > skip_threshold;
+    if !rotate {
         return;
     }
     let app = a[(p, p)];
@@ -181,11 +201,79 @@ fn jacobi_rotate(a: &mut Matrix, q: &mut Matrix, p: usize, r: usize) {
     a[(p, r)] = 0.0;
     a[(r, p)] = 0.0;
 
-    for k in 0..n {
-        let qkp = q[(k, p)];
-        let qkr = q[(k, r)];
-        q[(k, p)] = c * qkp - s * qkr;
-        q[(k, r)] = s * qkp + c * qkr;
+    // Rotations on `a` are independent of `q`, so an eigenvalues-only
+    // caller skipping the accumulation gets bit-identical eigenvalues.
+    if let Some(q) = q {
+        for k in 0..n {
+            let qkp = q[(k, p)];
+            let qkr = q[(k, r)];
+            q[(k, p)] = c * qkp - s * qkr;
+            q[(k, r)] = s * qkp + c * qkr;
+        }
+    }
+}
+
+/// Reusable scratch for eigenvalues-only Jacobi decompositions.
+///
+/// The ADCD-X extreme-eigenvalue search evaluates `λ_min`/`λ_max` of a
+/// fresh Hessian per probe point; a full [`SymEigen`] there allocates a
+/// working copy, an identity `Q`, and sorted outputs per call, and pays
+/// for rotating `Q` — a third of the kernel's work — only to discard it.
+/// A workspace keeps one scratch matrix and sorts in place, and skips
+/// `Q` entirely. Eigenvalues are **bit-identical** to
+/// [`SymEigen::with_options`] on the same input and options: the
+/// rotation sequence on `a` is shared ([`jacobi_sweeps`]) and `Q`
+/// feeds nothing back into it.
+#[derive(Debug, Clone)]
+pub struct EigenWorkspace {
+    a: Matrix,
+    diag: Vec<f64>,
+}
+
+impl Default for EigenWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EigenWorkspace {
+    /// An empty workspace; scratch buffers size themselves on first use.
+    pub fn new() -> Self {
+        Self {
+            a: Matrix::zeros(0, 0),
+            diag: Vec::new(),
+        }
+    }
+
+    /// The extreme eigenvalues `(λ_min, λ_max)` of symmetric `h`, with
+    /// default [`JacobiOptions`] — the values `SymEigen::new(h)` would
+    /// report, without computing eigenvectors or allocating.
+    ///
+    /// # Panics
+    /// Panics if `h` is not square, is empty, or yields NaN eigenvalues.
+    pub fn extreme_eigenvalues(&mut self, h: &Matrix) -> (f64, f64) {
+        self.extreme_eigenvalues_with(h, JacobiOptions::default())
+    }
+
+    /// As [`Self::extreme_eigenvalues`] with explicit options.
+    pub fn extreme_eigenvalues_with(&mut self, h: &Matrix, opts: JacobiOptions) -> (f64, f64) {
+        assert_eq!(h.rows(), h.cols(), "EigenWorkspace: matrix must be square");
+        let n = h.rows();
+        assert!(n > 0, "empty decomposition");
+        if self.a.rows() == n && self.a.cols() == n {
+            self.a.as_mut_slice().copy_from_slice(h.as_slice());
+        } else {
+            self.a = h.clone();
+        }
+        self.a.symmetrize();
+        jacobi_sweeps(&mut self.a, None, &opts);
+        // Mirror SymEigen's sort (same comparator, hence the same bits
+        // for the first/last element) without allocating.
+        self.diag.clear();
+        self.diag.extend((0..n).map(|i| self.a[(i, i)]));
+        self.diag
+            .sort_by(|x, y| x.partial_cmp(y).expect("NaN eigenvalue"));
+        (self.diag[0], self.diag[n - 1])
     }
 }
 
@@ -263,6 +351,38 @@ mod tests {
         assert!(e0.values.is_empty());
         let e1 = SymEigen::new(&Matrix::from_diag(&[7.0]));
         assert_eq!(e1.values, vec![7.0]);
+    }
+
+    #[test]
+    fn workspace_extremes_bit_identical_to_full_decomposition() {
+        let mut seed = 7u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut ws = EigenWorkspace::new();
+        // Reuse one workspace across shapes and inputs, including a
+        // shrink (12 → 5) that exercises the reallocation path.
+        for n in [1usize, 3, 5, 12, 5] {
+            let mut a = Matrix::from_fn(n, n, |_, _| next());
+            a.symmetrize();
+            let e = SymEigen::new(&a);
+            let (lo, hi) = ws.extreme_eigenvalues(&a);
+            assert_eq!(lo.to_bits(), e.lambda_min().to_bits());
+            assert_eq!(hi.to_bits(), e.lambda_max().to_bits());
+        }
+    }
+
+    #[test]
+    fn workspace_handles_near_diagonal_input() {
+        // Threshold sweeps skip everything here; extremes still match.
+        let mut a = Matrix::from_diag(&[4.0, -2.0, 1.0]);
+        a[(0, 1)] = 1e-30;
+        a[(1, 0)] = 1e-30;
+        let e = SymEigen::new(&a);
+        let (lo, hi) = EigenWorkspace::new().extreme_eigenvalues(&a);
+        assert_eq!(lo.to_bits(), e.lambda_min().to_bits());
+        assert_eq!(hi.to_bits(), e.lambda_max().to_bits());
     }
 
     #[test]

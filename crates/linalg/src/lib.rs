@@ -21,5 +21,5 @@ mod eigen;
 mod matrix;
 pub mod vector;
 
-pub use eigen::{JacobiOptions, SymEigen};
+pub use eigen::{EigenWorkspace, JacobiOptions, SymEigen};
 pub use matrix::Matrix;

@@ -78,6 +78,11 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable row-major backing slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Matrix-vector product `A·x`.
     ///
     /// # Panics

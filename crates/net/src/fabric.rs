@@ -1,6 +1,6 @@
 //! Message fabrics: in-process accounting and channel-based transport.
 
-use automon_core::{Coordinator, CoordinatorMessage, Node, NodeId, NodeMessage, Outbound};
+use automon_core::{Coordinator, CoordinatorMessage, Node, NodeId, NodeMessage, Outbound, Parallelism};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::wire;
@@ -40,16 +40,44 @@ impl TrafficStats {
 /// An in-process fabric that *really* serializes every message (payload
 /// sizes are measured, not estimated) and accounts messages and bytes in
 /// both directions while delivering synchronously.
-#[derive(Debug, Default)]
+///
+/// Sync resolution fans out: one coordinator step can emit a batch of
+/// messages to pairwise-distinct nodes, and each receiving node
+/// re-evaluates its safe-zone constraints — the expensive part of a
+/// full sync at high dimension. [`CountingFabric::route`] evaluates
+/// those deliveries on up to [`Parallelism::workers`] threads. Replies
+/// are re-enqueued in batch order and counters are accounted in batch
+/// order, so the protocol trace and statistics are identical for every
+/// worker count.
+#[derive(Debug)]
 pub struct CountingFabric {
     stats: TrafficStats,
     per_node: Vec<usize>,
+    workers: usize,
+}
+
+impl Default for CountingFabric {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl CountingFabric {
-    /// A fresh fabric with zeroed counters.
+    /// A fresh fabric with zeroed counters and default parallelism
+    /// ([`Parallelism::Auto`]).
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            stats: TrafficStats::default(),
+            per_node: Vec::new(),
+            workers: Parallelism::default().workers(),
+        }
+    }
+
+    /// Set the fan-out policy for batched node deliveries; typically
+    /// forwarded from the coordinator's `MonitorConfig`.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.workers = par.workers();
+        self
     }
 
     /// The accumulated counters.
@@ -110,13 +138,83 @@ impl CountingFabric {
     ) {
         let mut inbox = std::collections::VecDeque::from([first]);
         while let Some(m) = inbox.pop_front() {
-            for out in self.deliver_to_coordinator(coord, m) {
-                let to = out.to;
-                if let Some(reply) = self.deliver_to_node(&mut nodes[to], out) {
-                    inbox.push_back(reply);
-                }
-            }
+            let outs = self.deliver_to_coordinator(coord, m);
+            inbox.extend(self.deliver_batch(nodes, outs));
         }
+    }
+
+    /// Deliver one coordinator batch, fanning the per-node constraint
+    /// evaluations across worker threads when the batch targets
+    /// pairwise-distinct nodes. Replies are returned in batch order and
+    /// counters accounted in batch order, exactly as the sequential
+    /// delivery loop would.
+    pub fn deliver_batch(&mut self, nodes: &mut [Node], outs: Vec<Outbound>) -> Vec<NodeMessage> {
+        let distinct = {
+            let mut seen = vec![false; nodes.len()];
+            outs.iter()
+                .all(|o| !std::mem::replace(&mut seen[o.to], true))
+        };
+        if self.workers <= 1 || outs.len() <= 1 || !distinct {
+            return outs
+                .into_iter()
+                .filter_map(|o| {
+                    let to = o.to;
+                    self.deliver_to_node(&mut nodes[to], o)
+                })
+                .collect();
+        }
+
+        // Serialize and account up front (batch order), then evaluate
+        // node handlers — the expensive part — concurrently.
+        let mut decoded = Vec::with_capacity(outs.len());
+        for out in outs {
+            let frame = wire::encode_coordinator_message(&out.msg);
+            self.stats.coord_to_node_msgs += 1;
+            self.stats.coord_to_node_payload += frame.len();
+            self.bump_node(out.to);
+            let msg =
+                wire::decode_coordinator_message(&frame).expect("self-encoded frame decodes");
+            decoded.push((out.to, msg));
+        }
+
+        let mut slots: Vec<Option<&mut Node>> = nodes.iter_mut().map(Some).collect();
+        let tasks: Vec<(usize, &mut Node, CoordinatorMessage)> = decoded
+            .into_iter()
+            .enumerate()
+            .map(|(i, (to, msg))| (i, slots[to].take().expect("pairwise distinct"), msg))
+            .collect();
+        let w = self.workers.min(tasks.len());
+        let mut stripes: Vec<Vec<(usize, &mut Node, CoordinatorMessage)>> =
+            (0..w).map(|_| Vec::new()).collect();
+        for (i, task) in tasks.into_iter().enumerate() {
+            stripes[i % w].push(task);
+        }
+        let parts: Vec<Vec<(usize, Option<NodeMessage>)>> = crossbeam::scope(|s| {
+            let handles: Vec<_> = stripes
+                .into_iter()
+                .map(|stripe| {
+                    s.spawn(move |_| {
+                        stripe
+                            .into_iter()
+                            .map(|(i, node, msg)| (i, node.handle(msg)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        })
+        .unwrap_or_else(|e| std::panic::resume_unwind(e));
+
+        let mut replies: Vec<(usize, NodeMessage)> = parts
+            .into_iter()
+            .flatten()
+            .filter_map(|(i, r)| r.map(|m| (i, m)))
+            .collect();
+        replies.sort_by_key(|&(i, _)| i);
+        replies.into_iter().map(|(_, m)| m).collect()
     }
 }
 

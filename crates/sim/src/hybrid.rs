@@ -69,7 +69,7 @@ pub fn run_hybrid(
     let n = workload.nodes();
     let mut coord = Coordinator::new(f.clone(), n, cfg.clone());
     let mut nodes: Vec<Node> = (0..n).map(|i| Node::new(i, f.clone())).collect();
-    let mut fabric = CountingFabric::new();
+    let mut fabric = CountingFabric::new().with_parallelism(coord.parallelism());
 
     let mut current: Vec<Option<Vec<f64>>> = vec![None; n];
     let mut errors = Vec::new();

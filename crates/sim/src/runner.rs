@@ -59,7 +59,7 @@ impl Simulation {
             coord.set_neighborhood_r(r);
         }
         let mut nodes: Vec<Node> = (0..n).map(|i| Node::new(i, self.f.clone())).collect();
-        let mut fabric = CountingFabric::new();
+        let mut fabric = CountingFabric::new().with_parallelism(coord.parallelism());
 
         let mut current: Vec<Option<Vec<f64>>> = vec![None; n];
         let mut errors = Vec::with_capacity(workload.rounds());

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Snapshot the ADCD hot-path benches into BENCH_adcd_hotpath.json.
+#
+# Runs the node_runtime, coordinator_full_sync, and substrates Criterion
+# benches (node/coordinator runtime, the autodiff Hessian microbench,
+# the Jacobi eigensolver, wire codecs) and records every BENCHLINE
+# median, keyed "<group>/<bench>/<dim>" in nanoseconds. If a snapshot
+# already exists, its "current" section is rotated into "previous", so
+# consecutive runs (and consecutive PRs) keep a before/after trajectory.
+#
+# Usage: scripts/bench_snapshot.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_adcd_hotpath.json
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+for bench in node_runtime coordinator_full_sync substrates; do
+    echo "running $bench ..." >&2
+    cargo bench -q -p automon-bench --bench "$bench" 2>&1 \
+        | grep '^BENCHLINE' || true
+done > "$RAW"
+
+python3 - "$RAW" "$OUT" <<'PYEOF'
+import json
+import sys
+from datetime import datetime, timezone
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+
+current = {}
+with open(raw_path) as fh:
+    for line in fh:
+        # BENCHLINE <group>/<bench>/<dim> median_ns <float>
+        parts = line.split()
+        if len(parts) == 4 and parts[0] == "BENCHLINE" and parts[2] == "median_ns":
+            current[parts[1]] = float(parts[3])
+
+if not current:
+    sys.exit("bench_snapshot: no BENCHLINE output captured")
+
+previous = None
+try:
+    with open(out_path) as fh:
+        previous = json.load(fh).get("current")
+except (FileNotFoundError, json.JSONDecodeError):
+    pass
+
+snapshot = {
+    "unit": "median_ns",
+    "captured_at": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "benches": ["node_runtime", "coordinator_full_sync", "substrates"],
+    "previous": previous,
+    "current": dict(sorted(current.items())),
+}
+with open(out_path, "w") as fh:
+    json.dump(snapshot, fh, indent=2)
+    fh.write("\n")
+print(f"wrote {out_path}: {len(current)} medians"
+      + (" (rotated previous snapshot)" if previous else ""))
+PYEOF

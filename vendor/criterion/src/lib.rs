@@ -1,0 +1,258 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A calibrated wall-clock timing harness with criterion's bench-file
+//! API surface (`criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_with_input`, `Bencher::iter`). Each benchmark:
+//!
+//! 1. calibrates an iteration count so one sample takes ≳5 ms,
+//! 2. collects `sample_size` samples,
+//! 3. reports the median ns/iteration.
+//!
+//! Besides a human-readable line, every benchmark emits a
+//! machine-parseable line:
+//!
+//! ```text
+//! BENCHLINE <group>/<function>/<param> median_ns <float>
+//! ```
+//!
+//! which `scripts/bench_snapshot.sh` scrapes into JSON snapshots.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+const CALIBRATION_TARGET: Duration = Duration::from_millis(5);
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Override the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.sample_size, &mut |b| f(b));
+        self
+    }
+}
+
+/// A named set of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Override the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark a function parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.text);
+        run_benchmark(&full, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmark an unparameterized function within the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.sample_size, &mut |b| f(b));
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier `function/parameter` for one benchmark in a group.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Build from a function name and a displayable parameter.
+    pub fn new(function: &str, parameter: impl Display) -> Self {
+        Self {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Build from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Run the routine `self.iters` times and record the elapsed time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = Some(start.elapsed());
+    }
+}
+
+/// Calibrate, sample, and report one benchmark.
+fn run_benchmark<F>(id: &str, sample_size: usize, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration: grow the iteration count until one sample is slow
+    // enough to time reliably.
+    let mut iters: u64 = 1;
+    loop {
+        let elapsed = run_sample(f, iters);
+        if elapsed >= CALIBRATION_TARGET || iters >= 1 << 20 {
+            break;
+        }
+        // Aim straight for the target with a 2x cap on growth per step.
+        let scale = CALIBRATION_TARGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+        iters = (iters as f64 * scale.clamp(1.5, 2.0)).ceil() as u64;
+    }
+
+    let mut per_iter_ns: Vec<f64> = (0..sample_size)
+        .map(|_| run_sample(f, iters).as_secs_f64() * 1e9 / iters as f64)
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = median_of_sorted(&per_iter_ns);
+    let min = per_iter_ns.first().copied().unwrap_or(0.0);
+    let max = per_iter_ns.last().copied().unwrap_or(0.0);
+
+    println!(
+        "{id:<60} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(median),
+        format_ns(max)
+    );
+    println!("BENCHLINE {id} median_ns {median:.3}");
+}
+
+fn run_sample<F>(f: &mut F, iters: u64) -> Duration
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters,
+        elapsed: None,
+    };
+    f(&mut b);
+    b.elapsed
+        .expect("benchmark closure must call Bencher::iter")
+}
+
+fn median_of_sorted(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every group (ignores criterion CLI flags).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_formatting() {
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 30.0]), 2.0);
+        assert_eq!(median_of_sorted(&[1.0, 3.0]), 2.0);
+        assert!(format_ns(1500.0).contains("µs"));
+    }
+
+    #[test]
+    fn harness_times_a_trivial_routine() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+}

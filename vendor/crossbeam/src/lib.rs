@@ -1,0 +1,168 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the two pieces AutoMon uses, backed by the standard library:
+//!
+//! * [`scope`] — scoped threads with crossbeam's closure signature
+//!   (`|scope| … scope.spawn(|_| …)`), implemented over
+//!   `std::thread::scope`.
+//! * [`channel`] — unbounded channels with clonable senders *and*
+//!   receivers, implemented over `std::sync::mpsc` behind a mutex.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Scoped threads (crossbeam-utils `scope`).
+///
+/// Returns `Err` with the panic payload when the closure or any spawned
+/// thread panics, mirroring crossbeam's contract.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// Handle passed to the [`scope`] closure; spawns scoped threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives the scope again so
+    /// nested spawns work, as in crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&scope)),
+        }
+    }
+}
+
+/// Handle to a scoped thread spawned via [`Scope::spawn`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread to finish; `Err` carries its panic payload.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+pub mod channel {
+    //! Unbounded channels with clonable endpoints.
+
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Error returned by [`Sender::send`] when the channel is closed.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is closed.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message available right now.
+        Empty,
+        /// The channel is closed and drained.
+        Disconnected,
+    }
+
+    /// The sending half; clonable.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T> {
+        tx: mpsc::Sender<T>,
+    }
+
+    /// The receiving half; clonable (receivers share one queue).
+    #[derive(Debug, Clone)]
+    pub struct Receiver<T> {
+        rx: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message.
+        pub fn send(&self, v: T) -> Result<(), SendError<T>> {
+            self.tx.send(v).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or the channel closes.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let rx = self.rx.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let rx = self.rx.lock().unwrap_or_else(|e| e.into_inner());
+            rx.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { tx },
+            Receiver {
+                rx: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let data = vec![1, 2, 3];
+        let sum = super::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&v| s.spawn(move |_| v * 2)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(sum, 12);
+    }
+
+    #[test]
+    fn channel_round_trip_across_threads() {
+        let (tx, rx) = super::channel::unbounded();
+        let t = std::thread::spawn(move || tx.send(41).unwrap());
+        assert_eq!(rx.recv(), Ok(41));
+        t.join().unwrap();
+        assert_eq!(rx.try_recv(), Err(super::channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn scope_propagates_panics_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,498 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable offline, so this parses the item's
+//! `TokenStream` by hand — enough for the shapes the workspace uses:
+//! non-generic structs with named fields, tuple structs, and enums with
+//! unit / tuple / struct variants. Supports the one field attribute in
+//! use, `#[serde(skip_serializing_if = "path")]`. Generated impls target
+//! the vendored Value-based `serde` traits and mirror upstream serde's
+//! externally-tagged JSON layout.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    skip_serializing_if: Option<String>,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this many fields.
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// The parsed item.
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Extract `skip_serializing_if = "path"` from a `#[serde(...)]` attr
+/// group's inner stream, if present.
+fn serde_attr_skip(tokens: &[TokenTree]) -> Option<String> {
+    // Expect: serde ( ... ) — find the paren group after the `serde` ident.
+    let mut it = tokens.iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        _ => return None,
+    };
+    let mut j = 0;
+    while j < inner.len() {
+        if let TokenTree::Ident(id) = &inner[j] {
+            if id.to_string() == "skip_serializing_if" {
+                // skip `=`, take the string literal
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (inner.get(j + 1), inner.get(j + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let s = lit.to_string();
+                        return Some(s.trim_matches('"').to_string());
+                    }
+                }
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Skip a run of outer attributes starting at `i`, returning the new
+/// index and any `skip_serializing_if` path found among them.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, Option<String>) {
+    let mut skip = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if skip.is_none() {
+                        skip = serde_attr_skip(&inner);
+                    }
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    (i, skip)
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, …) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advance past a type (or discriminant expression) until a top-level
+/// comma, tracking `<`/`>` nesting. Returns the index of the comma (or
+/// `tokens.len()`).
+fn skip_to_top_level_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle: i32 = 0;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse the named fields inside a brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, skip) = skip_attrs(&tokens, i);
+        let j = skip_vis(&tokens, j);
+        let name = match tokens.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => panic!("serde derive: expected field name, got `{t}`"),
+        };
+        // tokens[j+1] must be `:`; then the type runs to the next
+        // top-level comma.
+        let after_colon = j + 2;
+        let comma = skip_to_top_level_comma(&tokens, after_colon);
+        fields.push(Field {
+            name,
+            skip_serializing_if: skip,
+        });
+        i = comma + 1;
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct/variant from its paren group.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let comma = skip_to_top_level_comma(&tokens, i);
+        if comma > i {
+            count += 1;
+        }
+        i = comma + 1;
+    }
+    count
+}
+
+/// Parse the variants inside an enum's brace group.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, _) = skip_attrs(&tokens, i);
+        let name = match tokens.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => panic!("serde derive: expected variant name, got `{t}`"),
+        };
+        let mut k = j + 1;
+        let kind = match tokens.get(k) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                k += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                k += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a possible `= discriminant` and find the trailing comma.
+        let comma = skip_to_top_level_comma(&tokens, k);
+        variants.push(Variant { name, kind });
+        i = comma + 1;
+    }
+    variants
+}
+
+/// Parse the whole derive input item.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (i, _) = skip_attrs(&tokens, 0);
+    let i = skip_vis(&tokens, i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match tokens.get(i + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.get(i + 2) {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic types are not supported");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i + 2) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            _ => Item::UnitStruct { name },
+        },
+        "enum" => match tokens.get(i + 2) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde derive: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Code that serializes the named fields of `self` (or of destructured
+/// bindings when `prefix` is empty) into a `Vec<(String, Value)>` named
+/// `__m`.
+fn gen_fields_to_map(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::new();
+    out.push_str("let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in fields {
+        let access = format!("{}{}", access_prefix, f.name);
+        let push = format!(
+            "__m.push((\"{name}\".to_string(), ::serde::Serialize::to_value(&{access})));\n",
+            name = f.name
+        );
+        match &f.skip_serializing_if {
+            Some(pred) => {
+                out.push_str(&format!("if !{pred}(&{access}) {{ {push} }}\n"));
+            }
+            None => out.push_str(&push),
+        }
+    }
+    out
+}
+
+/// Code that rebuilds named fields from a map slice named `__m`.
+fn gen_fields_from_map(fields: &[Field], ty_ctx: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{name}: ::serde::Deserialize::from_value(::serde::Value::get_field(__m, \"{name}\"))\
+                 .map_err(|e| e.in_field(\"{ctx}.{name}\"))?,\n",
+                name = f.name,
+                ctx = ty_ctx
+            )
+        })
+        .collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+             {body}\
+             ::serde::Value::Map(__m)\n\
+             }}\n}}\n",
+            body = gen_fields_to_map(fields, "self.")
+        ),
+        Item::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                // Newtype structs serialize transparently, as in serde.
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ ::serde::Serialize::to_value(&self.0) }}\n\
+                     }}\n"
+                )
+            } else {
+                let elems: String = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Seq(vec![{elems}]) }}\n\
+                     }}\n"
+                )
+            }
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}\n"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(__x0) => ::serde::Value::Map(vec![(\
+                             \"{vname}\".to_string(), ::serde::Serialize::to_value(__x0))]),\n"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: String =
+                                (0..*n).map(|i| format!("__x{i},")).collect();
+                            let elems: String = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__x{i}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Value::Map(vec![(\
+                                 \"{vname}\".to_string(), ::serde::Value::Seq(vec![{elems}]))]),\n"
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: String =
+                                fields.iter().map(|f| format!("{},", f.name)).collect();
+                            let body = gen_fields_to_map(fields, "");
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => {{\n\
+                                 {body}\
+                                 ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Map(__m))])\n\
+                                 }},\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+             let __m = __v.as_map().ok_or_else(|| ::serde::DeError::expected(\"object for {name}\", __v))?;\n\
+             Ok({name} {{\n{body}}})\n\
+             }}\n}}\n",
+            body = gen_fields_from_map(fields, name)
+        ),
+        Item::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                     Ok({name}(::serde::Deserialize::from_value(__v)?))\n\
+                     }}\n}}\n"
+                )
+            } else {
+                let elems: String = (0..*arity)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(&__s[{i}])\
+                             .map_err(|e| e.in_field(\"{name}.{i}\"))?,"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                     let __s = __v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array for {name}\", __v))?;\n\
+                     if __s.len() != {arity} {{ return Err(::serde::DeError::custom(\"wrong tuple arity for {name}\")); }}\n\
+                     Ok({name}({elems}))\n\
+                     }}\n}}\n"
+                )
+            }
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(_: &::serde::Value) -> Result<Self, ::serde::DeError> {{ Ok({name}) }}\n\
+             }}\n"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),\n", vn = v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)\
+                             .map_err(|e| e.in_field(\"{name}::{vn}\"))?)),\n"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let elems: String = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(&__s[{i}])\
+                                         .map_err(|e| e.in_field(\"{name}::{vn}.{i}\"))?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let __s = __inner.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array for {name}::{vn}\", __inner))?;\n\
+                                 if __s.len() != {n} {{ return Err(::serde::DeError::custom(\"wrong arity for {name}::{vn}\")); }}\n\
+                                 Ok({name}::{vn}({elems}))\n\
+                                 }}\n"
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let body = gen_fields_from_map(fields, &format!("{name}::{vn}"));
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let __m = __inner.as_map().ok_or_else(|| ::serde::DeError::expected(\"object for {name}::{vn}\", __inner))?;\n\
+                                 Ok({name}::{vn} {{\n{body}}})\n\
+                                 }}\n"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(::serde::DeError::custom(format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = (&__entries[0].0, &__entries[0].1);\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 __other => Err(::serde::DeError::custom(format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                 }}\n\
+                 }}\n\
+                 __other => Err(::serde::DeError::expected(\"{name} variant\", __other)),\n\
+                 }}\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}
+
+/// Derive the Value-based `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde derive: generated Serialize impl must parse")
+}
+
+/// Derive the Value-based `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde derive: generated Deserialize impl must parse")
+}
