@@ -77,6 +77,7 @@ fn bench_wire(c: &mut Criterion) {
             node: 3,
             kind: ViolationKind::SafeZone,
             local_vector: vec![1.25; d],
+            epoch: 1,
         };
         group.bench_with_input(BenchmarkId::new("encode_violation", d), &d, |b, _| {
             b.iter(|| std::hint::black_box(wire::encode_node_message(std::hint::black_box(&msg))))

@@ -1,0 +1,22 @@
+//! Deterministic fault injection for the AutoMon protocol.
+//!
+//! AutoMon's communication savings only matter if the protocol survives
+//! the network it saves. This crate provides the adversary: a seeded
+//! [`FaultPlan`] describing what goes wrong (per-frame drop, duplicate,
+//! reorder and delay probabilities, timed node crashes with optional
+//! restarts, coordinator↔node partitions) and a [`ChaosFabric`] that
+//! executes the plan at the frame boundary of the in-process fabric.
+//! Every injected fault lands in a replayable [`FaultEvent`] trace; the
+//! same plan and seed reproduce the same trace bit for bit, so any
+//! failure a chaos run finds can be replayed under a debugger.
+//!
+//! The self-healing counterpart lives in `automon-core` (epoch-tagged
+//! sync rounds, node eviction and resynchronization) and `automon-net`
+//! (retransmission, heartbeats, reconnects); this crate only breaks
+//! things, deterministically.
+
+mod fabric;
+mod plan;
+
+pub use fabric::{ChaosFabric, DeliveryFailure, Direction, FaultEvent, FaultKind};
+pub use plan::{FaultPlan, NodeCrash, Partition, RecoveryConfig};

@@ -43,7 +43,8 @@ pub fn usage() -> &'static str {
 USAGE:
     automon simulate --function <NAME> [--epsilon E] [--nodes N]
                      [--rounds R] [--dim D] [--seed S] [--baseline SPEC]
-                     [--parallelism P]
+                     [--parallelism P] [--chaos-seed S] [--drop-rate P]
+                     [--crash-node SPEC] [--partition SPEC]
     automon monitor  --function <NAME> --input <FILE.csv> --nodes N
                      [--epsilon E] [--output FILE.csv] [--parallelism P]
     automon tune     --function <NAME> --input <FILE.csv> --nodes N
@@ -62,6 +63,13 @@ PARALLELISM:
     (default); 1 forces the sequential reference path; N uses N
     worker threads. Results are identical for every setting.
 
+CHAOS (simulate only; any chaos flag switches to the fault-injecting
+runner with retransmission, eviction, and rejoin enabled):
+    --chaos-seed S      RNG seed; same seed replays the same faults
+    --drop-rate P       drop each frame with probability P in [0, 1]
+    --crash-node SPEC   `node:at[:restart]`, repeatable
+    --partition SPEC    `n1[,n2,…]:from:until` (until exclusive), repeatable
+
 CSV INPUT (monitor): header-free rows `round,node,x1,...,xd`;
 rounds must be non-decreasing, nodes in 0..N.
 
@@ -71,7 +79,9 @@ EXAMPLES:
                      --baseline centralization
     automon monitor --function inner-product --dim 4 --nodes 3 \\
                     --input updates.csv --epsilon 0.1
-    automon tune --function kld --nodes 12 --input prefix.csv"
+    automon tune --function kld --nodes 12 --input prefix.csv
+    automon simulate --function inner-product --rounds 200 \\
+                     --chaos-seed 7 --drop-rate 0.1 --crash-node 2:50:120"
 }
 
 #[cfg(test)]

@@ -8,7 +8,8 @@ use automon_core::{Coordinator, MonitorConfig, MonitoredFunction, Node, Parallel
 use automon_data::synthetic::{InnerProductDataset, QuadraticDataset, RozenbrockDataset};
 use automon_data::windowed_mean_series;
 use automon_functions::{train_mlp_d, InnerProduct, KlDivergence, QuadraticForm, Rozenbrock, Variance};
-use automon_sim::{run_centralization, run_periodic, Simulation, Workload};
+use automon_chaos::FaultPlan;
+use automon_sim::{run_centralization, run_periodic, ChaosSimulation, Simulation, Workload};
 
 use crate::args::{Args, CliError};
 use crate::csvio::{parse_csv_updates, render_estimates};
@@ -87,6 +88,85 @@ fn build_workload(
     Ok(Workload::from_dense(&windowed_mean_series(&raw, window)))
 }
 
+/// Parse the chaos flags into a [`FaultPlan`], or `None` when no chaos
+/// flag was given. Crash specs are `node:at[:restart]`, partition specs
+/// `n1[,n2,…]:from:until` (rounds; `until` exclusive).
+fn parse_chaos_plan(args: &Args, nodes: usize) -> Result<Option<FaultPlan>, CliError> {
+    let requested = args.get("chaos-seed").is_some()
+        || args.get("drop-rate").is_some()
+        || !args.get_all("crash-node").is_empty()
+        || !args.get_all("partition").is_empty();
+    if !requested {
+        return Ok(None);
+    }
+    let drop_rate = args.num("drop-rate", 0.0f64)?;
+    if !(0.0..=1.0).contains(&drop_rate) {
+        return Err(CliError::new("--drop-rate must be in [0, 1]"));
+    }
+    let mut plan = FaultPlan::seeded(args.num("chaos-seed", 1u64)?).with_drop_rate(drop_rate);
+    let node_id = |raw: &str, spec: &str| -> Result<usize, CliError> {
+        let id: usize = raw
+            .parse()
+            .map_err(|_| CliError::new(format!("bad node id `{raw}` in `{spec}`")))?;
+        if id >= nodes {
+            return Err(CliError::new(format!(
+                "node {id} in `{spec}` out of range (nodes = {nodes})"
+            )));
+        }
+        Ok(id)
+    };
+    for spec in args.get_all("crash-node") {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if !(2..=3).contains(&parts.len()) {
+            return Err(CliError::new(format!(
+                "--crash-node wants `node:at[:restart]`, got `{spec}`"
+            )));
+        }
+        let node = node_id(parts[0], spec)?;
+        let at: usize = parts[1]
+            .parse()
+            .map_err(|_| CliError::new(format!("bad crash round in `{spec}`")))?;
+        let restart = match parts.get(2) {
+            None => None,
+            Some(raw) => Some(
+                raw.parse::<usize>()
+                    .map_err(|_| CliError::new(format!("bad restart round in `{spec}`")))?,
+            ),
+        };
+        if restart.is_some_and(|r| r <= at) {
+            return Err(CliError::new(format!(
+                "restart must come after the crash in `{spec}`"
+            )));
+        }
+        plan = plan.with_crash(node, at, restart);
+    }
+    for spec in args.get_all("partition") {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let [ids, from, until] = parts.as_slice() else {
+            return Err(CliError::new(format!(
+                "--partition wants `n1[,n2,…]:from:until`, got `{spec}`"
+            )));
+        };
+        let members = ids
+            .split(',')
+            .map(|raw| node_id(raw, spec))
+            .collect::<Result<Vec<_>, _>>()?;
+        let from: usize = from
+            .parse()
+            .map_err(|_| CliError::new(format!("bad `from` round in `{spec}`")))?;
+        let until: usize = until
+            .parse()
+            .map_err(|_| CliError::new(format!("bad `until` round in `{spec}`")))?;
+        if until <= from {
+            return Err(CliError::new(format!(
+                "partition `{spec}` must have until > from"
+            )));
+        }
+        plan = plan.with_partition(members, from, until);
+    }
+    Ok(Some(plan))
+}
+
 /// Outcome summary of a monitor/simulate run.
 #[derive(Debug, Clone)]
 pub struct MonitorOutcome {
@@ -113,6 +193,41 @@ pub fn run_simulate(args: &Args) -> Result<String, CliError> {
     let cfg = MonitorConfig::builder(epsilon)
         .parallelism(parse_parallelism(args)?)
         .build();
+
+    if let Some(plan) = parse_chaos_plan(args, nodes)? {
+        let report = ChaosSimulation::new(f.clone(), cfg, plan.clone()).run(&workload);
+        let s = &report.stats;
+        let mut out = format!(
+            "function {function} (d = {dim}), {nodes} nodes, {} rounds, ε = {epsilon}\n\
+             chaos: seed {}, drop rate {}, {} crash(es), {} partition(s)\n",
+            workload.rounds(),
+            plan.seed,
+            plan.drop_rate,
+            plan.crashes.len(),
+            plan.partitions.len(),
+        );
+        out.push_str(&format!(
+            "AutoMon (chaos): {:>8} msgs, max error {:.5} (quiescent rounds), \
+             final error {:.5}\n",
+            s.messages, s.max_error, s.final_error
+        ));
+        out.push_str(&format!(
+            "faults injected : {:>8}, retransmits {}, evictions {}, rejoins {}\n",
+            s.injected_faults, s.retransmits, s.evictions, s.rejoins
+        ));
+        out.push_str(&format!(
+            "recovery        : {:>8} drain rounds, max degraded error {:.5}, {}\n",
+            s.recovery_rounds,
+            s.max_error_during_partition,
+            if report.quiesced {
+                "quiesced"
+            } else {
+                "DEADLOCKED"
+            }
+        ));
+        return Ok(out);
+    }
+
     let sim = Simulation::new(f.clone(), cfg);
     let r = if f.has_constant_hessian() {
         None
@@ -285,6 +400,55 @@ mod tests {
             let err: f64 = line.rsplit(',').next().unwrap().parse().unwrap();
             assert!(err <= 0.2 + 1e-9, "{line}");
         }
+    }
+
+    #[test]
+    fn simulate_chaos_is_deterministic_and_reports_faults() {
+        let argv = |seed: &str| {
+            Args::parse(&[
+                "--function".into(),
+                "inner-product".into(),
+                "--rounds".into(),
+                "90".into(),
+                "--nodes".into(),
+                "4".into(),
+                "--epsilon".into(),
+                "0.3".into(),
+                "--chaos-seed".into(),
+                seed.into(),
+                "--drop-rate".into(),
+                "0.1".into(),
+                "--crash-node".into(),
+                "2:30:60".into(),
+                "--partition".into(),
+                "1:10:20".into(),
+            ])
+            .unwrap()
+        };
+        let a = run_simulate(&argv("7")).unwrap();
+        let b = run_simulate(&argv("7")).unwrap();
+        assert_eq!(a, b, "same chaos seed must reproduce the same report");
+        assert!(a.contains("AutoMon (chaos)"), "{a}");
+        assert!(a.contains("quiesced"), "{a}");
+        assert!(!a.contains("DEADLOCKED"), "{a}");
+        let c = run_simulate(&argv("8")).unwrap();
+        assert_ne!(a, c, "different seed should change the run");
+    }
+
+    #[test]
+    fn chaos_specs_are_validated() {
+        let base = ["--function", "inner-product", "--nodes", "3"];
+        let with = |extra: &[&str]| {
+            let mut v: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+            v.extend(extra.iter().map(|s| s.to_string()));
+            run_simulate(&Args::parse(&v).unwrap())
+        };
+        assert!(with(&["--drop-rate", "1.5"]).is_err());
+        assert!(with(&["--crash-node", "9:10"]).is_err(), "node out of range");
+        assert!(with(&["--crash-node", "1:10:5"]).is_err(), "restart < crash");
+        assert!(with(&["--crash-node", "nonsense"]).is_err());
+        assert!(with(&["--partition", "1:20:10"]).is_err(), "until < from");
+        assert!(with(&["--partition", "1,2"]).is_err());
     }
 
     #[test]

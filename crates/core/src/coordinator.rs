@@ -9,7 +9,7 @@ use automon_linalg::vector;
 
 use crate::adcd::{self, AdcdKind, DcDecomposition};
 use crate::config::{ApproximationKind, MonitorConfig};
-use crate::messages::{CoordinatorMessage, NodeId, NodeMessage, Outbound};
+use crate::messages::{CoordinatorMessage, Epoch, NodeId, NodeMessage, Outbound};
 use crate::safezone::{Curvature, DcKind, Domain, SafeZone, ViolationKind};
 use crate::MonitoredFunction;
 
@@ -28,6 +28,19 @@ pub struct CoordinatorStats {
     pub faulty_reports: usize,
     /// Times the adaptive heuristic doubled `r` (§3.6).
     pub r_doublings: usize,
+    /// Stale-epoch frames discarded (lossy-transport hardening).
+    #[serde(default)]
+    pub stale_discards: usize,
+    /// Per-node constraint re-installs triggered by stale frames or
+    /// re-registrations.
+    #[serde(default)]
+    pub resyncs: usize,
+    /// Nodes evicted after being declared dead.
+    #[serde(default)]
+    pub evictions: usize,
+    /// Nodes re-admitted after an eviction.
+    #[serde(default)]
+    pub rejoins: usize,
 }
 
 /// A restorable snapshot of the coordinator's protocol state
@@ -54,6 +67,14 @@ pub struct CoordinatorSnapshot {
     pub stats: CoordinatorStats,
     /// Adaptive-growth counter (§3.6).
     pub consecutive_neighborhood: usize,
+    /// Constraint epoch in force (snapshots from older versions restore
+    /// as epoch 0; the first post-restore full sync re-opens it).
+    #[serde(default)]
+    pub epoch: Epoch,
+    /// Per-node liveness; evicted nodes are `false`. Empty in snapshots
+    /// from older versions (restored as all-alive).
+    #[serde(default)]
+    pub alive: Vec<bool>,
 }
 
 /// A notification from the coordinator to the embedding application.
@@ -88,6 +109,18 @@ pub enum CoordinatorEvent {
     /// A node reported faulty constraints (§3.7 sanity check).
     FaultyConstraints {
         /// The reporting node.
+        node: NodeId,
+    },
+    /// A node was declared dead and removed from the monitored set; the
+    /// surviving nodes' slack is being redistributed.
+    NodeEvicted {
+        /// The evicted node.
+        node: NodeId,
+    },
+    /// A previously evicted node spoke again and is being resynced from
+    /// scratch.
+    NodeRejoined {
+        /// The rejoining node.
         node: NodeId,
     },
 }
@@ -137,6 +170,11 @@ pub struct Coordinator {
     consecutive_neighborhood: usize,
     /// Application callback for protocol events.
     observer: Option<Observer>,
+    /// Constraint epoch; bumped on every completed full sync. Stamped on
+    /// every outgoing message so stale frames are recognizable.
+    epoch: Epoch,
+    /// Per-node liveness; evicted nodes are `false` until they rejoin.
+    alive: Vec<bool>,
 }
 
 impl Coordinator {
@@ -162,6 +200,8 @@ impl Coordinator {
             node_has_curvature: vec![false; n],
             consecutive_neighborhood: 0,
             observer: None,
+            epoch: 0,
+            alive: vec![true; n],
         }
     }
 
@@ -198,6 +238,117 @@ impl Coordinator {
         self.r
     }
 
+    /// The constraint epoch currently in force.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// `true` while `node` is part of the monitored set.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node]
+    }
+
+    /// Number of non-evicted nodes.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// `true` while a violation resolution (lazy or full sync) is in
+    /// flight — i.e. the coordinator is waiting on node replies.
+    pub fn is_resolving(&self) -> bool {
+        matches!(self.state, SyncState::Lazy { .. } | SyncState::Full { .. })
+    }
+
+    /// The vector pulls the coordinator is still waiting on — what a
+    /// lossy transport re-sends after a retransmit timeout, and what a
+    /// liveness monitor uses to identify candidate dead nodes.
+    pub fn outstanding_requests(&self) -> Vec<Outbound> {
+        let pull = |i: NodeId| Outbound {
+            to: i,
+            msg: CoordinatorMessage::RequestLocalVector { epoch: self.epoch },
+        };
+        match &self.state {
+            SyncState::Lazy {
+                pending: Some(p), ..
+            } => vec![pull(*p)],
+            SyncState::Full { pending } => pending.iter().copied().map(pull).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Declare `node` dead and remove it from the monitored set.
+    ///
+    /// The remaining nodes are re-synced in full so the reference point
+    /// and slack are redistributed over the survivors — restoring the
+    /// ε-guarantee for the average of the nodes that still exist. A
+    /// later message from the node re-admits it (see
+    /// [`Coordinator::handle`]).
+    ///
+    /// Returns the messages driving that recovery sync (empty when the
+    /// node was already evicted or no survivors remain).
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn evict(&mut self, node: NodeId) -> Vec<Outbound> {
+        assert!(node < self.n, "evict: unknown node {node}");
+        if !self.alive[node] {
+            return Vec::new();
+        }
+        self.alive[node] = false;
+        self.known_x[node] = None;
+        self.node_has_curvature[node] = false;
+        if let Some(pos) = self.lru.iter().position(|&x| x == node) {
+            self.lru.remove(pos);
+        }
+        self.stats.evictions += 1;
+        self.notify(CoordinatorEvent::NodeEvicted { node });
+        if self.alive_count() == 0 {
+            self.state = SyncState::Initializing;
+            return Vec::new();
+        }
+        if self.zone.is_none() {
+            // Not initialized yet: the survivors may now be complete.
+            self.state = SyncState::Initializing;
+            if (0..self.n).all(|i| !self.alive[i] || self.known_x[i].is_some()) {
+                return self.full_sync();
+            }
+            return Vec::new();
+        }
+        // Pull fresh vectors from every survivor, then full-sync.
+        self.begin_full_sync(BTreeSet::new())
+    }
+
+    /// Re-install the current constraints (and, when the node is holding
+    /// up a sync, re-issue the pull) on a node that sent a stale-epoch
+    /// frame: it missed a constraint install on a lossy link.
+    fn resync_node(&mut self, node: NodeId) -> Vec<Outbound> {
+        let Some(zone) = self.zone.clone() else {
+            return Vec::new();
+        };
+        self.stats.resyncs += 1;
+        self.node_has_curvature[node] = true;
+        let mut out = vec![Outbound {
+            to: node,
+            msg: CoordinatorMessage::NewConstraints {
+                zone,
+                slack: self.slack[node].clone(),
+                epoch: self.epoch,
+            },
+        }];
+        let repull = match &self.state {
+            SyncState::Lazy { pending, .. } => *pending == Some(node),
+            SyncState::Full { pending } => pending.contains(&node),
+            _ => false,
+        };
+        if repull {
+            out.push(Outbound {
+                to: node,
+                msg: CoordinatorMessage::RequestLocalVector { epoch: self.epoch },
+            });
+        }
+        out
+    }
+
     /// The configured full-sync parallelism policy, for fabrics that
     /// fan deliveries out on the coordinator's behalf.
     pub fn parallelism(&self) -> crate::config::Parallelism {
@@ -228,6 +379,8 @@ impl Coordinator {
                 lru: self.lru.iter().copied().collect(),
                 stats: self.stats.clone(),
                 consecutive_neighborhood: self.consecutive_neighborhood,
+                epoch: self.epoch,
+                alive: self.alive.clone(),
             }),
             _ => None,
         }
@@ -250,7 +403,18 @@ impl Coordinator {
             snap.slack.iter().all(|s| s.len() == d),
             "restore: snapshot dimension mismatch"
         );
-        let state = if snap.known_x.iter().all(Option::is_some) && snap.zone.is_some() {
+        let alive = if snap.alive.len() == snap.n {
+            snap.alive
+        } else {
+            // Older snapshot without liveness: everyone is alive.
+            vec![true; snap.n]
+        };
+        let complete = snap
+            .known_x
+            .iter()
+            .zip(&alive)
+            .all(|(x, &a)| !a || x.is_some());
+        let state = if complete && snap.zone.is_some() {
             SyncState::Monitoring
         } else {
             SyncState::Initializing
@@ -275,6 +439,8 @@ impl Coordinator {
             node_has_curvature: vec![false; snap.n],
             consecutive_neighborhood: snap.consecutive_neighborhood,
             observer: None,
+            epoch: snap.epoch,
+            alive,
         }
     }
 
@@ -288,26 +454,62 @@ impl Coordinator {
             return Vec::new();
         };
         (0..self.n)
+            .filter(|&i| self.alive[i])
             .map(|i| Outbound {
                 to: i,
                 msg: CoordinatorMessage::NewConstraints {
                     zone: zone.clone(),
                     slack: self.slack[i].clone(),
+                    epoch: self.epoch,
                 },
             })
             .collect()
     }
 
     /// Process one node message; returns the coordinator's replies.
+    ///
+    /// Self-healing behavior on top of the paper's Algorithm 1:
+    ///
+    /// * a frame stamped with an epoch older than the constraints in
+    ///   force is **discarded** (it predates a re-sync the node missed)
+    ///   and answered with a fresh constraint install;
+    /// * an `Uninitialized` report from an already-initialized node is a
+    ///   **re-registration** (the node lost its state, e.g. a process
+    ///   restart) and triggers a full sync from scratch;
+    /// * any message from an evicted node **re-admits** it; the whole
+    ///   group is then full-synced so the rejoining node gets fresh
+    ///   constraints and the slack invariant is re-established.
     pub fn handle(&mut self, msg: NodeMessage) -> Vec<Outbound> {
         let sender = msg.sender();
         assert!(sender < self.n, "message from unknown node {sender}");
+        let epoch = msg.epoch();
         let (vector, violation) = match msg {
             NodeMessage::Violation {
                 kind, local_vector, ..
             } => (local_vector, Some(kind)),
             NodeMessage::LocalVector { vector, .. } => (vector, None),
         };
+        let rejoining = !self.alive[sender];
+        if rejoining {
+            self.alive[sender] = true;
+            self.node_has_curvature[sender] = false;
+            self.stats.rejoins += 1;
+            self.notify(CoordinatorEvent::NodeRejoined { node: sender });
+        } else if epoch < self.epoch && violation != Some(ViolationKind::Uninitialized) {
+            // Stale frame: the node is monitoring under superseded
+            // constraints (a full-sync install got lost or delayed).
+            // Its payload must not be mixed into the current sync;
+            // re-install the constraints in force instead.
+            self.stats.stale_discards += 1;
+            return self.resync_node(sender);
+        }
+        if violation == Some(ViolationKind::Uninitialized) {
+            // An uninitialized node holds no zone and no cached
+            // curvature — whatever we knew belonged to a previous
+            // incarnation. Every later install must carry the full
+            // payload or the node would re-register forever.
+            self.node_has_curvature[sender] = false;
+        }
         self.known_x[sender] = Some(vector);
         self.touch_lru(sender);
         if let Some(kind) = violation {
@@ -316,10 +518,17 @@ impl Coordinator {
                 self.notify(CoordinatorEvent::FaultyConstraints { node: sender });
             }
         }
+        if rejoining && self.zone.is_some() {
+            // Resync from scratch, newcomer included: fresh vectors from
+            // every survivor, then a full sync that redistributes slack
+            // over the enlarged group.
+            return self.begin_full_sync([sender].into_iter().collect());
+        }
 
         match std::mem::replace(&mut self.state, SyncState::Monitoring) {
             SyncState::Initializing => {
-                if self.known_x.iter().all(Option::is_some) {
+                let complete = (0..self.n).all(|i| !self.alive[i] || self.known_x[i].is_some());
+                if complete {
                     self.full_sync()
                 } else {
                     self.state = SyncState::Initializing;
@@ -333,11 +542,15 @@ impl Coordinator {
                 let Some(kind) = violation else {
                     return Vec::new();
                 };
-                debug_assert_ne!(kind, ViolationKind::Uninitialized, "node re-registered");
+                if kind == ViolationKind::Uninitialized {
+                    // Re-registration: the node lost its constraints.
+                    self.stats.resyncs += 1;
+                    return self.begin_full_sync([sender].into_iter().collect());
+                }
                 let lazy_applicable = self.cfg.enable_lazy_sync
                     && self.cfg.enable_slack
                     && kind != ViolationKind::FaultyConstraints
-                    && self.n > 1;
+                    && self.alive_count() > 1;
                 if !lazy_applicable {
                     return self.begin_full_sync([sender].into_iter().collect());
                 }
@@ -347,7 +560,10 @@ impl Coordinator {
             }
             SyncState::Lazy { mut set, pending } => {
                 set.insert(sender);
-                if violation == Some(ViolationKind::FaultyConstraints) {
+                if matches!(
+                    violation,
+                    Some(ViolationKind::FaultyConstraints) | Some(ViolationKind::Uninitialized)
+                ) {
                     return self.begin_full_sync(set);
                 }
                 match pending {
@@ -425,6 +641,7 @@ impl Coordinator {
                     to: i,
                     msg: CoordinatorMessage::SlackUpdate {
                         slack: self.slack[i].clone(),
+                        epoch: self.epoch,
                     },
                 });
             }
@@ -433,10 +650,11 @@ impl Coordinator {
             self.state = SyncState::Monitoring;
             return out;
         }
-        if 2 * set.len() > self.n {
+        if 2 * set.len() > self.alive_count() {
             return self.begin_full_sync(set);
         }
-        // Grow S with the least-recently-used node outside it.
+        // Grow S with the least-recently-used node outside it (the LRU
+        // order only ever contains alive nodes).
         let next = self.lru.iter().copied().find(|i| !set.contains(i));
         match next {
             Some(p) => {
@@ -447,7 +665,7 @@ impl Coordinator {
                 };
                 vec![Outbound {
                     to: p,
-                    msg: CoordinatorMessage::RequestLocalVector,
+                    msg: CoordinatorMessage::RequestLocalVector { epoch: self.epoch },
                 }]
             }
             None => self.begin_full_sync(set),
@@ -475,10 +693,12 @@ impl Coordinator {
         zone.contains(self.f.as_ref(), &b)
     }
 
-    /// Request vectors from every node not in `have`, or sync immediately
-    /// if everything is known.
+    /// Request vectors from every alive node not in `have`, or sync
+    /// immediately if everything is known.
     fn begin_full_sync(&mut self, have: BTreeSet<NodeId>) -> Vec<Outbound> {
-        let pending: BTreeSet<NodeId> = (0..self.n).filter(|i| !have.contains(i)).collect();
+        let pending: BTreeSet<NodeId> = (0..self.n)
+            .filter(|&i| self.alive[i] && !have.contains(&i))
+            .collect();
         if pending.is_empty() {
             return self.full_sync();
         }
@@ -486,7 +706,7 @@ impl Coordinator {
             .iter()
             .map(|&i| Outbound {
                 to: i,
-                msg: CoordinatorMessage::RequestLocalVector,
+                msg: CoordinatorMessage::RequestLocalVector { epoch: self.epoch },
             })
             .collect();
         self.state = SyncState::Full { pending };
@@ -496,12 +716,15 @@ impl Coordinator {
     /// Paper Algorithm 1, `CoordinatorFullSync`: recompute `x0`,
     /// thresholds, decomposition, safe zone, and slack; broadcast.
     fn full_sync(&mut self) -> Vec<Outbound> {
-        let xs: Vec<Vec<f64>> = self
+        let members: Vec<(NodeId, Vec<f64>)> = self
             .known_x
             .iter()
-            .map(|x| x.clone().expect("full sync requires all vectors"))
+            .enumerate()
+            .filter(|&(i, _)| self.alive[i])
+            .map(|(i, x)| (i, x.clone().expect("full sync requires all alive vectors")))
             .collect();
-        let x0 = vector::mean(&xs).expect("at least one node");
+        let xs: Vec<Vec<f64>> = members.iter().map(|(_, x)| x.clone()).collect();
+        let x0 = vector::mean(&xs).expect("at least one alive node");
         let (f0, grad0) = self.f.eval_grad(&x0);
         let (l, u) = self.thresholds(f0);
 
@@ -563,8 +786,12 @@ impl Coordinator {
             .zone
             .as_ref()
             .is_some_and(|old| old.curvature == zone.curvature && old.dc == zone.dc);
-        let mut out = Vec::with_capacity(self.n);
-        for (i, xi) in xs.iter().enumerate() {
+        // A completed full sync opens a new epoch; the installs below
+        // carry it, and anything still in flight from before is stale.
+        self.epoch += 1;
+        let mut out = Vec::with_capacity(members.len());
+        for (i, xi) in &members {
+            let i = *i;
             self.slack[i] = if self.cfg.enable_slack {
                 vector::sub(&x0, xi)
             } else {
@@ -582,12 +809,14 @@ impl Coordinator {
                         neighborhood: zone.neighborhood.clone(),
                     },
                     slack: self.slack[i].clone(),
+                    epoch: self.epoch,
                 }
             } else {
                 self.node_has_curvature[i] = true;
                 CoordinatorMessage::NewConstraints {
                     zone: zone.clone(),
                     slack: self.slack[i].clone(),
+                    epoch: self.epoch,
                 }
             };
             out.push(Outbound { to: i, msg });
@@ -760,5 +989,175 @@ mod tests {
         let (mut coord, _) = setup(2, MonitorConfig::builder(0.1).build());
         coord.set_neighborhood_r(0.25);
         assert_eq!(coord.neighborhood_r(), 0.25);
+    }
+
+    /// Register all nodes at the given vectors and run the initial sync.
+    fn init(coord: &mut Coordinator, nodes: &mut [Node], xs: &[Vec<f64>]) {
+        for (i, x) in xs.iter().enumerate() {
+            if let Some(m) = nodes[i].update_data(x.clone()) {
+                route(coord, nodes, m);
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_bumps_on_full_sync_only() {
+        let (mut coord, mut nodes) = setup(2, MonitorConfig::builder(0.4).build());
+        assert_eq!(coord.epoch(), 0);
+        init(&mut coord, &mut nodes, &[vec![0.0, 0.0], vec![0.0, 0.0]]);
+        assert_eq!(coord.epoch(), 1);
+        assert_eq!(nodes[0].epoch(), 1);
+
+        // Opposite drifts resolve lazily: epoch must not move.
+        let m0 = nodes[0].update_data(vec![1.0, 0.0]).expect("violation");
+        let m1 = nodes[1].update_data(vec![-1.0, 0.0]).expect("violation");
+        let mut inbox = std::collections::VecDeque::from([m0, m1]);
+        while let Some(m) = inbox.pop_front() {
+            for out in coord.handle(m) {
+                if let Some(reply) = nodes[out.to].handle(out.msg) {
+                    inbox.push_back(reply);
+                }
+            }
+        }
+        assert_eq!(coord.stats().lazy_syncs, 1);
+        assert_eq!(coord.epoch(), 1);
+
+        // A one-sided drift forces a full sync: epoch advances.
+        let m = nodes[0].update_data(vec![9.0, 0.0]).expect("violation");
+        route(&mut coord, &mut nodes, m);
+        assert_eq!(coord.stats().full_syncs, 2);
+        assert_eq!(coord.epoch(), 2);
+        assert_eq!(nodes[1].epoch(), 2);
+    }
+
+    #[test]
+    fn stale_frame_discarded_and_resynced() {
+        let (mut coord, mut nodes) = setup(2, MonitorConfig::builder(0.4).build());
+        init(&mut coord, &mut nodes, &[vec![0.0, 0.0], vec![0.0, 0.0]]);
+        assert_eq!(coord.epoch(), 1);
+
+        // A frame from a superseded epoch must not enter the sync logic.
+        let stale = NodeMessage::Violation {
+            node: 1,
+            kind: ViolationKind::SafeZone,
+            local_vector: vec![50.0, 0.0],
+            epoch: 0,
+        };
+        let out = coord.handle(stale);
+        assert_eq!(coord.stats().stale_discards, 1);
+        assert_eq!(coord.stats().resyncs, 1);
+        // The reply re-installs the constraints in force.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, 1);
+        assert!(matches!(
+            out[0].msg,
+            CoordinatorMessage::NewConstraints { epoch: 1, .. }
+        ));
+        // The bogus vector was not absorbed.
+        assert_eq!(coord.current_value(), Some(0.0));
+        assert_eq!(coord.stats().full_syncs, 1);
+    }
+
+    #[test]
+    fn eviction_redistributes_over_survivors() {
+        let (mut coord, mut nodes) = setup(3, MonitorConfig::builder(0.5).build());
+        init(
+            &mut coord,
+            &mut nodes,
+            &[vec![0.0, 0.0], vec![3.0, 0.0], vec![6.0, 0.0]],
+        );
+        // x0 = mean = [3, 0] → f = 3.
+        assert_eq!(coord.current_value(), Some(3.0));
+        assert_eq!(coord.alive_count(), 3);
+
+        // Node 2 dies; the survivors re-sync and the reference moves to
+        // the mean over {0, 1}.
+        let mut inbox: std::collections::VecDeque<NodeMessage> = Default::default();
+        for out in coord.evict(2) {
+            if let Some(reply) = nodes[out.to].handle(out.msg) {
+                inbox.push_back(reply);
+            }
+        }
+        while let Some(m) = inbox.pop_front() {
+            for out in coord.handle(m) {
+                if let Some(reply) = nodes[out.to].handle(out.msg) {
+                    inbox.push_back(reply);
+                }
+            }
+        }
+        assert_eq!(coord.alive_count(), 2);
+        assert_eq!(coord.stats().evictions, 1);
+        assert_eq!(coord.current_value(), Some(1.5));
+        // Evicting again is a no-op.
+        assert!(coord.evict(2).is_empty());
+        assert_eq!(coord.stats().evictions, 1);
+
+        // The dead node speaks again (fresh process: epoch 0,
+        // Uninitialized): it rejoins and the reference includes it.
+        nodes[2] = Node::new(2, Arc::new(AutoDiffFn::new(Sum2)));
+        let m = nodes[2].update_data(vec![6.0, 0.0]).expect("registers");
+        route(&mut coord, &mut nodes, m);
+        assert_eq!(coord.stats().rejoins, 1);
+        assert_eq!(coord.alive_count(), 3);
+        assert_eq!(coord.current_value(), Some(3.0));
+        assert_eq!(nodes[2].epoch(), coord.epoch());
+        // The group keeps monitoring normally afterwards.
+        assert!(nodes[2].update_data(vec![6.1, 0.0]).is_none());
+    }
+
+    #[test]
+    fn restarted_node_receives_full_constraints() {
+        // A node process that restarts without being evicted keeps its
+        // `alive` flag, but its new incarnation has no curvature cache:
+        // the resync must carry full constraints, or the node would
+        // re-register forever.
+        let (mut coord, mut nodes) = setup(2, MonitorConfig::builder(0.4).build());
+        let f: Arc<dyn MonitoredFunction> = Arc::new(AutoDiffFn::new(Sum2));
+        init(&mut coord, &mut nodes, &[vec![0.5, 0.0], vec![0.0, 0.5]]);
+        assert_eq!(coord.stats().full_syncs, 1);
+
+        // Node 1 comes back empty and re-registers from its data stream.
+        nodes[1] = Node::new(1, f);
+        let m = nodes[1].update_data(vec![0.0, 0.5]).expect("re-register");
+        assert!(matches!(
+            m,
+            NodeMessage::Violation {
+                kind: ViolationKind::Uninitialized,
+                ..
+            }
+        ));
+        route(&mut coord, &mut nodes, m);
+
+        // The resync completed: node 1 monitors again under the new
+        // epoch, with a zone installed (i.e. it got the full payload).
+        assert_eq!(coord.stats().resyncs, 1);
+        assert_eq!(coord.stats().full_syncs, 2);
+        assert!(nodes[1].zone().is_some(), "constraints never landed");
+        assert!(!nodes[1].is_pending(), "node stuck re-registering");
+        assert_eq!(nodes[1].epoch(), coord.epoch());
+    }
+
+    #[test]
+    fn outstanding_requests_reissue_pending_pulls() {
+        let cfg = MonitorConfig::builder(0.4).without_lazy_sync().build();
+        let (mut coord, mut nodes) = setup(3, cfg);
+        init(
+            &mut coord,
+            &mut nodes,
+            &[vec![0.0, 0.0], vec![0.0, 0.0], vec![0.0, 0.0]],
+        );
+        assert!(!coord.is_resolving());
+        assert!(coord.outstanding_requests().is_empty());
+
+        // A violation starts a full sync: two pulls go out and stay
+        // outstanding until answered.
+        let m = nodes[0].update_data(vec![5.0, 0.0]).expect("violation");
+        let out = coord.handle(m);
+        assert_eq!(out.len(), 2);
+        assert!(coord.is_resolving());
+        let again = coord.outstanding_requests();
+        assert_eq!(again.len(), 2);
+        // The re-issued pulls are byte-identical to the originals.
+        assert_eq!(out, again);
     }
 }

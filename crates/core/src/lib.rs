@@ -40,7 +40,7 @@ pub mod tuning;
 pub use adcd::{AdcdKind, DcDecomposition};
 pub use config::{ApproximationKind, EigenObjective, EigenSearch, MonitorConfig, MonitorConfigBuilder, NeighborhoodMode, Parallelism};
 pub use coordinator::{Coordinator, CoordinatorEvent, CoordinatorSnapshot, CoordinatorStats, Observer};
-pub use messages::{CoordinatorMessage, NodeId, NodeMessage, Outbound, Recipient, ZoneUpdate};
+pub use messages::{CoordinatorMessage, Epoch, NodeId, NodeMessage, Outbound, Recipient, ZoneUpdate};
 pub use node::Node;
 pub use safezone::{Curvature, DcKind, Domain, NeighborhoodBox, SafeZone, ViolationKind};
 

@@ -13,6 +13,12 @@ use crate::safezone::{DcKind, NeighborhoodBox, SafeZone, ViolationKind};
 /// Node identifier, dense in `0..n`.
 pub type NodeId = usize;
 
+/// Sync-round epoch. The coordinator bumps it on every completed full
+/// sync; both sides stamp every message with their current epoch so a
+/// frame delayed across a re-sync is recognized as stale and discarded
+/// instead of corrupting protocol state (lossy-transport hardening).
+pub type Epoch = u64;
+
 /// Message from a node to the coordinator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum NodeMessage {
@@ -25,6 +31,8 @@ pub enum NodeMessage {
         kind: ViolationKind,
         /// The node's raw (un-slacked) local vector.
         local_vector: Vec<f64>,
+        /// The constraint epoch the node was monitoring under.
+        epoch: Epoch,
     },
     /// Reply to [`CoordinatorMessage::RequestLocalVector`].
     LocalVector {
@@ -32,6 +40,8 @@ pub enum NodeMessage {
         node: NodeId,
         /// The node's raw local vector.
         vector: Vec<f64>,
+        /// The constraint epoch the node holds.
+        epoch: Epoch,
     },
 }
 
@@ -40,6 +50,13 @@ impl NodeMessage {
     pub fn sender(&self) -> NodeId {
         match *self {
             NodeMessage::Violation { node, .. } | NodeMessage::LocalVector { node, .. } => node,
+        }
+    }
+
+    /// The epoch stamped on the message.
+    pub fn epoch(&self) -> Epoch {
+        match *self {
+            NodeMessage::Violation { epoch, .. } | NodeMessage::LocalVector { epoch, .. } => epoch,
         }
     }
 }
@@ -69,7 +86,10 @@ pub struct ZoneUpdate {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum CoordinatorMessage {
     /// Pull the node's current local vector (lazy or full sync).
-    RequestLocalVector,
+    RequestLocalVector {
+        /// The coordinator's current epoch.
+        epoch: Epoch,
+    },
     /// Install new local constraints and this node's slack vector
     /// (full sync).
     NewConstraints {
@@ -77,6 +97,8 @@ pub enum CoordinatorMessage {
         zone: SafeZone,
         /// This node's slack `sᵢ`.
         slack: Vec<f64>,
+        /// The epoch these constraints open.
+        epoch: Epoch,
     },
     /// Full-sync constraints whose curvature penalty is byte-identical
     /// to the node's current one (always the case for ADCD-E after the
@@ -87,12 +109,28 @@ pub enum CoordinatorMessage {
         update: ZoneUpdate,
         /// This node's slack `sᵢ`.
         slack: Vec<f64>,
+        /// The epoch these constraints open.
+        epoch: Epoch,
     },
     /// Rebalanced slack for a node in the balancing set (lazy sync).
     SlackUpdate {
         /// This node's new slack `sᵢ`.
         slack: Vec<f64>,
+        /// The epoch the rebalance belongs to (lazy syncs do not bump it).
+        epoch: Epoch,
     },
+}
+
+impl CoordinatorMessage {
+    /// The epoch stamped on the message.
+    pub fn epoch(&self) -> Epoch {
+        match *self {
+            CoordinatorMessage::RequestLocalVector { epoch }
+            | CoordinatorMessage::NewConstraints { epoch, .. }
+            | CoordinatorMessage::NewConstraintsCached { epoch, .. }
+            | CoordinatorMessage::SlackUpdate { epoch, .. } => epoch,
+        }
+    }
 }
 
 /// An addressed coordinator message.
@@ -123,20 +161,26 @@ mod tests {
             node: 3,
             kind: ViolationKind::SafeZone,
             local_vector: vec![1.0],
+            epoch: 2,
         };
         assert_eq!(m.sender(), 3);
+        assert_eq!(m.epoch(), 2);
         let m = NodeMessage::LocalVector {
             node: 7,
             vector: vec![],
+            epoch: 0,
         };
         assert_eq!(m.sender(), 7);
+        assert_eq!(m.epoch(), 0);
     }
 
     #[test]
     fn serde_round_trip() {
         let m = CoordinatorMessage::SlackUpdate {
             slack: vec![0.5, -0.5],
+            epoch: 9,
         };
+        assert_eq!(m.epoch(), 9);
         let s = serde_json::to_string(&m).unwrap();
         let back: CoordinatorMessage = serde_json::from_str(&s).unwrap();
         assert_eq!(m, back);

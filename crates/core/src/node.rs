@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use crate::messages::{CoordinatorMessage, NodeId, NodeMessage};
+use crate::messages::{CoordinatorMessage, Epoch, NodeId, NodeMessage};
 use crate::safezone::{SafeZone, ViolationKind};
 use crate::MonitoredFunction;
 use automon_linalg::vector;
@@ -23,6 +23,11 @@ pub struct Node {
     zone: Option<SafeZone>,
     /// A violation has been reported and not yet resolved.
     pending: bool,
+    /// The epoch of the constraints currently held (0 before any).
+    epoch: Epoch,
+    /// Kind of the outstanding violation, kept for retransmission over
+    /// lossy transports.
+    pending_kind: Option<ViolationKind>,
 }
 
 impl Node {
@@ -36,6 +41,8 @@ impl Node {
             slack: vec![0.0; d],
             zone: None,
             pending: false,
+            epoch: 0,
+            pending_kind: None,
         }
     }
 
@@ -70,6 +77,27 @@ impl Node {
         self.pending
     }
 
+    /// The constraint epoch this node currently holds.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Re-issue the outstanding report with the node's current vector —
+    /// what a lossy transport sends after a retransmit timeout. `None`
+    /// when nothing is outstanding (or no data exists yet).
+    pub fn retransmit_report(&self) -> Option<NodeMessage> {
+        if !self.pending {
+            return None;
+        }
+        let x = self.x.as_ref()?;
+        Some(NodeMessage::Violation {
+            node: self.id,
+            kind: self.pending_kind.unwrap_or(ViolationKind::Uninitialized),
+            local_vector: x.clone(),
+            epoch: self.epoch,
+        })
+    }
+
     /// Install a new local vector (paper `node.update_data(x)`).
     ///
     /// Returns the message to forward to the coordinator, if any.
@@ -91,51 +119,88 @@ impl Node {
         let Some(zone) = &self.zone else {
             // First contact: register with the coordinator.
             self.pending = true;
+            self.pending_kind = Some(ViolationKind::Uninitialized);
             return Some(NodeMessage::Violation {
                 node: self.id,
                 kind: ViolationKind::Uninitialized,
                 local_vector: x.clone(),
+                epoch: self.epoch,
             });
         };
         let adjusted = vector::add(x, &self.slack);
         let kind = zone.check(self.f.as_ref(), &adjusted)?;
         self.pending = true;
+        self.pending_kind = Some(kind);
         Some(NodeMessage::Violation {
             node: self.id,
             kind,
             local_vector: x.clone(),
+            epoch: self.epoch,
+        })
+    }
+
+    /// A fresh registration report — what a node that lost its protocol
+    /// state (e.g. a restarted process handed a cached-constraints frame
+    /// it cannot apply) sends to ask the coordinator for a full resync.
+    fn reregister(&mut self) -> Option<NodeMessage> {
+        let x = self.x.as_ref()?;
+        self.pending = true;
+        self.pending_kind = Some(ViolationKind::Uninitialized);
+        Some(NodeMessage::Violation {
+            node: self.id,
+            kind: ViolationKind::Uninitialized,
+            local_vector: x.clone(),
+            epoch: self.epoch,
         })
     }
 
     /// Process a coordinator message (paper `node.message_received`).
     ///
-    /// Returns the reply to send back, if any.
+    /// Returns the reply to send back, if any. Frames stamped with an
+    /// epoch older than the constraints this node already holds are
+    /// discarded: over a lossy/reordering transport a delayed
+    /// constraint install from a superseded sync must not clobber the
+    /// current one.
     pub fn handle(&mut self, msg: CoordinatorMessage) -> Option<NodeMessage> {
+        if msg.epoch() < self.epoch {
+            return None;
+        }
         match msg {
-            CoordinatorMessage::RequestLocalVector => {
-                let vector = self
-                    .x
-                    .clone()
-                    .expect("coordinator requested a vector before any data update");
+            CoordinatorMessage::RequestLocalVector { .. } => {
+                // A restarted node can be pulled before its first data
+                // update; stay silent and let the coordinator's
+                // retransmit timer re-pull once data exists.
+                let vector = self.x.clone()?;
                 Some(NodeMessage::LocalVector {
                     node: self.id,
                     vector,
+                    epoch: self.epoch,
                 })
             }
-            CoordinatorMessage::NewConstraints { zone, slack } => {
+            CoordinatorMessage::NewConstraints { zone, slack, epoch } => {
                 assert_eq!(slack.len(), self.f.dim(), "slack dimension mismatch");
                 self.zone = Some(zone);
                 self.slack = slack;
+                self.epoch = epoch;
                 self.pending = false;
+                self.pending_kind = None;
                 None
             }
-            CoordinatorMessage::NewConstraintsCached { update, slack } => {
+            CoordinatorMessage::NewConstraintsCached { update, slack, epoch } => {
                 assert_eq!(slack.len(), self.f.dim(), "slack dimension mismatch");
-                let curvature = self
-                    .zone
-                    .as_ref()
-                    .map(|z| z.curvature.clone())
-                    .expect("cached constraints before any full constraints");
+                // The matrix-free form is only applicable when this node
+                // still holds the curvature it refers to. A restarted
+                // node does not, and neither does one that skipped a
+                // sync on a lossy link (the missed install could have
+                // changed the curvature) — ask for a full resync
+                // instead of panicking or silently monitoring the wrong
+                // penalty (self-healing under crash/rejoin).
+                if epoch > self.epoch + 1 {
+                    return self.reregister();
+                }
+                let Some(curvature) = self.zone.as_ref().map(|z| z.curvature.clone()) else {
+                    return self.reregister();
+                };
                 self.zone = Some(SafeZone {
                     x0: update.x0,
                     f0: update.f0,
@@ -147,13 +212,22 @@ impl Node {
                     neighborhood: update.neighborhood,
                 });
                 self.slack = slack;
+                self.epoch = epoch;
                 self.pending = false;
+                self.pending_kind = None;
                 None
             }
-            CoordinatorMessage::SlackUpdate { slack } => {
+            CoordinatorMessage::SlackUpdate { slack, epoch } => {
                 assert_eq!(slack.len(), self.f.dim(), "slack dimension mismatch");
+                // A rebalance presumes the constraints of its epoch. A
+                // node that lost them (restart) or skipped the sync that
+                // opened `epoch` (lossy link) must resync fully first.
+                if self.zone.is_none() || epoch > self.epoch {
+                    return self.reregister();
+                }
                 self.slack = slack;
                 self.pending = false;
+                self.pending_kind = None;
                 None
             }
         }
@@ -216,6 +290,7 @@ mod tests {
         n.handle(CoordinatorMessage::NewConstraints {
             zone: zone(),
             slack: vec![0.0],
+            epoch: 1,
         });
         assert!(!n.is_pending());
         assert!(n.update_data(vec![0.3]).is_none());
@@ -230,6 +305,7 @@ mod tests {
         n.handle(CoordinatorMessage::NewConstraints {
             zone: zone(),
             slack: vec![0.0],
+            epoch: 1,
         });
         let m = n.update_data(vec![1.5]).expect("violation");
         match m {
@@ -237,6 +313,7 @@ mod tests {
                 node,
                 kind,
                 local_vector,
+                epoch: 1,
             } => {
                 assert_eq!(node, 2);
                 assert_eq!(kind, ViolationKind::SafeZone);
@@ -247,7 +324,10 @@ mod tests {
         // Suppressed while pending.
         assert!(n.update_data(vec![2.0]).is_none());
         // Resolution re-arms the check.
-        n.handle(CoordinatorMessage::SlackUpdate { slack: vec![-1.5] });
+        n.handle(CoordinatorMessage::SlackUpdate {
+            slack: vec![-1.5],
+            epoch: 1,
+        });
         assert!(!n.is_pending());
         // 2.0 + (-1.5) = 0.5 is inside — silent.
         assert!(n.update_data(vec![2.0]).is_none());
@@ -262,6 +342,7 @@ mod tests {
         n.handle(CoordinatorMessage::NewConstraints {
             zone: zone(),
             slack: vec![0.9],
+            epoch: 1,
         });
         // 0.3 + 0.9 = 1.2 > 1 → violation even though raw x is inside.
         assert!(n.update_data(vec![0.3]).is_some());
@@ -271,12 +352,15 @@ mod tests {
     fn replies_with_local_vector() {
         let mut n = Node::new(4, f());
         let _ = n.update_data(vec![0.7]);
-        let m = n.handle(CoordinatorMessage::RequestLocalVector).unwrap();
+        let m = n
+            .handle(CoordinatorMessage::RequestLocalVector { epoch: 0 })
+            .unwrap();
         assert_eq!(
             m,
             NodeMessage::LocalVector {
                 node: 4,
-                vector: vec![0.7]
+                vector: vec![0.7],
+                epoch: 0,
             }
         );
     }

@@ -380,16 +380,17 @@ mod tests {
             assert_eq!(msg.sender(), 0);
             coord_ep.send(&Outbound {
                 to: 0,
-                msg: CoordinatorMessage::RequestLocalVector,
+                msg: CoordinatorMessage::RequestLocalVector { epoch: 0 },
             });
         });
 
         node_ep.send(&NodeMessage::LocalVector {
             node: 0,
             vector: vec![1.0, 2.0],
+            epoch: 0,
         });
         let got = node_ep.recv().expect("reply");
-        assert_eq!(got, CoordinatorMessage::RequestLocalVector);
+        assert_eq!(got, CoordinatorMessage::RequestLocalVector { epoch: 0 });
         t.join().unwrap();
     }
 

@@ -3,18 +3,25 @@
 //! The paper's deployment moves frames with ZeroMQ (§3.8, §4.7); this
 //! module is the dependency-free equivalent on `std::net`. Frames are
 //! length-prefixed wire-codec messages; each node opens one connection
-//! and introduces itself with a hello frame carrying its id.
+//! and introduces itself with a hello frame carrying its id. An empty
+//! frame (zero-length payload) is a heartbeat: it refreshes the sender's
+//! liveness clock and is never surfaced to the protocol.
 //!
-//! Concurrency model: the coordinator accepts `n` connections, spawns a
-//! reader thread per node that decodes frames into one mpsc channel, and
-//! writes replies directly to the (mutex-guarded) streams. Nodes use a
-//! plain blocking or polling read on their single connection.
+//! Concurrency model: the coordinator accepts the initial `n` node
+//! connections, then keeps accepting in a background thread so a crashed
+//! node can reconnect; a reader thread per connection decodes frames into
+//! one mpsc channel, and replies are written to per-node writer slots. A
+//! slot empties when its connection dies and refills when the node dials
+//! back in. Nodes use a plain blocking or polling read on their single
+//! connection, with bounded connect-retry and reconnect-on-send-failure
+//! (see [`RetryPolicy`]).
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use automon_core::{CoordinatorMessage, NodeId, NodeMessage, Outbound};
 
@@ -29,6 +36,15 @@ pub enum TcpError {
     Wire(wire::WireError),
     /// Peer closed the connection.
     Disconnected,
+    /// A hello frame carried an id outside `0..n`.
+    UnknownNode(NodeId),
+    /// The accept deadline expired before every node said hello; carries
+    /// the ids that never arrived.
+    HelloTimeout(Vec<NodeId>),
+    /// No live connection to this node (it crashed or never connected).
+    NotConnected(NodeId),
+    /// Connect retries exhausted without reaching the coordinator.
+    ConnectExhausted(NodeId),
 }
 
 impl From<std::io::Error> for TcpError {
@@ -43,11 +59,62 @@ impl std::fmt::Display for TcpError {
             TcpError::Io(e) => write!(f, "io: {e}"),
             TcpError::Wire(e) => write!(f, "wire: {e}"),
             TcpError::Disconnected => write!(f, "peer disconnected"),
+            TcpError::UnknownNode(id) => write!(f, "hello from unknown node {id}"),
+            TcpError::HelloTimeout(missing) => {
+                write!(f, "nodes {missing:?} never said hello")
+            }
+            TcpError::NotConnected(id) => write!(f, "node {id} is not connected"),
+            TcpError::ConnectExhausted(id) => {
+                write!(f, "node {id}: connect retries exhausted")
+            }
         }
     }
 }
 
 impl std::error::Error for TcpError {}
+
+/// Bounded-retry schedule with exponential backoff, used for node
+/// connects and send-side reconnects.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try included).
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 8,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A single attempt, no waiting.
+    pub fn once() -> Self {
+        Self {
+            attempts: 1,
+            initial_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// The backoff to sleep after failed attempt `i` (0-based), `None`
+    /// when the budget is spent.
+    fn backoff_after(&self, i: u32) -> Option<Duration> {
+        if i + 1 >= self.attempts {
+            return None;
+        }
+        let exp = self.initial_backoff.saturating_mul(1u32 << i.min(16));
+        Some(exp.min(self.max_backoff))
+    }
+}
 
 /// Write one length-prefixed frame.
 fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> Result<(), TcpError> {
@@ -73,53 +140,179 @@ fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>, TcpError> {
     Ok(buf)
 }
 
+/// One node's write side. The generation lets a reader thread that dies
+/// late avoid clearing a slot a reconnect already refilled.
+struct WriterSlot {
+    stream: Option<TcpStream>,
+    generation: u64,
+}
+
+/// State shared between the transport handle, the acceptor, and the
+/// per-connection reader threads.
+struct Shared {
+    writers: Vec<Mutex<WriterSlot>>,
+    last_seen: Vec<Mutex<Instant>>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn touch(&self, id: NodeId) {
+        *lock_clean(&self.last_seen[id]) = Instant::now();
+    }
+}
+
+/// Lock that shrugs off poisoning: a panicked writer holds no invariant
+/// worth propagating here (the slot is just a socket handle).
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Admit one freshly accepted connection: read its hello, install the
+/// writer, spawn the reader. Returns the node id on success.
+fn admit(
+    shared: &Arc<Shared>,
+    tx: &Sender<NodeMessage>,
+    mut stream: TcpStream,
+    n: usize,
+) -> Result<NodeId, TcpError> {
+    stream.set_nonblocking(false)?;
+    stream.set_nodelay(true)?;
+    // A connection that never completes its hello must not wedge accepts.
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let hello = read_frame(&mut stream)?;
+    let msg = wire::decode_node_message(&hello).map_err(TcpError::Wire)?;
+    let id = msg.sender();
+    if id >= n {
+        return Err(TcpError::UnknownNode(id));
+    }
+    stream.set_read_timeout(None)?;
+    let writer = stream.try_clone()?;
+    let generation = {
+        let mut slot = lock_clean(&shared.writers[id]);
+        slot.generation += 1;
+        slot.stream = Some(writer);
+        slot.generation
+    };
+    shared.touch(id);
+    let shared = shared.clone();
+    let tx = tx.clone();
+    std::thread::spawn(move || {
+        loop {
+            if shared.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            let Ok(frame) = read_frame(&mut stream) else {
+                break;
+            };
+            shared.touch(id);
+            if frame.is_empty() {
+                continue; // heartbeat
+            }
+            let Ok(msg) = wire::decode_node_message(&frame) else {
+                // Framing is byte-synchronized; a corrupt frame means the
+                // stream can no longer be trusted. Drop the connection
+                // and let the node reconnect.
+                break;
+            };
+            if tx.send(msg).is_err() {
+                break;
+            }
+        }
+        let mut slot = lock_clean(&shared.writers[id]);
+        if slot.generation == generation {
+            slot.stream = None;
+        }
+    });
+    Ok(id)
+}
+
 /// Coordinator side of the TCP transport.
 pub struct TcpCoordinatorTransport {
     rx: Receiver<NodeMessage>,
-    writers: Vec<Arc<Mutex<TcpStream>>>,
+    shared: Arc<Shared>,
 }
 
 impl TcpCoordinatorTransport {
-    /// Bind `addr`, accept exactly `n` node connections (each must send
-    /// a hello [`NodeMessage::LocalVector`]-shaped frame carrying its
-    /// id), and start the reader threads.
+    /// Bind `addr`, accept `n` node connections (each must send a hello
+    /// [`NodeMessage::LocalVector`]-shaped frame carrying its id), and
+    /// start the reader threads plus a background acceptor that admits
+    /// reconnecting nodes for the transport's lifetime.
+    ///
+    /// Blocks until every node said hello; use
+    /// [`TcpCoordinatorTransport::bind_with_timeout`] to bound the wait.
     pub fn bind(addr: SocketAddr, n: usize) -> Result<(Self, SocketAddr), TcpError> {
+        Self::bind_with_timeout(addr, n, None)
+    }
+
+    /// Like [`TcpCoordinatorTransport::bind`], but gives up with
+    /// [`TcpError::HelloTimeout`] when not every node said hello within
+    /// `hello_timeout`. Connections with malformed or out-of-range
+    /// hellos are dropped and accepting continues.
+    pub fn bind_with_timeout(
+        addr: SocketAddr,
+        n: usize,
+        hello_timeout: Option<Duration>,
+    ) -> Result<(Self, SocketAddr), TcpError> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let (tx, rx): (Sender<NodeMessage>, Receiver<NodeMessage>) = channel();
-        let mut writers: Vec<Option<Arc<Mutex<TcpStream>>>> = (0..n).map(|_| None).collect();
+        let shared = Arc::new(Shared {
+            writers: (0..n)
+                .map(|_| {
+                    Mutex::new(WriterSlot {
+                        stream: None,
+                        generation: 0,
+                    })
+                })
+                .collect(),
+            last_seen: (0..n).map(|_| Mutex::new(Instant::now())).collect(),
+            shutdown: AtomicBool::new(false),
+        });
+        let deadline = hello_timeout.map(|t| Instant::now() + t);
+        listener.set_nonblocking(true)?;
 
-        for _ in 0..n {
-            let (mut stream, _) = listener.accept()?;
-            stream.set_nodelay(true)?;
-            // Hello frame identifies the node.
-            let hello = read_frame(&mut stream)?;
-            let msg = wire::decode_node_message(&hello).map_err(TcpError::Wire)?;
-            let id = msg.sender();
-            assert!(id < n, "hello from unknown node {id}");
-            let shared = Arc::new(Mutex::new(stream.try_clone()?));
-            writers[id] = Some(shared);
-            let tx = tx.clone();
-            std::thread::spawn(move || {
-                while let Ok(frame) = read_frame(&mut stream) {
-                    let Ok(msg) = wire::decode_node_message(&frame) else {
-                        break;
-                    };
-                    if tx.send(msg).is_err() {
-                        break;
+        let mut greeted = vec![false; n];
+        while !greeted.iter().all(|&g| g) {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                let missing = (0..n).filter(|&i| !greeted[i]).collect();
+                return Err(TcpError::HelloTimeout(missing));
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // A bad hello only costs that connection.
+                    if let Ok(id) = admit(&shared, &tx, stream, n) {
+                        greeted[id] = true;
                     }
                 }
-            });
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e.into()),
+            }
         }
-        let writers = writers
-            .into_iter()
-            .map(|w| w.expect("every node said hello"))
-            .collect();
-        Ok((Self { rx, writers }, local))
+
+        // Keep admitting rejoining nodes until the transport drops.
+        let bg_shared = shared.clone();
+        std::thread::spawn(move || loop {
+            if bg_shared.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = admit(&bg_shared, &tx, stream, n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => break,
+            }
+        });
+
+        Ok((Self { rx, shared }, local))
     }
 
     /// Blocking receive of the next node message; `None` when every node
-    /// hung up.
+    /// hung up and the acceptor stopped.
     pub fn recv(&self) -> Option<NodeMessage> {
         self.rx.recv().ok()
     }
@@ -130,30 +323,108 @@ impl TcpCoordinatorTransport {
     }
 
     /// Send one outbound message to its node.
+    ///
+    /// [`TcpError::NotConnected`] when the node's connection is down
+    /// (crashed or not yet rejoined); the caller decides whether to
+    /// retransmit later or evict.
     pub fn send(&self, out: &Outbound) -> Result<(), TcpError> {
         let frame = wire::encode_coordinator_message(&out.msg);
-        let mut stream = self.writers[out.to].lock().expect("writer lock");
-        write_frame(&mut stream, &frame)
+        let mut slot = lock_clean(&self.shared.writers[out.to]);
+        let Some(stream) = slot.stream.as_mut() else {
+            return Err(TcpError::NotConnected(out.to));
+        };
+        match write_frame(stream, &frame) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // A failed write means the connection is gone; free the
+                // slot so a reconnect can claim it.
+                slot.stream = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// `true` while a live connection to `node` exists.
+    pub fn is_connected(&self, node: NodeId) -> bool {
+        lock_clean(&self.shared.writers[node]).stream.is_some()
+    }
+
+    /// Nodes not heard from (frame or heartbeat) for at least `timeout` —
+    /// the liveness input for eviction decisions.
+    pub fn stale_nodes(&self, timeout: Duration) -> Vec<NodeId> {
+        let now = Instant::now();
+        (0..self.shared.last_seen.len())
+            .filter(|&i| {
+                now.duration_since(*lock_clean(&self.shared.last_seen[i])) >= timeout
+            })
+            .collect()
+    }
+}
+
+impl Drop for TcpCoordinatorTransport {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
     }
 }
 
 /// Node side of the TCP transport.
 pub struct TcpNodeTransport {
     id: NodeId,
+    addr: SocketAddr,
     stream: TcpStream,
+    retry: RetryPolicy,
 }
 
 impl TcpNodeTransport {
-    /// Connect to the coordinator and introduce this node.
+    /// Connect to the coordinator and introduce this node, retrying with
+    /// exponential backoff per [`RetryPolicy::default`] — callers no
+    /// longer need to sleep-race the listener.
     pub fn connect(addr: SocketAddr, id: NodeId) -> Result<Self, TcpError> {
+        Self::connect_with(addr, id, RetryPolicy::default())
+    }
+
+    /// Connect with an explicit retry schedule.
+    pub fn connect_with(
+        addr: SocketAddr,
+        id: NodeId,
+        retry: RetryPolicy,
+    ) -> Result<Self, TcpError> {
+        let stream = Self::dial(addr, id, retry)?;
+        Ok(Self {
+            id,
+            addr,
+            stream,
+            retry,
+        })
+    }
+
+    /// One full connect + hello cycle with bounded retry.
+    fn dial(addr: SocketAddr, id: NodeId, retry: RetryPolicy) -> Result<TcpStream, TcpError> {
+        let mut attempt = 0u32;
+        loop {
+            match Self::dial_once(addr, id) {
+                Ok(stream) => return Ok(stream),
+                Err(_) => match retry.backoff_after(attempt) {
+                    Some(wait) => {
+                        std::thread::sleep(wait);
+                        attempt += 1;
+                    }
+                    None => return Err(TcpError::ConnectExhausted(id)),
+                },
+            }
+        }
+    }
+
+    fn dial_once(addr: SocketAddr, id: NodeId) -> Result<TcpStream, TcpError> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let hello = wire::encode_node_message(&NodeMessage::LocalVector {
             node: id,
             vector: Vec::new(),
+            epoch: 0,
         });
         write_frame(&mut stream, &hello)?;
-        Ok(Self { id, stream })
+        Ok(stream)
     }
 
     /// This node's id.
@@ -161,11 +432,34 @@ impl TcpNodeTransport {
         self.id
     }
 
-    /// Send a node message.
+    /// Drop the current connection and dial the coordinator again (with
+    /// the transport's retry schedule) — a crashed-and-restarted node's
+    /// path back into the group.
+    pub fn reconnect(&mut self) -> Result<(), TcpError> {
+        self.stream = Self::dial(self.addr, self.id, self.retry)?;
+        Ok(())
+    }
+
+    /// Send a node message on the current connection.
     pub fn send(&mut self, msg: &NodeMessage) -> Result<(), TcpError> {
         debug_assert_eq!(msg.sender(), self.id, "sending as the wrong node");
         let frame = wire::encode_node_message(msg);
         write_frame(&mut self.stream, &frame)
+    }
+
+    /// Send, reconnecting with backoff when the connection is dead.
+    pub fn send_with_retry(&mut self, msg: &NodeMessage) -> Result<(), TcpError> {
+        if self.send(msg).is_ok() {
+            return Ok(());
+        }
+        self.reconnect()?;
+        self.send(msg)
+    }
+
+    /// Send a heartbeat (empty frame): refreshes this node's liveness
+    /// clock on the coordinator without touching the protocol.
+    pub fn send_heartbeat(&mut self) -> Result<(), TcpError> {
+        write_frame(&mut self.stream, &[])
     }
 
     /// Blocking receive of the next coordinator message.
@@ -247,8 +541,8 @@ mod tests {
             })
         };
 
-        // Give the listener a moment to bind.
-        std::thread::sleep(Duration::from_millis(100));
+        // No sleep: the nodes' connect retries the race with the
+        // listener away.
         let mut workers = Vec::new();
         for id in 0..n {
             let f = f.clone();
@@ -286,5 +580,122 @@ mod tests {
         assert!(coord_value.is_some());
         // Every node received constraints (hence an estimate).
         assert!(node_values.iter().all(Option::is_some), "{node_values:?}");
+    }
+
+    #[test]
+    fn connect_retries_until_listener_appears() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+
+        // Bind only after the node has started dialing.
+        let binder = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            TcpCoordinatorTransport::bind(addr, 1).expect("bind")
+        });
+        let tp = TcpNodeTransport::connect(addr, 0).expect("retry until bound");
+        assert_eq!(tp.id(), 0);
+        let (coord_tp, _) = binder.join().unwrap();
+        assert!(coord_tp.is_connected(0));
+    }
+
+    #[test]
+    fn connect_exhaustion_is_an_error_not_a_hang() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let policy = RetryPolicy {
+            attempts: 2,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(1),
+        };
+        match TcpNodeTransport::connect_with(addr, 3, policy) {
+            Err(TcpError::ConnectExhausted(3)) => {}
+            Err(other) => panic!("expected ConnectExhausted, got {other:?}"),
+            Ok(_) => panic!("connect unexpectedly succeeded"),
+        }
+    }
+
+    #[test]
+    fn bind_timeout_reports_missing_nodes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        // Nobody connects: bind must give up instead of panicking.
+        match TcpCoordinatorTransport::bind_with_timeout(
+            addr,
+            2,
+            Some(Duration::from_millis(50)),
+        ) {
+            Err(TcpError::HelloTimeout(missing)) => assert_eq!(missing, vec![0, 1]),
+            other => panic!("expected HelloTimeout, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn send_to_crashed_node_errs_then_rejoin_heals() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let binder =
+            std::thread::spawn(move || TcpCoordinatorTransport::bind(addr, 1).expect("bind"));
+        let tp = TcpNodeTransport::connect(addr, 0).expect("connect");
+        let (coord_tp, _) = binder.join().unwrap();
+
+        // Crash the node: its connection drops and sends start failing.
+        drop(tp);
+        let out = Outbound {
+            to: 0,
+            msg: CoordinatorMessage::RequestLocalVector { epoch: 0 },
+        };
+        let mut saw_down = false;
+        for _ in 0..100 {
+            match coord_tp.send(&out) {
+                Err(TcpError::NotConnected(0)) => {
+                    saw_down = true;
+                    break;
+                }
+                // The reader may not have noticed the close yet, or the
+                // first write after close fails with Io; both settle to
+                // NotConnected.
+                Ok(()) | Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        assert!(saw_down, "crash never surfaced as NotConnected");
+
+        // The node dials back in; the background acceptor admits it and
+        // sends flow again.
+        let mut tp = TcpNodeTransport::connect(addr, 0).expect("rejoin");
+        let mut ok = false;
+        for _ in 0..100 {
+            if coord_tp.send(&out).is_ok() {
+                ok = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(ok, "send never recovered after rejoin");
+        let msg = tp.recv().expect("delivered after rejoin");
+        assert_eq!(msg, CoordinatorMessage::RequestLocalVector { epoch: 0 });
+    }
+
+    #[test]
+    fn heartbeats_keep_a_quiet_node_fresh() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let binder =
+            std::thread::spawn(move || TcpCoordinatorTransport::bind(addr, 1).expect("bind"));
+        let mut tp = TcpNodeTransport::connect(addr, 0).expect("connect");
+        let (coord_tp, _) = binder.join().unwrap();
+
+        for _ in 0..5 {
+            tp.send_heartbeat().expect("heartbeat");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Heard from recently: not stale at a 1s horizon.
+        assert!(coord_tp.stale_nodes(Duration::from_secs(1)).is_empty());
+        // At a zero horizon everyone is trivially stale — the filter works.
+        assert_eq!(coord_tp.stale_nodes(Duration::ZERO), vec![0]);
     }
 }

@@ -13,7 +13,9 @@ use automon_linalg::Matrix;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Format version magic (bump on layout changes).
-const MAGIC: u8 = 0xA7;
+///
+/// `0xA8` added the `u64` epoch stamp to every message.
+const MAGIC: u8 = 0xA8;
 
 /// Decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,15 +49,22 @@ pub fn encode_node_message(msg: &NodeMessage) -> Bytes {
             node,
             kind,
             local_vector,
+            epoch,
         } => {
             b.put_u8(0);
             b.put_u32_le(*node as u32);
+            b.put_u64_le(*epoch);
             b.put_u8(violation_tag(*kind));
             put_vec(&mut b, local_vector);
         }
-        NodeMessage::LocalVector { node, vector } => {
+        NodeMessage::LocalVector {
+            node,
+            vector,
+            epoch,
+        } => {
             b.put_u8(1);
             b.put_u32_le(*node as u32);
+            b.put_u64_le(*epoch);
             put_vec(&mut b, vector);
         }
     }
@@ -69,18 +78,25 @@ pub fn decode_node_message(mut buf: &[u8]) -> Result<NodeMessage, WireError> {
     match tag {
         0 => {
             let node = get_u32(&mut buf)? as usize;
+            let epoch = get_u64(&mut buf)?;
             let kind = violation_from_tag(get_u8(&mut buf)?)?;
             let local_vector = get_vec(&mut buf)?;
             Ok(NodeMessage::Violation {
                 node,
                 kind,
                 local_vector,
+                epoch,
             })
         }
         1 => {
             let node = get_u32(&mut buf)? as usize;
+            let epoch = get_u64(&mut buf)?;
             let vector = get_vec(&mut buf)?;
-            Ok(NodeMessage::LocalVector { node, vector })
+            Ok(NodeMessage::LocalVector {
+                node,
+                vector,
+                epoch,
+            })
         }
         t => Err(WireError::BadTag("node message", t)),
     }
@@ -91,18 +107,28 @@ pub fn encode_coordinator_message(msg: &CoordinatorMessage) -> Bytes {
     let mut b = BytesMut::with_capacity(64);
     b.put_u8(MAGIC);
     match msg {
-        CoordinatorMessage::RequestLocalVector => b.put_u8(0),
-        CoordinatorMessage::NewConstraints { zone, slack } => {
+        CoordinatorMessage::RequestLocalVector { epoch } => {
+            b.put_u8(0);
+            b.put_u64_le(*epoch);
+        }
+        CoordinatorMessage::NewConstraints { zone, slack, epoch } => {
             b.put_u8(1);
+            b.put_u64_le(*epoch);
             put_zone(&mut b, zone);
             put_vec(&mut b, slack);
         }
-        CoordinatorMessage::SlackUpdate { slack } => {
+        CoordinatorMessage::SlackUpdate { slack, epoch } => {
             b.put_u8(2);
+            b.put_u64_le(*epoch);
             put_vec(&mut b, slack);
         }
-        CoordinatorMessage::NewConstraintsCached { update, slack } => {
+        CoordinatorMessage::NewConstraintsCached {
+            update,
+            slack,
+            epoch,
+        } => {
             b.put_u8(3);
+            b.put_u64_le(*epoch);
             put_zone_update(&mut b, update);
             put_vec(&mut b, slack);
         }
@@ -115,19 +141,31 @@ pub fn decode_coordinator_message(mut buf: &[u8]) -> Result<CoordinatorMessage, 
     check_magic(&mut buf)?;
     let tag = get_u8(&mut buf)?;
     match tag {
-        0 => Ok(CoordinatorMessage::RequestLocalVector),
+        0 => Ok(CoordinatorMessage::RequestLocalVector {
+            epoch: get_u64(&mut buf)?,
+        }),
         1 => {
+            let epoch = get_u64(&mut buf)?;
             let zone = get_zone(&mut buf)?;
             let slack = get_vec(&mut buf)?;
-            Ok(CoordinatorMessage::NewConstraints { zone, slack })
+            Ok(CoordinatorMessage::NewConstraints { zone, slack, epoch })
         }
-        2 => Ok(CoordinatorMessage::SlackUpdate {
-            slack: get_vec(&mut buf)?,
-        }),
+        2 => {
+            let epoch = get_u64(&mut buf)?;
+            Ok(CoordinatorMessage::SlackUpdate {
+                slack: get_vec(&mut buf)?,
+                epoch,
+            })
+        }
         3 => {
+            let epoch = get_u64(&mut buf)?;
             let update = get_zone_update(&mut buf)?;
             let slack = get_vec(&mut buf)?;
-            Ok(CoordinatorMessage::NewConstraintsCached { update, slack })
+            Ok(CoordinatorMessage::NewConstraintsCached {
+                update,
+                slack,
+                epoch,
+            })
         }
         t => Err(WireError::BadTag("coordinator message", t)),
     }
@@ -272,6 +310,13 @@ fn get_u32(buf: &mut &[u8]) -> Result<u32, WireError> {
     Ok(buf.get_u32_le())
 }
 
+fn get_u64(buf: &mut &[u8]) -> Result<u64, WireError> {
+    if buf.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
 fn get_f64(buf: &mut &[u8]) -> Result<f64, WireError> {
     if buf.remaining() < 8 {
         return Err(WireError::Truncated);
@@ -281,7 +326,10 @@ fn get_f64(buf: &mut &[u8]) -> Result<f64, WireError> {
 
 fn get_vec(buf: &mut &[u8]) -> Result<Vec<f64>, WireError> {
     let n = get_u32(buf)? as usize;
-    if buf.remaining() < n * 8 {
+    // Checked: a hostile length must not overflow into a small byte
+    // count and then panic the element reads below.
+    let bytes = n.checked_mul(8).ok_or(WireError::Truncated)?;
+    if buf.remaining() < bytes {
         return Err(WireError::Truncated);
     }
     Ok((0..n).map(|_| buf.get_f64_le()).collect())
@@ -290,7 +338,11 @@ fn get_vec(buf: &mut &[u8]) -> Result<Vec<f64>, WireError> {
 fn get_matrix(buf: &mut &[u8]) -> Result<Matrix, WireError> {
     let rows = get_u32(buf)? as usize;
     let cols = get_u32(buf)? as usize;
-    if buf.remaining() < rows * cols * 8 {
+    let bytes = rows
+        .checked_mul(cols)
+        .and_then(|e| e.checked_mul(8))
+        .ok_or(WireError::Truncated)?;
+    if buf.remaining() < bytes {
         return Err(WireError::Truncated);
     }
     let data = (0..rows * cols).map(|_| buf.get_f64_le()).collect();
@@ -361,10 +413,18 @@ mod tests {
                 node: 5,
                 kind: ViolationKind::Neighborhood,
                 local_vector: vec![1.0, 2.0, 3.0],
+                epoch: 7,
             },
             NodeMessage::LocalVector {
                 node: 0,
                 vector: vec![],
+                epoch: 0,
+            },
+            // Epoch must survive the full u64 range.
+            NodeMessage::LocalVector {
+                node: 1,
+                vector: vec![-1.0],
+                epoch: u64::MAX,
             },
         ] {
             let bytes = encode_node_message(&msg);
@@ -375,13 +435,15 @@ mod tests {
     #[test]
     fn coordinator_message_round_trips() {
         for msg in [
-            CoordinatorMessage::RequestLocalVector,
+            CoordinatorMessage::RequestLocalVector { epoch: 3 },
             CoordinatorMessage::SlackUpdate {
                 slack: vec![0.5, -0.5],
+                epoch: 12,
             },
             CoordinatorMessage::NewConstraints {
                 zone: sample_zone(),
                 slack: vec![1.0, 2.0],
+                epoch: u64::MAX,
             },
         ] {
             let bytes = encode_coordinator_message(&msg);
@@ -397,6 +459,7 @@ mod tests {
         let msg = CoordinatorMessage::NewConstraints {
             zone: z,
             slack: vec![0.0, 0.0],
+            epoch: 1,
         };
         let bytes = encode_coordinator_message(&msg);
         assert_eq!(decode_coordinator_message(&bytes).unwrap(), msg);
@@ -404,14 +467,15 @@ mod tests {
 
     #[test]
     fn payload_sizes_are_compact() {
-        // Violation with d = 40: magic + tag + node + kind + len + 40·8
-        // = 1 + 1 + 4 + 1 + 4 + 320 = 331 bytes.
+        // Violation with d = 40: magic + tag + node + epoch + kind + len
+        // + 40·8 = 1 + 1 + 4 + 8 + 1 + 4 + 320 = 339 bytes.
         let msg = NodeMessage::Violation {
             node: 1,
             kind: ViolationKind::SafeZone,
             local_vector: vec![0.0; 40],
+            epoch: 2,
         };
-        assert_eq!(encode_node_message(&msg).len(), 331);
+        assert_eq!(encode_node_message(&msg).len(), 339);
     }
 
     #[test]
@@ -426,6 +490,7 @@ mod tests {
         let good = encode_node_message(&NodeMessage::LocalVector {
             node: 0,
             vector: vec![1.0, 2.0],
+            epoch: 0,
         });
         assert_eq!(
             decode_node_message(&good[..good.len() - 3]),
@@ -460,6 +525,7 @@ mod cached_constraint_tests {
         let full = CoordinatorMessage::NewConstraints {
             zone: zone.clone(),
             slack: vec![0.0; d],
+            epoch: 1,
         };
         let cached = CoordinatorMessage::NewConstraintsCached {
             update: ZoneUpdate {
@@ -472,6 +538,7 @@ mod cached_constraint_tests {
                 neighborhood: zone.neighborhood.clone(),
             },
             slack: vec![0.0; d],
+            epoch: 1,
         };
         let full_frame = encode_coordinator_message(&full);
         let cached_frame = encode_coordinator_message(&cached);

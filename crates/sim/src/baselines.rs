@@ -56,6 +56,7 @@ pub fn run_centralization(f: &Arc<dyn MonitoredFunction>, workload: &Workload) -
             let frame = wire::encode_node_message(&NodeMessage::LocalVector {
                 node: *node,
                 vector: x.clone(),
+                epoch: 0,
             });
             messages += 1;
             payload += frame.len();
@@ -103,6 +104,7 @@ pub fn run_periodic(
                     let frame = wire::encode_node_message(&NodeMessage::LocalVector {
                         node: i,
                         vector: x.clone(),
+                        epoch: 0,
                     });
                     messages += 1;
                     payload += frame.len();

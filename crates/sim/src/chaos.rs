@@ -1,0 +1,480 @@
+//! Chaos scenarios: the simulation harness under injected faults.
+//!
+//! [`ChaosSimulation`] drives the same workload loop as [`crate::Simulation`],
+//! but routes every frame through a seeded [`ChaosFabric`] and adds the
+//! recovery machinery a lossy network needs:
+//!
+//! * **Retransmission with exponential backoff** — a node whose report
+//!   went unanswered re-sends it after `retransmit_after` rounds, then
+//!   2×, 4×, … that; the coordinator re-issues outstanding pulls the
+//!   same way (byte-identical frames, so duplicates are harmless under
+//!   the epoch protocol).
+//! * **Eviction** — `evict_after` consecutive dead-connection failures
+//!   and the coordinator declares the node dead, redistributing slack
+//!   over the survivors so the ε-guarantee is restored for them.
+//! * **Rejoin** — a restarted node re-registers from scratch; the
+//!   coordinator folds it back in with a full sync.
+//!
+//! After the workload ends the runner keeps stepping (the *recovery
+//! drain*) until the protocol quiesces — no outstanding report, no
+//! unresolved sync, no delayed frame — or a generous round cap trips,
+//! which the determinism tests treat as a deadlock.
+
+use std::sync::Arc;
+
+use automon_chaos::{ChaosFabric, Direction, FaultEvent, FaultPlan, RecoveryConfig};
+use automon_core::{Coordinator, MonitorConfig, MonitoredFunction, Node};
+use automon_linalg::vector;
+use automon_net::CountingFabric;
+
+use crate::stats::RunStats;
+use crate::workload::Workload;
+
+/// Longest a retransmit backoff interval is allowed to grow, in rounds.
+const MAX_BACKOFF: usize = 64;
+
+/// Result of a chaos run: the usual statistics plus the replayable
+/// fault trace and whether the protocol actually quiesced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// Aggregated run statistics (chaos fields populated).
+    pub stats: RunStats,
+    /// Every injected fault, in injection order. Two runs with the same
+    /// plan produce equal traces.
+    pub fault_trace: Vec<FaultEvent>,
+    /// `true` when the protocol reached quiescence within the recovery
+    /// cap; `false` means the run deadlocked.
+    pub quiesced: bool,
+}
+
+/// An AutoMon simulation under a deterministic fault plan.
+pub struct ChaosSimulation {
+    f: Arc<dyn MonitoredFunction>,
+    cfg: MonitorConfig,
+    plan: FaultPlan,
+    recovery: RecoveryConfig,
+    max_recovery_rounds: usize,
+}
+
+impl ChaosSimulation {
+    /// A chaos simulation of `f` under `cfg`, injecting `plan`.
+    pub fn new(f: Arc<dyn MonitoredFunction>, cfg: MonitorConfig, plan: FaultPlan) -> Self {
+        Self {
+            f,
+            cfg,
+            plan,
+            recovery: RecoveryConfig::default(),
+            max_recovery_rounds: 256,
+        }
+    }
+
+    /// Override the retransmit/eviction policy.
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Override the post-workload drain cap (deadlock detector).
+    pub fn with_max_recovery_rounds(mut self, rounds: usize) -> Self {
+        self.max_recovery_rounds = rounds.max(1);
+        self
+    }
+
+    /// Run the workload to completion, then drain to quiescence.
+    pub fn run(&self, workload: &Workload) -> ChaosReport {
+        let n = workload.nodes();
+        let mut coord = Coordinator::new(self.f.clone(), n, self.cfg.clone());
+        let mut nodes: Vec<Node> = (0..n).map(|i| Node::new(i, self.f.clone())).collect();
+        let mut fabric = ChaosFabric::new(
+            CountingFabric::new().with_parallelism(coord.parallelism()),
+            self.plan.clone(),
+            n,
+        );
+
+        let mut current: Vec<Option<Vec<f64>>> = vec![None; n];
+        let mut errors = Vec::new();
+        let mut max_degraded = 0.0f64;
+        let mut missed = 0usize;
+        let mut retransmits = 0usize;
+        // Per-node backoff state for report retransmission, and the
+        // coordinator's for pull re-issue.
+        let mut node_retry_at = vec![self.recovery.retransmit_after; n];
+        let mut node_interval = vec![self.recovery.retransmit_after; n];
+        let mut coord_retry_at = self.recovery.retransmit_after;
+        let mut coord_interval = self.recovery.retransmit_after;
+        // Consecutive dead-connection strikes per node.
+        let mut strikes = vec![0usize; n];
+
+        let total = workload.rounds();
+        let mut recovery_rounds = 0usize;
+        let mut t = 0usize;
+        let quiesced = loop {
+            if t >= total {
+                let quiet = !coord.is_resolving()
+                    && fabric.delayed_frames() == 0
+                    && (0..n).all(|i| fabric.is_crashed(i) || !nodes[i].is_pending());
+                if quiet {
+                    break true;
+                }
+                if recovery_rounds >= self.max_recovery_rounds {
+                    break false;
+                }
+                recovery_rounds += 1;
+            }
+
+            // 1. Timed faults: crashes fire, restarted nodes come back as
+            //    fresh processes and re-register from their data stream.
+            for id in fabric.begin_round(t) {
+                nodes[id] = Node::new(id, self.f.clone());
+                node_interval[id] = self.recovery.retransmit_after;
+                node_retry_at[id] = t + self.recovery.retransmit_after;
+                if let Some(x) = current[id].clone() {
+                    if let Some(m) = nodes[id].update_data(x) {
+                        fabric.route(&mut coord, &mut nodes, m);
+                    }
+                }
+            }
+            fabric.release_delayed(&mut coord, &mut nodes);
+
+            // 2. Workload updates. The data stream advances even for a
+            //    downed node; its process just can't report.
+            if t < total {
+                for (node, x) in workload.updates(t) {
+                    current[*node] = Some(x.clone());
+                    if fabric.is_crashed(*node) {
+                        continue;
+                    }
+                    if let Some(m) = nodes[*node].update_data(x.clone()) {
+                        fabric.route(&mut coord, &mut nodes, m);
+                    }
+                }
+            }
+
+            // 3. Retransmission with exponential backoff, both directions.
+            for i in 0..n {
+                if fabric.is_crashed(i) {
+                    continue;
+                }
+                if nodes[i].is_pending() {
+                    if t >= node_retry_at[i] {
+                        if let Some(m) = nodes[i].retransmit_report() {
+                            retransmits += 1;
+                            fabric.route(&mut coord, &mut nodes, m);
+                        }
+                        node_interval[i] = (node_interval[i] * 2).min(MAX_BACKOFF);
+                        node_retry_at[i] = t + node_interval[i];
+                    }
+                } else {
+                    node_interval[i] = self.recovery.retransmit_after;
+                    node_retry_at[i] = t + self.recovery.retransmit_after;
+                }
+            }
+            if coord.is_resolving() {
+                if t >= coord_retry_at {
+                    let outs = coord.outstanding_requests();
+                    retransmits += outs.len();
+                    fabric.route_outbounds(&mut coord, &mut nodes, outs);
+                    coord_interval = (coord_interval * 2).min(MAX_BACKOFF);
+                    coord_retry_at = t + coord_interval;
+                }
+            } else {
+                coord_interval = self.recovery.retransmit_after;
+                coord_retry_at = t + self.recovery.retransmit_after;
+            }
+
+            // 4. Eviction after consecutive dead-connection strikes. The
+            //    harness peeks at ground truth only to *reset* strikes
+            //    once the process is back; the eviction decision itself
+            //    uses observed failures, as a deployment would.
+            //
+            //    A delivery failure is a *synchronous* send error
+            //    (connection refused), not silence — so the coordinator
+            //    fast-retries at the base interval instead of backing
+            //    off exponentially, and strikes accrue at that cadence.
+            //    Without this, eviction of a dead node takes
+            //    Σ 2ᵏ·retransmit_after rounds and outlasts any drain cap.
+            let failures = fabric.take_delivery_failures();
+            if failures
+                .iter()
+                .any(|f| matches!(f.dir, Direction::CoordToNode))
+            {
+                coord_interval = self.recovery.retransmit_after;
+                coord_retry_at = coord_retry_at.min(t + 1 + self.recovery.retransmit_after);
+            }
+            for failure in failures {
+                strikes[failure.node] += 1;
+            }
+            for (i, strike) in strikes.iter_mut().enumerate() {
+                if !fabric.is_crashed(i) {
+                    *strike = 0;
+                } else if *strike >= self.recovery.evict_after && coord.is_alive(i) {
+                    let outs = coord.evict(i);
+                    fabric.route_outbounds(&mut coord, &mut nodes, outs);
+                }
+            }
+
+            // 5. Measure against the aggregate over members the
+            //    coordinator still believes in. A round counts as
+            //    *degraded* — outside the ε-guarantee — while a partition
+            //    is active, an un-evicted node is down, or any exchange
+            //    is still unresolved.
+            let members: Vec<Vec<f64>> = (0..n)
+                .filter(|&i| coord.is_alive(i))
+                .filter_map(|i| current[i].clone())
+                .collect();
+            if let (Some(est), false) = (coord.current_value(), members.is_empty()) {
+                let truth = self.f.eval(&vector::mean(&members).expect("non-empty"));
+                let err = (est - truth).abs();
+                let degraded = self.plan.partition_active(t)
+                    || (0..n).any(|i| fabric.is_crashed(i) && coord.is_alive(i))
+                    || coord.is_resolving()
+                    || (0..n).any(|i| !fabric.is_crashed(i) && nodes[i].is_pending());
+                if degraded {
+                    max_degraded = max_degraded.max(err);
+                } else {
+                    if let Some(zone) = coord.zone() {
+                        if !zone.admissible(truth) {
+                            missed += 1;
+                        }
+                    }
+                    errors.push(err);
+                }
+            }
+
+            t += 1;
+        };
+
+        let st = coord.stats();
+        let traffic = fabric.stats();
+        let mut out = RunStats {
+            messages: traffic.total_msgs(),
+            payload_bytes: traffic.total_payload(),
+            missed_violation_rounds: missed,
+            neighborhood_violations: st.neighborhood_violations,
+            safezone_violations: st.safezone_violations,
+            faulty_reports: st.faulty_reports,
+            full_syncs: st.full_syncs,
+            lazy_syncs: st.lazy_syncs,
+            retransmits,
+            injected_faults: fabric.injected_faults(),
+            recovery_rounds,
+            max_error_during_partition: max_degraded,
+            evictions: st.evictions,
+            rejoins: st.rejoins,
+            ..RunStats::default()
+        };
+        out.set_errors(errors);
+        ChaosReport {
+            stats: out,
+            fault_trace: fabric.trace().to_vec(),
+            quiesced,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulation;
+    use automon_autodiff::{AutoDiffFn, Scalar, ScalarFn};
+
+    /// Linear mean of a 2-vector: ADCD-E is exact, so the ε-guarantee is
+    /// tight at quiescence — the right probe for recovery correctness.
+    struct Mean2;
+    impl ScalarFn for Mean2 {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn call<S: Scalar>(&self, x: &[S]) -> S {
+            (x[0] + x[1]) * S::from_f64(0.5)
+        }
+    }
+
+    fn f() -> Arc<dyn MonitoredFunction> {
+        Arc::new(AutoDiffFn::new(Mean2))
+    }
+
+    fn drifting_workload(n: usize, rounds: usize) -> Workload {
+        let series: Vec<Vec<Vec<f64>>> = (0..n)
+            .map(|i| {
+                (0..rounds)
+                    .map(|t| {
+                        let phase = t as f64 * 0.11 + i as f64;
+                        vec![phase.sin() * 2.0, (phase * 0.7).cos() * 2.0]
+                    })
+                    .collect()
+            })
+            .collect();
+        Workload::from_dense(&series)
+    }
+
+    fn noisy_plan() -> FaultPlan {
+        FaultPlan::seeded(0xFEED)
+            .with_drop_rate(0.10)
+            .with_duplicate_rate(0.04)
+            .with_reorder_rate(0.04)
+            .with_delay(0.04, 2)
+            .with_crash(2, 40, Some(70))
+            .with_partition(vec![1], 20, 28)
+    }
+
+    /// Acceptance (a): same seed ⇒ bit-identical fault trace and final
+    /// statistics across two independent runs.
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let w = drifting_workload(4, 110);
+        let sim = |plan| {
+            ChaosSimulation::new(f(), MonitorConfig::builder(0.4).build(), plan).with_recovery(
+                RecoveryConfig {
+                    retransmit_after: 2,
+                    evict_after: 3,
+                },
+            )
+        };
+        let a = sim(noisy_plan()).run(&w);
+        let b = sim(noisy_plan()).run(&w);
+        assert!(!a.fault_trace.is_empty());
+        assert_eq!(a.fault_trace, b.fault_trace, "fault trace must replay");
+        assert_eq!(a.stats, b.stats, "stats must replay");
+        assert_eq!(a.quiesced, b.quiesced);
+    }
+
+    /// Acceptance (b): 10% frame drop plus a mid-run crash and rejoin
+    /// still converges to |f(x0) − f(x̄)| ≤ ε at quiescence, and never
+    /// deadlocks.
+    #[test]
+    fn drop_crash_rejoin_converges_within_epsilon() {
+        let eps = 0.4;
+        let w = drifting_workload(4, 110);
+        let report = ChaosSimulation::new(f(), MonitorConfig::builder(eps).build(), noisy_plan())
+            .with_recovery(RecoveryConfig {
+                retransmit_after: 2,
+                evict_after: 3,
+            })
+            .run(&w);
+        assert!(report.quiesced, "protocol deadlocked: {:?}", report.stats);
+        assert!(
+            report.stats.final_error <= eps + 1e-9,
+            "error at quiescence {} > ε {eps}",
+            report.stats.final_error
+        );
+        assert!(
+            report.stats.max_error <= eps + 1e-9,
+            "quiescent-round error {} escaped ε {eps} (missed {} rounds)",
+            report.stats.max_error,
+            report.stats.missed_violation_rounds
+        );
+        assert!(report.stats.injected_faults > 0);
+        assert!(report.stats.retransmits > 0, "drops must force retransmits");
+        assert!(
+            report.stats.max_error_during_partition > 0.0,
+            "degraded rounds should be observed"
+        );
+    }
+
+    /// The crash→evict→restart→rejoin arc actually exercises the
+    /// membership machinery, not just the frame faults.
+    #[test]
+    fn crash_is_evicted_then_rejoins() {
+        let eps = 0.4;
+        let w = drifting_workload(4, 110);
+        let plan = FaultPlan::seeded(7).with_crash(2, 30, Some(75));
+        let report = ChaosSimulation::new(f(), MonitorConfig::builder(eps).build(), plan)
+            .with_recovery(RecoveryConfig {
+                retransmit_after: 2,
+                evict_after: 3,
+            })
+            .run(&w);
+        assert!(report.quiesced);
+        assert!(
+            report.stats.evictions >= 1,
+            "dead node never evicted: {:?}",
+            report.stats
+        );
+        assert!(
+            report.stats.rejoins >= 1,
+            "restarted node never rejoined: {:?}",
+            report.stats
+        );
+        assert!(report.stats.final_error <= eps + 1e-9);
+    }
+
+    /// Acceptance (c): `FaultPlan::none()` is byte-identical to running
+    /// the unwrapped fabric.
+    #[test]
+    fn none_plan_matches_plain_simulation() {
+        let w = drifting_workload(3, 80);
+        let cfg = MonitorConfig::builder(0.4).build();
+        let plain = Simulation::new(f(), cfg.clone()).run(&w);
+        let chaos = ChaosSimulation::new(f(), cfg, FaultPlan::none()).run(&w);
+        assert!(chaos.quiesced);
+        assert!(chaos.fault_trace.is_empty());
+        assert_eq!(chaos.stats.messages, plain.messages);
+        assert_eq!(chaos.stats.payload_bytes, plain.payload_bytes);
+        assert_eq!(chaos.stats.full_syncs, plain.full_syncs);
+        assert_eq!(chaos.stats.lazy_syncs, plain.lazy_syncs);
+        assert_eq!(chaos.stats.retransmits, 0);
+        assert_eq!(chaos.stats.recovery_rounds, 0);
+    }
+}
+
+#[cfg(test)]
+mod regression_tests {
+    use super::*;
+    use automon_autodiff::AutoDiffFn;
+    use automon_data::synthetic::InnerProductDataset;
+    use automon_data::windowed_mean_series;
+    use automon_functions::InnerProduct;
+
+    /// Regression: a node that restarted without being evicted used to
+    /// receive `NewConstraintsCached` (the coordinator still believed it
+    /// held curvature), so its fresh incarnation re-registered forever
+    /// and the run deadlocked. The default — patient — recovery config
+    /// is exactly the regime where eviction never fires, which is what
+    /// exposed the loop.
+    #[test]
+    fn patient_recovery_still_converges_after_restart() {
+        let nodes = 4;
+        let rounds = 90;
+        let dim = 4;
+        let raw = InnerProductDataset::generate(nodes, rounds + 19, dim, 1);
+        let w = Workload::from_dense(&windowed_mean_series(&raw, 20));
+        let f: Arc<dyn MonitoredFunction> =
+            Arc::new(AutoDiffFn::new(InnerProduct::new(dim)));
+        let plan = FaultPlan::seeded(7)
+            .with_drop_rate(0.1)
+            .with_crash(2, 30, Some(60))
+            .with_partition(vec![1], 10, 20);
+        let report =
+            ChaosSimulation::new(f, MonitorConfig::builder(0.3).build(), plan).run(&w);
+        assert!(report.quiesced, "re-registration loop: {:?}", report.stats);
+        assert!(report.stats.final_error <= 0.3 + 1e-9, "{:?}", report.stats);
+        assert_eq!(report.stats.evictions, 0, "patience should outlast the crash");
+    }
+
+    /// Regression: a node that crashes for good used to take
+    /// Σ 2ᵏ·retransmit_after rounds to strike out, because strikes only
+    /// accrued on coordinator retransmits and those backed off
+    /// exponentially — eviction outlasted the drain cap and the run was
+    /// reported as a deadlock. Delivery failures are synchronous send
+    /// errors, so the coordinator now fast-retries at the base interval
+    /// while they persist; a dead node must be evicted and the run must
+    /// quiesce with the survivors.
+    #[test]
+    fn permanent_crash_is_evicted_and_quiesces() {
+        let nodes = 4;
+        let rounds = 120;
+        let dim = 4;
+        let raw = InnerProductDataset::generate(nodes, rounds + 19, dim, 1);
+        let w = Workload::from_dense(&windowed_mean_series(&raw, 20));
+        let f: Arc<dyn MonitoredFunction> =
+            Arc::new(AutoDiffFn::new(InnerProduct::new(dim)));
+        let plan = FaultPlan::seeded(3).with_drop_rate(0.15).with_crash(1, 40, None);
+        let report =
+            ChaosSimulation::new(f, MonitorConfig::builder(0.5).build(), plan).run(&w);
+        assert!(report.quiesced, "eviction too slow: {:?}", report.stats);
+        assert_eq!(report.stats.evictions, 1, "{:?}", report.stats);
+        assert_eq!(report.stats.rejoins, 0);
+        assert!(report.stats.final_error <= 0.5 + 1e-9, "{:?}", report.stats);
+    }
+}

@@ -109,6 +109,7 @@ pub fn run_hybrid(
                         let frame = wire::encode_node_message(&NodeMessage::LocalVector {
                             node: i,
                             vector: x.clone(),
+                            epoch: 0,
                         });
                         extra_msgs += 1;
                         extra_bytes += frame.len();

@@ -19,12 +19,14 @@
 //!   trace points for the time-series figures.
 
 pub mod baselines;
+pub mod chaos;
 pub mod hybrid;
 mod runner;
 mod stats;
 mod workload;
 
 pub use baselines::{run_centralization, run_convex_bound, run_periodic, Baseline};
+pub use chaos::{ChaosReport, ChaosSimulation};
 pub use hybrid::{run_hybrid, HybridConfig, HybridStats};
 pub use runner::Simulation;
 pub use stats::{RunStats, TracePoint};

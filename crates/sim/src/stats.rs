@@ -3,7 +3,7 @@
 use serde::Serialize;
 
 /// One per-round trace sample for the time-series figures (4 and 9).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TracePoint {
     /// Simulation round.
     pub round: usize,
@@ -20,7 +20,7 @@ pub struct TracePoint {
 }
 
 /// Aggregated results of one monitoring run.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct RunStats {
     /// Total protocol messages (both directions).
     pub messages: usize,
@@ -47,6 +47,25 @@ pub struct RunStats {
     pub full_syncs: usize,
     /// Lazy syncs resolved without a full sync.
     pub lazy_syncs: usize,
+    /// `|estimate - truth|` at the last measured round (for chaos runs,
+    /// after the recovery drain — the at-quiescence error).
+    pub final_error: f64,
+    /// Reports/pulls re-sent because the original went unanswered
+    /// (chaos runs only).
+    pub retransmits: usize,
+    /// Faults the chaos fabric injected (trace length).
+    pub injected_faults: usize,
+    /// Extra rounds spent draining retransmissions and resyncs after the
+    /// workload ended, until the protocol quiesced.
+    pub recovery_rounds: usize,
+    /// Maximum `|estimate - truth|` over degraded rounds (a partition
+    /// active, a node down, or a node evicted) — the error the
+    /// ε-guarantee does *not* cover.
+    pub max_error_during_partition: f64,
+    /// Nodes the coordinator declared dead and evicted.
+    pub evictions: usize,
+    /// Nodes that rejoined after a crash or eviction.
+    pub rejoins: usize,
     /// Optional per-round trace (enabled via the runner).
     #[serde(skip_serializing_if = "Option::is_none")]
     pub trace: Option<Vec<TracePoint>>,
@@ -59,6 +78,7 @@ impl RunStats {
         if errors.is_empty() {
             return;
         }
+        self.final_error = *errors.last().expect("non-empty");
         self.max_error = errors.iter().fold(0.0f64, |m, e| m.max(*e));
         self.mean_error = errors.iter().sum::<f64>() / errors.len() as f64;
         errors.sort_by(|a, b| a.partial_cmp(b).expect("no NaN errors"));

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI gate: everything a PR must pass, in the order a failure is
+# cheapest to diagnose. Run from the repository root.
+#
+#   scripts/ci.sh
+#
+# Steps:
+#   1. release build of the whole workspace
+#   2. full test suite
+#   3. clippy, warnings denied
+#   4. chaos determinism smoke — the same --chaos-seed must produce a
+#      byte-identical report (DESIGN.md §3.8); catches any accidental
+#      nondeterminism (HashMap iteration, extra RNG draws, time).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> chaos determinism smoke"
+CHAOS_ARGS=(simulate --function inner-product --dim 4 --nodes 4
+    --rounds 90 --epsilon 0.3
+    --chaos-seed 7 --drop-rate 0.1 --crash-node 2:30:60 --partition 1:10:20)
+run_a=$(cargo run --release -q -p automon-cli -- "${CHAOS_ARGS[@]}")
+run_b=$(cargo run --release -q -p automon-cli -- "${CHAOS_ARGS[@]}")
+if [[ "$run_a" != "$run_b" ]]; then
+    echo "FAIL: identical --chaos-seed produced different reports" >&2
+    diff <(printf '%s\n' "$run_a") <(printf '%s\n' "$run_b") >&2 || true
+    exit 1
+fi
+if ! grep -q "quiesced" <<<"$run_a"; then
+    echo "FAIL: chaos run did not reach quiescence" >&2
+    printf '%s\n' "$run_a" >&2
+    exit 1
+fi
+echo "    deterministic, quiesced"
+
+echo "==> CI green"

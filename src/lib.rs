@@ -52,6 +52,7 @@
 //! `automon-bench` exercise the full evaluation of the paper.
 
 pub use automon_autodiff as autodiff;
+pub use automon_chaos as chaos;
 pub use automon_core as core;
 pub use automon_data as data;
 pub use automon_functions as functions;

@@ -107,6 +107,7 @@ proptest! {
         node in 0usize..64,
         kind in 0u8..4,
         vector in proptest::collection::vec(-1e6f64..1e6, 0..32),
+        epoch in 0u64..=u64::MAX,
     ) {
         let kind = match kind {
             0 => ViolationKind::Uninitialized,
@@ -114,7 +115,7 @@ proptest! {
             2 => ViolationKind::SafeZone,
             _ => ViolationKind::FaultyConstraints,
         };
-        let msg = NodeMessage::Violation { node, kind, local_vector: vector };
+        let msg = NodeMessage::Violation { node, kind, local_vector: vector, epoch };
         let bytes = wire::encode_node_message(&msg);
         prop_assert_eq!(wire::decode_node_message(&bytes).unwrap(), msg);
     }
@@ -144,6 +145,7 @@ proptest! {
         let msg = automon::core::CoordinatorMessage::NewConstraints {
             zone,
             slack: vec![0.25; d],
+            epoch: 3,
         };
         let bytes = wire::encode_coordinator_message(&msg);
         prop_assert_eq!(wire::decode_coordinator_message(&bytes).unwrap(), msg);

@@ -137,7 +137,7 @@ pub mod channel {
 mod tests {
     #[test]
     fn scope_joins_and_collects() {
-        let data = vec![1, 2, 3];
+        let data = [1, 2, 3];
         let sum = super::scope(|s| {
             let handles: Vec<_> = data.iter().map(|&v| s.spawn(move |_| v * 2)).collect();
             handles
