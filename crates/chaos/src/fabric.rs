@@ -21,6 +21,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use automon_core::{Coordinator, Node, NodeId, NodeMessage, Outbound};
 use automon_net::{CountingFabric, TrafficStats};
+use automon_obs::{Counter, Telemetry};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
@@ -122,6 +123,71 @@ impl Pending {
     }
 }
 
+/// Per-fault-kind counters plus the trace handle. The fabric is strictly
+/// sequential (one `record` call at a time, in deterministic order), so
+/// it may emit trace events — the fault trace in the JSONL sink replays
+/// byte-identically, mirroring [`ChaosFabric::trace`].
+#[derive(Debug, Default)]
+struct FabricTel {
+    tel: Telemetry,
+    drop: Counter,
+    duplicate: Counter,
+    reorder: Counter,
+    delay: Counter,
+    node_down: Counter,
+    partition_drop: Counter,
+    crash: Counter,
+    restart: Counter,
+}
+
+impl FabricTel {
+    fn new(tel: Telemetry) -> Self {
+        let c = |k: &str| {
+            tel.counter(
+                &format!("automon_chaos_faults_total{{kind=\"{k}\"}}"),
+                "Faults injected by the chaos fabric, by kind",
+            )
+        };
+        Self {
+            drop: c("drop"),
+            duplicate: c("duplicate"),
+            reorder: c("reorder"),
+            delay: c("delay"),
+            node_down: c("node_down"),
+            partition_drop: c("partition_drop"),
+            crash: c("crash"),
+            restart: c("restart"),
+            tel,
+        }
+    }
+
+    fn counter_for(&self, kind: FaultKind) -> &Counter {
+        match kind {
+            FaultKind::Drop => &self.drop,
+            FaultKind::Duplicate => &self.duplicate,
+            FaultKind::Reorder => &self.reorder,
+            FaultKind::Delay { .. } => &self.delay,
+            FaultKind::NodeDown => &self.node_down,
+            FaultKind::PartitionDrop => &self.partition_drop,
+            FaultKind::Crash => &self.crash,
+            FaultKind::Restart => &self.restart,
+        }
+    }
+}
+
+fn kind_name(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::Drop => "drop",
+        FaultKind::Duplicate => "duplicate",
+        FaultKind::Reorder => "reorder",
+        FaultKind::Delay { .. } => "delay",
+        FaultKind::NodeDown => "node_down",
+        FaultKind::PartitionDrop => "partition_drop",
+        FaultKind::Crash => "crash",
+        FaultKind::Restart => "restart",
+    }
+}
+
 /// Verdict of the per-frame gate.
 enum Gate {
     Deliver,
@@ -147,6 +213,8 @@ pub struct ChaosFabric {
     /// Frames held by `Delay`, keyed by the round they mature in.
     delayed: BTreeMap<usize, Vec<Pending>>,
     failures: Vec<DeliveryFailure>,
+    /// Observability handles (no-op until `set_telemetry`).
+    tel: FabricTel,
 }
 
 impl ChaosFabric {
@@ -175,7 +243,15 @@ impl ChaosFabric {
             trace: Vec::new(),
             delayed: BTreeMap::new(),
             failures: Vec::new(),
+            tel: FabricTel::default(),
         }
+    }
+
+    /// Install an observability handle: per-kind fault counters plus a
+    /// `fault` trace event per injection, mirroring the in-memory
+    /// [`ChaosFabric::trace`].
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = FabricTel::new(tel);
     }
 
     /// The wrapped fabric's traffic counters (delivered frames only).
@@ -405,6 +481,22 @@ impl ChaosFabric {
     }
 
     fn record(&mut self, dir: Direction, node: NodeId, kind: FaultKind) {
+        self.tel.counter_for(kind).inc();
+        if self.tel.tel.is_enabled() {
+            let dir_name = match dir {
+                Direction::NodeToCoord => "node_to_coord",
+                Direction::CoordToNode => "coord_to_node",
+            };
+            let mut fields: Vec<(&str, automon_obs::FieldValue)> = vec![
+                ("fault", kind_name(kind).into()),
+                ("node", node.into()),
+                ("dir", dir_name.into()),
+            ];
+            if let FaultKind::Delay { rounds } = kind {
+                fields.push(("delay_rounds", rounds.into()));
+            }
+            self.tel.tel.event("fault", &fields);
+        }
         self.trace.push(FaultEvent {
             seq: self.trace.len() as u64,
             round: self.round,

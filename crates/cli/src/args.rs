@@ -24,7 +24,9 @@ impl fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
-/// Parsed `--key value` arguments; repeated keys accumulate.
+/// Parsed `--key value` arguments; repeated keys accumulate. A flag
+/// followed by another `--flag` (or by nothing) is boolean and stores
+/// `"true"`.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     values: BTreeMap<String, Vec<String>>,
@@ -32,19 +34,29 @@ pub struct Args {
 
 impl Args {
     /// Parse an argument list of the form `--key value --key value …`.
+    /// `--key` with no following value is a boolean flag set to `true`;
+    /// negative numbers (`-0.5`) still parse as values.
     pub fn parse(argv: &[String]) -> Result<Self, CliError> {
         let mut values: BTreeMap<String, Vec<String>> = BTreeMap::new();
-        let mut it = argv.iter();
+        let mut it = argv.iter().peekable();
         while let Some(token) = it.next() {
             let key = token
                 .strip_prefix("--")
                 .ok_or_else(|| CliError::new(format!("expected `--flag`, got `{token}`")))?;
-            let value = it
-                .next()
-                .ok_or_else(|| CliError::new(format!("flag `--{key}` needs a value")))?;
-            values.entry(key.to_string()).or_default().push(value.clone());
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    it.next().expect("peeked").clone()
+                }
+                _ => "true".to_string(),
+            };
+            values.entry(key.to_string()).or_default().push(value);
         }
         Ok(Self { values })
+    }
+
+    /// Boolean flag: present (or explicitly anything but `false`/`0`).
+    pub fn flag(&self, key: &str) -> bool {
+        self.get(key).is_some_and(|v| v != "false" && v != "0")
     }
 
     /// Last occurrence of a flag, if present.
@@ -105,8 +117,19 @@ mod tests {
     #[test]
     fn malformed_input_errors() {
         assert!(Args::parse(&sv(&["naked"])).is_err());
-        assert!(Args::parse(&sv(&["--dangling"])).is_err());
         let a = Args::parse(&[]).unwrap();
         assert!(a.require("anything").is_err());
+    }
+
+    #[test]
+    fn boolean_flags() {
+        let a = Args::parse(&sv(&["--json", "--eps", "0.5", "--quiet"])).unwrap();
+        assert!(a.flag("json"));
+        assert!(a.flag("quiet"));
+        assert!(!a.flag("missing"));
+        assert_eq!(a.num("eps", 0.0).unwrap(), 0.5);
+        let b = Args::parse(&sv(&["--json", "false", "--neg", "-0.5"])).unwrap();
+        assert!(!b.flag("json"));
+        assert_eq!(b.num("neg", 0.0).unwrap(), -0.5);
     }
 }

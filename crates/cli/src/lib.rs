@@ -44,7 +44,9 @@ USAGE:
     automon simulate --function <NAME> [--epsilon E] [--nodes N]
                      [--rounds R] [--dim D] [--seed S] [--baseline SPEC]
                      [--parallelism P] [--chaos-seed S] [--drop-rate P]
-                     [--crash-node SPEC] [--partition SPEC]
+                     [--crash-node SPEC] [--partition SPEC] [--json]
+                     [--metrics-out FILE] [--trace-out FILE]
+                     [--serve-metrics ADDR]
     automon monitor  --function <NAME> --input <FILE.csv> --nodes N
                      [--epsilon E] [--output FILE.csv] [--parallelism P]
     automon tune     --function <NAME> --input <FILE.csv> --nodes N
@@ -69,6 +71,16 @@ runner with retransmission, eviction, and rejoin enabled):
     --drop-rate P       drop each frame with probability P in [0, 1]
     --crash-node SPEC   `node:at[:restart]`, repeatable
     --partition SPEC    `n1[,n2,…]:from:until` (until exclusive), repeatable
+
+OBSERVABILITY (simulate only):
+    --json              print the run statistics as one JSON object
+                        (chaos runs add a `quiesced` field)
+    --metrics-out FILE  dump final metrics in Prometheus text exposition
+    --trace-out FILE    dump the structured event trace as JSONL; events
+                        carry logical round/op counters, so the same
+                        seed reproduces the file byte for byte
+    --serve-metrics ADDR  serve live metrics at http://ADDR/metrics
+                        while the run executes (e.g. 127.0.0.1:9100)
 
 CSV INPUT (monitor): header-free rows `round,node,x1,...,xd`;
 rounds must be non-decreasing, nodes in 0..N.

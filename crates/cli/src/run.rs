@@ -9,7 +9,9 @@ use automon_data::synthetic::{InnerProductDataset, QuadraticDataset, RozenbrockD
 use automon_data::windowed_mean_series;
 use automon_functions::{train_mlp_d, InnerProduct, KlDivergence, QuadraticForm, Rozenbrock, Variance};
 use automon_chaos::FaultPlan;
+use automon_obs::{MetricsServer, Telemetry};
 use automon_sim::{run_centralization, run_periodic, ChaosSimulation, Simulation, Workload};
+use serde::{Serialize, Value};
 
 use crate::args::{Args, CliError};
 use crate::csvio::{parse_csv_updates, render_estimates};
@@ -176,6 +178,73 @@ pub struct MonitorOutcome {
     pub max_error: f64,
 }
 
+/// The observability sinks a run was asked for: an enabled [`Telemetry`]
+/// handle when any of `--metrics-out`, `--trace-out`, `--serve-metrics`
+/// is present, plus the live HTTP responder for the last one.
+struct ObsSinks {
+    telemetry: Telemetry,
+    server: Option<MetricsServer>,
+}
+
+impl ObsSinks {
+    fn from_args(args: &Args) -> Result<Self, CliError> {
+        let wanted = args.get("metrics-out").is_some()
+            || args.get("trace-out").is_some()
+            || args.get("serve-metrics").is_some();
+        let telemetry = if wanted {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        let server = match args.get("serve-metrics") {
+            Some(addr) => Some(MetricsServer::bind(addr, telemetry.clone()).map_err(|e| {
+                CliError::new(format!("cannot serve metrics on `{addr}`: {e}"))
+            })?),
+            None => None,
+        };
+        Ok(Self { telemetry, server })
+    }
+
+    /// Flush the file sinks and stop the HTTP responder. Returns human
+    /// notes (one per sink) for the text report; `--json` mode discards
+    /// them to keep stdout pure JSON.
+    fn finish(self, args: &Args) -> Result<Vec<String>, CliError> {
+        let mut notes = Vec::new();
+        if let Some(path) = args.get("metrics-out") {
+            self.telemetry
+                .write_metrics(std::path::Path::new(path))
+                .map_err(|e| CliError::new(format!("cannot write `{path}`: {e}")))?;
+            notes.push(format!("metrics written to {path}"));
+        }
+        if let Some(path) = args.get("trace-out") {
+            self.telemetry
+                .write_trace(std::path::Path::new(path))
+                .map_err(|e| CliError::new(format!("cannot write `{path}`: {e}")))?;
+            notes.push(format!("trace written to {path}"));
+        }
+        if let Some(server) = self.server {
+            notes.push(format!(
+                "metrics served at http://{}/metrics for the duration of the run",
+                server.local_addr()
+            ));
+            server.shutdown();
+        }
+        Ok(notes)
+    }
+}
+
+/// Render run statistics as a compact JSON object, with any extra
+/// run-level fields appended (e.g. `quiesced` for chaos runs).
+fn stats_json(stats: &automon_sim::RunStats, extra: &[(&str, Value)]) -> Result<String, CliError> {
+    let mut v = stats.to_value();
+    if let Value::Map(entries) = &mut v {
+        for (k, val) in extra {
+            entries.push((k.to_string(), val.clone()));
+        }
+    }
+    serde_json::to_string(&v).map_err(|e| CliError::new(format!("JSON encoding failed: {e}")))
+}
+
 /// `automon simulate …`
 pub fn run_simulate(args: &Args) -> Result<String, CliError> {
     let function = args.require("function")?;
@@ -194,9 +263,18 @@ pub fn run_simulate(args: &Args) -> Result<String, CliError> {
         .parallelism(parse_parallelism(args)?)
         .build();
 
+    let sinks = ObsSinks::from_args(args)?;
+
     if let Some(plan) = parse_chaos_plan(args, nodes)? {
-        let report = ChaosSimulation::new(f.clone(), cfg, plan.clone()).run(&workload);
+        let report = ChaosSimulation::new(f.clone(), cfg, plan.clone())
+            .with_telemetry(sinks.telemetry.clone())
+            .run(&workload);
         let s = &report.stats;
+        if args.flag("json") {
+            let json = stats_json(s, &[("quiesced", Value::Bool(report.quiesced))])?;
+            sinks.finish(args)?;
+            return Ok(json);
+        }
         let mut out = format!(
             "function {function} (d = {dim}), {nodes} nodes, {} rounds, ε = {epsilon}\n\
              chaos: seed {}, drop rate {}, {} crash(es), {} partition(s)\n",
@@ -225,16 +303,26 @@ pub fn run_simulate(args: &Args) -> Result<String, CliError> {
                 "DEADLOCKED"
             }
         ));
+        for note in sinks.finish(args)? {
+            out.push_str(&note);
+            out.push('\n');
+        }
         return Ok(out);
     }
 
-    let sim = Simulation::new(f.clone(), cfg);
+    let sim = Simulation::new(f.clone(), cfg).with_telemetry(sinks.telemetry.clone());
     let r = if f.has_constant_hessian() {
         None
     } else {
         Some(sim.tune_r(&workload.prefix((workload.rounds() / 10).clamp(20, 200))))
     };
     let stats = sim.run_with_r(&workload, r);
+
+    if args.flag("json") {
+        let json = stats_json(&stats, &[])?;
+        sinks.finish(args)?;
+        return Ok(json);
+    }
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -269,6 +357,10 @@ pub fn run_simulate(args: &Args) -> Result<String, CliError> {
                 "unknown baseline `{spec}` (centralization | periodic:<P>)"
             )));
         }
+    }
+    for note in sinks.finish(args)? {
+        out.push_str(&note);
+        out.push('\n');
     }
     Ok(out)
 }
@@ -449,6 +541,105 @@ mod tests {
         assert!(with(&["--crash-node", "nonsense"]).is_err());
         assert!(with(&["--partition", "1:20:10"]).is_err(), "until < from");
         assert!(with(&["--partition", "1,2"]).is_err());
+    }
+
+    #[test]
+    fn json_output_is_parseable_runstats() {
+        let base = [
+            "--function",
+            "inner-product",
+            "--rounds",
+            "60",
+            "--nodes",
+            "3",
+            "--json",
+        ];
+        let argv: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        let out = run_simulate(&Args::parse(&argv).unwrap()).unwrap();
+        let v: Value = serde_json::from_str(&out).expect("valid JSON");
+        let map = v.as_map().expect("object");
+        let field = |key: &str| Value::get_field(map, key).clone();
+        assert!(matches!(field("messages"), Value::UInt(n) if n > 0), "{out}");
+        assert!(matches!(field("full_syncs"), Value::UInt(n) if n >= 1));
+        assert!(matches!(field("quiesced"), Value::Null), "plain runs have no quiesced");
+
+        // Chaos runs append `quiesced`.
+        let mut chaos_argv = argv.clone();
+        chaos_argv.extend(["--chaos-seed".to_string(), "7".to_string()]);
+        let out = run_simulate(&Args::parse(&chaos_argv).unwrap()).unwrap();
+        let v: Value = serde_json::from_str(&out).expect("valid JSON");
+        let map = v.as_map().expect("object");
+        assert!(matches!(Value::get_field(map, "quiesced"), Value::Bool(_)), "{out}");
+    }
+
+    #[test]
+    fn observability_sinks_write_files_and_serve() {
+        let dir = std::env::temp_dir().join("automon_cli_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("metrics.prom");
+        let trace = dir.join("trace.jsonl");
+        let argv: Vec<String> = [
+            "--function",
+            "inner-product",
+            "--rounds",
+            "60",
+            "--nodes",
+            "3",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let out = run_simulate(&Args::parse(&argv).unwrap()).unwrap();
+        assert!(out.contains("metrics written to"), "{out}");
+        assert!(out.contains("trace written to"), "{out}");
+
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        let samples = automon_obs::parse_prometheus(&text).expect("valid exposition");
+        assert!(
+            automon_obs::value_of(&samples, "automon_coord_full_syncs_total", &[])
+                .is_some_and(|v| v >= 1.0),
+            "{text}"
+        );
+        assert!(
+            automon_obs::value_of(&samples, "automon_node_checks_total", &[]).is_some(),
+            "{text}"
+        );
+
+        let jsonl = std::fs::read_to_string(&trace).unwrap();
+        assert!(!jsonl.is_empty());
+        for line in jsonl.lines() {
+            let v: Value = serde_json::from_str(line).expect("each trace line is JSON");
+            let map = v.as_map().expect("object");
+            assert!(matches!(Value::get_field(map, "seq"), Value::UInt(_)), "{line}");
+            assert!(matches!(Value::get_field(map, "kind"), Value::Str(_)), "{line}");
+        }
+
+        // Byte-identical on a re-run with the same arguments.
+        run_simulate(&Args::parse(&argv).unwrap()).unwrap();
+        assert_eq!(jsonl, std::fs::read_to_string(&trace).unwrap());
+    }
+
+    #[test]
+    fn serve_metrics_responds_during_run() {
+        let argv: Vec<String> = [
+            "--function",
+            "inner-product",
+            "--rounds",
+            "40",
+            "--nodes",
+            "3",
+            "--serve-metrics",
+            "127.0.0.1:0",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let out = run_simulate(&Args::parse(&argv).unwrap()).unwrap();
+        assert!(out.contains("metrics served at http://127.0.0.1:"), "{out}");
     }
 
     #[test]

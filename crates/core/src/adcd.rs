@@ -74,6 +74,83 @@ pub fn decompose(
     }
 }
 
+/// [`decompose`] wrapped in telemetry.
+///
+/// With a disabled handle this is a tail call into `decompose` — the
+/// observed path adds exactly one branch, keeping the PR 1 hot-path
+/// numbers intact. With a live handle it wraps the decomposition in an
+/// `adcd_decompose` span and accounts the search's deterministic cost:
+/// op counts derived from the algorithm's structure (probe counts and
+/// the Nelder–Mead iteration budget from [`EigenSearch`]), never from
+/// timers, so same-seed runs trace identically.
+pub fn decompose_observed(
+    f: &dyn MonitoredFunction,
+    x0: &[f64],
+    neighborhood: Option<&NeighborhoodBox>,
+    cfg: &MonitorConfig,
+    tel: &automon_obs::Telemetry,
+) -> DcDecomposition {
+    if !tel.is_enabled() {
+        return decompose(f, x0, neighborhood, cfg);
+    }
+    let span = tel.span("adcd_decompose");
+    let dec = decompose(f, x0, neighborhood, cfg);
+    let es = &cfg.eigen_search;
+    // Deterministic work accounting. ADCD-X evaluates the Hessian at the
+    // box center and x0 plus once per probe (the batched path shares the
+    // center between the two searches; the sequential path pays it
+    // twice), then runs up to `nm_iters` polish steps per extreme.
+    let (replays, probes, nm_budget) = match dec.kind {
+        AdcdKind::E => {
+            let replays = u64::from(f.constant_hessian().is_none());
+            (replays, 0u64, 0u64)
+        }
+        AdcdKind::X => {
+            let probes = 2 * es.probes as u64;
+            let replays = if cfg.parallelism.workers() == 0 {
+                3 + probes
+            } else {
+                2 + probes
+            };
+            (replays, probes, 2 * es.nm_iters as u64)
+        }
+    };
+    tel.counter(
+        "automon_adcd_decompositions_total",
+        "ADCD decompositions performed",
+    )
+    .inc();
+    tel.counter(
+        "automon_adcd_hessian_replays_total",
+        "Hessian evaluations spent in ADCD (deterministic count)",
+    )
+    .add(replays);
+    tel.counter(
+        "automon_adcd_eigen_probes_total",
+        "Eigen-search probe points evaluated",
+    )
+    .add(probes);
+    tel.add_ops(replays + nm_budget);
+    tel.event(
+        "adcd_split",
+        &[
+            (
+                "kind",
+                match dec.kind {
+                    AdcdKind::E => "E",
+                    AdcdKind::X => "X",
+                }
+                .into(),
+            ),
+            ("lambda_min_hat", dec.lambda_min_hat.into()),
+            ("lambda_max_hat", dec.lambda_max_hat.into()),
+            ("hessian_replays", replays.into()),
+        ],
+    );
+    drop(span);
+    dec
+}
+
 /// ADCD-E (paper Lemma 2).
 fn decompose_e(f: &dyn MonitoredFunction, x0: &[f64], cfg: &MonitorConfig) -> DcDecomposition {
     // A constant Hessian was already evaluated once during detection;

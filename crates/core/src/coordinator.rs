@@ -6,6 +6,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use automon_linalg::vector;
+use automon_obs::{Counter, Gauge, Telemetry};
 
 use crate::adcd::{self, AdcdKind, DcDecomposition};
 use crate::config::{ApproximationKind, MonitorConfig};
@@ -128,6 +129,88 @@ pub enum CoordinatorEvent {
 /// Observer callback type.
 pub type Observer = Box<dyn FnMut(&CoordinatorEvent) + Send>;
 
+/// Pre-registered telemetry handles for the coordinator.
+///
+/// Built from [`Telemetry::disabled`] by default, so every update below
+/// is a single no-op branch until [`Coordinator::set_telemetry`]
+/// installs a live handle — the protocol pays nothing for observability
+/// it did not ask for.
+struct CoordTel {
+    tel: Telemetry,
+    full_syncs: Counter,
+    lazy_syncs: Counter,
+    viol_neighborhood: Counter,
+    viol_safezone: Counter,
+    viol_faulty: Counter,
+    r_doublings: Counter,
+    stale_discards: Counter,
+    resyncs: Counter,
+    evictions: Counter,
+    rejoins: Counter,
+    slack_updates: Counter,
+    epoch: Gauge,
+    radius: Gauge,
+    alive: Gauge,
+}
+
+impl CoordTel {
+    fn new(tel: Telemetry) -> Self {
+        Self {
+            full_syncs: tel.counter(
+                "automon_coord_full_syncs_total",
+                "Full syncs performed (including the initial one)",
+            ),
+            lazy_syncs: tel.counter(
+                "automon_coord_lazy_syncs_total",
+                "Lazy syncs resolved without a full sync",
+            ),
+            viol_neighborhood: tel.counter(
+                "automon_coord_violations_total{kind=\"neighborhood\"}",
+                "Violation reports received, by kind",
+            ),
+            viol_safezone: tel.counter(
+                "automon_coord_violations_total{kind=\"safezone\"}",
+                "Violation reports received, by kind",
+            ),
+            viol_faulty: tel.counter(
+                "automon_coord_violations_total{kind=\"faulty\"}",
+                "Violation reports received, by kind",
+            ),
+            r_doublings: tel.counter(
+                "automon_coord_r_doublings_total",
+                "Adaptive doublings of the neighborhood radius",
+            ),
+            stale_discards: tel.counter(
+                "automon_coord_stale_discards_total",
+                "Stale-epoch frames discarded",
+            ),
+            resyncs: tel.counter(
+                "automon_coord_resyncs_total",
+                "Per-node constraint re-installs",
+            ),
+            evictions: tel.counter(
+                "automon_coord_evictions_total",
+                "Nodes evicted after being declared dead",
+            ),
+            rejoins: tel.counter(
+                "automon_coord_rejoins_total",
+                "Nodes re-admitted after an eviction",
+            ),
+            slack_updates: tel.counter(
+                "automon_coord_slack_updates_total",
+                "Slack vectors redistributed by lazy syncs",
+            ),
+            epoch: tel.gauge("automon_coord_epoch", "Constraint epoch in force"),
+            radius: tel.gauge(
+                "automon_coord_neighborhood_r",
+                "Neighborhood radius in force",
+            ),
+            alive: tel.gauge("automon_coord_alive_nodes", "Non-evicted nodes"),
+            tel,
+        }
+    }
+}
+
 /// Violation-resolution state.
 enum SyncState {
     /// Waiting for every node's first vector.
@@ -175,6 +258,8 @@ pub struct Coordinator {
     epoch: Epoch,
     /// Per-node liveness; evicted nodes are `false` until they rejoin.
     alive: Vec<bool>,
+    /// Observability handles (no-op until `set_telemetry`).
+    tel: CoordTel,
 }
 
 impl Coordinator {
@@ -202,6 +287,7 @@ impl Coordinator {
             observer: None,
             epoch: 0,
             alive: vec![true; n],
+            tel: CoordTel::new(Telemetry::disabled()),
         }
     }
 
@@ -210,6 +296,19 @@ impl Coordinator {
     /// observer.
     pub fn set_observer(&mut self, observer: Observer) {
         self.observer = Some(observer);
+    }
+
+    /// Install an observability handle. Metrics are registered eagerly
+    /// so hot-path updates touch pre-resolved atomics; gauges are primed
+    /// with the state in force. The coordinator is driven by a single
+    /// loop, so its trace events satisfy the sequential-context contract
+    /// of [`automon_obs::trace`].
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        let t = CoordTel::new(tel);
+        t.epoch.set(self.epoch as f64);
+        t.radius.set(self.r);
+        t.alive.set(self.alive_count() as f64);
+        self.tel = t;
     }
 
     fn notify(&mut self, event: CoordinatorEvent) {
@@ -301,6 +400,9 @@ impl Coordinator {
             self.lru.remove(pos);
         }
         self.stats.evictions += 1;
+        self.tel.evictions.inc();
+        self.tel.alive.set(self.alive_count() as f64);
+        self.tel.tel.event("evict", &[("node", node.into())]);
         self.notify(CoordinatorEvent::NodeEvicted { node });
         if self.alive_count() == 0 {
             self.state = SyncState::Initializing;
@@ -326,6 +428,7 @@ impl Coordinator {
             return Vec::new();
         };
         self.stats.resyncs += 1;
+        self.tel.resyncs.inc();
         self.node_has_curvature[node] = true;
         let mut out = vec![Outbound {
             to: node,
@@ -441,6 +544,7 @@ impl Coordinator {
             observer: None,
             epoch: snap.epoch,
             alive,
+            tel: CoordTel::new(Telemetry::disabled()),
         }
     }
 
@@ -494,6 +598,9 @@ impl Coordinator {
             self.alive[sender] = true;
             self.node_has_curvature[sender] = false;
             self.stats.rejoins += 1;
+            self.tel.rejoins.inc();
+            self.tel.alive.set(self.alive_count() as f64);
+            self.tel.tel.event("rejoin", &[("node", sender.into())]);
             self.notify(CoordinatorEvent::NodeRejoined { node: sender });
         } else if epoch < self.epoch && violation != Some(ViolationKind::Uninitialized) {
             // Stale frame: the node is monitoring under superseded
@@ -501,6 +608,7 @@ impl Coordinator {
             // Its payload must not be mixed into the current sync;
             // re-install the constraints in force instead.
             self.stats.stale_discards += 1;
+            self.tel.stale_discards.inc();
             return self.resync_node(sender);
         }
         if violation == Some(ViolationKind::Uninitialized) {
@@ -545,6 +653,7 @@ impl Coordinator {
                 if kind == ViolationKind::Uninitialized {
                     // Re-registration: the node lost its constraints.
                     self.stats.resyncs += 1;
+                    self.tel.resyncs.inc();
                     return self.begin_full_sync([sender].into_iter().collect());
                 }
                 let lazy_applicable = self.cfg.enable_lazy_sync
@@ -594,6 +703,7 @@ impl Coordinator {
         match kind {
             ViolationKind::Neighborhood => {
                 self.stats.neighborhood_violations += 1;
+                self.tel.viol_neighborhood.inc();
                 self.consecutive_neighborhood += 1;
                 // Adaptive growth heuristic (paper §3.6): after
                 // `factor · n` consecutive neighborhood violations with no
@@ -603,16 +713,21 @@ impl Coordinator {
                 {
                     self.r *= 2.0;
                     self.stats.r_doublings += 1;
+                    self.tel.r_doublings.inc();
+                    self.tel.radius.set(self.r);
+                    self.tel.tel.event("r_doubled", &[("r", self.r.into())]);
                     self.consecutive_neighborhood = 0;
                     self.notify(CoordinatorEvent::NeighborhoodDoubled { r: self.r });
                 }
             }
             ViolationKind::SafeZone => {
                 self.stats.safezone_violations += 1;
+                self.tel.viol_safezone.inc();
                 self.consecutive_neighborhood = 0;
             }
             ViolationKind::FaultyConstraints => {
                 self.stats.faulty_reports += 1;
+                self.tel.viol_faulty.inc();
                 self.consecutive_neighborhood = 0;
                 // The reporting node is recorded by the caller; id is
                 // threaded through `handle`, so notify there.
@@ -646,6 +761,11 @@ impl Coordinator {
                 });
             }
             self.stats.lazy_syncs += 1;
+            self.tel.lazy_syncs.inc();
+            self.tel.slack_updates.add(set.len() as u64);
+            self.tel
+                .tel
+                .event("lazy_sync", &[("nodes", set.len().into())]);
             self.notify(CoordinatorEvent::LazySync { nodes: set.len() });
             self.state = SyncState::Monitoring;
             return out;
@@ -750,7 +870,13 @@ impl Coordinator {
                 // cached (paper §4.4: "eigendecomposition is done only
                 // once at initialization").
                 if self.e_cache.is_none() {
-                    self.e_cache = Some(adcd::decompose(self.f.as_ref(), &x0, None, &self.cfg));
+                    self.e_cache = Some(adcd::decompose_observed(
+                        self.f.as_ref(),
+                        &x0,
+                        None,
+                        &self.cfg,
+                        &self.tel.tel,
+                    ));
                 }
                 let dec = self.e_cache.as_ref().expect("just cached");
                 SafeZone {
@@ -765,7 +891,8 @@ impl Coordinator {
                 }
             } else {
                 let b = self.domain.neighborhood(&x0, self.r);
-                let dec = adcd::decompose(self.f.as_ref(), &x0, Some(&b), &self.cfg);
+                let dec =
+                    adcd::decompose_observed(self.f.as_ref(), &x0, Some(&b), &self.cfg, &self.tel.tel);
                 SafeZone {
                     x0: x0.clone(),
                     f0,
@@ -821,6 +948,18 @@ impl Coordinator {
             };
             out.push(Outbound { to: i, msg });
         }
+        self.tel.full_syncs.inc();
+        self.tel.epoch.set(self.epoch as f64);
+        self.tel.tel.event(
+            "full_sync",
+            &[
+                ("epoch", self.epoch.into()),
+                ("value", zone.f0.into()),
+                ("lower", zone.l.into()),
+                ("upper", zone.u.into()),
+                ("members", members.len().into()),
+            ],
+        );
         self.notify(CoordinatorEvent::FullSync {
             value: zone.f0,
             lower: zone.l,

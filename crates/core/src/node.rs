@@ -13,6 +13,7 @@ use crate::messages::{CoordinatorMessage, Epoch, NodeId, NodeMessage};
 use crate::safezone::{SafeZone, ViolationKind};
 use crate::MonitoredFunction;
 use automon_linalg::vector;
+use automon_obs::{Counter, Telemetry};
 
 /// One monitoring node.
 pub struct Node {
@@ -28,6 +29,11 @@ pub struct Node {
     /// Kind of the outstanding violation, kept for retransmission over
     /// lossy transports.
     pending_kind: Option<ViolationKind>,
+    /// Constraint checks performed (shared across nodes; no-op until
+    /// `set_telemetry`).
+    tel_checks: Counter,
+    /// Reports sent to the coordinator (shared across nodes).
+    tel_reports: Counter,
 }
 
 impl Node {
@@ -43,7 +49,28 @@ impl Node {
             pending: false,
             epoch: 0,
             pending_kind: None,
+            tel_checks: Counter::disabled(),
+            tel_reports: Counter::disabled(),
         }
+    }
+
+    /// Install shared observability counters.
+    ///
+    /// Node handlers may run on parallel worker threads (the chaos
+    /// fabric fans deliveries out), so nodes touch only commutative
+    /// counters and never emit trace events — see the determinism
+    /// contract in [`automon_obs::trace`]. Every node registers the same
+    /// metric names, so the registry hands them the same cells and the
+    /// counters aggregate across the fleet.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel_checks = tel.counter(
+            "automon_node_checks_total",
+            "Constraint checks performed across all nodes",
+        );
+        self.tel_reports = tel.counter(
+            "automon_node_reports_total",
+            "Violation/registration reports sent across all nodes",
+        );
     }
 
     /// This node's identifier.
@@ -120,6 +147,7 @@ impl Node {
             // First contact: register with the coordinator.
             self.pending = true;
             self.pending_kind = Some(ViolationKind::Uninitialized);
+            self.tel_reports.inc();
             return Some(NodeMessage::Violation {
                 node: self.id,
                 kind: ViolationKind::Uninitialized,
@@ -127,10 +155,12 @@ impl Node {
                 epoch: self.epoch,
             });
         };
+        self.tel_checks.inc();
         let adjusted = vector::add(x, &self.slack);
         let kind = zone.check(self.f.as_ref(), &adjusted)?;
         self.pending = true;
         self.pending_kind = Some(kind);
+        self.tel_reports.inc();
         Some(NodeMessage::Violation {
             node: self.id,
             kind,
@@ -146,6 +176,7 @@ impl Node {
         let x = self.x.as_ref()?;
         self.pending = true;
         self.pending_kind = Some(ViolationKind::Uninitialized);
+        self.tel_reports.inc();
         Some(NodeMessage::Violation {
             node: self.id,
             kind: ViolationKind::Uninitialized,

@@ -24,6 +24,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use automon_core::{CoordinatorMessage, NodeId, NodeMessage, Outbound};
+use automon_obs::{Counter, Telemetry};
 
 use crate::wire;
 
@@ -140,6 +141,115 @@ fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>, TcpError> {
     Ok(buf)
 }
 
+/// Wire cost of a frame: payload plus the 4-byte length prefix.
+fn frame_bytes(frame_len: usize) -> u64 {
+    frame_len as u64 + 4
+}
+
+/// Coordinator-side transport counters. Reader threads and the send path
+/// touch these concurrently, so they are commutative counters only —
+/// never trace events (see the contract in [`automon_obs::trace`]).
+/// Default is all-disabled handles: zero-cost until a telemetry-carrying
+/// constructor is used.
+#[derive(Default)]
+struct CoordNetTel {
+    frames_in: Counter,
+    bytes_in: Counter,
+    frames_out: Counter,
+    bytes_out: Counter,
+    heartbeats: Counter,
+    accepts: Counter,
+    send_failures: Counter,
+}
+
+impl CoordNetTel {
+    fn new(tel: &Telemetry) -> Self {
+        Self {
+            frames_in: tel.counter(
+                "automon_net_frames_total{dir=\"in\"}",
+                "Frames moved over the transport, by direction",
+            ),
+            bytes_in: tel.counter(
+                "automon_net_bytes_total{dir=\"in\"}",
+                "Wire bytes moved (payload + length prefix), by direction",
+            ),
+            frames_out: tel.counter(
+                "automon_net_frames_total{dir=\"out\"}",
+                "Frames moved over the transport, by direction",
+            ),
+            bytes_out: tel.counter(
+                "automon_net_bytes_total{dir=\"out\"}",
+                "Wire bytes moved (payload + length prefix), by direction",
+            ),
+            heartbeats: tel.counter(
+                "automon_net_heartbeats_total",
+                "Heartbeat frames received",
+            ),
+            accepts: tel.counter(
+                "automon_net_accepts_total",
+                "Node connections admitted (initial + rejoins)",
+            ),
+            send_failures: tel.counter(
+                "automon_net_send_failures_total",
+                "Coordinator sends that failed (dead connection)",
+            ),
+        }
+    }
+}
+
+/// Node-side transport counters; same commutative-only discipline as
+/// [`CoordNetTel`].
+#[derive(Default)]
+struct NodeNetTel {
+    connect_attempts: Counter,
+    connect_retries: Counter,
+    backoff_ms: Counter,
+    reconnects: Counter,
+    frames_in: Counter,
+    bytes_in: Counter,
+    frames_out: Counter,
+    bytes_out: Counter,
+}
+
+impl NodeNetTel {
+    fn new(tel: &Telemetry) -> Self {
+        Self {
+            connect_attempts: tel.counter(
+                "automon_net_connect_attempts_total",
+                "Dial attempts (first tries included)",
+            ),
+            connect_retries: tel.counter(
+                "automon_net_connect_retries_total",
+                "Dial attempts beyond the first per connect",
+            ),
+            backoff_ms: tel.counter(
+                "automon_net_backoff_ms_total",
+                "Milliseconds slept in connect backoff",
+            ),
+            reconnects: tel.counter(
+                "automon_net_reconnects_total",
+                "Explicit reconnects after a dead connection",
+            ),
+            frames_in: tel.counter(
+                "automon_net_frames_total{dir=\"in\"}",
+                "Frames moved over the transport, by direction",
+            ),
+            bytes_in: tel.counter(
+                "automon_net_bytes_total{dir=\"in\"}",
+                "Wire bytes moved (payload + length prefix), by direction",
+            ),
+            frames_out: tel.counter(
+                "automon_net_frames_total{dir=\"out\"}",
+                "Frames moved over the transport, by direction",
+            ),
+            bytes_out: tel.counter(
+                "automon_net_bytes_total{dir=\"out\"}",
+                "Wire bytes moved (payload + length prefix), by direction",
+            ),
+        }
+    }
+}
+
 /// One node's write side. The generation lets a reader thread that dies
 /// late avoid clearing a slot a reconnect already refilled.
 struct WriterSlot {
@@ -153,6 +263,7 @@ struct Shared {
     writers: Vec<Mutex<WriterSlot>>,
     last_seen: Vec<Mutex<Instant>>,
     shutdown: AtomicBool,
+    tel: CoordNetTel,
 }
 
 impl Shared {
@@ -194,6 +305,7 @@ fn admit(
         slot.generation
     };
     shared.touch(id);
+    shared.tel.accepts.inc();
     let shared = shared.clone();
     let tx = tx.clone();
     std::thread::spawn(move || {
@@ -205,7 +317,10 @@ fn admit(
                 break;
             };
             shared.touch(id);
+            shared.tel.frames_in.inc();
+            shared.tel.bytes_in.add(frame_bytes(frame.len()));
             if frame.is_empty() {
+                shared.tel.heartbeats.inc();
                 continue; // heartbeat
             }
             let Ok(msg) = wire::decode_node_message(&frame) else {
@@ -253,6 +368,18 @@ impl TcpCoordinatorTransport {
         n: usize,
         hello_timeout: Option<Duration>,
     ) -> Result<(Self, SocketAddr), TcpError> {
+        Self::bind_with_telemetry(addr, n, hello_timeout, Telemetry::disabled())
+    }
+
+    /// Like [`TcpCoordinatorTransport::bind_with_timeout`], with transport
+    /// counters (frames, bytes, accepts, heartbeats, send failures)
+    /// registered on `tel`. Pass [`Telemetry::disabled`] to opt out.
+    pub fn bind_with_telemetry(
+        addr: SocketAddr,
+        n: usize,
+        hello_timeout: Option<Duration>,
+        tel: Telemetry,
+    ) -> Result<(Self, SocketAddr), TcpError> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let (tx, rx): (Sender<NodeMessage>, Receiver<NodeMessage>) = channel();
@@ -267,6 +394,7 @@ impl TcpCoordinatorTransport {
                 .collect(),
             last_seen: (0..n).map(|_| Mutex::new(Instant::now())).collect(),
             shutdown: AtomicBool::new(false),
+            tel: CoordNetTel::new(&tel),
         });
         let deadline = hello_timeout.map(|t| Instant::now() + t);
         listener.set_nonblocking(true)?;
@@ -334,11 +462,16 @@ impl TcpCoordinatorTransport {
             return Err(TcpError::NotConnected(out.to));
         };
         match write_frame(stream, &frame) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.shared.tel.frames_out.inc();
+                self.shared.tel.bytes_out.add(frame_bytes(frame.len()));
+                Ok(())
+            }
             Err(e) => {
                 // A failed write means the connection is gone; free the
                 // slot so a reconnect can claim it.
                 slot.stream = None;
+                self.shared.tel.send_failures.inc();
                 Err(e)
             }
         }
@@ -373,6 +506,7 @@ pub struct TcpNodeTransport {
     addr: SocketAddr,
     stream: TcpStream,
     retry: RetryPolicy,
+    tel: NodeNetTel,
 }
 
 impl TcpNodeTransport {
@@ -389,23 +523,44 @@ impl TcpNodeTransport {
         id: NodeId,
         retry: RetryPolicy,
     ) -> Result<Self, TcpError> {
-        let stream = Self::dial(addr, id, retry)?;
+        Self::connect_with_telemetry(addr, id, retry, Telemetry::disabled())
+    }
+
+    /// Connect with transport counters (dial attempts, retries, backoff,
+    /// frames, bytes) registered on `tel`.
+    pub fn connect_with_telemetry(
+        addr: SocketAddr,
+        id: NodeId,
+        retry: RetryPolicy,
+        tel: Telemetry,
+    ) -> Result<Self, TcpError> {
+        let tel = NodeNetTel::new(&tel);
+        let stream = Self::dial(addr, id, retry, &tel)?;
         Ok(Self {
             id,
             addr,
             stream,
             retry,
+            tel,
         })
     }
 
     /// One full connect + hello cycle with bounded retry.
-    fn dial(addr: SocketAddr, id: NodeId, retry: RetryPolicy) -> Result<TcpStream, TcpError> {
+    fn dial(
+        addr: SocketAddr,
+        id: NodeId,
+        retry: RetryPolicy,
+        tel: &NodeNetTel,
+    ) -> Result<TcpStream, TcpError> {
         let mut attempt = 0u32;
         loop {
+            tel.connect_attempts.inc();
             match Self::dial_once(addr, id) {
                 Ok(stream) => return Ok(stream),
                 Err(_) => match retry.backoff_after(attempt) {
                     Some(wait) => {
+                        tel.connect_retries.inc();
+                        tel.backoff_ms.add(wait.as_millis() as u64);
                         std::thread::sleep(wait);
                         attempt += 1;
                     }
@@ -436,7 +591,8 @@ impl TcpNodeTransport {
     /// the transport's retry schedule) — a crashed-and-restarted node's
     /// path back into the group.
     pub fn reconnect(&mut self) -> Result<(), TcpError> {
-        self.stream = Self::dial(self.addr, self.id, self.retry)?;
+        self.tel.reconnects.inc();
+        self.stream = Self::dial(self.addr, self.id, self.retry, &self.tel)?;
         Ok(())
     }
 
@@ -444,7 +600,10 @@ impl TcpNodeTransport {
     pub fn send(&mut self, msg: &NodeMessage) -> Result<(), TcpError> {
         debug_assert_eq!(msg.sender(), self.id, "sending as the wrong node");
         let frame = wire::encode_node_message(msg);
-        write_frame(&mut self.stream, &frame)
+        write_frame(&mut self.stream, &frame)?;
+        self.tel.frames_out.inc();
+        self.tel.bytes_out.add(frame_bytes(frame.len()));
+        Ok(())
     }
 
     /// Send, reconnecting with backoff when the connection is dead.
@@ -459,12 +618,17 @@ impl TcpNodeTransport {
     /// Send a heartbeat (empty frame): refreshes this node's liveness
     /// clock on the coordinator without touching the protocol.
     pub fn send_heartbeat(&mut self) -> Result<(), TcpError> {
-        write_frame(&mut self.stream, &[])
+        write_frame(&mut self.stream, &[])?;
+        self.tel.frames_out.inc();
+        self.tel.bytes_out.add(frame_bytes(0));
+        Ok(())
     }
 
     /// Blocking receive of the next coordinator message.
     pub fn recv(&mut self) -> Result<CoordinatorMessage, TcpError> {
         let frame = read_frame(&mut self.stream)?;
+        self.tel.frames_in.inc();
+        self.tel.bytes_in.add(frame_bytes(frame.len()));
         wire::decode_coordinator_message(&frame).map_err(TcpError::Wire)
     }
 
@@ -475,9 +639,13 @@ impl TcpNodeTransport {
     pub fn try_recv(&mut self) -> Result<Option<CoordinatorMessage>, TcpError> {
         self.stream.set_read_timeout(Some(Duration::from_millis(1)))?;
         let result = match read_frame(&mut self.stream) {
-            Ok(frame) => wire::decode_coordinator_message(&frame)
-                .map(Some)
-                .map_err(TcpError::Wire),
+            Ok(frame) => {
+                self.tel.frames_in.inc();
+                self.tel.bytes_in.add(frame_bytes(frame.len()));
+                wire::decode_coordinator_message(&frame)
+                    .map(Some)
+                    .map_err(TcpError::Wire)
+            }
             Err(TcpError::Io(e))
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>

@@ -1,0 +1,216 @@
+//! Prometheus text-exposition parsing (version 0.0.4).
+//!
+//! The renderer lives in [`crate::metrics::Registry::render_prometheus`];
+//! this module is the other half of the round-trip: a small parser used
+//! by tests (and available to tools) to validate that whatever we serve
+//! on `--serve-metrics` is well-formed exposition text.
+
+/// One parsed sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name, without the label set.
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value (`+Inf`/`-Inf`/`NaN` map to the matching `f64`).
+    pub value: f64,
+}
+
+/// Parse Prometheus text exposition into its sample lines.
+///
+/// Comment (`#`) and blank lines are skipped after validating that
+/// comments are well-formed `# HELP`/`# TYPE` lines. Returns an error
+/// describing the first malformed line.
+pub fn parse_prometheus(text: &str) -> Result<Vec<Sample>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if !(rest.starts_with("HELP ") || rest.starts_with("TYPE ")) {
+                return Err(format!("line {}: unknown comment form: {raw}", lineno + 1));
+            }
+            continue;
+        }
+        out.push(parse_sample(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(out)
+}
+
+/// Find the value of `name` with exactly the given labels.
+pub fn value_of(samples: &[Sample], name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+    samples
+        .iter()
+        .find(|s| {
+            s.name == name
+                && s.labels.len() == labels.len()
+                && s.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((k, v), (wk, wv))| k == wk && v == wv)
+        })
+        .map(|s| s.value)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_part, value_part) = match line.find('{') {
+        Some(_) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| "unterminated label set".to_string())?;
+            (line[..close + 1].to_string(), line[close + 1..].trim())
+        }
+        None => {
+            let mut it = line.splitn(2, char::is_whitespace);
+            let name = it.next().unwrap_or_default().to_string();
+            let rest = it.next().ok_or_else(|| "missing value".to_string())?;
+            (name, rest.trim())
+        }
+    };
+
+    let (name, labels) = match name_part.find('{') {
+        None => (name_part, Vec::new()),
+        Some(brace) => {
+            let name = name_part[..brace].to_string();
+            let body = &name_part[brace + 1..name_part.len() - 1];
+            (name, parse_labels(body)?)
+        }
+    };
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(format!("invalid metric name `{name}`"));
+    }
+
+    let value = parse_value(value_part)?;
+    Ok(Sample { name, labels, value })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(' ') | Some(',')) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            break;
+        }
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if key.is_empty() {
+            return Err("empty label name".to_string());
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label `{key}`: expected opening quote"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                None => return Err(format!("label `{key}`: unterminated value")),
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('"') => value.push('"'),
+                    Some('\\') => value.push('\\'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("label `{key}`: bad escape {other:?}")),
+                },
+                Some(c) => value.push(c),
+            }
+        }
+        labels.push((key, value));
+    }
+    Ok(labels)
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => s
+            .parse::<f64>()
+            .map_err(|_| format!("invalid sample value `{s}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn parses_plain_and_labelled_samples() {
+        let text = "# HELP x help\n# TYPE x counter\nx 3\ny{a=\"b\",c=\"d e\"} 1.5\n";
+        let samples = parse_prometheus(text).unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(value_of(&samples, "x", &[]), Some(3.0));
+        assert_eq!(value_of(&samples, "y", &[("a", "b"), ("c", "d e")]), Some(1.5));
+    }
+
+    #[test]
+    fn parses_nonfinite_and_escapes() {
+        let samples =
+            parse_prometheus("h_bucket{le=\"+Inf\"} 4\nz{s=\"q\\\"\\\\\"} -Inf\n").unwrap();
+        assert_eq!(value_of(&samples, "h_bucket", &[("le", "+Inf")]), Some(4.0));
+        assert_eq!(
+            value_of(&samples, "z", &[("s", "q\"\\")]),
+            Some(f64::NEG_INFINITY)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_prometheus("x\n").is_err());
+        assert!(parse_prometheus("x{a=b} 1\n").is_err());
+        assert!(parse_prometheus("# NOTE whatever\n").is_err());
+        assert!(parse_prometheus("x{a=\"b\"} zero\n").is_err());
+    }
+
+    #[test]
+    fn registry_render_round_trips() {
+        let r = Registry::new();
+        r.counter("automon_messages_total", "messages").add(42);
+        r.counter("automon_faults_total{kind=\"drop\"}", "faults").add(3);
+        r.gauge("automon_error", "estimate error").set(0.125);
+        let h = r.histogram("automon_sync_bytes", "bytes per sync", &[10.0, 100.0]);
+        h.observe(5.0);
+        h.observe(50.0);
+        h.observe(5000.0);
+
+        let text = r.render_prometheus();
+        let samples = parse_prometheus(&text).expect("rendered exposition must parse");
+
+        assert_eq!(value_of(&samples, "automon_messages_total", &[]), Some(42.0));
+        assert_eq!(
+            value_of(&samples, "automon_faults_total", &[("kind", "drop")]),
+            Some(3.0)
+        );
+        assert_eq!(value_of(&samples, "automon_error", &[]), Some(0.125));
+        // Histogram buckets must be cumulative and end at +Inf == count.
+        assert_eq!(
+            value_of(&samples, "automon_sync_bytes_bucket", &[("le", "10")]),
+            Some(1.0)
+        );
+        assert_eq!(
+            value_of(&samples, "automon_sync_bytes_bucket", &[("le", "100")]),
+            Some(2.0)
+        );
+        assert_eq!(
+            value_of(&samples, "automon_sync_bytes_bucket", &[("le", "+Inf")]),
+            Some(3.0)
+        );
+        assert_eq!(value_of(&samples, "automon_sync_bytes_count", &[]), Some(3.0));
+        assert_eq!(value_of(&samples, "automon_sync_bytes_sum", &[]), Some(5055.0));
+    }
+}

@@ -1,0 +1,275 @@
+//! # automon-obs — deterministic observability
+//!
+//! Metrics and structured tracing for the AutoMon reproduction, built to
+//! the same contract as the rest of the workspace: **offline, no external
+//! dependencies, and bit-deterministic under a fixed seed**.
+//!
+//! Three pieces:
+//!
+//! * [`metrics`] — lock-cheap counters/gauges/fixed-bucket histograms in
+//!   a sorted [`metrics::Registry`], rendered as Prometheus text
+//!   exposition. Histogram sums are fixed-point so snapshots merge
+//!   associatively/commutatively (parallel lanes ≡ sequential).
+//! * [`trace`] — a JSONL event sink stamped by a [`trace::LogicalClock`]
+//!   (protocol round + deterministic op counter, never wall time), so
+//!   same-seed runs emit byte-identical traces.
+//! * [`serve`] / [`expo`] — a minimal HTTP/1.0 scrape endpoint and the
+//!   matching exposition parser for round-trip validation.
+//!
+//! The entry point is [`Telemetry`]: a cheaply clonable handle threaded
+//! through coordinator, nodes, net, chaos fabric, and sim runners.
+//! [`Telemetry::disabled()`] carries no allocation and every operation on
+//! it is a single `Option` branch, preserving the instrumented hot paths'
+//! performance when observability is off (the default everywhere).
+
+pub mod expo;
+pub mod metrics;
+pub mod serve;
+pub mod trace;
+
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+
+pub use expo::{parse_prometheus, value_of, Sample};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use serve::MetricsServer;
+pub use trace::{FieldValue, LogicalClock, Tracer};
+
+/// Shared state behind an enabled [`Telemetry`].
+#[derive(Default)]
+struct Inner {
+    registry: Registry,
+    tracer: Tracer,
+    clock: LogicalClock,
+}
+
+/// The observability handle threaded through the protocol stack.
+///
+/// `Clone` is an `Option<Arc>` copy; pass it by value freely. A disabled
+/// handle is `None` inside, so instrumentation costs one branch per call
+/// site — cheap enough to leave compiled into hot paths.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A no-op handle. All registrations return inert metric handles, all
+    /// events vanish, all sinks render empty.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A live handle with a fresh registry, tracer, and logical clock.
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Register (or look up) a counter. See [`Registry::counter`].
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        match &self.inner {
+            None => Counter::disabled(),
+            Some(i) => i.registry.counter(name, help),
+        }
+    }
+
+    /// Register (or look up) a gauge. See [`Registry::gauge`].
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        match &self.inner {
+            None => Gauge::disabled(),
+            Some(i) => i.registry.gauge(name, help),
+        }
+    }
+
+    /// Register (or look up) a histogram. See [`Registry::histogram`].
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Histogram {
+        match &self.inner {
+            None => Histogram::disabled(),
+            Some(i) => i.registry.histogram(name, help, bounds),
+        }
+    }
+
+    /// Set the logical clock's protocol round.
+    #[inline]
+    pub fn set_round(&self, round: u64) {
+        if let Some(i) = &self.inner {
+            i.clock.set_round(round);
+        }
+    }
+
+    /// Current protocol round (0 when disabled).
+    pub fn round(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.clock.round())
+    }
+
+    /// Advance the deterministic op counter by `n` work units.
+    #[inline]
+    pub fn add_ops(&self, n: u64) {
+        if let Some(i) = &self.inner {
+            i.clock.add_ops(n);
+        }
+    }
+
+    /// Total deterministic ops (0 when disabled).
+    pub fn ops(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.clock.ops())
+    }
+
+    /// Record a trace event. **Call only from sequential control flow**
+    /// (see the determinism contract in [`trace`]).
+    #[inline]
+    pub fn event(&self, kind: &str, fields: &[(&str, FieldValue)]) {
+        if let Some(i) = &self.inner {
+            i.tracer.record(&i.clock, kind, fields);
+        }
+    }
+
+    /// Open a span: emits `<name>_begin` now and `<name>_end` (with the
+    /// deterministic op delta) when the guard drops. Sequential contexts
+    /// only, like [`Telemetry::event`].
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let start_ops = self.ops();
+        if self.is_enabled() {
+            self.event(&format!("{name}_begin"), &[]);
+        }
+        SpanGuard {
+            tel: self.clone(),
+            name: name.to_string(),
+            start_ops,
+        }
+    }
+
+    /// Number of recorded trace events (0 when disabled).
+    pub fn trace_len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.tracer.len())
+    }
+
+    /// Render the metrics registry as Prometheus text exposition
+    /// (empty when disabled).
+    pub fn prometheus(&self) -> String {
+        self.inner
+            .as_ref()
+            .map_or_else(String::new, |i| i.registry.render_prometheus())
+    }
+
+    /// The trace as JSONL (empty when disabled).
+    pub fn trace_jsonl(&self) -> String {
+        self.inner
+            .as_ref()
+            .map_or_else(String::new, |i| i.tracer.to_jsonl())
+    }
+
+    /// Dump the Prometheus exposition to `path`.
+    pub fn write_metrics(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.prometheus().as_bytes())
+    }
+
+    /// Dump the JSONL trace to `path`.
+    pub fn write_trace(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.trace_jsonl().as_bytes())
+    }
+}
+
+/// RAII guard closing a [`Telemetry::span`]. The `_end` event carries the
+/// span's deterministic op count, the logical-clock analogue of duration.
+pub struct SpanGuard {
+    tel: Telemetry,
+    name: String,
+    start_ops: u64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.tel.is_enabled() {
+            let delta = self.tel.ops() - self.start_ops;
+            self.tel
+                .event(&format!("{}_end", self.name), &[("span_ops", delta.into())]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert_and_cheap_to_clone() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        tel.counter("c", "c").inc();
+        tel.set_round(9);
+        tel.add_ops(100);
+        tel.event("x", &[]);
+        {
+            let _span = tel.span("adcd");
+        }
+        assert_eq!(tel.round(), 0);
+        assert_eq!(tel.ops(), 0);
+        assert_eq!(tel.trace_len(), 0);
+        assert_eq!(tel.prometheus(), "");
+        assert_eq!(tel.trace_jsonl(), "");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let tel = Telemetry::enabled();
+        let other = tel.clone();
+        tel.counter("automon_x_total", "x").inc();
+        other.counter("automon_x_total", "x").add(4);
+        assert_eq!(tel.counter("automon_x_total", "x").get(), 5);
+        tel.set_round(3);
+        assert_eq!(other.round(), 3);
+    }
+
+    #[test]
+    fn span_emits_begin_and_end_with_op_delta() {
+        let tel = Telemetry::enabled();
+        tel.set_round(2);
+        {
+            let _span = tel.span("decompose");
+            tel.add_ops(17);
+        }
+        let jsonl = tel.trace_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"decompose_begin\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"kind\":\"decompose_end\""), "{}", lines[1]);
+        assert!(lines[1].contains("\"span_ops\":17"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn file_sinks_write_exact_bytes() {
+        let tel = Telemetry::enabled();
+        tel.counter("automon_y_total", "y").add(2);
+        tel.event("done", &[("ok", true.into())]);
+        let dir = std::env::temp_dir().join("automon-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = dir.join("metrics.prom");
+        let t = dir.join("trace.jsonl");
+        tel.write_metrics(&m).unwrap();
+        tel.write_trace(&t).unwrap();
+        assert_eq!(std::fs::read_to_string(&m).unwrap(), tel.prometheus());
+        assert_eq!(std::fs::read_to_string(&t).unwrap(), tel.trace_jsonl());
+        let _ = std::fs::remove_file(m);
+        let _ = std::fs::remove_file(t);
+    }
+}

@@ -1,0 +1,143 @@
+//! Minimal HTTP/1.0 metrics responder.
+//!
+//! Serves the current Prometheus exposition on every request, whatever
+//! the path — a scrape endpoint, not a web server. Built directly on
+//! `std::net` so `crates/obs` stays dependency-free (`crates/net` already
+//! depends on `core`, which depends on us).
+//!
+//! The accept loop polls a nonblocking listener and checks a shutdown
+//! flag between polls, so dropping the [`MetricsServer`] stops the
+//! background thread promptly without a wakeup connection.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::Telemetry;
+
+/// Content type of the Prometheus text exposition format.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// A background thread serving `telemetry.prometheus()` over HTTP/1.0.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0`) and start serving.
+    pub fn bind(addr: &str, telemetry: Telemetry) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let handle = thread::Builder::new()
+            .name("obs-metrics-http".to_string())
+            .spawn(move || {
+                while !flag.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Serve inline: scrapes are rare and tiny, a
+                            // thread per connection would be pure noise.
+                            let _ = respond(stream, &telemetry);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+            })
+            .expect("spawn metrics server thread");
+        Ok(Self {
+            addr: local,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the server and wait for the thread to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn respond(mut stream: TcpStream, telemetry: &Telemetry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    // Drain the request line + headers; we answer every request the same
+    // way, so parsing beyond "the client sent something" is unnecessary.
+    let mut buf = [0u8; 1024];
+    let _ = stream.read(&mut buf);
+    let body = telemetry.prometheus();
+    let header = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: {CONTENT_TYPE}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expo::{parse_prometheus, value_of};
+
+    fn scrape(addr: SocketAddr) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+            .expect("request");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("response");
+        out
+    }
+
+    #[test]
+    fn serves_valid_exposition_and_shuts_down() {
+        let tel = Telemetry::enabled();
+        tel.counter("automon_messages_total", "messages").add(7);
+        let server = MetricsServer::bind("127.0.0.1:0", tel.clone()).expect("bind");
+        let addr = server.local_addr();
+
+        let response = scrape(addr);
+        let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+        assert!(head.starts_with("HTTP/1.0 200 OK"), "{head}");
+        assert!(head.contains(CONTENT_TYPE), "{head}");
+        let samples = parse_prometheus(body).expect("body must be valid exposition");
+        assert_eq!(value_of(&samples, "automon_messages_total", &[]), Some(7.0));
+
+        // A second scrape sees updated values.
+        tel.counter("automon_messages_total", "messages").add(3);
+        let response = scrape(addr);
+        let body = response.split_once("\r\n\r\n").expect("split").1;
+        let samples = parse_prometheus(body).expect("parse");
+        assert_eq!(value_of(&samples, "automon_messages_total", &[]), Some(10.0));
+
+        // Shutdown must join the server thread without hanging.
+        server.shutdown();
+    }
+}

@@ -1,0 +1,241 @@
+//! Span-based structured tracing on a logical clock.
+//!
+//! Wall-clock time is banned from the trace: events are stamped with the
+//! protocol round and a deterministic operation counter, both advanced
+//! only by instrumented code. Same seed ⇒ same control flow ⇒ the same
+//! stamps in the same order ⇒ a byte-identical JSONL file.
+//!
+//! The determinism contract has one rule for writers: **trace events may
+//! only be emitted from sequential control flow** (the coordinator's
+//! handler path, full-sync/ADCD, the chaos fabric, the sim round loop).
+//! Parallel contexts — node batch handlers, net reader threads — must
+//! stick to commutative counters. The sequence number below is an atomic
+//! only so the `Tracer` is `Sync`; correctness of the byte-identical
+//! guarantee rests on that single-writer discipline.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Round + deterministic-op clock. `ops` counts algorithmic work units
+/// (Hessian replays, probe evaluations) declared by instrumented code, so
+/// it advances identically on identical inputs — a portable stand-in for
+/// "elapsed time" that survives re-runs and machine changes.
+#[derive(Debug, Default)]
+pub struct LogicalClock {
+    round: AtomicU64,
+    ops: AtomicU64,
+}
+
+impl LogicalClock {
+    /// Set the current protocol round.
+    pub fn set_round(&self, r: u64) {
+        self.round.store(r, Ordering::Relaxed);
+    }
+
+    /// The current protocol round.
+    pub fn round(&self) -> u64 {
+        self.round.load(Ordering::Relaxed)
+    }
+
+    /// Advance the deterministic op counter by `n` work units.
+    pub fn add_ops(&self, n: u64) {
+        self.ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total deterministic ops so far.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+}
+
+/// A typed field value for a trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// Append-only JSONL event sink.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    seq: AtomicU64,
+    lines: Mutex<Vec<String>>,
+}
+
+impl Tracer {
+    /// Record one event. Each line is a flat JSON object:
+    /// `{"seq":N,"round":R,"ops":O,"kind":"...", <fields>...}`.
+    pub fn record(&self, clock: &LogicalClock, kind: &str, fields: &[(&str, FieldValue)]) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut line = String::with_capacity(64 + fields.len() * 24);
+        let _ = write!(
+            line,
+            "{{\"seq\":{seq},\"round\":{},\"ops\":{},\"kind\":\"{}\"",
+            clock.round(),
+            clock.ops(),
+            Escaped(kind)
+        );
+        for (k, v) in fields {
+            let _ = write!(line, ",\"{}\":", Escaped(k));
+            match v {
+                FieldValue::U64(n) => {
+                    let _ = write!(line, "{n}");
+                }
+                FieldValue::I64(n) => {
+                    let _ = write!(line, "{n}");
+                }
+                FieldValue::F64(x) => {
+                    if x.is_finite() {
+                        // Rust's shortest-roundtrip `{}` for f64 is
+                        // deterministic and valid JSON for finite values.
+                        let _ = write!(line, "{x}");
+                    } else {
+                        let _ = write!(line, "null");
+                    }
+                }
+                FieldValue::Str(s) => {
+                    let _ = write!(line, "\"{}\"", Escaped(s));
+                }
+                FieldValue::Bool(b) => {
+                    let _ = write!(line, "{b}");
+                }
+            }
+        }
+        line.push('}');
+        self.lines.lock().push(line);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.lines.lock().len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The full trace as JSONL (one event per line, trailing newline when
+    /// non-empty).
+    pub fn to_jsonl(&self) -> String {
+        let lines = self.lines.lock();
+        let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+        for l in lines.iter() {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// JSON string escaping for the minimal set a flat event line needs.
+struct Escaped<'a>(&'a str);
+
+impl std::fmt::Display for Escaped<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for c in self.0.chars() {
+            match c {
+                '"' => f.write_str("\\\"")?,
+                '\\' => f.write_str("\\\\")?,
+                '\n' => f.write_str("\\n")?,
+                '\r' => f.write_str("\\r")?,
+                '\t' => f.write_str("\\t")?,
+                c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                c => f.write_char(c)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_carry_clock_and_fields() {
+        let clock = LogicalClock::default();
+        let t = Tracer::default();
+        clock.set_round(3);
+        clock.add_ops(10);
+        t.record(
+            &clock,
+            "full_sync",
+            &[("epoch", 2u64.into()), ("r", 0.5f64.into())],
+        );
+        t.record(&clock, "fault", &[("kind", "drop".into())]);
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"seq\":0,\"round\":3,\"ops\":10,\"kind\":\"full_sync\",\"epoch\":2,\"r\":0.5}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"seq\":1,\"round\":3,\"ops\":10,\"kind\":\"fault\",\"kind\":\"drop\"}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let clock = LogicalClock::default();
+        let t = Tracer::default();
+        t.record(&clock, "x", &[("msg", "a\"b\\c\nd".into())]);
+        assert!(t.to_jsonl().contains("\"msg\":\"a\\\"b\\\\c\\nd\""));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let clock = LogicalClock::default();
+        let t = Tracer::default();
+        t.record(&clock, "x", &[("v", f64::NAN.into())]);
+        assert!(t.to_jsonl().contains("\"v\":null"));
+    }
+}

@@ -26,6 +26,7 @@ use automon_chaos::{ChaosFabric, Direction, FaultEvent, FaultPlan, RecoveryConfi
 use automon_core::{Coordinator, MonitorConfig, MonitoredFunction, Node};
 use automon_linalg::vector;
 use automon_net::CountingFabric;
+use automon_obs::Telemetry;
 
 use crate::stats::RunStats;
 use crate::workload::Workload;
@@ -54,6 +55,7 @@ pub struct ChaosSimulation {
     plan: FaultPlan,
     recovery: RecoveryConfig,
     max_recovery_rounds: usize,
+    telemetry: Telemetry,
 }
 
 impl ChaosSimulation {
@@ -65,7 +67,17 @@ impl ChaosSimulation {
             plan,
             recovery: RecoveryConfig::default(),
             max_recovery_rounds: 256,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Thread an observability handle through the coordinator, every node
+    /// (including restarted incarnations), the chaos fabric, and the
+    /// round loop. Fault injection is seeded and the loop is sequential,
+    /// so same plan + workload ⇒ byte-identical trace.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.telemetry = tel;
+        self
     }
 
     /// Override the retransmit/eviction policy.
@@ -91,6 +103,28 @@ impl ChaosSimulation {
             n,
         );
 
+        coord.set_telemetry(self.telemetry.clone());
+        for node in &mut nodes {
+            node.set_telemetry(&self.telemetry);
+        }
+        fabric.set_telemetry(self.telemetry.clone());
+        let g_round = self.telemetry.gauge("automon_sim_round", "Current workload round");
+        let g_estimate = self
+            .telemetry
+            .gauge("automon_sim_estimate", "Coordinator-side f(x0) this round");
+        let g_truth = self
+            .telemetry
+            .gauge("automon_sim_truth", "True f(mean of local vectors) this round");
+        let g_messages = self.telemetry.gauge(
+            "automon_sim_cumulative_messages",
+            "Protocol messages routed so far",
+        );
+        let h_error = self.telemetry.histogram(
+            "automon_sim_abs_error",
+            "Per-round |estimate - truth|",
+            crate::runner::ERROR_BOUNDS,
+        );
+
         let mut current: Vec<Option<Vec<f64>>> = vec![None; n];
         let mut errors = Vec::new();
         let mut max_degraded = 0.0f64;
@@ -109,6 +143,8 @@ impl ChaosSimulation {
         let mut recovery_rounds = 0usize;
         let mut t = 0usize;
         let quiesced = loop {
+            self.telemetry.set_round(t as u64);
+            g_round.set(t as f64);
             if t >= total {
                 let quiet = !coord.is_resolving()
                     && fabric.delayed_frames() == 0
@@ -126,6 +162,7 @@ impl ChaosSimulation {
             //    fresh processes and re-register from their data stream.
             for id in fabric.begin_round(t) {
                 nodes[id] = Node::new(id, self.f.clone());
+                nodes[id].set_telemetry(&self.telemetry);
                 node_interval[id] = self.recovery.retransmit_after;
                 node_retry_at[id] = t + self.recovery.retransmit_after;
                 if let Some(x) = current[id].clone() {
@@ -229,6 +266,21 @@ impl ChaosSimulation {
                     || (0..n).any(|i| fabric.is_crashed(i) && coord.is_alive(i))
                     || coord.is_resolving()
                     || (0..n).any(|i| !fabric.is_crashed(i) && nodes[i].is_pending());
+                g_estimate.set(est);
+                g_truth.set(truth);
+                g_messages.set(fabric.stats().total_msgs() as f64);
+                h_error.observe(err);
+                if self.telemetry.is_enabled() {
+                    self.telemetry.event(
+                        "round",
+                        &[
+                            ("truth", truth.into()),
+                            ("estimate", est.into()),
+                            ("degraded", degraded.into()),
+                            ("messages", fabric.stats().total_msgs().into()),
+                        ],
+                    );
+                }
                 if degraded {
                     max_degraded = max_degraded.max(err);
                 } else {

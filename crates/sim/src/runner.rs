@@ -5,9 +5,14 @@ use std::sync::Arc;
 use automon_core::{Coordinator, MonitorConfig, MonitoredFunction, Node};
 use automon_linalg::vector;
 use automon_net::CountingFabric;
+use automon_obs::Telemetry;
 
 use crate::stats::{RunStats, TracePoint};
 use crate::workload::Workload;
+
+/// Absolute-error histogram buckets shared by the runners (decades around
+/// typical ε values).
+pub(crate) const ERROR_BOUNDS: &[f64] = &[1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
 
 /// A configured AutoMon simulation (paper §4.1's harness).
 ///
@@ -19,6 +24,7 @@ pub struct Simulation {
     cfg: MonitorConfig,
     record_trace: bool,
     trace_stride: usize,
+    telemetry: Telemetry,
 }
 
 impl Simulation {
@@ -29,6 +35,7 @@ impl Simulation {
             cfg,
             record_trace: false,
             trace_stride: 1,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -36,6 +43,15 @@ impl Simulation {
     pub fn with_trace(mut self, stride: usize) -> Self {
         self.record_trace = true;
         self.trace_stride = stride.max(1);
+        self
+    }
+
+    /// Thread an observability handle through the coordinator, every
+    /// node, and the per-round loop. The round loop is sequential, so it
+    /// owns the logical clock: same workload + config ⇒ byte-identical
+    /// trace.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.telemetry = tel;
         self
     }
 
@@ -61,12 +77,35 @@ impl Simulation {
         let mut nodes: Vec<Node> = (0..n).map(|i| Node::new(i, self.f.clone())).collect();
         let mut fabric = CountingFabric::new().with_parallelism(coord.parallelism());
 
+        coord.set_telemetry(self.telemetry.clone());
+        for node in &mut nodes {
+            node.set_telemetry(&self.telemetry);
+        }
+        let g_round = self.telemetry.gauge("automon_sim_round", "Current workload round");
+        let g_estimate = self
+            .telemetry
+            .gauge("automon_sim_estimate", "Coordinator-side f(x0) this round");
+        let g_truth = self
+            .telemetry
+            .gauge("automon_sim_truth", "True f(mean of local vectors) this round");
+        let g_messages = self.telemetry.gauge(
+            "automon_sim_cumulative_messages",
+            "Protocol messages routed so far",
+        );
+        let h_error = self.telemetry.histogram(
+            "automon_sim_abs_error",
+            "Per-round |estimate - truth|",
+            ERROR_BOUNDS,
+        );
+
         let mut current: Vec<Option<Vec<f64>>> = vec![None; n];
         let mut errors = Vec::with_capacity(workload.rounds());
         let mut missed = 0usize;
         let mut trace = Vec::new();
 
         for t in 0..workload.rounds() {
+            self.telemetry.set_round(t as u64);
+            g_round.set(t as f64);
             for (node, x) in workload.updates(t) {
                 current[*node] = Some(x.clone());
                 if let Some(m) = nodes[*node].update_data(x.clone()) {
@@ -84,6 +123,22 @@ impl Simulation {
                 let zone = coord.zone().expect("initialized");
                 if !zone.admissible(truth) {
                     missed += 1;
+                }
+                g_estimate.set(est);
+                g_truth.set(truth);
+                g_messages.set(fabric.stats().total_msgs() as f64);
+                h_error.observe((est - truth).abs());
+                if self.telemetry.is_enabled() {
+                    self.telemetry.event(
+                        "round",
+                        &[
+                            ("truth", truth.into()),
+                            ("estimate", est.into()),
+                            ("lower", zone.l.into()),
+                            ("upper", zone.u.into()),
+                            ("messages", fabric.stats().total_msgs().into()),
+                        ],
+                    );
                 }
                 if self.record_trace && t % self.trace_stride == 0 {
                     trace.push(TracePoint {

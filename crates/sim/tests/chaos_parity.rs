@@ -1,0 +1,56 @@
+//! Regression: wrapping the fabric in a `ChaosFabric` with
+//! `FaultPlan::none()` must be invisible — same messages, same bytes —
+//! on the paper's synthetic inner-product workload, with and without
+//! telemetry attached (instrumentation must not perturb the protocol).
+
+use std::sync::Arc;
+
+use automon_autodiff::AutoDiffFn;
+use automon_chaos::FaultPlan;
+use automon_core::{MonitorConfig, MonitoredFunction};
+use automon_data::synthetic::InnerProductDataset;
+use automon_data::windowed_mean_series;
+use automon_functions::InnerProduct;
+use automon_obs::Telemetry;
+use automon_sim::{ChaosSimulation, Simulation, Workload};
+
+fn setup() -> (Arc<dyn MonitoredFunction>, MonitorConfig, Workload) {
+    let (nodes, rounds, dim, seed) = (4, 120, 4, 42);
+    let raw = InnerProductDataset::generate(nodes, rounds + 19, dim, seed);
+    let w = Workload::from_dense(&windowed_mean_series(&raw, 20));
+    let f: Arc<dyn MonitoredFunction> = Arc::new(AutoDiffFn::new(InnerProduct::new(dim)));
+    (f, MonitorConfig::builder(0.2).build(), w)
+}
+
+#[test]
+fn none_plan_matches_plain_on_inner_product() {
+    let (f, cfg, w) = setup();
+    let plain = Simulation::new(f.clone(), cfg.clone()).run(&w);
+    let chaos = ChaosSimulation::new(f, cfg, FaultPlan::none()).run(&w);
+    assert!(chaos.quiesced);
+    assert!(chaos.fault_trace.is_empty());
+    assert_eq!(chaos.stats.messages, plain.messages);
+    assert_eq!(chaos.stats.payload_bytes, plain.payload_bytes);
+    assert_eq!(chaos.stats.full_syncs, plain.full_syncs);
+    assert_eq!(chaos.stats.lazy_syncs, plain.lazy_syncs);
+    assert_eq!(chaos.stats.injected_faults, 0);
+}
+
+#[test]
+fn telemetry_does_not_perturb_the_protocol() {
+    let (f, cfg, w) = setup();
+    let bare = Simulation::new(f.clone(), cfg.clone()).run(&w);
+    let observed = Simulation::new(f.clone(), cfg.clone())
+        .with_telemetry(Telemetry::enabled())
+        .run(&w);
+    assert_eq!(observed.messages, bare.messages);
+    assert_eq!(observed.payload_bytes, bare.payload_bytes);
+    assert_eq!(observed.max_error, bare.max_error);
+
+    let bare = ChaosSimulation::new(f.clone(), cfg.clone(), FaultPlan::none()).run(&w);
+    let observed = ChaosSimulation::new(f, cfg, FaultPlan::none())
+        .with_telemetry(Telemetry::enabled())
+        .run(&w);
+    assert_eq!(observed.stats, bare.stats);
+    assert_eq!(observed.fault_trace, bare.fault_trace);
+}

@@ -1,33 +1,38 @@
 #!/usr/bin/env bash
-# Snapshot the ADCD hot-path benches into BENCH_adcd_hotpath.json.
+# Snapshot the ADCD hot-path benches into BENCH_adcd_hotpath.json and
+# the telemetry-overhead benches into BENCH_obs_overhead.json.
 #
 # Runs the node_runtime, coordinator_full_sync, and substrates Criterion
 # benches (node/coordinator runtime, the autodiff Hessian microbench,
-# the Jacobi eigensolver, wire codecs) and records every BENCHLINE
-# median, keyed "<group>/<bench>/<dim>" in nanoseconds. If a snapshot
-# already exists, its "current" section is rotated into "previous", so
-# consecutive runs (and consecutive PRs) keep a before/after trajectory.
+# the Jacobi eigensolver, wire codecs) plus obs_overhead (bare vs
+# disabled-telemetry vs live-telemetry decompose, metric primitives) and
+# records every BENCHLINE median, keyed "<group>/<bench>/<dim>" in
+# nanoseconds. If a snapshot already exists, its "current" section is
+# rotated into "previous", so consecutive runs (and consecutive PRs)
+# keep a before/after trajectory.
 #
 # Usage: scripts/bench_snapshot.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_adcd_hotpath.json
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-for bench in node_runtime coordinator_full_sync substrates; do
-    echo "running $bench ..." >&2
-    cargo bench -q -p automon-bench --bench "$bench" 2>&1 \
-        | grep '^BENCHLINE' || true
-done > "$RAW"
-
-python3 - "$RAW" "$OUT" <<'PYEOF'
+snapshot() {
+    local out=$1
+    shift
+    local benches=("$@")
+    for bench in "${benches[@]}"; do
+        echo "running $bench ..." >&2
+        cargo bench -q -p automon-bench --bench "$bench" 2>&1 \
+            | grep '^BENCHLINE' || true
+    done > "$RAW"
+    python3 - "$RAW" "$out" "${benches[@]}" <<'PYEOF'
 import json
 import sys
 from datetime import datetime, timezone
 
-raw_path, out_path = sys.argv[1], sys.argv[2]
+raw_path, out_path, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
 
 current = {}
 with open(raw_path) as fh:
@@ -50,7 +55,7 @@ except (FileNotFoundError, json.JSONDecodeError):
 snapshot = {
     "unit": "median_ns",
     "captured_at": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
-    "benches": ["node_runtime", "coordinator_full_sync", "substrates"],
+    "benches": benches,
     "previous": previous,
     "current": dict(sorted(current.items())),
 }
@@ -60,3 +65,7 @@ with open(out_path, "w") as fh:
 print(f"wrote {out_path}: {len(current)} medians"
       + (" (rotated previous snapshot)" if previous else ""))
 PYEOF
+}
+
+snapshot BENCH_adcd_hotpath.json node_runtime coordinator_full_sync substrates
+snapshot BENCH_obs_overhead.json obs_overhead

@@ -11,6 +11,11 @@
 #   4. chaos determinism smoke — the same --chaos-seed must produce a
 #      byte-identical report (DESIGN.md §3.8); catches any accidental
 #      nondeterminism (HashMap iteration, extra RNG draws, time).
+#   5. zero-overhead bench smoke — decompose_observed with
+#      Telemetry::disabled() must stay within BENCH_SMOKE_TOLERANCE
+#      (default 10%) of the bare decompose on the same machine and run
+#      (DESIGN.md §3.9's near-no-op contract). Same-run comparison, so
+#      machine drift doesn't produce false alarms.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,5 +45,44 @@ if ! grep -q "quiesced" <<<"$run_a"; then
     exit 1
 fi
 echo "    deterministic, quiesced"
+
+echo "==> zero-overhead bench smoke (tolerance ${BENCH_SMOKE_TOLERANCE:-0.10})"
+# Three repetitions, per-key minimum: the parallel eigen search makes a
+# single median noisy, and scheduler noise only ever inflates timings.
+BENCH_OUT=$(for _ in 1 2 3; do
+    cargo bench -q -p automon-bench --bench obs_overhead 2>&1 | grep '^BENCHLINE' || true
+done)
+python3 - <<PYEOF
+import os, sys
+
+tol = float(os.environ.get("BENCH_SMOKE_TOLERANCE", "0.10"))
+medians = {}
+for line in """${BENCH_OUT}""".splitlines():
+    parts = line.split()
+    if len(parts) == 4 and parts[0] == "BENCHLINE" and parts[2] == "median_ns":
+        key, v = parts[1], float(parts[3])
+        medians[key] = min(medians.get(key, v), v)
+
+failures = []
+for d in (10, 40):
+    bare = medians.get(f"obs_overhead/decompose_bare/{d}")
+    off = medians.get(f"obs_overhead/decompose_disabled_tel/{d}")
+    if bare is None or off is None:
+        failures.append(f"d={d}: missing BENCHLINE output")
+        continue
+    ratio = off / bare
+    print(f"    d={d}: bare {bare:.0f} ns, disabled telemetry {off:.0f} ns "
+          f"(ratio {ratio:.3f})")
+    if ratio > 1.0 + tol:
+        failures.append(
+            f"d={d}: disabled telemetry {off:.0f} ns exceeds bare "
+            f"{bare:.0f} ns by more than {tol:.0%}")
+if failures:
+    print("FAIL: disabled telemetry is not zero-overhead", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+PYEOF
+echo "    disabled telemetry within noise of bare decompose"
 
 echo "==> CI green"
