@@ -119,6 +119,18 @@ pub trait DifferentiableFn: Send + Sync {
     fn hessian_eval(&self) -> Box<dyn HessianEvaluator + '_> {
         Box::new(FallbackHessianEval { f: self })
     }
+
+    /// A reusable Hessian-vector-product evaluator for repeated queries.
+    ///
+    /// The matrix-free counterpart of [`Self::hessian_eval`]: the
+    /// Lanczos eigen search applies `H(x)·v` dozens of times per probe
+    /// point and must never pay for materializing `H`. The default
+    /// delegates to [`Self::hvp`] (re-tracing per call);
+    /// [`AutoDiffFn`] overrides it with a record-once/replay-many graph
+    /// workspace whose products are bit-identical to the tape path.
+    fn hvp_eval(&self) -> Box<dyn HvpEvaluator + '_> {
+        Box::new(FallbackHvpEval { f: self })
+    }
 }
 
 /// A stateful Hessian evaluator writing into caller-owned storage.
@@ -149,6 +161,34 @@ impl<F: DifferentiableFn + ?Sized> HessianEvaluator for FallbackHessianEval<'_, 
     }
 }
 
+/// A stateful Hessian-vector-product evaluator writing into
+/// caller-owned storage.
+///
+/// Obtained from [`DifferentiableFn::hvp_eval`]; single-threaded
+/// (`&mut self`) but `Send`, like [`HessianEvaluator`].
+pub trait HvpEvaluator: Send {
+    /// Input dimension `d`.
+    fn dim(&self) -> usize;
+
+    /// Write `H(x)·v` into `out` (all slices length `d`).
+    fn hvp_into(&mut self, x: &[f64], v: &[f64], out: &mut [f64]);
+}
+
+/// Default evaluator: delegates to [`DifferentiableFn::hvp`].
+struct FallbackHvpEval<'a, F: DifferentiableFn + ?Sized> {
+    f: &'a F,
+}
+
+impl<F: DifferentiableFn + ?Sized> HvpEvaluator for FallbackHvpEval<'_, F> {
+    fn dim(&self) -> usize {
+        self.f.dim()
+    }
+
+    fn hvp_into(&mut self, x: &[f64], v: &[f64], out: &mut [f64]) {
+        out.copy_from_slice(&self.f.hvp(x, v));
+    }
+}
+
 /// Graph-workspace evaluator used by [`AutoDiffFn`]: records the op
 /// structure once per point and replays `d` seed tangents.
 struct GraphHessianEval<'a, F: ScalarFn> {
@@ -163,6 +203,23 @@ impl<F: ScalarFn> HessianEvaluator for GraphHessianEval<'_, F> {
 
     fn hessian_into(&mut self, x: &[f64], out: &mut Matrix) {
         self.ws.hessian_into(self.f, x, out);
+    }
+}
+
+/// Graph-workspace HVP evaluator used by [`AutoDiffFn`]: one recorded
+/// graph, one tangent lane per product.
+struct GraphHvpEval<'a, F: ScalarFn> {
+    f: &'a F,
+    ws: GraphWorkspace,
+}
+
+impl<F: ScalarFn> HvpEvaluator for GraphHvpEval<'_, F> {
+    fn dim(&self) -> usize {
+        self.f.dim()
+    }
+
+    fn hvp_into(&mut self, x: &[f64], v: &[f64], out: &mut [f64]) {
+        self.ws.hvp_into(self.f, x, v, out);
     }
 }
 
@@ -371,6 +428,13 @@ impl<F: ScalarFn> DifferentiableFn for AutoDiffFn<F> {
 
     fn hessian_eval(&self) -> Box<dyn HessianEvaluator + '_> {
         Box::new(GraphHessianEval {
+            f: &self.f,
+            ws: GraphWorkspace::new(),
+        })
+    }
+
+    fn hvp_eval(&self) -> Box<dyn HvpEvaluator + '_> {
+        Box::new(GraphHvpEval {
             f: &self.f,
             ws: GraphWorkspace::new(),
         })

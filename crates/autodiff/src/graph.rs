@@ -1,4 +1,5 @@
-//! Record-once / replay-many computation graphs for batched Hessians.
+//! Record-once / replay-many computation graphs for batched Hessians
+//! and matrix-free Hessian-vector products.
 //!
 //! The tape in [`crate::Tape`] re-traces the monitored function from
 //! scratch for every derivative query: a full Hessian via
@@ -14,7 +15,11 @@
 //! straight into a caller-owned matrix. Primal values, op dispatch, and
 //! the adjoint-primal chain are shared across lanes — only the tangent
 //! arithmetic is per-lane — and no allocation happens after the
-//! workspace has warmed up.
+//! workspace has warmed up. The same machinery replayed with a *single*
+//! lane seeded by an arbitrary direction yields a Hessian-vector
+//! product ([`GraphWorkspace::hvp_into`]) at O(graph) cost without ever
+//! materializing the Hessian — the substrate for the Lanczos eigen
+//! search.
 //!
 //! # Bit-identity contract
 //!
@@ -411,23 +416,51 @@ impl GraphWorkspace {
         assert_eq!(x.len(), d, "hessian_into: dimension mismatch");
         assert_eq!(h.rows(), d, "hessian_into: output rows");
         assert_eq!(h.cols(), d, "hessian_into: output cols");
+        self.ensure_recorded(f, x, d);
+        self.replay(x, Seeds::Unit, h.as_mut_slice());
+        h.symmetrize();
+    }
+
+    /// The Hessian-vector product `H(x)·v` of `f` at `x`, written into
+    /// `out` — one single-lane replay instead of `d` lanes, so a probe
+    /// costs O(graph) rather than O(d·graph) and the Hessian is never
+    /// materialized. Bit-identical to [`crate::AutoDiffFn::hvp`] on the
+    /// same point and direction (lane 0 computes exactly the `Dual`
+    /// sequence a tape run seeded with `v` performs).
+    pub fn hvp_into<F: ScalarFn + ?Sized>(&mut self, f: &F, x: &[f64], v: &[f64], out: &mut [f64]) {
+        let d = f.dim();
+        assert_eq!(x.len(), d, "hvp_into: dimension mismatch");
+        assert_eq!(v.len(), d, "hvp_into: direction length");
+        assert_eq!(out.len(), d, "hvp_into: output length");
+        self.ensure_recorded(f, x, d);
+        self.replay(x, Seeds::Vector(v), out);
+    }
+
+    /// Re-record iff the cached graph cannot serve (`f`, `x`): never
+    /// recorded, dimension change, or point-dependent structure at a new
+    /// point.
+    fn ensure_recorded<F: ScalarFn + ?Sized>(&mut self, f: &F, x: &[f64], d: usize) {
         if self.nodes.is_empty()
             || self.n_inputs != d
             || (self.point_dependent && self.recorded_at != x)
         {
             self.record(f, x);
         }
-        self.replay_all(x, h);
-        h.symmetrize();
     }
 
-    /// One batched forward-over-reverse pass over all `d` seed tangents;
-    /// writes the full (pre-symmetrization) Hessian. Lane `j` of every
-    /// tangent buffer computes the exact scalar sequence of a `Dual`
-    /// replay seeded with `e_j` — see the module docs for the contract.
-    fn replay_all(&mut self, x: &[f64], h: &mut Matrix) {
+    /// One batched forward-over-reverse pass; the seed mode picks the
+    /// lane count `d` (all `n_inputs` unit tangents for a Hessian, one
+    /// arbitrary direction for an HVP) and `out` receives the
+    /// `n_inputs × lanes` adjoint-tangent block row-major. Lane `j` of
+    /// every tangent buffer computes the exact scalar sequence of a
+    /// `Dual` replay seeded with that lane's seed — see the module docs
+    /// for the contract.
+    fn replay(&mut self, x: &[f64], seeds: Seeds<'_>, out: &mut [f64]) {
         let n = self.nodes.len();
-        let d = self.n_inputs;
+        let d = match seeds {
+            Seeds::Unit => self.n_inputs,
+            Seeds::Vector(_) => 1,
+        };
         let Self {
             nodes,
             vals_v,
@@ -489,8 +522,13 @@ impl GraphWorkspace {
             match nodes[i] {
                 GOp::Input => {
                     vals_v[i] = x[input];
-                    for (l, r) in row.iter_mut().enumerate() {
-                        *r = if l == input { 1.0 } else { 0.0 };
+                    match seeds {
+                        Seeds::Unit => {
+                            for (l, r) in row.iter_mut().enumerate() {
+                                *r = if l == input { 1.0 } else { 0.0 };
+                            }
+                        }
+                        Seeds::Vector(v) => row[0] = v[input],
                     }
                     input += 1;
                 }
@@ -752,12 +790,16 @@ impl GraphWorkspace {
             }
         }
 
-        for i in 0..d {
-            for j in 0..d {
-                h[(i, j)] = adj_d[i * d + j];
-            }
-        }
+        out.copy_from_slice(&adj_d[..self.n_inputs * d]);
     }
+}
+
+/// Seed tangents for a replay: one unit lane per input (full Hessian)
+/// or a single lane carrying an arbitrary direction (HVP).
+#[derive(Clone, Copy)]
+enum Seeds<'a> {
+    Unit,
+    Vector(&'a [f64]),
 }
 
 #[cfg(test)]
@@ -910,6 +952,66 @@ mod tests {
         // A second point must not re-record (same op count, same arena).
         ws.hessian_into(&Poly, &[0.9, -0.4, 0.5], &mut h);
         assert_eq!(ws.op_count(), ops);
+    }
+
+    fn assert_hvp_bit_identical<F: ScalarFn>(f: F, points: &[Vec<f64>]) {
+        let d = f.dim();
+        let wrapped = AutoDiffFn::new(f);
+        let mut ws = GraphWorkspace::new();
+        let mut out = vec![0.0; d];
+        for (k, x) in points.iter().enumerate() {
+            // A deterministic non-axis direction per point.
+            let v: Vec<f64> = (0..d)
+                .map(|i| 0.3 + 0.7 * i as f64 - 0.11 * k as f64)
+                .collect();
+            let reference = wrapped.hvp(x, &v);
+            ws.hvp_into(wrapped.inner(), x, &v, &mut out);
+            for i in 0..d {
+                assert_eq!(
+                    out[i].to_bits(),
+                    reference[i].to_bits(),
+                    "hvp[{i}] at {x:?}: graph {} vs tape {}",
+                    out[i],
+                    reference[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hvp_bit_identical_across_op_coverage() {
+        assert_hvp_bit_identical(
+            Poly,
+            &[vec![0.3, -0.8, 1.7], vec![-0.137, 0.952, -2.5]],
+        );
+        assert_hvp_bit_identical(DivLog, &[vec![0.3, 0.8], vec![1.7, 0.21]]);
+        assert_hvp_bit_identical(Transcendental, &[vec![0.4, 0.9], vec![2.2, 1.6]]);
+        assert_hvp_bit_identical(
+            Branchy,
+            &[vec![0.5, 0.25], vec![-0.5, 0.25], vec![-0.7, -0.2]],
+        );
+        assert_hvp_bit_identical(ValueBranch, &[vec![0.9, 0.4], vec![0.1, 0.4]]);
+    }
+
+    #[test]
+    fn hvp_and_hessian_share_one_recording() {
+        let mut ws = GraphWorkspace::new();
+        let mut h = Matrix::zeros(3, 3);
+        let mut out = vec![0.0; 3];
+        ws.hessian_into(&Poly, &[0.1, 0.2, 0.3], &mut h);
+        let ops = ws.op_count();
+        // Interleaved HVPs at other points reuse the same graph.
+        ws.hvp_into(&Poly, &[0.9, -0.4, 0.5], &[1.0, 0.0, 2.0], &mut out);
+        ws.hvp_into(&Poly, &[0.2, 0.2, 0.2], &[0.5, -1.0, 0.0], &mut out);
+        assert_eq!(ws.op_count(), ops);
+        // And the HVP matches H·v from the full Hessian (same quadratic
+        // graph, so equality is exact up to symmetrization).
+        ws.hessian_into(&Poly, &[0.2, 0.2, 0.2], &mut h);
+        let hv = h.matvec(&[0.5, -1.0, 0.0]);
+        ws.hvp_into(&Poly, &[0.2, 0.2, 0.2], &[0.5, -1.0, 0.0], &mut out);
+        for i in 0..3 {
+            assert!((out[i] - hv[i]).abs() < 1e-12, "{} vs {}", out[i], hv[i]);
+        }
     }
 
     #[test]

@@ -56,7 +56,7 @@ mod scalar;
 mod tape;
 
 pub use dual::Dual;
-pub use func::{AutoDiffFn, DifferentiableFn, HessianEvaluator, ScalarFn};
+pub use func::{AutoDiffFn, DifferentiableFn, HessianEvaluator, HvpEvaluator, ScalarFn};
 pub use graph::GraphWorkspace;
 pub use scalar::{lit, Scalar};
 pub use tape::{Tape, Var};

@@ -1,9 +1,13 @@
-//! Microbenchmarks of the substrates: AD gradients/Hessians, the Jacobi
-//! eigensolver, the box-constrained optimizer, and the wire codec.
+//! Microbenchmarks of the substrates: AD gradients/Hessians, the
+//! spectral kernels (QL default, Jacobi oracle, matrix-free Lanczos
+//! extremes), the box-constrained optimizer, and the wire codec.
 
 use automon_autodiff::{AutoDiffFn, Scalar, ScalarFn};
-use automon_core::{NodeMessage, ViolationKind};
-use automon_linalg::{Matrix, SymEigen};
+use automon_core::{CoordinatorMessage, Curvature, DcKind, NodeMessage, SafeZone, ViolationKind};
+use automon_linalg::{
+    JacobiOptions, LanczosOptions, LanczosStats, LanczosWorkspace, Matrix, MatrixOperator,
+    RitzSide, SymEigen,
+};
 use automon_net::wire;
 use automon_opt::{minimize_box, Bounds, OptimizeOptions};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -39,18 +43,65 @@ fn bench_autodiff(c: &mut Criterion) {
     group.finish();
 }
 
+fn random_sym(d: usize) -> Matrix {
+    let mut seed = 1u64;
+    let mut next = move || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    let mut m = Matrix::from_fn(d, d, |_, _| next());
+    m.symmetrize();
+    m
+}
+
 fn bench_eigen(c: &mut Criterion) {
+    // The legacy Jacobi kernel, pinned explicitly so the group keeps
+    // measuring Jacobi now that `SymEigen::new` defaults to QL.
     let mut group = c.benchmark_group("jacobi_eigen");
     for d in [10usize, 40, 100] {
-        let mut seed = 1u64;
-        let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
-            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-        };
-        let mut m = Matrix::from_fn(d, d, |_, _| next());
-        m.symmetrize();
+        let m = random_sym(d);
+        group.bench_with_input(BenchmarkId::new("decompose", d), &d, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(SymEigen::with_options(
+                    std::hint::black_box(&m),
+                    JacobiOptions::default(),
+                ))
+            })
+        });
+    }
+    group.finish();
+
+    // The two-tier default: Householder + implicit-shift QL.
+    let mut group = c.benchmark_group("ql_eigen");
+    for d in [10usize, 40, 100] {
+        let m = random_sym(d);
         group.bench_with_input(BenchmarkId::new("decompose", d), &d, |b, _| {
             b.iter(|| std::hint::black_box(SymEigen::new(std::hint::black_box(&m))))
+        });
+    }
+    group.finish();
+
+    // Matrix-free extremes (warm-started across iterations, like the
+    // ADCD-X probe chain).
+    let mut group = c.benchmark_group("lanczos_extremes");
+    for d in [10usize, 40, 100] {
+        let m = random_sym(d);
+        let shift = 0.0;
+        let scale = d as f64;
+        let mut ws = LanczosWorkspace::new();
+        let mut stats = LanczosStats::default();
+        group.bench_with_input(BenchmarkId::new("extremes", d), &d, |b, _| {
+            b.iter(|| {
+                let mut op = MatrixOperator::new(std::hint::black_box(&m));
+                std::hint::black_box(ws.extremes(
+                    &mut op,
+                    shift,
+                    scale,
+                    RitzSide::Smallest,
+                    &LanczosOptions::default(),
+                    &mut stats,
+                ))
+            })
         });
     }
     group.finish();
@@ -85,6 +136,29 @@ fn bench_wire(c: &mut Criterion) {
         let bytes = wire::encode_node_message(&msg);
         group.bench_with_input(BenchmarkId::new("decode_violation", d), &d, |b, _| {
             b.iter(|| std::hint::black_box(wire::decode_node_message(std::hint::black_box(&bytes))))
+        });
+        // The largest frame the protocol sends: a full constraint
+        // update with its curvature matrix (d × d payload).
+        let constraints = CoordinatorMessage::NewConstraints {
+            zone: SafeZone {
+                x0: vec![0.1; d],
+                f0: 1.0,
+                grad0: vec![0.2; d],
+                l: 0.9,
+                u: 1.1,
+                dc: DcKind::ConvexDiff,
+                curvature: Curvature::Quadratic(Matrix::identity(d)),
+                neighborhood: None,
+            },
+            slack: vec![0.0; d],
+            epoch: 1,
+        };
+        group.bench_with_input(BenchmarkId::new("encode_constraints", d), &d, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(wire::encode_coordinator_message(std::hint::black_box(
+                    &constraints,
+                )))
+            })
         });
     }
     group.finish();

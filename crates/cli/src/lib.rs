@@ -18,7 +18,7 @@ mod run;
 
 pub use args::{Args, CliError};
 pub use csvio::{parse_csv_updates, render_estimates};
-pub use run::{build_function, run_monitor, run_simulate, run_tune, MonitorOutcome};
+pub use run::{build_function, run_monitor, run_simulate, run_spectral_smoke, run_tune, MonitorOutcome};
 
 /// Entry point shared by `main.rs` and the tests.
 ///
@@ -28,6 +28,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         Some("simulate") => run_simulate(&Args::parse(&argv[1..])?),
         Some("monitor") => run_monitor(&Args::parse(&argv[1..])?),
         Some("tune") => run_tune(&Args::parse(&argv[1..])?),
+        Some("spectral-smoke") => run_spectral_smoke(&Args::parse(&argv[1..])?),
         Some("help") | None => Ok(usage().to_string()),
         Some(other) => Err(CliError::new(format!(
             "unknown subcommand `{other}`\n\n{}",
@@ -43,14 +44,17 @@ pub fn usage() -> &'static str {
 USAGE:
     automon simulate --function <NAME> [--epsilon E] [--nodes N]
                      [--rounds R] [--dim D] [--seed S] [--baseline SPEC]
-                     [--parallelism P] [--chaos-seed S] [--drop-rate P]
+                     [--parallelism P] [--spectral-backend B]
+                     [--chaos-seed S] [--drop-rate P]
                      [--crash-node SPEC] [--partition SPEC] [--json]
                      [--metrics-out FILE] [--trace-out FILE]
                      [--serve-metrics ADDR]
     automon monitor  --function <NAME> --input <FILE.csv> --nodes N
                      [--epsilon E] [--output FILE.csv] [--parallelism P]
+                     [--spectral-backend B]
     automon tune     --function <NAME> --input <FILE.csv> --nodes N
                      [--epsilon E]
+    automon spectral-smoke [--dim D] [--seed S] [--tol T]
     automon help
 
 FUNCTIONS (built-in):
@@ -64,6 +68,14 @@ PARALLELISM:
     --parallelism 0 sizes the full-sync pipeline to the machine
     (default); 1 forces the sequential reference path; N uses N
     worker threads. Results are identical for every setting.
+
+SPECTRAL BACKEND:
+    --spectral-backend ql (default) uses the two-tier kernel:
+    Householder + implicit-shift QL for full decompositions and
+    matrix-free Lanczos for the ADCD-X extreme-eigenvalue search.
+    `jacobi` is the legacy cyclic-Jacobi path (rollback switch).
+    `automon spectral-smoke` cross-checks the three kernels on one
+    deterministic matrix and exits non-zero on disagreement.
 
 CHAOS (simulate only; any chaos flag switches to the fault-injecting
 runner with retransmission, eviction, and rejoin enabled):

@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use automon_autodiff::AutoDiffFn;
-use automon_core::{Coordinator, MonitorConfig, MonitoredFunction, Node, Parallelism};
+use automon_core::{Coordinator, MonitorConfig, MonitoredFunction, Node, Parallelism, SpectralBackend};
 use automon_data::synthetic::{InnerProductDataset, QuadraticDataset, RozenbrockDataset};
 use automon_data::windowed_mean_series;
 use automon_functions::{train_mlp_d, InnerProduct, KlDivergence, QuadraticForm, Rozenbrock, Variance};
@@ -37,6 +37,18 @@ pub fn build_function(name: &str, dim: usize) -> Result<Arc<dyn MonitoredFunctio
 /// sequential reference path, n ≥ 2 = that many workers).
 fn parse_parallelism(args: &Args) -> Result<Parallelism, CliError> {
     Ok(Parallelism::from(args.num("parallelism", 0usize)?))
+}
+
+/// Parse `--spectral-backend` (`ql` is the default two-tier kernel,
+/// `jacobi` the legacy escape hatch).
+fn parse_spectral_backend(args: &Args) -> Result<SpectralBackend, CliError> {
+    match args.get("spectral-backend") {
+        None | Some("ql") => Ok(SpectralBackend::Ql),
+        Some("jacobi") => Ok(SpectralBackend::Jacobi),
+        Some(other) => Err(CliError::new(format!(
+            "unknown spectral backend `{other}` (ql | jacobi)"
+        ))),
+    }
 }
 
 /// Default dimension per function when `--dim` is omitted.
@@ -261,6 +273,7 @@ pub fn run_simulate(args: &Args) -> Result<String, CliError> {
     let workload = build_workload(function, nodes, rounds, dim, seed)?;
     let cfg = MonitorConfig::builder(epsilon)
         .parallelism(parse_parallelism(args)?)
+        .spectral_backend(parse_spectral_backend(args)?)
         .build();
 
     let sinks = ObsSinks::from_args(args)?;
@@ -388,6 +401,7 @@ pub fn run_monitor(args: &Args) -> Result<String, CliError> {
 
     let cfg = MonitorConfig::builder(epsilon)
         .parallelism(parse_parallelism(args)?)
+        .spectral_backend(parse_spectral_backend(args)?)
         .build();
     let mut coord = Coordinator::new(f.clone(), nodes, cfg);
     let mut node_actors: Vec<Node> = (0..nodes).map(|i| Node::new(i, f.clone())).collect();
@@ -643,6 +657,43 @@ mod tests {
     }
 
     #[test]
+    fn spectral_smoke_passes_and_validates_args() {
+        let out = run_spectral_smoke(
+            &Args::parse(&["--dim".into(), "24".into(), "--seed".into(), "3".into()]).unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("spectral smoke PASS"), "{out}");
+        assert!(out.contains("Lanczos extremes"), "{out}");
+        assert!(run_spectral_smoke(&Args::parse(&["--dim".into(), "0".into()]).unwrap()).is_err());
+        assert!(
+            run_spectral_smoke(&Args::parse(&["--tol".into(), "0".into()]).unwrap()).is_err()
+        );
+    }
+
+    #[test]
+    fn spectral_backend_flag_is_parsed() {
+        let base = |backend: &str| {
+            Args::parse(&[
+                "--function".into(),
+                "rozenbrock".into(),
+                "--rounds".into(),
+                "40".into(),
+                "--nodes".into(),
+                "2".into(),
+                "--epsilon".into(),
+                "0.5".into(),
+                "--spectral-backend".into(),
+                backend.into(),
+            ])
+            .unwrap()
+        };
+        assert!(run_simulate(&base("ql")).unwrap().contains("AutoMon"));
+        assert!(run_simulate(&base("jacobi")).unwrap().contains("AutoMon"));
+        let err = run_simulate(&base("qr")).unwrap_err();
+        assert!(err.to_string().contains("unknown spectral backend"), "{err}");
+    }
+
+    #[test]
     fn simulate_variance_with_defaults() {
         let args = Args::parse(&[
             "--function".into(),
@@ -656,6 +707,96 @@ mod tests {
         let out = run_simulate(&args).unwrap();
         assert!(out.contains("AutoMon"));
     }
+}
+
+/// `automon spectral-smoke …` — fixed-seed parity check between the QL
+/// solver, the Jacobi oracle, and the matrix-free Lanczos extremes on
+/// one deterministic symmetric matrix.
+///
+/// CI runs this as the spectral-parity gate: the three kernels must
+/// agree on the spectrum within `--tol` (relative to the spectral
+/// radius) or the command errors, which exits non-zero.
+pub fn run_spectral_smoke(args: &Args) -> Result<String, CliError> {
+    use automon_linalg::{
+        JacobiOptions, LanczosOptions, LanczosStats, LanczosWorkspace, Matrix, MatrixOperator,
+        RitzSide, SymEigen,
+    };
+    let dim = args.num("dim", 40usize)?;
+    let seed = args.num("seed", 1u64)?;
+    let tol = args.num("tol", 1e-9f64)?;
+    if dim == 0 {
+        return Err(CliError::new("--dim must be positive"));
+    }
+    if tol <= 0.0 {
+        return Err(CliError::new("--tol must be positive"));
+    }
+
+    // Deterministic symmetric test matrix from an LCG stream.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    let mut h = Matrix::from_fn(dim, dim, |_, _| next());
+    h.symmetrize();
+
+    let ql = SymEigen::new(&h);
+    let jac = SymEigen::with_options(&h, JacobiOptions::default());
+    let scale = jac.lambda_min().abs().max(jac.lambda_max().abs()).max(1.0);
+    let worst_full = ql
+        .values
+        .iter()
+        .zip(&jac.values)
+        .map(|(a, b)| (a - b).abs() / scale)
+        .fold(0.0f64, f64::max);
+    if worst_full > tol {
+        return Err(CliError::new(format!(
+            "QL vs Jacobi eigenvalues disagree: worst rel err {worst_full:.3e} > {tol:.1e}"
+        )));
+    }
+
+    // Lanczos extremes, seeded the way the ADCD-X search seeds them
+    // (Gershgorin midpoint shift, half-width scale).
+    let (mut glo, mut ghi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for i in 0..dim {
+        let mut radius = 0.0;
+        for j in 0..dim {
+            if i != j {
+                radius += h[(i, j)].abs();
+            }
+        }
+        glo = glo.min(h[(i, i)] - radius);
+        ghi = ghi.max(h[(i, i)] + radius);
+    }
+    let mut ws = LanczosWorkspace::new();
+    let mut stats = LanczosStats::default();
+    let mut op = MatrixOperator::new(&h);
+    let (lo, hi) = ws.extremes(
+        &mut op,
+        0.5 * (glo + ghi),
+        0.5 * (ghi - glo),
+        RitzSide::Smallest,
+        &LanczosOptions::default(),
+        &mut stats,
+    );
+    let err_lo = (lo - jac.lambda_min()).abs() / scale;
+    let err_hi = (hi - jac.lambda_max()).abs() / scale;
+    if err_lo > tol || err_hi > tol {
+        return Err(CliError::new(format!(
+            "Lanczos extremes disagree with Jacobi: λ_min rel err {err_lo:.3e}, \
+             λ_max rel err {err_hi:.3e} (tol {tol:.1e})"
+        )));
+    }
+
+    Ok(format!(
+        "spectral smoke PASS: d = {dim}, seed = {seed}\n\
+         QL vs Jacobi   : worst eigenvalue rel err {worst_full:.3e} (tol {tol:.1e})\n\
+         Lanczos extremes: λ_min {lo:.6}, λ_max {hi:.6} \
+         (rel err {err_lo:.3e} / {err_hi:.3e}, {} iters, {} reorth passes)\n",
+        stats.iterations, stats.reorth_passes
+    ))
 }
 
 /// `automon tune …` — run Algorithm 2 over a recorded CSV prefix and

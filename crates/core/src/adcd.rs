@@ -13,7 +13,11 @@
 //!
 //! The convex-vs-concave choice follows the DC heuristic of §3.4.
 
-use automon_linalg::{EigenWorkspace, Matrix, SymEigen};
+use automon_autodiff::HvpEvaluator;
+use automon_linalg::{
+    EigenWorkspace, LanczosOptions, LanczosStats, LanczosWorkspace, Matrix, RitzSide,
+    SpectralBackend, SymEigen, SymOperator,
+};
 use automon_opt::{nelder_mead, Bounds, OptimizeOptions};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -32,6 +36,35 @@ pub enum AdcdKind {
     E,
 }
 
+/// Deterministic counters describing the spectral work one
+/// decomposition performed.
+///
+/// On the matrix-free Lanczos path ([`SpectralBackend::Ql`] with
+/// `EigenObjective::Exact` ADCD-X) every field is an exact count. The
+/// materialized paths (the Jacobi backend, or the Gershgorin probe
+/// objective) report the structural estimates PR 3's telemetry used —
+/// Hessian evaluations derived from the probe budget, Nelder–Mead
+/// polish evaluations excluded. Either way the numbers are functions of
+/// the configuration and the algorithm's structure, never of timers, so
+/// same-seed runs produce identical stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpectralStats {
+    /// Dense Hessians materialized. On the Lanczos path this stays at
+    /// the record-once baseline (2: the reference point and the box
+    /// center) no matter how many probe points the search evaluates.
+    pub hessian_materializations: u64,
+    /// Eigen-search objective evaluations (probe points; on the Lanczos
+    /// path, polish evaluations too).
+    pub eigen_probes: u64,
+    /// Lanczos iterations across all probe evaluations (0 on the
+    /// materialized paths).
+    pub lanczos_iterations: u64,
+    /// Gram-Schmidt reorthogonalization passes inside Lanczos.
+    pub reorth_passes: u64,
+    /// Hessian-vector products applied by the matrix-free search.
+    pub hvp_applies: u64,
+}
+
 /// The result of running ADCD at a reference point.
 #[derive(Debug, Clone)]
 pub struct DcDecomposition {
@@ -45,6 +78,8 @@ pub struct DcDecomposition {
     pub lambda_min_hat: f64,
     /// `λ̂_max` found over `B` (for E: the true largest eigenvalue).
     pub lambda_max_hat: f64,
+    /// Spectral work counters for this decomposition.
+    pub spectral: SpectralStats,
 }
 
 /// Run ADCD for `f` at `x0`.
@@ -96,24 +131,14 @@ pub fn decompose_observed(
     let span = tel.span("adcd_decompose");
     let dec = decompose(f, x0, neighborhood, cfg);
     let es = &cfg.eigen_search;
-    // Deterministic work accounting. ADCD-X evaluates the Hessian at the
-    // box center and x0 plus once per probe (the batched path shares the
-    // center between the two searches; the sequential path pays it
-    // twice), then runs up to `nm_iters` polish steps per extreme.
-    let (replays, probes, nm_budget) = match dec.kind {
-        AdcdKind::E => {
-            let replays = u64::from(f.constant_hessian().is_none());
-            (replays, 0u64, 0u64)
-        }
-        AdcdKind::X => {
-            let probes = 2 * es.probes as u64;
-            let replays = if cfg.parallelism.workers() == 0 {
-                3 + probes
-            } else {
-                2 + probes
-            };
-            (replays, probes, 2 * es.nm_iters as u64)
-        }
+    // Deterministic work accounting, read off the decomposition's own
+    // spectral counters: exact on the matrix-free Lanczos path,
+    // structural estimates on the materialized paths (see
+    // [`SpectralStats`]).
+    let sp = dec.spectral;
+    let nm_budget = match dec.kind {
+        AdcdKind::E => 0u64,
+        AdcdKind::X => 2 * es.nm_iters as u64,
     };
     tel.counter(
         "automon_adcd_decompositions_total",
@@ -124,13 +149,23 @@ pub fn decompose_observed(
         "automon_adcd_hessian_replays_total",
         "Hessian evaluations spent in ADCD (deterministic count)",
     )
-    .add(replays);
+    .add(sp.hessian_materializations);
     tel.counter(
         "automon_adcd_eigen_probes_total",
         "Eigen-search probe points evaluated",
     )
-    .add(probes);
-    tel.add_ops(replays + nm_budget);
+    .add(sp.eigen_probes);
+    tel.counter(
+        "automon_adcd_lanczos_iters_total",
+        "Lanczos iterations spent in the matrix-free eigen search",
+    )
+    .add(sp.lanczos_iterations);
+    tel.counter(
+        "automon_adcd_reorth_passes_total",
+        "Gram-Schmidt reorthogonalization passes over the Krylov basis",
+    )
+    .add(sp.reorth_passes);
+    tel.add_ops(sp.hessian_materializations + sp.lanczos_iterations + nm_budget);
     tel.event(
         "adcd_split",
         &[
@@ -144,7 +179,8 @@ pub fn decompose_observed(
             ),
             ("lambda_min_hat", dec.lambda_min_hat.into()),
             ("lambda_max_hat", dec.lambda_max_hat.into()),
-            ("hessian_replays", replays.into()),
+            ("hessian_replays", sp.hessian_materializations.into()),
+            ("lanczos_iters", sp.lanczos_iterations.into()),
         ],
     );
     drop(span);
@@ -157,10 +193,13 @@ fn decompose_e(f: &dyn MonitoredFunction, x0: &[f64], cfg: &MonitorConfig) -> Dc
     // reuse it instead of paying d more Hessian-vector products here.
     // When ADCD-E is forced on a function whose Hessian was not detected
     // constant, fall back to evaluating at the reference point.
-    let h = f
-        .constant_hessian()
-        .unwrap_or_else(|| f.hessian(x0));
-    let eig = SymEigen::new(&h);
+    let cached = f.constant_hessian();
+    let spectral = SpectralStats {
+        hessian_materializations: u64::from(cached.is_none()),
+        ..SpectralStats::default()
+    };
+    let h = cached.unwrap_or_else(|| f.hessian(x0));
+    let eig = SymEigen::with_backend(&h, cfg.spectral_backend);
     let (lmin, lmax) = (eig.lambda_min(), eig.lambda_max());
     // DC heuristic for constant Hessians reduces to |λ_min| ≤ λ_max
     // (paper §3.4).
@@ -182,6 +221,7 @@ fn decompose_e(f: &dyn MonitoredFunction, x0: &[f64], cfg: &MonitorConfig) -> Dc
         curvature,
         lambda_min_hat: lmin,
         lambda_max_hat: lmax,
+        spectral,
     }
 }
 
@@ -194,18 +234,56 @@ fn decompose_x(
 ) -> DcDecomposition {
     let bounds = neighborhood.to_bounds();
     let workers = cfg.parallelism.workers();
-    let (lambda_min_hat, lambda_max_hat, lambda0_min, lambda0_max) = if workers == 0 {
-        // Legacy one-probe-at-a-time path, kept verbatim: the batched
-        // pipeline below is proptested bit-identical against it.
-        let lmin =
-            search_extreme(f, &bounds, &cfg.eigen_search, cfg.eigen_objective, Extreme::Min);
-        let lmax =
-            search_extreme(f, &bounds, &cfg.eigen_search, cfg.eigen_objective, Extreme::Max);
-        let h0 = f.hessian(x0);
-        let eig0 = SymEigen::new(&h0);
-        (lmin, lmax, eig0.lambda_min(), eig0.lambda_max())
+    let backend = cfg.spectral_backend;
+    let mut spectral = SpectralStats::default();
+    let (lambda_min_hat, lambda_max_hat, lambda0_min, lambda0_max) = if backend
+        == SpectralBackend::Ql
+        && cfg.eigen_objective == EigenObjective::Exact
+    {
+        // Matrix-free two-stream search: the same strictly-sequential
+        // per-stream code runs for every `Parallelism` setting, so
+        // results are bit-identical across worker counts by
+        // construction.
+        search_extremes_lanczos(f, x0, &bounds, &cfg.eigen_search, workers, &mut spectral)
     } else {
-        search_extremes_batched(f, x0, &bounds, &cfg.eigen_search, cfg.eigen_objective, workers)
+        let probes = 2 * cfg.eigen_search.probes as u64;
+        spectral.eigen_probes = probes;
+        if workers == 0 {
+            // Legacy one-probe-at-a-time path, kept verbatim: the
+            // batched pipeline below is proptested bit-identical
+            // against it.
+            spectral.hessian_materializations = 3 + probes;
+            let lmin = search_extreme(
+                f,
+                &bounds,
+                &cfg.eigen_search,
+                cfg.eigen_objective,
+                backend,
+                Extreme::Min,
+            );
+            let lmax = search_extreme(
+                f,
+                &bounds,
+                &cfg.eigen_search,
+                cfg.eigen_objective,
+                backend,
+                Extreme::Max,
+            );
+            let h0 = f.hessian(x0);
+            let eig0 = SymEigen::with_backend(&h0, backend);
+            (lmin, lmax, eig0.lambda_min(), eig0.lambda_max())
+        } else {
+            spectral.hessian_materializations = 2 + probes;
+            search_extremes_batched(
+                f,
+                x0,
+                &bounds,
+                &cfg.eigen_search,
+                cfg.eigen_objective,
+                backend,
+                workers,
+            )
+        }
     };
     // λ⁻ = min(0, λ̂_min), λ⁺ = max(0, λ̂_max).
     let lambda_minus_abs = (-lambda_min_hat).max(0.0);
@@ -233,6 +311,7 @@ fn decompose_x(
         curvature,
         lambda_min_hat,
         lambda_max_hat,
+        spectral,
     }
 }
 
@@ -269,6 +348,7 @@ fn search_extreme(
     bounds: &Bounds,
     es: &EigenSearch,
     objective: crate::config::EigenObjective,
+    backend: SpectralBackend,
     which: Extreme,
 ) -> f64 {
     // Objective in minimization form.
@@ -276,7 +356,7 @@ fn search_extreme(
         let h = f.hessian(x);
         match objective {
             crate::config::EigenObjective::Exact => {
-                let eig = SymEigen::new(&h);
+                let eig = SymEigen::with_backend(&h, backend);
                 match which {
                     Extreme::Min => eig.lambda_min(),
                     Extreme::Max => -eig.lambda_max(),
@@ -358,6 +438,7 @@ fn search_extremes_batched(
     bounds: &Bounds,
     es: &EigenSearch,
     objective: EigenObjective,
+    backend: SpectralBackend,
     workers: usize,
 ) -> (f64, f64, f64, f64) {
     let d = bounds.dim();
@@ -396,7 +477,7 @@ fn search_extremes_batched(
             // x0 (index 1) feeds the DC heuristic, which reads exact
             // eigenvalues regardless of the probe objective.
             if idx == 1 || objective == EigenObjective::Exact {
-                ws.extreme_eigenvalues(h)
+                ws.extreme_eigenvalues_backend(h, backend)
             } else {
                 gershgorin_bounds(h)
             }
@@ -437,7 +518,7 @@ fn search_extremes_batched(
         let mut eval = |x: &[f64]| -> f64 {
             he.hessian_into(x, &mut h);
             match objective {
-                EigenObjective::Exact => signed(which, ws.extreme_eigenvalues(&h)),
+                EigenObjective::Exact => signed(which, ws.extreme_eigenvalues_backend(&h, backend)),
                 EigenObjective::Gershgorin => signed(which, gershgorin_bounds(&h)),
             }
         };
@@ -476,6 +557,152 @@ fn search_extremes_batched(
     };
 
     (min_v, -max_v, lambda0_min, lambda0_max)
+}
+
+/// [`SymOperator`] view of `v ↦ H(x)·v` at a fixed probe point,
+/// backed by a reusable [`HvpEvaluator`].
+struct HvpProbeOp<'a> {
+    he: &'a mut (dyn HvpEvaluator + 'a),
+    x: &'a [f64],
+}
+
+impl SymOperator for HvpProbeOp<'_> {
+    fn dim(&self) -> usize {
+        self.he.dim()
+    }
+    fn apply(&mut self, v: &[f64], out: &mut [f64]) {
+        self.he.hvp_into(self.x, v, out);
+    }
+}
+
+/// ADCD-X extreme search, matrix-free (the [`SpectralBackend::Ql`] +
+/// [`EigenObjective::Exact`] path). Returns
+/// `(λ̂_min, λ̂_max, λ_min(H(x0)), λ_max(H(x0)))`.
+///
+/// Materializes exactly two Hessians — `H(x0)` for the DC heuristic and
+/// `H(center)` to seed everything else — and then never touches a dense
+/// Hessian again: each probe point's extreme eigenvalues come from a
+/// [`LanczosWorkspace`] driven by Hessian-vector products through
+/// [`HvpEvaluator`] (record-once/replay-many on `AutoDiffFn`). The
+/// center decomposition supplies each search stream's incumbent value
+/// and initial Ritz vector; its Gershgorin enclosure supplies the
+/// Lanczos shift (midpoint) and convergence scale (half-width), both
+/// valid across the neighborhood to the extent the Hessian varies
+/// smoothly — and only used for seeding/scaling, never correctness.
+///
+/// The search runs as two independent streams, one per extreme. Within
+/// a stream everything is strictly sequential: probes are drawn from
+/// the same seeded generator [`search_extreme`] uses and evaluated in
+/// order, each Lanczos run warm-starting from the previous run's Ritz
+/// vector, and the Nelder–Mead polish continues the same chain.
+/// Parallelism only ever places the two whole streams on two threads,
+/// so results are bit-identical for every [`crate::Parallelism`]
+/// setting — including `Sequential` — by construction.
+fn search_extremes_lanczos(
+    f: &dyn MonitoredFunction,
+    x0: &[f64],
+    bounds: &Bounds,
+    es: &EigenSearch,
+    workers: usize,
+    stats: &mut SpectralStats,
+) -> (f64, f64, f64, f64) {
+    let d = bounds.dim();
+    let center = bounds.center();
+    let h0 = f.hessian(x0);
+    let eig0 = SymEigen::new(&h0);
+    let hc = f.hessian(&center);
+    let eigc = SymEigen::new(&hc);
+    stats.hessian_materializations = 2;
+
+    let (glo, ghi) = gershgorin_bounds(&hc);
+    let shift = 0.5 * (glo + ghi);
+    let scale = 0.5 * (ghi - glo);
+
+    let run_stream = |which: Extreme| -> (f64, LanczosStats, u64) {
+        let mut ls = LanczosStats::default();
+        let mut evals = 0u64;
+        let (side, col) = match which {
+            Extreme::Min => (RitzSide::Smallest, 0),
+            Extreme::Max => (RitzSide::Largest, d - 1),
+        };
+        let mut ws = LanczosWorkspace::new();
+        let start: Vec<f64> = (0..d).map(|i| eigc.vectors[(i, col)]).collect();
+        ws.set_start(&start);
+        let mut he = f.hvp_eval();
+        let lopts = LanczosOptions::default();
+        let mut eval = |x: &[f64]| -> f64 {
+            evals += 1;
+            let mut op = HvpProbeOp { he: &mut *he, x };
+            let (lo, hi) = ws.extremes(&mut op, shift, scale, side, &lopts, &mut ls);
+            match which {
+                Extreme::Min => lo,
+                Extreme::Max => -hi,
+            }
+        };
+
+        // The center's exact eigenvalue is the incumbent: the center was
+        // already decomposed to seed the stream, so the probe loop never
+        // re-evaluates it.
+        let mut best_v = match which {
+            Extreme::Min => eigc.lambda_min(),
+            Extreme::Max => -eigc.lambda_max(),
+        };
+        let mut best_x = center.clone();
+        let mut rng = SmallRng::seed_from_u64(es.seed ^ (which == Extreme::Max) as u64);
+        for _ in 0..es.probes {
+            let p: Vec<f64> = (0..d)
+                .map(|i| {
+                    if bounds.lo[i] < bounds.hi[i] {
+                        rng.gen_range(bounds.lo[i]..=bounds.hi[i])
+                    } else {
+                        bounds.lo[i]
+                    }
+                })
+                .collect();
+            let v = eval(&p);
+            if v < best_v {
+                best_v = v;
+                best_x = p;
+            }
+        }
+        if es.nm_iters > 0 && d <= es.nm_dim_cap {
+            let opts = OptimizeOptions {
+                max_iters: es.nm_iters,
+                tol: 1e-10,
+                ..Default::default()
+            };
+            let r = nelder_mead(&mut eval, &best_x, bounds, &opts);
+            if r.value < best_v {
+                best_v = r.value;
+            }
+        }
+        (best_v, ls, evals)
+    };
+
+    let (min_res, max_res) = if workers >= 2 {
+        let run = &run_stream;
+        crossbeam::scope(|s| {
+            let hmin = s.spawn(move |_| run(Extreme::Min));
+            let hmax = s.spawn(move |_| run(Extreme::Max));
+            (
+                hmin.join().unwrap_or_else(|e| std::panic::resume_unwind(e)),
+                hmax.join().unwrap_or_else(|e| std::panic::resume_unwind(e)),
+            )
+        })
+        .unwrap_or_else(|e| std::panic::resume_unwind(e))
+    } else {
+        (run_stream(Extreme::Min), run_stream(Extreme::Max))
+    };
+
+    // Merge counters in fixed min-then-max order.
+    let (min_v, min_ls, min_evals) = min_res;
+    let (max_v, max_ls, max_evals) = max_res;
+    stats.eigen_probes = min_evals + max_evals;
+    stats.lanczos_iterations = min_ls.iterations + max_ls.iterations;
+    stats.reorth_passes = min_ls.reorth_passes + max_ls.reorth_passes;
+    stats.hvp_applies = min_ls.applies + max_ls.applies;
+
+    (min_v, -max_v, eig0.lambda_min(), eig0.lambda_max())
 }
 
 #[cfg(test)]
@@ -621,48 +848,161 @@ mod tests {
         decompose(&f, &[0.0], None, &c);
     }
 
+    struct Coupled;
+    impl ScalarFn for Coupled {
+        fn dim(&self) -> usize {
+            3
+        }
+        fn call<S: Scalar>(&self, x: &[S]) -> S {
+            (x[0] * x[1]).sin() + x[2].exp() * x[0] - x[1] / (x[2] + S::from_f64(2.0))
+        }
+    }
+
+    fn coupled_box() -> NeighborhoodBox {
+        NeighborhoodBox {
+            lo: vec![-0.2, -0.7, -0.4],
+            hi: vec![0.8, 0.3, 0.6],
+        }
+    }
+
     #[test]
     fn batched_search_bit_identical_to_sequential() {
         use crate::config::Parallelism;
-        struct Coupled;
-        impl ScalarFn for Coupled {
-            fn dim(&self) -> usize {
-                3
-            }
-            fn call<S: Scalar>(&self, x: &[S]) -> S {
-                (x[0] * x[1]).sin() + x[2].exp() * x[0] - x[1] / (x[2] + S::from_f64(2.0))
-            }
-        }
+        use automon_linalg::SpectralBackend;
         let f = AutoDiffFn::new(Coupled);
         let x0 = [0.3, -0.2, 0.1];
-        let b = NeighborhoodBox {
-            lo: vec![-0.2, -0.7, -0.4],
-            hi: vec![0.8, 0.3, 0.6],
-        };
-        for objective in [false, true] {
-            let build = |p: Parallelism| {
-                let mut c = MonitorConfig::builder(0.1).parallelism(p);
-                if objective {
-                    c = c.gershgorin_bounds();
+        let b = coupled_box();
+        for backend in [SpectralBackend::Ql, SpectralBackend::Jacobi] {
+            for objective in [false, true] {
+                let build = |p: Parallelism| {
+                    let mut c = MonitorConfig::builder(0.1)
+                        .parallelism(p)
+                        .spectral_backend(backend);
+                    if objective {
+                        c = c.gershgorin_bounds();
+                    }
+                    c.build()
+                };
+                let seq = decompose(&f, &x0, Some(&b), &build(Parallelism::Sequential));
+                for workers in [1usize, 2, 5] {
+                    let par = decompose(&f, &x0, Some(&b), &build(Parallelism::Threads(workers)));
+                    assert_eq!(
+                        par.lambda_min_hat.to_bits(),
+                        seq.lambda_min_hat.to_bits(),
+                        "λ̂_min diverged at {workers} workers (gershgorin={objective}, {backend:?})"
+                    );
+                    assert_eq!(
+                        par.lambda_max_hat.to_bits(),
+                        seq.lambda_max_hat.to_bits(),
+                        "λ̂_max diverged at {workers} workers (gershgorin={objective}, {backend:?})"
+                    );
+                    assert_eq!(par.dc, seq.dc);
+                    if backend == SpectralBackend::Ql && !objective {
+                        // The Lanczos path runs identical code for every
+                        // parallelism setting, counters included. The
+                        // legacy paths' estimates legitimately differ by
+                        // one (the sequential path decomposes the center
+                        // twice).
+                        assert_eq!(
+                            par.spectral, seq.spectral,
+                            "spectral stats diverged at {workers} workers"
+                        );
+                    } else {
+                        assert_eq!(par.spectral.eigen_probes, seq.spectral.eigen_probes);
+                    }
                 }
-                c.build()
-            };
-            let seq = decompose(&f, &x0, Some(&b), &build(Parallelism::Sequential));
-            for workers in [1usize, 2, 5] {
-                let par = decompose(&f, &x0, Some(&b), &build(Parallelism::Threads(workers)));
-                assert_eq!(
-                    par.lambda_min_hat.to_bits(),
-                    seq.lambda_min_hat.to_bits(),
-                    "λ̂_min diverged at {workers} workers (gershgorin={objective})"
-                );
-                assert_eq!(
-                    par.lambda_max_hat.to_bits(),
-                    seq.lambda_max_hat.to_bits(),
-                    "λ̂_max diverged at {workers} workers (gershgorin={objective})"
-                );
-                assert_eq!(par.dc, seq.dc);
             }
         }
+    }
+
+    #[test]
+    fn spectral_backends_agree_end_to_end() {
+        use automon_linalg::SpectralBackend;
+        // Fixed-seed ADCD parity across backends: ADCD-E (constant
+        // Hessian), ADCD-X exact (Lanczos vs materialized Jacobi), and
+        // the DC heuristic all land on the same decomposition.
+        let saddle = AutoDiffFn::new(Saddle);
+        let coupled = AutoDiffFn::new(Coupled);
+        let x0e = [0.0, 0.0];
+        let x0x = [0.3, -0.2, 0.1];
+        let b = coupled_box();
+        let cfg_with = |backend| {
+            MonitorConfig::builder(0.1)
+                .spectral_backend(backend)
+                .build()
+        };
+        let (ql, jac) = (
+            cfg_with(SpectralBackend::Ql),
+            cfg_with(SpectralBackend::Jacobi),
+        );
+
+        let eq = decompose(&saddle, &x0e, None, &ql);
+        let ej = decompose(&saddle, &x0e, None, &jac);
+        assert_eq!(eq.kind, AdcdKind::E);
+        assert_eq!(eq.dc, ej.dc);
+        assert!((eq.lambda_min_hat - ej.lambda_min_hat).abs() < 1e-9);
+        assert!((eq.lambda_max_hat - ej.lambda_max_hat).abs() < 1e-9);
+
+        let xq = decompose(&coupled, &x0x, Some(&b), &ql);
+        let xj = decompose(&coupled, &x0x, Some(&b), &jac);
+        assert_eq!(xq.kind, AdcdKind::X);
+        assert_eq!(xq.dc, xj.dc, "DC heuristic flipped across backends");
+        let scale = xj.lambda_min_hat.abs().max(xj.lambda_max_hat.abs()).max(1.0);
+        assert!(
+            (xq.lambda_min_hat - xj.lambda_min_hat).abs() < 1e-6 * scale,
+            "λ̂_min: lanczos {} vs jacobi {}",
+            xq.lambda_min_hat,
+            xj.lambda_min_hat
+        );
+        assert!(
+            (xq.lambda_max_hat - xj.lambda_max_hat).abs() < 1e-6 * scale,
+            "λ̂_max: lanczos {} vs jacobi {}",
+            xq.lambda_max_hat,
+            xj.lambda_max_hat
+        );
+    }
+
+    #[test]
+    fn lanczos_path_never_materializes_probe_hessians() {
+        use automon_linalg::SpectralBackend;
+        // Growing the probe budget must not grow the Hessian
+        // materialization count on the matrix-free path (the record-once
+        // acceptance criterion); the materialized Jacobi path pays one
+        // dense Hessian per probe.
+        let f = AutoDiffFn::new(Coupled);
+        let x0 = [0.3, -0.2, 0.1];
+        let b = coupled_box();
+        let run = |backend, probes| {
+            let cfg = MonitorConfig::builder(0.1)
+                .spectral_backend(backend)
+                .eigen_search(EigenSearch {
+                    probes,
+                    ..EigenSearch::default()
+                })
+                .build();
+            decompose(&f, &x0, Some(&b), &cfg).spectral
+        };
+        let small = run(SpectralBackend::Ql, 4);
+        let large = run(SpectralBackend::Ql, 16);
+        assert_eq!(small.hessian_materializations, 2);
+        assert_eq!(large.hessian_materializations, 2);
+        assert!(
+            large.eigen_probes > small.eigen_probes,
+            "probe growth invisible: {} vs {}",
+            large.eigen_probes,
+            small.eigen_probes
+        );
+        assert!(large.lanczos_iterations > 0);
+        assert!(large.reorth_passes > 0);
+        assert!(large.hvp_applies >= large.lanczos_iterations);
+
+        let jac = run(SpectralBackend::Jacobi, 16);
+        assert!(
+            jac.hessian_materializations > 2 + 16,
+            "materialized path should pay per probe, got {}",
+            jac.hessian_materializations
+        );
+        assert_eq!(jac.lanczos_iterations, 0);
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::adcd::AdcdKind;
 use crate::safezone::DcKind;
+use automon_linalg::SpectralBackend;
 use automon_opt::OptimizeOptions;
 
 /// How the thresholds `L, U` derive from `f(x0)` and `ε` (paper §2).
@@ -170,6 +171,14 @@ pub struct MonitorConfig {
     /// How per-probe extreme eigenvalues are computed (exact vs
     /// Gershgorin bounds; §6 extension).
     pub eigen_objective: EigenObjective,
+    /// Which spectral kernel ADCD uses. The default
+    /// ([`SpectralBackend::Ql`]) routes full decompositions through
+    /// Householder + implicit-shift QL and, when the probe objective is
+    /// [`EigenObjective::Exact`], drives the ADCD-X search matrix-free
+    /// via Lanczos on Hessian-vector products.
+    /// [`SpectralBackend::Jacobi`] is the original cyclic-Jacobi path,
+    /// kept as a rollback switch and test oracle.
+    pub spectral_backend: SpectralBackend,
     /// Degree of parallelism for the full-sync hot path.
     pub parallelism: Parallelism,
     /// Options for the general-purpose optimizer (tuning procedures).
@@ -210,6 +219,7 @@ impl MonitorConfigBuilder {
                 eigen_margin: 1.0,
                 eigen_search: EigenSearch::default(),
                 eigen_objective: EigenObjective::Exact,
+                spectral_backend: SpectralBackend::default(),
                 parallelism: Parallelism::default(),
                 opt: OptimizeOptions::default(),
                 adaptive_r_factor: 5,
@@ -281,6 +291,13 @@ impl MonitorConfigBuilder {
         self
     }
 
+    /// Pick the spectral kernel ([`SpectralBackend::Ql`] is the
+    /// default; [`SpectralBackend::Jacobi`] is the legacy escape hatch).
+    pub fn spectral_backend(mut self, b: SpectralBackend) -> Self {
+        self.cfg.spectral_backend = b;
+        self
+    }
+
     /// Set the full-sync parallelism policy.
     pub fn parallelism(mut self, p: Parallelism) -> Self {
         self.cfg.parallelism = p;
@@ -342,6 +359,21 @@ mod tests {
         assert_eq!(
             MonitorConfig::builder(0.1).build().parallelism,
             Parallelism::Auto
+        );
+    }
+
+    #[test]
+    fn spectral_backend_defaults_to_ql() {
+        assert_eq!(
+            MonitorConfig::builder(0.1).build().spectral_backend,
+            SpectralBackend::Ql
+        );
+        assert_eq!(
+            MonitorConfig::builder(0.1)
+                .spectral_backend(SpectralBackend::Jacobi)
+                .build()
+                .spectral_backend,
+            SpectralBackend::Jacobi
         );
     }
 

@@ -37,8 +37,9 @@ pub mod par;
 pub mod safezone;
 pub mod tuning;
 
-pub use adcd::{AdcdKind, DcDecomposition};
+pub use adcd::{AdcdKind, DcDecomposition, SpectralStats};
 pub use config::{ApproximationKind, EigenObjective, EigenSearch, MonitorConfig, MonitorConfigBuilder, NeighborhoodMode, Parallelism};
+pub use automon_linalg::SpectralBackend;
 pub use coordinator::{Coordinator, CoordinatorEvent, CoordinatorSnapshot, CoordinatorStats, Observer};
 pub use messages::{CoordinatorMessage, Epoch, NodeId, NodeMessage, Outbound, Recipient, ZoneUpdate};
 pub use node::Node;

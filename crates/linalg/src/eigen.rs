@@ -1,14 +1,35 @@
-//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//! Symmetric eigendecomposition: tridiagonal QL by default, cyclic
+//! Jacobi as the oracle.
 //!
 //! ADCD-E (paper Lemma 2) needs the full spectral decomposition
 //! `H = QΛQᵀ` of a constant Hessian so it can split it into a PSD part
 //! `H⁺ = QΛ⁺Qᵀ` and an NSD part `H⁻ = QΛ⁻Qᵀ`. The DC heuristic (paper
 //! §3.4) and ADCD-X both need extreme eigenvalues of Hessians evaluated
-//! at points. Cyclic Jacobi is exact enough (off-diagonal mass is driven
-//! below a configurable threshold), unconditionally convergent for
-//! symmetric input, and produces an orthonormal `Q` as a by-product.
+//! at points. The default path is Householder tridiagonalization +
+//! implicit-shift QL ([`crate::tridiag`]) — an order of magnitude
+//! faster than Jacobi at ADCD sizes — with cyclic Jacobi retained under
+//! [`SymEigen::with_options`] / [`SpectralBackend::Jacobi`] as the
+//! simple, unconditionally convergent test oracle and escape hatch (and
+//! as the deterministic fallback should QL ever hit its iteration cap).
 
+use crate::tridiag::{ql_implicit, tridiagonalize};
 use crate::Matrix;
+
+/// Which spectral kernel to use for eigendecompositions.
+///
+/// Lives here (rather than in core's config) so every layer — config,
+/// CLI, benches, tests — shares one vocabulary for the escape hatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpectralBackend {
+    /// Householder tridiagonalization + implicit-shift QL for full
+    /// spectra; matrix-free Lanczos for extreme-only queries. The
+    /// default and the fast path.
+    #[default]
+    Ql,
+    /// Cyclic threshold Jacobi everywhere: the original kernel, kept as
+    /// the test oracle and rollback switch.
+    Jacobi,
+}
 
 /// Options controlling the Jacobi iteration.
 #[derive(Debug, Clone, Copy)]
@@ -54,16 +75,47 @@ pub struct SymEigen {
 }
 
 impl SymEigen {
-    /// Decompose a symmetric matrix with default options.
+    /// Decompose a symmetric matrix with the default (QL) backend.
     ///
     /// # Panics
     /// Panics if `h` is not square. Input asymmetry up to roundoff is
     /// tolerated: the matrix is symmetrized first.
     pub fn new(h: &Matrix) -> Self {
-        Self::with_options(h, JacobiOptions::default())
+        Self::ql(h)
     }
 
-    /// Decompose with explicit [`JacobiOptions`].
+    /// Decompose with an explicit [`SpectralBackend`].
+    pub fn with_backend(h: &Matrix, backend: SpectralBackend) -> Self {
+        match backend {
+            SpectralBackend::Ql => Self::ql(h),
+            SpectralBackend::Jacobi => Self::with_options(h, JacobiOptions::default()),
+        }
+    }
+
+    /// Decompose via Householder tridiagonalization + implicit-shift QL,
+    /// falling back to Jacobi if QL hits its iteration cap (the
+    /// fallback decision depends only on the tridiagonal coefficients,
+    /// which are identical across the values-only and full flavors, so
+    /// [`EigenWorkspace`]'s bit-identity contract survives it).
+    fn ql(h: &Matrix) -> Self {
+        assert_eq!(h.rows(), h.cols(), "SymEigen: matrix must be square");
+        let n = h.rows();
+        let mut a = h.clone();
+        a.symmetrize();
+        let mut d = vec![0.0; n];
+        let mut e = vec![0.0; n];
+        tridiagonalize(&mut a, &mut d, &mut e, true);
+        if ql_implicit(&mut d, &mut e, Some(&mut a)).is_err() {
+            return Self::with_options(h, JacobiOptions::default());
+        }
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).expect("NaN eigenvalue"));
+        let values: Vec<f64> = idx.iter().map(|&i| d[i]).collect();
+        let vectors = Matrix::from_fn(n, n, |i, j| a[(i, idx[j])]);
+        Self { values, vectors }
+    }
+
+    /// Decompose with explicit [`JacobiOptions`] (the Jacobi oracle).
     pub fn with_options(h: &Matrix, opts: JacobiOptions) -> Self {
         assert_eq!(h.rows(), h.cols(), "SymEigen: matrix must be square");
         let n = h.rows();
@@ -213,21 +265,23 @@ fn jacobi_rotate(a: &mut Matrix, q: Option<&mut Matrix>, p: usize, r: usize, ski
     }
 }
 
-/// Reusable scratch for eigenvalues-only Jacobi decompositions.
+/// Reusable scratch for eigenvalues-only decompositions.
 ///
 /// The ADCD-X extreme-eigenvalue search evaluates `λ_min`/`λ_max` of a
 /// fresh Hessian per probe point; a full [`SymEigen`] there allocates a
 /// working copy, an identity `Q`, and sorted outputs per call, and pays
-/// for rotating `Q` — a third of the kernel's work — only to discard it.
-/// A workspace keeps one scratch matrix and sorts in place, and skips
-/// `Q` entirely. Eigenvalues are **bit-identical** to
-/// [`SymEigen::with_options`] on the same input and options: the
-/// rotation sequence on `a` is shared ([`jacobi_sweeps`]) and `Q`
-/// feeds nothing back into it.
+/// for accumulating `Q` only to discard it. A workspace keeps one
+/// scratch matrix and sorts in place, and skips `Q` entirely.
+/// Eigenvalues are **bit-identical** to the corresponding full
+/// decomposition on the same input: for QL the tridiagonal coefficients
+/// are shared and the rotation arithmetic never reads `z`
+/// ([`crate::tridiag`]); for Jacobi the rotation sequence on `a` is
+/// shared ([`jacobi_sweeps`]) and `Q` feeds nothing back into it.
 #[derive(Debug, Clone)]
 pub struct EigenWorkspace {
     a: Matrix,
     diag: Vec<f64>,
+    offdiag: Vec<f64>,
 }
 
 impl Default for EigenWorkspace {
@@ -242,21 +296,57 @@ impl EigenWorkspace {
         Self {
             a: Matrix::zeros(0, 0),
             diag: Vec::new(),
+            offdiag: Vec::new(),
         }
     }
 
-    /// The extreme eigenvalues `(λ_min, λ_max)` of symmetric `h`, with
-    /// default [`JacobiOptions`] — the values `SymEigen::new(h)` would
+    /// The extreme eigenvalues `(λ_min, λ_max)` of symmetric `h` with
+    /// the default (QL) backend — the values `SymEigen::new(h)` would
     /// report, without computing eigenvectors or allocating.
     ///
     /// # Panics
     /// Panics if `h` is not square, is empty, or yields NaN eigenvalues.
     pub fn extreme_eigenvalues(&mut self, h: &Matrix) -> (f64, f64) {
-        self.extreme_eigenvalues_with(h, JacobiOptions::default())
+        self.extreme_eigenvalues_backend(h, SpectralBackend::Ql)
     }
 
-    /// As [`Self::extreme_eigenvalues`] with explicit options.
+    /// As [`Self::extreme_eigenvalues`] with an explicit backend.
+    pub fn extreme_eigenvalues_backend(
+        &mut self,
+        h: &Matrix,
+        backend: SpectralBackend,
+    ) -> (f64, f64) {
+        match backend {
+            SpectralBackend::Ql => {
+                let n = self.load(h);
+                self.offdiag.clear();
+                self.offdiag.resize(n, 0.0);
+                self.diag.clear();
+                self.diag.resize(n, 0.0);
+                tridiagonalize(&mut self.a, &mut self.diag, &mut self.offdiag, false);
+                if ql_implicit(&mut self.diag, &mut self.offdiag, None).is_err() {
+                    // Mirror SymEigen::ql's Jacobi fallback exactly.
+                    return self.extreme_eigenvalues_with(h, JacobiOptions::default());
+                }
+                self.sorted_extremes()
+            }
+            SpectralBackend::Jacobi => self.extreme_eigenvalues_with(h, JacobiOptions::default()),
+        }
+    }
+
+    /// Extreme eigenvalues via the Jacobi oracle with explicit options
+    /// — bit-identical to [`SymEigen::with_options`] on the same input.
     pub fn extreme_eigenvalues_with(&mut self, h: &Matrix, opts: JacobiOptions) -> (f64, f64) {
+        let n = self.load(h);
+        jacobi_sweeps(&mut self.a, None, &opts);
+        self.diag.clear();
+        self.diag.extend((0..n).map(|i| self.a[(i, i)]));
+        self.sorted_extremes()
+    }
+
+    /// Copy `h` into the scratch matrix (reusing its allocation when the
+    /// shape matches) and symmetrize; returns the dimension.
+    fn load(&mut self, h: &Matrix) -> usize {
         assert_eq!(h.rows(), h.cols(), "EigenWorkspace: matrix must be square");
         let n = h.rows();
         assert!(n > 0, "empty decomposition");
@@ -266,14 +356,15 @@ impl EigenWorkspace {
             self.a = h.clone();
         }
         self.a.symmetrize();
-        jacobi_sweeps(&mut self.a, None, &opts);
-        // Mirror SymEigen's sort (same comparator, hence the same bits
-        // for the first/last element) without allocating.
-        self.diag.clear();
-        self.diag.extend((0..n).map(|i| self.a[(i, i)]));
+        n
+    }
+
+    /// Mirror SymEigen's sort (same comparator, hence the same bits for
+    /// the first/last element) without allocating.
+    fn sorted_extremes(&mut self) -> (f64, f64) {
         self.diag
             .sort_by(|x, y| x.partial_cmp(y).expect("NaN eigenvalue"));
-        (self.diag[0], self.diag[n - 1])
+        (self.diag[0], self.diag[self.diag.len() - 1])
     }
 }
 
@@ -383,6 +474,44 @@ mod tests {
         let (lo, hi) = EigenWorkspace::new().extreme_eigenvalues(&a);
         assert_eq!(lo.to_bits(), e.lambda_min().to_bits());
         assert_eq!(hi.to_bits(), e.lambda_max().to_bits());
+    }
+
+    #[test]
+    fn backends_agree_within_tolerance() {
+        let mut seed = 99u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for n in [2usize, 5, 16] {
+            let mut a = Matrix::from_fn(n, n, |_, _| next());
+            a.symmetrize();
+            let ql = SymEigen::with_backend(&a, SpectralBackend::Ql);
+            let jac = SymEigen::with_backend(&a, SpectralBackend::Jacobi);
+            let scale = jac.lambda_max().abs().max(jac.lambda_min().abs()).max(1.0);
+            for (x, y) in ql.values.iter().zip(&jac.values) {
+                assert!((x - y).abs() <= 1e-9 * scale, "n={n}: {x} vs {y}");
+            }
+            assert!(ql.reconstruct().approx_eq(&a, 1e-9));
+        }
+    }
+
+    #[test]
+    fn jacobi_workspace_bit_identical_to_jacobi_full() {
+        let mut seed = 17u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut ws = EigenWorkspace::new();
+        for n in [2usize, 4, 9] {
+            let mut a = Matrix::from_fn(n, n, |_, _| next());
+            a.symmetrize();
+            let e = SymEigen::with_backend(&a, SpectralBackend::Jacobi);
+            let (lo, hi) = ws.extreme_eigenvalues_backend(&a, SpectralBackend::Jacobi);
+            assert_eq!(lo.to_bits(), e.lambda_min().to_bits());
+            assert_eq!(hi.to_bits(), e.lambda_max().to_bits());
+        }
     }
 
     #[test]

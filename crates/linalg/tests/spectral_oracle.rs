@@ -1,0 +1,172 @@
+//! Oracle property suite for the spectral kernels.
+//!
+//! Cyclic Jacobi is the slow, unconditionally convergent reference; the
+//! production kernels — Householder + implicit-shift QL for the full
+//! spectrum, matrix-free Lanczos for the extremes — must agree with it
+//! on random symmetric matrices to tight relative tolerance, and each
+//! decomposition must satisfy the algebraic invariants the ADCD split
+//! relies on (orthonormal `Q`, exact reconstruction, the Lemma 2
+//! PSD/NSD partition).
+
+use automon_linalg::{
+    JacobiOptions, LanczosOptions, LanczosStats, LanczosWorkspace, Matrix, MatrixOperator,
+    RitzSide, SymEigen,
+};
+use proptest::prelude::*;
+
+/// Entries for up to a 12 × 12 matrix; each test draws a dimension and
+/// slices what it needs (the vendored proptest has no `prop_flat_map`).
+fn entries() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0f64..10.0, 144)
+}
+
+/// Build the symmetric `d × d` matrix from the first `d²` entries.
+fn sym_matrix(d: usize, data: &[f64]) -> Matrix {
+    let mut m = Matrix::from_rows(d, d, data[..d * d].to_vec());
+    m.symmetrize();
+    m
+}
+
+/// Relative scale for eigenvalue comparisons: the spectral radius,
+/// floored at 1 so near-zero spectra compare absolutely.
+fn spectral_scale(eig: &SymEigen) -> f64 {
+    eig.lambda_min().abs().max(eig.lambda_max().abs()).max(1.0)
+}
+
+/// Gershgorin disc bounds `(lo, hi)` on the spectrum of `m`.
+fn gershgorin(m: &Matrix) -> (f64, f64) {
+    let d = m.rows();
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for i in 0..d {
+        let radius: f64 = (0..d).filter(|&j| j != i).map(|j| m[(i, j)].abs()).sum();
+        lo = lo.min(m[(i, i)] - radius);
+        hi = hi.max(m[(i, i)] + radius);
+    }
+    (lo, hi)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ql_eigenvalues_match_jacobi_oracle(d in 2usize..=12, data in entries()) {
+        let m = sym_matrix(d, &data);
+        let ql = SymEigen::new(&m);
+        let jacobi = SymEigen::with_options(&m, JacobiOptions::default());
+        let scale = spectral_scale(&jacobi);
+        prop_assert_eq!(ql.values.len(), jacobi.values.len());
+        for (a, b) in ql.values.iter().zip(&jacobi.values) {
+            prop_assert!(
+                (a - b).abs() <= 1e-9 * scale,
+                "QL {} vs Jacobi {} (scale {})", a, b, scale
+            );
+        }
+    }
+
+    #[test]
+    fn ql_eigenvectors_are_orthonormal(d in 2usize..=12, data in entries()) {
+        let m = sym_matrix(d, &data);
+        let ql = SymEigen::new(&m);
+        let qtq = ql.vectors.transpose().matmul(&ql.vectors);
+        prop_assert!(
+            qtq.approx_eq(&Matrix::identity(m.rows()), 1e-9),
+            "QᵀQ deviates from identity"
+        );
+    }
+
+    #[test]
+    fn ql_reconstructs_the_input(d in 2usize..=12, data in entries()) {
+        let m = sym_matrix(d, &data);
+        let ql = SymEigen::new(&m);
+        let scale = spectral_scale(&ql);
+        prop_assert!(
+            ql.reconstruct().approx_eq(&m, 1e-9 * scale),
+            "QΛQᵀ deviates from the input"
+        );
+    }
+
+    #[test]
+    fn psd_nsd_split_matches_oracle(d in 2usize..=12, data in entries()) {
+        let m = sym_matrix(d, &data);
+        let ql = SymEigen::new(&m);
+        let jacobi = SymEigen::with_options(&m, JacobiOptions::default());
+        let scale = spectral_scale(&jacobi);
+        // The Lemma 2 partition must hold for both backends…
+        prop_assert!(ql.psd_part().add(&ql.nsd_part()).approx_eq(&m, 1e-9 * scale));
+        prop_assert!(jacobi.psd_part().add(&jacobi.nsd_part()).approx_eq(&m, 1e-9 * scale));
+        // …and the two backends must agree on the parts themselves.
+        // Tolerance is looser than for eigenvalues: an eigenvalue within
+        // 1e-9·scale of zero may land on either side of the clamp, and
+        // the discrepancy it contributes to H⁺ is bounded by its size.
+        prop_assert!(
+            ql.psd_part().approx_eq(&jacobi.psd_part(), 1e-8 * scale),
+            "PSD parts disagree between QL and Jacobi"
+        );
+        prop_assert!(
+            ql.nsd_part().approx_eq(&jacobi.nsd_part(), 1e-8 * scale),
+            "NSD parts disagree between QL and Jacobi"
+        );
+    }
+
+    #[test]
+    fn lanczos_extremes_match_jacobi_oracle(d in 2usize..=12, data in entries()) {
+        let m = sym_matrix(d, &data);
+        let jacobi = SymEigen::with_options(&m, JacobiOptions::default());
+        let scale = spectral_scale(&jacobi);
+
+        let (glo, ghi) = gershgorin(&m);
+        let shift = 0.5 * (glo + ghi);
+        let half_width = (0.5 * (ghi - glo)).max(1.0);
+
+        let mut ws = LanczosWorkspace::new();
+        let mut stats = LanczosStats::default();
+        let mut op = MatrixOperator::new(&m);
+        let (lo, hi) = ws.extremes(
+            &mut op,
+            shift,
+            half_width,
+            RitzSide::Smallest,
+            &LanczosOptions::default(),
+            &mut stats,
+        );
+
+        prop_assert!(
+            (lo - jacobi.lambda_min()).abs() <= 1e-9 * scale,
+            "λ_min: Lanczos {} vs Jacobi {}", lo, jacobi.lambda_min()
+        );
+        prop_assert!(
+            (hi - jacobi.lambda_max()).abs() <= 1e-9 * scale,
+            "λ_max: Lanczos {} vs Jacobi {}", hi, jacobi.lambda_max()
+        );
+        prop_assert!(stats.iterations > 0 && stats.applies >= stats.iterations);
+    }
+
+    #[test]
+    fn lanczos_warm_start_stays_on_the_oracle(data in entries()) {
+        let m = sym_matrix(8, &data);
+        // Re-running on the same operator from the previous Ritz vector
+        // (the ADCD-X probe chain's steady state) must stay correct.
+        let jacobi = SymEigen::with_options(&m, JacobiOptions::default());
+        let scale = spectral_scale(&jacobi);
+        let (glo, ghi) = gershgorin(&m);
+        let shift = 0.5 * (glo + ghi);
+        let half_width = (0.5 * (ghi - glo)).max(1.0);
+
+        let mut ws = LanczosWorkspace::new();
+        let mut stats = LanczosStats::default();
+        for _ in 0..3 {
+            let mut op = MatrixOperator::new(&m);
+            let (lo, hi) = ws.extremes(
+                &mut op,
+                shift,
+                half_width,
+                RitzSide::Largest,
+                &LanczosOptions::default(),
+                &mut stats,
+            );
+            prop_assert!((lo - jacobi.lambda_min()).abs() <= 1e-9 * scale);
+            prop_assert!((hi - jacobi.lambda_max()).abs() <= 1e-9 * scale);
+        }
+    }
+}

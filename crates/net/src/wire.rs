@@ -40,9 +40,65 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+// --- Exact frame sizing -------------------------------------------------
+//
+// Every encoder reserves its frame's exact byte count up front, so the
+// buffer never reallocates (the old fixed 64-byte guess forced two or
+// three grow-and-copy cycles on a d = 40 violation) and the hot vector
+// payloads go out through [`put_vec`]'s chunked bulk writes instead of
+// one capacity-checked `put_f64_le` per element.
+
+/// Encoded size of a `u32`-length-prefixed `f64` vector.
+fn vec_len(v: &[f64]) -> usize {
+    4 + 8 * v.len()
+}
+
+/// Encoded size of a dims-prefixed dense matrix.
+fn matrix_len(m: &Matrix) -> usize {
+    8 + 8 * m.rows() * m.cols()
+}
+
+fn neighborhood_len(nb: &Option<NeighborhoodBox>) -> usize {
+    1 + nb
+        .as_ref()
+        .map_or(0, |nb| vec_len(&nb.lo) + vec_len(&nb.hi))
+}
+
+fn zone_len(z: &SafeZone) -> usize {
+    let curvature = 1 + match &z.curvature {
+        Curvature::Scalar(_) => 8,
+        Curvature::Quadratic(m) => matrix_len(m),
+    };
+    vec_len(&z.x0) + 8 + vec_len(&z.grad0) + 8 + 8 + 1 + curvature + neighborhood_len(&z.neighborhood)
+}
+
+fn zone_update_len(z: &ZoneUpdate) -> usize {
+    vec_len(&z.x0) + 8 + vec_len(&z.grad0) + 8 + 8 + 1 + neighborhood_len(&z.neighborhood)
+}
+
+/// Exact frame size of an encoded node→coordinator message.
+fn node_message_len(msg: &NodeMessage) -> usize {
+    2 + match msg {
+        NodeMessage::Violation { local_vector, .. } => 4 + 8 + 1 + vec_len(local_vector),
+        NodeMessage::LocalVector { vector, .. } => 4 + 8 + vec_len(vector),
+    }
+}
+
+/// Exact frame size of an encoded coordinator→node message.
+fn coordinator_message_len(msg: &CoordinatorMessage) -> usize {
+    2 + match msg {
+        CoordinatorMessage::RequestLocalVector { .. } => 8,
+        CoordinatorMessage::NewConstraints { zone, slack, .. } => 8 + zone_len(zone) + vec_len(slack),
+        CoordinatorMessage::SlackUpdate { slack, .. } => 8 + vec_len(slack),
+        CoordinatorMessage::NewConstraintsCached { update, slack, .. } => {
+            8 + zone_update_len(update) + vec_len(slack)
+        }
+    }
+}
+
 /// Encode a node→coordinator message.
 pub fn encode_node_message(msg: &NodeMessage) -> Bytes {
-    let mut b = BytesMut::with_capacity(64);
+    let mut b = BytesMut::with_capacity(node_message_len(msg));
     b.put_u8(MAGIC);
     match msg {
         NodeMessage::Violation {
@@ -68,6 +124,7 @@ pub fn encode_node_message(msg: &NodeMessage) -> Bytes {
             put_vec(&mut b, vector);
         }
     }
+    debug_assert_eq!(b.len(), node_message_len(msg), "frame size mispredicted");
     b.freeze()
 }
 
@@ -104,7 +161,7 @@ pub fn decode_node_message(mut buf: &[u8]) -> Result<NodeMessage, WireError> {
 
 /// Encode a coordinator→node message.
 pub fn encode_coordinator_message(msg: &CoordinatorMessage) -> Bytes {
-    let mut b = BytesMut::with_capacity(64);
+    let mut b = BytesMut::with_capacity(coordinator_message_len(msg));
     b.put_u8(MAGIC);
     match msg {
         CoordinatorMessage::RequestLocalVector { epoch } => {
@@ -133,6 +190,11 @@ pub fn encode_coordinator_message(msg: &CoordinatorMessage) -> Bytes {
             put_vec(&mut b, slack);
         }
     }
+    debug_assert_eq!(
+        b.len(),
+        coordinator_message_len(msg),
+        "frame size mispredicted"
+    );
     b.freeze()
 }
 
@@ -190,19 +252,29 @@ fn violation_from_tag(t: u8) -> Result<ViolationKind, WireError> {
     })
 }
 
+/// Bulk-write `f64`s as little-endian bytes: elements are staged in a
+/// stack chunk and flushed with one `put_slice` per 32 values, so the
+/// buffer's capacity bookkeeping runs once per chunk instead of once
+/// per element.
+fn put_f64s(b: &mut BytesMut, v: &[f64]) {
+    let mut chunk = [0u8; 256];
+    for group in v.chunks(32) {
+        for (i, &x) in group.iter().enumerate() {
+            chunk[i * 8..(i + 1) * 8].copy_from_slice(&x.to_le_bytes());
+        }
+        b.put_slice(&chunk[..group.len() * 8]);
+    }
+}
+
 fn put_vec(b: &mut BytesMut, v: &[f64]) {
     b.put_u32_le(v.len() as u32);
-    for &x in v {
-        b.put_f64_le(x);
-    }
+    put_f64s(b, v);
 }
 
 fn put_matrix(b: &mut BytesMut, m: &Matrix) {
     b.put_u32_le(m.rows() as u32);
     b.put_u32_le(m.cols() as u32);
-    for &x in m.as_slice() {
-        b.put_f64_le(x);
-    }
+    put_f64s(b, m.as_slice());
 }
 
 fn put_zone(b: &mut BytesMut, z: &SafeZone) {
@@ -476,6 +548,66 @@ mod tests {
             epoch: 2,
         };
         assert_eq!(encode_node_message(&msg).len(), 339);
+    }
+
+    #[test]
+    fn frame_sizes_are_predicted_exactly() {
+        // Every encoder reserves `*_message_len` bytes up front; the
+        // frame must land on exactly that size (no reallocation, no
+        // slack). Covers all tags and both curvature arms.
+        let node_msgs = [
+            NodeMessage::Violation {
+                node: 3,
+                kind: ViolationKind::SafeZone,
+                local_vector: vec![1.5; 33],
+                epoch: 9,
+            },
+            NodeMessage::LocalVector {
+                node: 0,
+                vector: vec![],
+                epoch: 1,
+            },
+        ];
+        for msg in &node_msgs {
+            let frame = encode_node_message(msg);
+            assert_eq!(frame.len(), node_message_len(msg), "{msg:?}");
+        }
+        let mut quad = sample_zone();
+        quad.curvature = Curvature::Quadratic(Matrix::identity(2));
+        let coord_msgs = [
+            CoordinatorMessage::RequestLocalVector { epoch: 4 },
+            CoordinatorMessage::SlackUpdate {
+                slack: vec![0.1; 7],
+                epoch: 2,
+            },
+            CoordinatorMessage::NewConstraints {
+                zone: sample_zone(),
+                slack: vec![0.0; 2],
+                epoch: 5,
+            },
+            CoordinatorMessage::NewConstraints {
+                zone: quad,
+                slack: vec![0.0; 2],
+                epoch: 5,
+            },
+            CoordinatorMessage::NewConstraintsCached {
+                update: ZoneUpdate {
+                    x0: vec![0.1; 4],
+                    f0: 1.0,
+                    grad0: vec![0.2; 4],
+                    l: 0.9,
+                    u: 1.1,
+                    dc: DcKind::ConcaveDiff,
+                    neighborhood: None,
+                },
+                slack: vec![0.0; 4],
+                epoch: 6,
+            },
+        ];
+        for msg in &coord_msgs {
+            let frame = encode_coordinator_message(msg);
+            assert_eq!(frame.len(), coordinator_message_len(msg), "{msg:?}");
+        }
     }
 
     #[test]

@@ -13,10 +13,19 @@
 //! only so the `Tracer` is `Sync`; correctness of the byte-identical
 //! guarantee rests on that single-writer discipline.
 
+use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
+
+thread_local! {
+    /// Reusable per-thread formatting buffer. `record` renders each event
+    /// here before appending it to the shared trace, so steady-state
+    /// tracing allocates nothing per event — both this scratch and the
+    /// shared buffer grow geometrically and are then reused.
+    static SCRATCH: RefCell<String> = const { RefCell::new(String::new()) };
+}
 
 /// Round + deterministic-op clock. `ops` counts algorithmic work units
 /// (Hessian replays, probe evaluations) declared by instrumented code, so
@@ -102,10 +111,20 @@ impl From<bool> for FieldValue {
 }
 
 /// Append-only JSONL event sink.
+///
+/// Events accumulate in one shared newline-delimited buffer; rendering
+/// happens in a thread-local scratch [`String`] so the steady state does
+/// no per-event heap allocation.
 #[derive(Debug, Default)]
 pub struct Tracer {
     seq: AtomicU64,
-    lines: Mutex<Vec<String>>,
+    buf: Mutex<TraceBuf>,
+}
+
+#[derive(Debug, Default)]
+struct TraceBuf {
+    jsonl: String,
+    events: usize,
 }
 
 impl Tracer {
@@ -113,47 +132,53 @@ impl Tracer {
     /// `{"seq":N,"round":R,"ops":O,"kind":"...", <fields>...}`.
     pub fn record(&self, clock: &LogicalClock, kind: &str, fields: &[(&str, FieldValue)]) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let mut line = String::with_capacity(64 + fields.len() * 24);
-        let _ = write!(
-            line,
-            "{{\"seq\":{seq},\"round\":{},\"ops\":{},\"kind\":\"{}\"",
-            clock.round(),
-            clock.ops(),
-            Escaped(kind)
-        );
-        for (k, v) in fields {
-            let _ = write!(line, ",\"{}\":", Escaped(k));
-            match v {
-                FieldValue::U64(n) => {
-                    let _ = write!(line, "{n}");
-                }
-                FieldValue::I64(n) => {
-                    let _ = write!(line, "{n}");
-                }
-                FieldValue::F64(x) => {
-                    if x.is_finite() {
-                        // Rust's shortest-roundtrip `{}` for f64 is
-                        // deterministic and valid JSON for finite values.
-                        let _ = write!(line, "{x}");
-                    } else {
-                        let _ = write!(line, "null");
+        SCRATCH.with(|cell| {
+            let mut line = cell.borrow_mut();
+            line.clear();
+            let _ = write!(
+                line,
+                "{{\"seq\":{seq},\"round\":{},\"ops\":{},\"kind\":\"{}\"",
+                clock.round(),
+                clock.ops(),
+                Escaped(kind)
+            );
+            for (k, v) in fields {
+                let _ = write!(line, ",\"{}\":", Escaped(k));
+                match v {
+                    FieldValue::U64(n) => {
+                        let _ = write!(line, "{n}");
+                    }
+                    FieldValue::I64(n) => {
+                        let _ = write!(line, "{n}");
+                    }
+                    FieldValue::F64(x) => {
+                        if x.is_finite() {
+                            // Rust's shortest-roundtrip `{}` for f64 is
+                            // deterministic and valid JSON for finite values.
+                            let _ = write!(line, "{x}");
+                        } else {
+                            let _ = write!(line, "null");
+                        }
+                    }
+                    FieldValue::Str(s) => {
+                        let _ = write!(line, "\"{}\"", Escaped(s));
+                    }
+                    FieldValue::Bool(b) => {
+                        let _ = write!(line, "{b}");
                     }
                 }
-                FieldValue::Str(s) => {
-                    let _ = write!(line, "\"{}\"", Escaped(s));
-                }
-                FieldValue::Bool(b) => {
-                    let _ = write!(line, "{b}");
-                }
             }
-        }
-        line.push('}');
-        self.lines.lock().push(line);
+            line.push('}');
+            line.push('\n');
+            let mut buf = self.buf.lock();
+            buf.jsonl.push_str(&line);
+            buf.events += 1;
+        });
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.lines.lock().len()
+        self.buf.lock().events
     }
 
     /// True when no events have been recorded.
@@ -164,13 +189,7 @@ impl Tracer {
     /// The full trace as JSONL (one event per line, trailing newline when
     /// non-empty).
     pub fn to_jsonl(&self) -> String {
-        let lines = self.lines.lock();
-        let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
-        for l in lines.iter() {
-            out.push_str(l);
-            out.push('\n');
-        }
-        out
+        self.buf.lock().jsonl.clone()
     }
 }
 

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use automon_autodiff::{AutoDiffFn, Scalar, ScalarFn};
 use automon_core::{
     adcd, AdcdKind, Curvature, DcDecomposition, EigenSearch, MonitorConfig, MonitoredFunction,
-    NeighborhoodBox, Parallelism,
+    NeighborhoodBox, Parallelism, SpectralBackend,
 };
 use automon_functions::Rozenbrock;
 use automon_sim::{Simulation, Workload};
@@ -51,7 +51,7 @@ impl ScalarFn for RandomPoly {
     }
 }
 
-fn cfg(par: Parallelism, seed: u64) -> MonitorConfig {
+fn cfg(par: Parallelism, seed: u64, backend: SpectralBackend) -> MonitorConfig {
     MonitorConfig::builder(0.1)
         .adcd(AdcdKind::X)
         .eigen_search(EigenSearch {
@@ -61,6 +61,7 @@ fn cfg(par: Parallelism, seed: u64) -> MonitorConfig {
             ..Default::default()
         })
         .parallelism(par)
+        .spectral_backend(backend)
         .build()
 }
 
@@ -95,17 +96,21 @@ fn assert_identical(a: &DcDecomposition, b: &DcDecomposition) {
 }
 
 /// Decompose under every parallelism setting and compare against the
-/// sequential reference.
+/// sequential reference — for the Lanczos-backed default and for the
+/// Jacobi escape hatch alike.
 fn check_all_settings(f: &dyn MonitoredFunction, x0: &[f64], b: &NeighborhoodBox, seed: u64) {
-    let reference = adcd::decompose(f, x0, Some(b), &cfg(Parallelism::Sequential, seed));
-    for par in [
-        Parallelism::Threads(1),
-        Parallelism::Threads(2),
-        Parallelism::Threads(7),
-        Parallelism::Auto,
-    ] {
-        let got = adcd::decompose(f, x0, Some(b), &cfg(par, seed));
-        assert_identical(&reference, &got);
+    for backend in [SpectralBackend::Ql, SpectralBackend::Jacobi] {
+        let reference =
+            adcd::decompose(f, x0, Some(b), &cfg(Parallelism::Sequential, seed, backend));
+        for par in [
+            Parallelism::Threads(1),
+            Parallelism::Threads(2),
+            Parallelism::Threads(7),
+            Parallelism::Auto,
+        ] {
+            let got = adcd::decompose(f, x0, Some(b), &cfg(par, seed, backend));
+            assert_identical(&reference, &got);
+        }
     }
 }
 

@@ -11,9 +11,18 @@
 # rotated into "previous", so consecutive runs (and consecutive PRs)
 # keep a before/after trajectory.
 #
+# Measurement protocol: each bench binary runs REPS times (default 3)
+# and the snapshot keeps the per-key MINIMUM of the per-run medians.
+# Scheduler and cache noise only ever inflate a timing, so min-of-medians
+# is the stable lower envelope — the same rule the CI zero-overhead
+# smoke uses. The snapshot also records the host kernel and core count,
+# since absolute nanoseconds are only comparable on like machines.
+#
 # Usage: scripts/bench_snapshot.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+REPS=${BENCH_SNAPSHOT_REPS:-3}
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
@@ -22,13 +31,17 @@ snapshot() {
     local out=$1
     shift
     local benches=("$@")
-    for bench in "${benches[@]}"; do
-        echo "running $bench ..." >&2
-        cargo bench -q -p automon-bench --bench "$bench" 2>&1 \
-            | grep '^BENCHLINE' || true
+    for rep in $(seq 1 "$REPS"); do
+        for bench in "${benches[@]}"; do
+            echo "running $bench (rep $rep/$REPS) ..." >&2
+            cargo bench -q -p automon-bench --bench "$bench" 2>&1 \
+                | grep '^BENCHLINE' || true
+        done
     done > "$RAW"
-    python3 - "$RAW" "$out" "${benches[@]}" <<'PYEOF'
+    BENCH_HOST_UNAME=$(uname -srm) BENCH_HOST_CORES=$(nproc) BENCH_REPS=$REPS \
+        python3 - "$RAW" "$out" "${benches[@]}" <<'PYEOF'
 import json
+import os
 import sys
 from datetime import datetime, timezone
 
@@ -40,7 +53,8 @@ with open(raw_path) as fh:
         # BENCHLINE <group>/<bench>/<dim> median_ns <float>
         parts = line.split()
         if len(parts) == 4 and parts[0] == "BENCHLINE" and parts[2] == "median_ns":
-            current[parts[1]] = float(parts[3])
+            key, v = parts[1], float(parts[3])
+            current[key] = min(current.get(key, v), v)
 
 if not current:
     sys.exit("bench_snapshot: no BENCHLINE output captured")
@@ -54,7 +68,12 @@ except (FileNotFoundError, json.JSONDecodeError):
 
 snapshot = {
     "unit": "median_ns",
+    "protocol": f"min of {os.environ.get('BENCH_REPS', '3')} per-run medians",
     "captured_at": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "host": {
+        "uname": os.environ.get("BENCH_HOST_UNAME", "unknown"),
+        "cores": int(os.environ.get("BENCH_HOST_CORES", "0")),
+    },
     "benches": benches,
     "previous": previous,
     "current": dict(sorted(current.items())),

@@ -16,6 +16,10 @@
 #      (default 10%) of the bare decompose on the same machine and run
 #      (DESIGN.md §3.9's near-no-op contract). Same-run comparison, so
 #      machine drift doesn't produce false alarms.
+#   6. spectral parity smoke — Jacobi, QL, and Lanczos must agree on a
+#      fixed-seed d=40 symmetric matrix (DESIGN.md §3.10); catches any
+#      drift between the production QL/Lanczos kernels and the Jacobi
+#      oracle before the proptest suite would.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -84,5 +88,14 @@ if failures:
     sys.exit(1)
 PYEOF
 echo "    disabled telemetry within noise of bare decompose"
+
+echo "==> spectral parity smoke (d=40, seed 1)"
+SMOKE_OUT=$(cargo run --release -q -p automon-cli -- spectral-smoke --dim 40 --seed 1)
+if ! grep -q "PASS" <<<"$SMOKE_OUT"; then
+    echo "FAIL: spectral backends disagree" >&2
+    printf '%s\n' "$SMOKE_OUT" >&2
+    exit 1
+fi
+echo "    $SMOKE_OUT"
 
 echo "==> CI green"
