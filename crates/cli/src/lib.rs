@@ -48,10 +48,11 @@ USAGE:
                      [--chaos-seed S] [--drop-rate P]
                      [--crash-node SPEC] [--partition SPEC] [--json]
                      [--metrics-out FILE] [--trace-out FILE]
-                     [--serve-metrics ADDR]
+                     [--serve-metrics ADDR] [--decomp-cache POLICY]
+                     [--decomp-cache-capacity N] [--decomp-cache-warm]
     automon monitor  --function <NAME> --input <FILE.csv> --nodes N
                      [--epsilon E] [--output FILE.csv] [--parallelism P]
-                     [--spectral-backend B]
+                     [--spectral-backend B] [--decomp-cache POLICY]
     automon tune     --function <NAME> --input <FILE.csv> --nodes N
                      [--epsilon E]
     automon spectral-smoke [--dim D] [--seed S] [--tol T]
@@ -83,6 +84,17 @@ runner with retransmission, eviction, and rejoin enabled):
     --drop-rate P       drop each frame with probability P in [0, 1]
     --crash-node SPEC   `node:at[:restart]`, repeatable
     --partition SPEC    `n1[,n2,…]:from:until` (until exclusive), repeatable
+
+DECOMPOSITION CACHE (off by default; DESIGN.md §3.11):
+    --decomp-cache POLICY       memoize full-sync decompositions at the
+                                coordinator; POLICY is lru-k | slru | arc.
+                                Exact hits require bitwise-equal inputs,
+                                so output is identical to a cache-off run
+    --decomp-cache-capacity N   max resident entries (default 64)
+    --decomp-cache-warm         let near hits (same cell, adjacent radius
+                                bucket) warm-start the Lanczos eigen
+                                search from cached Ritz vectors; results
+                                then agree to tolerance, not bitwise
 
 OBSERVABILITY (simulate only):
     --json              print the run statistics as one JSON object

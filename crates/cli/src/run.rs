@@ -4,7 +4,10 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use automon_autodiff::AutoDiffFn;
-use automon_core::{Coordinator, MonitorConfig, MonitoredFunction, Node, Parallelism, SpectralBackend};
+use automon_core::{
+    CachePolicy, Coordinator, DecompCacheConfig, MonitorConfig, MonitoredFunction, Node,
+    Parallelism, SpectralBackend,
+};
 use automon_data::synthetic::{InnerProductDataset, QuadraticDataset, RozenbrockDataset};
 use automon_data::windowed_mean_series;
 use automon_functions::{train_mlp_d, InnerProduct, KlDivergence, QuadraticForm, Rozenbrock, Variance};
@@ -49,6 +52,33 @@ fn parse_spectral_backend(args: &Args) -> Result<SpectralBackend, CliError> {
             "unknown spectral backend `{other}` (ql | jacobi)"
         ))),
     }
+}
+
+/// Parse `--decomp-cache <lru-k|slru|arc>` plus its companions
+/// `--decomp-cache-capacity <n>` and `--decomp-cache-warm` (warm-start
+/// Lanczos from cached Ritz vectors; trades bit-parity with cache-off
+/// runs for fewer iterations). Absent flag ⇒ cache off (the default).
+fn parse_decomp_cache(args: &Args) -> Result<Option<DecompCacheConfig>, CliError> {
+    let Some(name) = args.get("decomp-cache") else {
+        if args.get("decomp-cache-capacity").is_some() || args.flag("decomp-cache-warm") {
+            return Err(CliError::new(
+                "--decomp-cache-capacity/--decomp-cache-warm require --decomp-cache",
+            ));
+        }
+        return Ok(None);
+    };
+    let policy = CachePolicy::parse(name).ok_or_else(|| {
+        CliError::new(format!(
+            "unknown decomposition-cache policy `{name}` (lru-k | slru | arc)"
+        ))
+    })?;
+    let mut cache = DecompCacheConfig::with_policy(policy);
+    cache.capacity = args.num("decomp-cache-capacity", cache.capacity)?;
+    if cache.capacity == 0 {
+        return Err(CliError::new("--decomp-cache-capacity must be ≥ 1"));
+    }
+    cache.warm_start = args.flag("decomp-cache-warm");
+    Ok(Some(cache))
 }
 
 /// Default dimension per function when `--dim` is omitted.
@@ -274,6 +304,7 @@ pub fn run_simulate(args: &Args) -> Result<String, CliError> {
     let cfg = MonitorConfig::builder(epsilon)
         .parallelism(parse_parallelism(args)?)
         .spectral_backend(parse_spectral_backend(args)?)
+        .decomp_cache_opt(parse_decomp_cache(args)?)
         .build();
 
     let sinks = ObsSinks::from_args(args)?;
@@ -402,6 +433,7 @@ pub fn run_monitor(args: &Args) -> Result<String, CliError> {
     let cfg = MonitorConfig::builder(epsilon)
         .parallelism(parse_parallelism(args)?)
         .spectral_backend(parse_spectral_backend(args)?)
+        .decomp_cache_opt(parse_decomp_cache(args)?)
         .build();
     let mut coord = Coordinator::new(f.clone(), nodes, cfg);
     let mut node_actors: Vec<Node> = (0..nodes).map(|i| Node::new(i, f.clone())).collect();
@@ -691,6 +723,50 @@ mod tests {
         assert!(run_simulate(&base("jacobi")).unwrap().contains("AutoMon"));
         let err = run_simulate(&base("qr")).unwrap_err();
         assert!(err.to_string().contains("unknown spectral backend"), "{err}");
+    }
+
+    #[test]
+    fn decomp_cache_flag_is_parsed() {
+        let base = |extra: &[&str]| {
+            let mut argv: Vec<String> = [
+                "--function",
+                "rozenbrock",
+                "--rounds",
+                "40",
+                "--nodes",
+                "2",
+                "--epsilon",
+                "0.5",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            argv.extend(extra.iter().map(|s| s.to_string()));
+            Args::parse(&argv).unwrap()
+        };
+        // Off by default, and every policy is selectable.
+        let baseline = run_simulate(&base(&[])).unwrap();
+        for policy in ["lru-k", "slru", "arc"] {
+            let out = run_simulate(&base(&["--decomp-cache", policy])).unwrap();
+            // Cache on must not change the monitoring output.
+            assert_eq!(out, baseline, "--decomp-cache {policy} changed results");
+        }
+        let with_caps = run_simulate(&base(&[
+            "--decomp-cache",
+            "arc",
+            "--decomp-cache-capacity",
+            "8",
+            "--decomp-cache-warm",
+        ]))
+        .unwrap();
+        assert!(with_caps.contains("AutoMon"));
+        let err = run_simulate(&base(&["--decomp-cache", "fifo"])).unwrap_err();
+        assert!(
+            err.to_string().contains("unknown decomposition-cache policy"),
+            "{err}"
+        );
+        let err = run_simulate(&base(&["--decomp-cache-capacity", "8"])).unwrap_err();
+        assert!(err.to_string().contains("require --decomp-cache"), "{err}");
     }
 
     #[test]

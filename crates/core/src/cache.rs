@@ -1,0 +1,1227 @@
+//! Coordinator-side decomposition cache with pluggable eviction.
+//!
+//! ADCD decomposition is the full-sync hot path: every violation that
+//! lazy sync cannot absorb pays a QL or Lanczos eigendecomposition at
+//! the new reference point `x0`. Under drifting-mean workloads the
+//! reference points recur — the mean oscillates through a small set of
+//! cells — so the coordinator can remember `(x0, r) → Decomposition`
+//! and skip the eigensolve entirely when an identical sync recurs.
+//!
+//! # Keying and the bit-identity contract
+//!
+//! Entries are indexed by [`CacheKey`]: the function id, the quantized
+//! `x0` cell (`floor(x0_i / cell)` per coordinate), and the radius
+//! bucket (`floor(log2 r)`). The key is only an *index*; correctness
+//! never depends on the quantization. An **exact hit** additionally
+//! requires the stored `x0`, `r`, and neighborhood box to be
+//! bit-identical to the query — and since [`crate::adcd::decompose`]
+//! is deterministic, replaying the stored [`DcDecomposition`] is
+//! bit-for-bit what a fresh decomposition would have produced. This is
+//! what makes cache-on runs byte-identical to cache-off runs.
+//!
+//! A **near hit** (same cell, same or adjacent radius bucket, but
+//! different exact inputs) cannot reuse the result, but it can seed
+//! the Lanczos extreme-eigenvalue streams with the cached Ritz vectors
+//! ([`crate::adcd::RitzSeeds`]). Warm starts change the Lanczos
+//! trajectory — the converged values agree only to solver tolerance,
+//! not bitwise — so they are **off by default** and gated behind
+//! [`DecompCacheConfig::warm_start`]; enabling them trades strict
+//! cache-on/off bit parity for fewer Lanczos iterations.
+//!
+//! # Eviction
+//!
+//! Eviction is pluggable via [`EvictionPolicy`], with three
+//! deterministic implementations selected by [`CachePolicy`]:
+//!
+//! * **LRU-K** — evicts the entry with the greatest backward-K
+//!   distance (entries with fewer than K recorded accesses count as
+//!   infinitely distant and go first, oldest last-access breaking
+//!   ties). Retains a bounded history for recently evicted keys so a
+//!   re-inserted recurring cell keeps its access record.
+//! * **SLRU** — segmented LRU: new entries land in a probationary
+//!   segment and only a hit promotes them into the protected segment
+//!   (capped at 4/5 of capacity); one-shot violation probes therefore
+//!   wash through probation without displacing recurring cells.
+//! * **ARC** — adaptive replacement: resident lists T1 (seen once)
+//!   and T2 (seen twice+) plus ghost lists B1/B2 remembering recently
+//!   evicted keys. Ghost hits steer the adaptation target `p` toward
+//!   recency or frequency, self-tuning between the two.
+//!
+//! All three use ordered structures only (`BTreeMap`-backed recency
+//! lists) — no `HashMap` iteration anywhere — so the same operation
+//! sequence always produces the same eviction sequence, keeping the
+//! simulator's determinism contract intact.
+//!
+//! This module also hosts [`SlotList`], the intrusive slot-index
+//! recency list backing the coordinator's lazy-sync node LRU (§3.5):
+//! same iteration order as the `VecDeque` it replaces, but touch is
+//! O(1) instead of an O(n) scan.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::{Arc, MutexGuard};
+
+use parking_lot::Mutex;
+
+use crate::adcd::{DcDecomposition, RitzSeeds};
+use crate::safezone::NeighborhoodBox;
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Which eviction policy a [`DecompCache`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// LRU-K (backward-K-distance) eviction.
+    LruK,
+    /// Segmented LRU with probationary/protected segments.
+    #[default]
+    Slru,
+    /// Adaptive Replacement Cache with T1/T2/B1/B2 ghost lists.
+    Arc,
+}
+
+impl CachePolicy {
+    /// Parse a CLI/config spelling (`lru-k`, `slru`, `arc`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "lru-k" | "lruk" | "lru_k" => Some(Self::LruK),
+            "slru" => Some(Self::Slru),
+            "arc" => Some(Self::Arc),
+            _ => None,
+        }
+    }
+
+    /// Canonical name, used in metric labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::LruK => "lru-k",
+            Self::Slru => "slru",
+            Self::Arc => "arc",
+        }
+    }
+}
+
+/// Configuration for the coordinator decomposition cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecompCacheConfig {
+    /// Eviction policy.
+    pub policy: CachePolicy,
+    /// Maximum resident entries (≥ 1).
+    pub capacity: usize,
+    /// Quantization cell width for the `x0` grid (> 0).
+    pub cell: f64,
+    /// `K` for the LRU-K policy.
+    pub lru_k: usize,
+    /// Seed Lanczos with cached Ritz vectors on near hits. Off by
+    /// default: warm starts keep the spectral-oracle tolerances but
+    /// break bit-identity between cache-on and cache-off runs.
+    pub warm_start: bool,
+}
+
+impl Default for DecompCacheConfig {
+    fn default() -> Self {
+        Self {
+            policy: CachePolicy::default(),
+            capacity: 64,
+            cell: 1e-3,
+            lru_k: 2,
+            warm_start: false,
+        }
+    }
+}
+
+impl DecompCacheConfig {
+    /// Default configuration for `policy`.
+    pub fn with_policy(policy: CachePolicy) -> Self {
+        Self {
+            policy,
+            ..Self::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache key
+// ---------------------------------------------------------------------------
+
+/// Index key: `(function id, quantized x0 cell, radius bucket)`.
+///
+/// Two different `(x0, r)` pairs may share a key; the key only routes
+/// a lookup to a candidate entry, and [`DecompCache::lookup`] then
+/// compares the stored exact inputs bitwise before declaring a hit.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// Identifies the monitored function (coordinators sharing a cache
+    /// across a fleet must use distinct ids per function).
+    pub fn_id: u64,
+    /// `floor(x0_i / cell)` per coordinate.
+    pub cell: Vec<i64>,
+    /// `floor(log2 r)`.
+    pub radius_bucket: i32,
+}
+
+impl CacheKey {
+    /// Quantize `(fn_id, x0, r)` into its cache cell.
+    pub fn quantize(fn_id: u64, x0: &[f64], r: f64, cell: f64) -> Self {
+        let cell = if cell > 0.0 { cell } else { 1e-3 };
+        Self {
+            fn_id,
+            cell: x0.iter().map(|&v| (v / cell).floor() as i64).collect(),
+            radius_bucket: radius_bucket(r),
+        }
+    }
+
+    fn with_bucket(&self, bucket: i32) -> Self {
+        Self {
+            fn_id: self.fn_id,
+            cell: self.cell.clone(),
+            radius_bucket: bucket,
+        }
+    }
+}
+
+/// `floor(log2 r)` with non-positive / non-finite radii collapsed to a
+/// sentinel bucket (exactness is still guarded by bitwise comparison).
+fn radius_bucket(r: f64) -> i32 {
+    if r.is_finite() && r > 0.0 {
+        r.log2().floor() as i32
+    } else {
+        i32::MIN
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic recency list
+// ---------------------------------------------------------------------------
+
+/// An ordered set with O(log n) LRU→MRU operations, backed by
+/// `BTreeMap`s so iteration order is deterministic.
+#[derive(Debug, Default, Clone)]
+struct RecencyList {
+    /// seq → key, ascending seq = LRU → MRU.
+    order: BTreeMap<u64, CacheKey>,
+    /// key → seq.
+    seq_of: BTreeMap<CacheKey, u64>,
+    next_seq: u64,
+}
+
+impl RecencyList {
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    fn contains(&self, key: &CacheKey) -> bool {
+        self.seq_of.contains_key(key)
+    }
+
+    /// Insert or refresh `key` at the MRU end.
+    fn push_mru(&mut self, key: &CacheKey) {
+        if let Some(seq) = self.seq_of.remove(key) {
+            self.order.remove(&seq);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.order.insert(seq, key.clone());
+        self.seq_of.insert(key.clone(), seq);
+    }
+
+    /// Remove and return the LRU key.
+    fn pop_lru(&mut self) -> Option<CacheKey> {
+        let (&seq, _) = self.order.iter().next()?;
+        let key = self.order.remove(&seq).expect("seq present");
+        self.seq_of.remove(&key);
+        Some(key)
+    }
+
+    /// Remove `key` if present; reports whether it was.
+    fn remove(&mut self, key: &CacheKey) -> bool {
+        match self.seq_of.remove(key) {
+            Some(seq) => {
+                self.order.remove(&seq);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Eviction policies
+// ---------------------------------------------------------------------------
+
+/// A pluggable, deterministic eviction policy.
+///
+/// The policy tracks residency metadata only; the [`DecompCache`] owns
+/// the entries. Contract: `on_insert` is called for keys not currently
+/// resident and returns at most one victim, which must be resident;
+/// `on_hit` is called for resident keys.
+pub trait EvictionPolicy: std::fmt::Debug + Send {
+    /// Canonical policy name (metric label).
+    fn name(&self) -> &'static str;
+
+    /// A resident key was accessed.
+    fn on_hit(&mut self, key: &CacheKey);
+
+    /// A non-resident key is being inserted; returns the key to evict,
+    /// if the cache is at capacity.
+    fn on_insert(&mut self, key: &CacheKey) -> Option<CacheKey>;
+
+    /// A resident key was removed out-of-band (invalidation).
+    fn on_remove(&mut self, key: &CacheKey);
+
+    /// Hits on remembered-but-evicted ("ghost") keys, for policies
+    /// that keep ghost state (ARC).
+    fn ghost_hits(&self) -> u64 {
+        0
+    }
+
+    /// Per-policy adaptation signal: ARC's target `p`, SLRU's
+    /// protected-segment occupancy, LRU-K's count of fully-observed
+    /// (≥ K accesses) resident keys.
+    fn adaptation(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Build the policy implementation selected by `cfg`.
+pub fn build_policy(cfg: &DecompCacheConfig) -> Box<dyn EvictionPolicy> {
+    let capacity = cfg.capacity.max(1);
+    match cfg.policy {
+        CachePolicy::LruK => Box::new(LruKPolicy::new(capacity, cfg.lru_k.max(1))),
+        CachePolicy::Slru => Box::new(SlruPolicy::new(capacity)),
+        CachePolicy::Arc => Box::new(ArcPolicy::new(capacity)),
+    }
+}
+
+/// LRU-K (O'Neil et al.): evict the resident key with the greatest
+/// backward-K distance. Keys with fewer than K recorded accesses have
+/// infinite distance and are evicted first, oldest last-access
+/// breaking ties. Access history is retained for up to `2 × capacity`
+/// keys total, so recently evicted recurring keys keep their record.
+#[derive(Debug)]
+pub struct LruKPolicy {
+    capacity: usize,
+    k: usize,
+    clock: u64,
+    /// Most-recent-first access timestamps, truncated to K.
+    history: BTreeMap<CacheKey, VecDeque<u64>>,
+    resident: BTreeSet<CacheKey>,
+}
+
+impl LruKPolicy {
+    /// A policy over `capacity` resident slots with parameter `k`.
+    pub fn new(capacity: usize, k: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            k: k.max(1),
+            clock: 0,
+            history: BTreeMap::new(),
+            resident: BTreeSet::new(),
+        }
+    }
+
+    fn record_access(&mut self, key: &CacheKey) {
+        self.clock += 1;
+        let h = self.history.entry(key.clone()).or_default();
+        h.push_front(self.clock);
+        h.truncate(self.k);
+    }
+
+    /// (has_full_k_history, sort_key): victims sort before survivors.
+    /// Infinite backward-K distance (< K accesses) loses to any finite
+    /// one; within a class, the older timestamp loses.
+    fn victim(&self) -> Option<CacheKey> {
+        self.resident
+            .iter()
+            .map(|key| {
+                let h = self.history.get(key);
+                let full = h.is_some_and(|h| h.len() >= self.k);
+                // Kth-most-recent access when full, last access otherwise.
+                let stamp = h
+                    .and_then(|h| if full { h.back() } else { h.front() })
+                    .copied()
+                    .unwrap_or(0);
+                (full, stamp, key.clone())
+            })
+            .min()
+            .map(|(_, _, key)| key)
+    }
+
+    fn prune_ghost_history(&mut self) {
+        while self.history.len() > 2 * self.capacity {
+            let ghost = self
+                .history
+                .iter()
+                .filter(|(k, _)| !self.resident.contains(k))
+                .map(|(k, h)| (h.front().copied().unwrap_or(0), k.clone()))
+                .min();
+            match ghost {
+                Some((_, key)) => {
+                    self.history.remove(&key);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+impl EvictionPolicy for LruKPolicy {
+    fn name(&self) -> &'static str {
+        "lru-k"
+    }
+
+    fn on_hit(&mut self, key: &CacheKey) {
+        debug_assert!(self.resident.contains(key));
+        self.record_access(key);
+    }
+
+    fn on_insert(&mut self, key: &CacheKey) -> Option<CacheKey> {
+        debug_assert!(!self.resident.contains(key));
+        let victim = if self.resident.len() >= self.capacity {
+            let v = self.victim().expect("resident non-empty at capacity");
+            self.resident.remove(&v);
+            Some(v)
+        } else {
+            None
+        };
+        self.resident.insert(key.clone());
+        self.record_access(key);
+        self.prune_ghost_history();
+        victim
+    }
+
+    fn on_remove(&mut self, key: &CacheKey) {
+        self.resident.remove(key);
+    }
+
+    fn adaptation(&self) -> f64 {
+        self.resident
+            .iter()
+            .filter(|k| self.history.get(*k).is_some_and(|h| h.len() >= self.k))
+            .count() as f64
+    }
+}
+
+/// Segmented LRU: a probationary segment absorbs first-time entries; a
+/// hit promotes into the protected segment (capped at 4/5 of
+/// capacity, overflow demoting back to probationary MRU). Victims come
+/// from the probationary LRU end, so scan traffic cannot displace the
+/// protected working set.
+#[derive(Debug)]
+pub struct SlruPolicy {
+    capacity: usize,
+    protected_cap: usize,
+    probationary: RecencyList,
+    protected: RecencyList,
+}
+
+impl SlruPolicy {
+    /// A policy over `capacity` resident slots.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            protected_cap: capacity * 4 / 5,
+            probationary: RecencyList::default(),
+            protected: RecencyList::default(),
+        }
+    }
+
+    fn demote_protected_overflow(&mut self) {
+        while self.protected.len() > self.protected_cap {
+            let demoted = self.protected.pop_lru().expect("overflowing");
+            self.probationary.push_mru(&demoted);
+        }
+    }
+
+    /// (probationary, protected) segment sizes, for tests.
+    pub fn segments(&self) -> (usize, usize) {
+        (self.probationary.len(), self.protected.len())
+    }
+}
+
+impl EvictionPolicy for SlruPolicy {
+    fn name(&self) -> &'static str {
+        "slru"
+    }
+
+    fn on_hit(&mut self, key: &CacheKey) {
+        if self.probationary.remove(key) {
+            self.protected.push_mru(key);
+            self.demote_protected_overflow();
+        } else if self.protected.contains(key) {
+            self.protected.push_mru(key);
+        }
+    }
+
+    fn on_insert(&mut self, key: &CacheKey) -> Option<CacheKey> {
+        self.probationary.push_mru(key);
+        if self.probationary.len() + self.protected.len() > self.capacity {
+            // Probationary holds at least the key just inserted, and
+            // protected ≤ protected_cap < capacity keeps the new key
+            // from being its own victim.
+            let victim = self.probationary.pop_lru().expect("non-empty");
+            debug_assert_ne!(&victim, key, "insert evicted itself");
+            Some(victim)
+        } else {
+            None
+        }
+    }
+
+    fn on_remove(&mut self, key: &CacheKey) {
+        if !self.probationary.remove(key) {
+            self.protected.remove(key);
+        }
+    }
+
+    fn adaptation(&self) -> f64 {
+        self.protected.len() as f64
+    }
+}
+
+/// ARC (Megiddo & Modha): resident lists T1 (seen once) and T2 (seen
+/// twice or more) plus ghost lists B1/B2 remembering recently evicted
+/// keys. A ghost hit in B1 grows the recency target `p`; one in B2
+/// shrinks it — the policy self-tunes between LRU-like and LFU-like
+/// behavior.
+#[derive(Debug)]
+pub struct ArcPolicy {
+    c: usize,
+    /// Target size for T1, `0 ≤ p ≤ c`.
+    p: usize,
+    t1: RecencyList,
+    t2: RecencyList,
+    b1: RecencyList,
+    b2: RecencyList,
+    ghost_hits: u64,
+}
+
+impl ArcPolicy {
+    /// A policy over `c` resident slots.
+    pub fn new(c: usize) -> Self {
+        Self {
+            c: c.max(1),
+            p: 0,
+            t1: RecencyList::default(),
+            t2: RecencyList::default(),
+            b1: RecencyList::default(),
+            b2: RecencyList::default(),
+            ghost_hits: 0,
+        }
+    }
+
+    fn resident(&self) -> usize {
+        self.t1.len() + self.t2.len()
+    }
+
+    /// REPLACE from the paper: evict T1's LRU into B1 when T1 exceeds
+    /// the target (or ties it on a B2 ghost hit), else T2's LRU into
+    /// B2. Only called when the resident set is at capacity.
+    fn replace(&mut self, in_b2: bool) -> CacheKey {
+        let from_t1 = !self.t1.is_empty()
+            && (self.t1.len() > self.p || (in_b2 && self.t1.len() == self.p));
+        if from_t1 {
+            let v = self.t1.pop_lru().expect("t1 non-empty");
+            self.b1.push_mru(&v);
+            v
+        } else {
+            let v = self.t2.pop_lru().expect("t2 non-empty when t1 is");
+            self.b2.push_mru(&v);
+            v
+        }
+    }
+
+    fn replace_if_full(&mut self, in_b2: bool) -> Option<CacheKey> {
+        (self.resident() >= self.c).then(|| self.replace(in_b2))
+    }
+
+    /// `(|T1|, |T2|, |B1|, |B2|, p)`, for invariant checks in tests.
+    pub fn lists(&self) -> (usize, usize, usize, usize, usize) {
+        (
+            self.t1.len(),
+            self.t2.len(),
+            self.b1.len(),
+            self.b2.len(),
+            self.p,
+        )
+    }
+}
+
+impl EvictionPolicy for ArcPolicy {
+    fn name(&self) -> &'static str {
+        "arc"
+    }
+
+    fn on_hit(&mut self, key: &CacheKey) {
+        if self.t1.remove(key) || self.t2.contains(key) {
+            self.t2.push_mru(key);
+        }
+    }
+
+    fn on_insert(&mut self, key: &CacheKey) -> Option<CacheKey> {
+        debug_assert!(!self.t1.contains(key) && !self.t2.contains(key));
+        if self.b1.remove(key) {
+            // Case II: ghost hit in B1 — favor recency.
+            self.ghost_hits += 1;
+            let delta = (self.b2.len() / self.b1.len().max(1)).max(1);
+            self.p = (self.p + delta).min(self.c);
+            let victim = self.replace_if_full(false);
+            self.t2.push_mru(key);
+            return victim;
+        }
+        if self.b2.remove(key) {
+            // Case III: ghost hit in B2 — favor frequency.
+            self.ghost_hits += 1;
+            let delta = (self.b1.len() / self.b2.len().max(1)).max(1);
+            self.p = self.p.saturating_sub(delta);
+            let victim = self.replace_if_full(true);
+            self.t2.push_mru(key);
+            return victim;
+        }
+        // Case IV: brand-new key.
+        let l1 = self.t1.len() + self.b1.len();
+        let victim = if l1 == self.c {
+            if self.t1.len() < self.c {
+                self.b1.pop_lru();
+                self.replace_if_full(false)
+            } else {
+                // B1 empty and T1 full: drop T1's LRU without ghosting.
+                let v = self.t1.pop_lru().expect("t1 full");
+                Some(v)
+            }
+        } else {
+            let total = l1 + self.t2.len() + self.b2.len();
+            if total >= self.c {
+                if total >= 2 * self.c {
+                    self.b2.pop_lru();
+                }
+                self.replace_if_full(false)
+            } else {
+                None
+            }
+        };
+        self.t1.push_mru(key);
+        victim
+    }
+
+    fn on_remove(&mut self, key: &CacheKey) {
+        if !self.t1.remove(key) {
+            self.t2.remove(key);
+        }
+    }
+
+    fn ghost_hits(&self) -> u64 {
+        self.ghost_hits
+    }
+
+    fn adaptation(&self) -> f64 {
+        self.p as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The decomposition cache
+// ---------------------------------------------------------------------------
+
+/// Hit/miss bookkeeping, mirrored into `automon_coord_decomp_cache_*`
+/// metrics by the coordinator. Never part of `CoordinatorStats`, so
+/// monitoring output stays bit-identical with the cache on or off.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Exact hits (decomposition reused outright).
+    pub hits: u64,
+    /// Near hits (Ritz warm-start seeds reused).
+    pub near_hits: u64,
+    /// Lookups that found nothing reusable.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted by the policy.
+    pub evictions: u64,
+    /// Ghost-list hits (ARC only).
+    pub ghost_hits: u64,
+}
+
+/// One cached decomposition with the exact inputs that produced it.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// Exact reference point.
+    pub x0: Vec<f64>,
+    /// Exact neighborhood radius.
+    pub r: f64,
+    /// Exact neighborhood box (captures domain clamping).
+    pub neighborhood: NeighborhoodBox,
+    /// The full decomposition result.
+    pub dec: DcDecomposition,
+    /// Ritz vectors from the Lanczos extremes, when that path ran.
+    pub ritz: Option<RitzSeeds>,
+}
+
+/// Outcome of a [`DecompCache::lookup`].
+#[derive(Debug, Clone)]
+pub enum CacheLookup {
+    /// Stored inputs are bit-identical: reuse the decomposition.
+    Exact(DcDecomposition),
+    /// Same cell / adjacent radius bucket: warm-start Lanczos.
+    Near(RitzSeeds),
+    /// Nothing reusable.
+    Miss,
+}
+
+/// What an insert did, for metric deltas.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InsertReport {
+    /// Entries evicted to make room (0 or 1).
+    pub evicted: usize,
+    /// The inserted key was remembered in a ghost list (ARC).
+    pub ghost_hit: bool,
+}
+
+/// The coordinator decomposition cache. See the module docs for the
+/// keying scheme and the bit-identity contract.
+#[derive(Debug)]
+pub struct DecompCache {
+    cfg: DecompCacheConfig,
+    policy: Box<dyn EvictionPolicy>,
+    entries: BTreeMap<CacheKey, CacheEntry>,
+    /// Tuned neighborhood radii remembered per function id
+    /// (`tuning::tune_neighborhood_size` results ride along so a
+    /// fleet sharing the cache also shares the tuned `r`).
+    tuned_r: BTreeMap<u64, f64>,
+    stats: CacheStats,
+}
+
+impl DecompCache {
+    /// An empty cache under `cfg`.
+    pub fn new(cfg: DecompCacheConfig) -> Self {
+        let policy = build_policy(&cfg);
+        Self {
+            cfg,
+            policy,
+            entries: BTreeMap::new(),
+            tuned_r: BTreeMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &DecompCacheConfig {
+        &self.cfg
+    }
+
+    /// Canonical name of the active eviction policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum resident entries.
+    pub fn capacity(&self) -> usize {
+        self.cfg.capacity.max(1)
+    }
+
+    /// Hit/miss counters (ghost hits refreshed from the policy).
+    pub fn stats(&self) -> CacheStats {
+        let mut s = self.stats.clone();
+        s.ghost_hits = self.policy.ghost_hits();
+        s
+    }
+
+    /// The policy's adaptation signal (see
+    /// [`EvictionPolicy::adaptation`]).
+    pub fn adaptation(&self) -> f64 {
+        self.policy.adaptation()
+    }
+
+    /// Look up `(fn_id, x0, r)` with neighborhood `b`.
+    ///
+    /// Exact hits require the stored `x0`, `r`, and box to be
+    /// bit-identical. Near hits (same cell; same or adjacent radius
+    /// bucket; Ritz vectors available) are only reported when
+    /// [`DecompCacheConfig::warm_start`] is set.
+    pub fn lookup(
+        &mut self,
+        fn_id: u64,
+        x0: &[f64],
+        r: f64,
+        b: &NeighborhoodBox,
+    ) -> CacheLookup {
+        let key = CacheKey::quantize(fn_id, x0, r, self.cfg.cell);
+        if let Some(e) = self.entries.get(&key) {
+            if bits_eq(&e.x0, x0) && e.r.to_bits() == r.to_bits() && e.neighborhood == *b {
+                let dec = e.dec.clone();
+                self.policy.on_hit(&key);
+                self.stats.hits += 1;
+                return CacheLookup::Exact(dec);
+            }
+        }
+        if self.cfg.warm_start {
+            // Same cell first, then the adjacent radius buckets.
+            for bucket in [key.radius_bucket, key.radius_bucket - 1, key.radius_bucket + 1] {
+                let probe = key.with_bucket(bucket);
+                if let Some(ritz) = self.entries.get(&probe).and_then(|e| e.ritz.clone()) {
+                    self.policy.on_hit(&probe);
+                    self.stats.near_hits += 1;
+                    return CacheLookup::Near(ritz);
+                }
+            }
+        }
+        self.stats.misses += 1;
+        CacheLookup::Miss
+    }
+
+    /// Insert (or refresh) the decomposition computed for
+    /// `(fn_id, x0, r, b)`.
+    pub fn insert(
+        &mut self,
+        fn_id: u64,
+        x0: &[f64],
+        r: f64,
+        b: NeighborhoodBox,
+        dec: DcDecomposition,
+        ritz: Option<RitzSeeds>,
+    ) -> InsertReport {
+        let key = CacheKey::quantize(fn_id, x0, r, self.cfg.cell);
+        let entry = CacheEntry {
+            x0: x0.to_vec(),
+            r,
+            neighborhood: b,
+            dec,
+            ritz,
+        };
+        let mut report = InsertReport::default();
+        if self.entries.contains_key(&key) {
+            // Same cell, fresher exact inputs: refresh in place.
+            self.policy.on_hit(&key);
+        } else {
+            let ghosts_before = self.policy.ghost_hits();
+            if let Some(victim) = self.policy.on_insert(&key) {
+                let evicted = self.entries.remove(&victim);
+                debug_assert!(evicted.is_some(), "policy evicted a non-resident key");
+                self.stats.evictions += 1;
+                report.evicted = 1;
+            }
+            report.ghost_hit = self.policy.ghost_hits() > ghosts_before;
+            self.stats.insertions += 1;
+        }
+        self.entries.insert(key, entry);
+        debug_assert!(self.entries.len() <= self.capacity());
+        report
+    }
+
+    /// Remember a tuned neighborhood radius for `fn_id`.
+    pub fn remember_tuned_r(&mut self, fn_id: u64, r: f64) {
+        self.tuned_r.insert(fn_id, r);
+    }
+
+    /// A previously remembered tuned radius for `fn_id`.
+    pub fn tuned_r(&self, fn_id: u64) -> Option<f64> {
+        self.tuned_r.get(&fn_id).copied()
+    }
+
+    /// Drop every entry (tuned radii and counters are kept).
+    pub fn clear(&mut self) {
+        let keys: Vec<CacheKey> = self.entries.keys().cloned().collect();
+        for key in &keys {
+            self.policy.on_remove(key);
+        }
+        self.entries.clear();
+    }
+}
+
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// A [`DecompCache`] behind `Arc<Mutex<…>>`, cloneable across the
+/// coordinators of a fleet so leaf coordinators share one cache.
+#[derive(Debug, Clone)]
+pub struct SharedDecompCache(Arc<Mutex<DecompCache>>);
+
+impl SharedDecompCache {
+    /// Wrap `cache` for sharing.
+    pub fn new(cache: DecompCache) -> Self {
+        Self(Arc::new(Mutex::new(cache)))
+    }
+
+    /// Build a fresh cache under `cfg` and wrap it.
+    pub fn from_config(cfg: DecompCacheConfig) -> Self {
+        Self::new(DecompCache::new(cfg))
+    }
+
+    /// Lock the underlying cache.
+    pub fn lock(&self) -> MutexGuard<'_, DecompCache> {
+        self.0.lock()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Intrusive slot-index recency list (lazy-sync node LRU)
+// ---------------------------------------------------------------------------
+
+const NIL: usize = usize::MAX;
+
+/// An intrusive doubly-linked recency list over slot indices
+/// `0..n`, backing the coordinator's lazy-sync node LRU (§3.5).
+///
+/// `touch` is O(1) — unlink (if present) plus push-back — replacing
+/// the `VecDeque` + `iter().position()` scan it superseded, with
+/// identical front-(least recent)-to-back iteration order.
+#[derive(Debug, Clone)]
+pub struct SlotList {
+    prev: Vec<usize>,
+    next: Vec<usize>,
+    linked: Vec<bool>,
+    head: usize,
+    tail: usize,
+    len: usize,
+}
+
+impl SlotList {
+    /// An empty list over `n` slots.
+    pub fn new(n: usize) -> Self {
+        Self {
+            prev: vec![NIL; n],
+            next: vec![NIL; n],
+            linked: vec![false; n],
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// A list over `n` slots containing `0, 1, …, n-1` in order
+    /// (slot 0 least recent).
+    pub fn with_all(n: usize) -> Self {
+        let mut list = Self::new(n);
+        for i in 0..n {
+            list.push_back(i);
+        }
+        list
+    }
+
+    /// A list over `n` slots restored from an explicit
+    /// front-to-back order (snapshot restore).
+    pub fn from_order(n: usize, order: &[usize]) -> Self {
+        let mut list = Self::new(n);
+        for &i in order {
+            list.touch(i);
+        }
+        list
+    }
+
+    /// Linked slot count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no slots are linked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `slot` is currently linked.
+    pub fn contains(&self, slot: usize) -> bool {
+        self.linked.get(slot).copied().unwrap_or(false)
+    }
+
+    /// The least recently touched slot.
+    pub fn front(&self) -> Option<usize> {
+        (self.head != NIL).then_some(self.head)
+    }
+
+    /// Move `slot` to the most-recent end (linking it if absent). O(1).
+    pub fn touch(&mut self, slot: usize) {
+        self.remove(slot);
+        self.push_back(slot);
+    }
+
+    /// Append `slot` at the most-recent end; it must not be linked.
+    pub fn push_back(&mut self, slot: usize) {
+        debug_assert!(slot < self.linked.len() && !self.linked[slot]);
+        self.prev[slot] = self.tail;
+        self.next[slot] = NIL;
+        if self.tail != NIL {
+            self.next[self.tail] = slot;
+        } else {
+            self.head = slot;
+        }
+        self.tail = slot;
+        self.linked[slot] = true;
+        self.len += 1;
+    }
+
+    /// Unlink `slot` if present; reports whether it was linked. O(1).
+    pub fn remove(&mut self, slot: usize) -> bool {
+        if slot >= self.linked.len() || !self.linked[slot] {
+            return false;
+        }
+        let (p, n) = (self.prev[slot], self.next[slot]);
+        if p != NIL {
+            self.next[p] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n] = p;
+        } else {
+            self.tail = p;
+        }
+        self.prev[slot] = NIL;
+        self.next[slot] = NIL;
+        self.linked[slot] = false;
+        self.len -= 1;
+        true
+    }
+
+    /// Iterate front (least recent) to back (most recent).
+    pub fn iter(&self) -> SlotIter<'_> {
+        SlotIter {
+            list: self,
+            cursor: self.head,
+        }
+    }
+}
+
+/// Iterator over a [`SlotList`], front to back.
+#[derive(Debug)]
+pub struct SlotIter<'a> {
+    list: &'a SlotList,
+    cursor: usize,
+}
+
+impl Iterator for SlotIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let slot = self.cursor;
+        self.cursor = self.list.next[slot];
+        Some(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adcd::{AdcdKind, SpectralStats};
+    use crate::safezone::{Curvature, DcKind};
+
+    fn key(id: i64) -> CacheKey {
+        CacheKey {
+            fn_id: 0,
+            cell: vec![id],
+            radius_bucket: 0,
+        }
+    }
+
+    fn dummy_dec(tag: f64) -> DcDecomposition {
+        DcDecomposition {
+            kind: AdcdKind::X,
+            dc: DcKind::ConvexDiff,
+            curvature: Curvature::Scalar(tag.abs()),
+            lambda_min_hat: -tag,
+            lambda_max_hat: tag,
+            spectral: SpectralStats::default(),
+        }
+    }
+
+    fn nb(x0: &[f64], r: f64) -> NeighborhoodBox {
+        NeighborhoodBox {
+            lo: x0.iter().map(|v| v - r).collect(),
+            hi: x0.iter().map(|v| v + r).collect(),
+        }
+    }
+
+    #[test]
+    fn quantization_routes_nearby_points_to_one_cell() {
+        let a = CacheKey::quantize(7, &[0.50012, -0.25001], 0.5, 1e-3);
+        let b = CacheKey::quantize(7, &[0.50098, -0.25099], 0.5, 1e-3);
+        let c = CacheKey::quantize(7, &[0.50212, -0.25001], 0.5, 1e-3);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.radius_bucket, -1); // floor(log2 0.5)
+        assert_eq!(CacheKey::quantize(7, &[0.0], 1.5, 1e-3).radius_bucket, 0);
+    }
+
+    #[test]
+    fn exact_hit_requires_bitwise_inputs() {
+        let mut cache = DecompCache::new(DecompCacheConfig::default());
+        let x0 = [0.5001, 0.5002];
+        let b = nb(&x0, 0.25);
+        cache.insert(1, &x0, 0.25, b.clone(), dummy_dec(1.0), None);
+
+        assert!(matches!(
+            cache.lookup(1, &x0, 0.25, &b),
+            CacheLookup::Exact(_)
+        ));
+        // Same cell, different exact point: not an exact hit.
+        let x1 = [0.5001 + 1e-7, 0.5002];
+        assert!(matches!(
+            cache.lookup(1, &x1, 0.25, &nb(&x1, 0.25)),
+            CacheLookup::Miss
+        ));
+        // Different function id: different key entirely.
+        assert!(matches!(cache.lookup(2, &x0, 0.25, &b), CacheLookup::Miss));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 2));
+    }
+
+    #[test]
+    fn near_hit_needs_warm_start_and_ritz() {
+        let mut cold = DecompCache::new(DecompCacheConfig::default());
+        let mut warm = DecompCache::new(DecompCacheConfig {
+            warm_start: true,
+            ..DecompCacheConfig::default()
+        });
+        let x0 = [0.5001];
+        let ritz = RitzSeeds {
+            min: vec![1.0],
+            max: vec![-1.0],
+        };
+        for cache in [&mut cold, &mut warm] {
+            cache.insert(1, &x0, 0.25, nb(&x0, 0.25), dummy_dec(1.0), Some(ritz.clone()));
+        }
+        let x1 = [0.5002]; // same 1e-3 cell, different point
+        assert!(matches!(
+            cold.lookup(1, &x1, 0.25, &nb(&x1, 0.25)),
+            CacheLookup::Miss
+        ));
+        assert!(matches!(
+            warm.lookup(1, &x1, 0.25, &nb(&x1, 0.25)),
+            CacheLookup::Near(_)
+        ));
+        // Adjacent radius bucket also warm-starts: r 0.25 → bucket -2,
+        // r 0.4 → bucket -2? no: log2(0.4)=-1.32 → -2. Use 0.6 → -1.
+        assert!(matches!(
+            warm.lookup(1, &x1, 0.6, &nb(&x1, 0.6)),
+            CacheLookup::Near(_)
+        ));
+        assert_eq!(warm.stats().near_hits, 2);
+    }
+
+    #[test]
+    fn capacity_is_enforced_for_every_policy() {
+        for policy in [CachePolicy::LruK, CachePolicy::Slru, CachePolicy::Arc] {
+            let mut cache = DecompCache::new(DecompCacheConfig {
+                policy,
+                capacity: 4,
+                ..DecompCacheConfig::default()
+            });
+            for i in 0..32 {
+                let x0 = [i as f64];
+                cache.insert(1, &x0, 0.5, nb(&x0, 0.5), dummy_dec(i as f64), None);
+                assert!(cache.len() <= 4, "{policy:?} exceeded capacity");
+            }
+            assert_eq!(cache.len(), 4);
+            assert_eq!(cache.stats().evictions, 32 - 4, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn slru_protects_recurring_entries_from_scans() {
+        let mut p = SlruPolicy::new(5); // protected cap 4
+        let hot = key(100);
+        assert!(p.on_insert(&hot).is_none());
+        p.on_hit(&hot); // promoted to protected
+        assert_eq!(p.segments(), (0, 1));
+        // A scan of one-shot keys must never evict the protected key.
+        for i in 0..50 {
+            if let Some(v) = p.on_insert(&key(i)) {
+                assert_ne!(v, hot, "scan evicted the protected entry");
+            }
+        }
+    }
+
+    #[test]
+    fn arc_adapts_on_ghost_hits() {
+        let mut p = ArcPolicy::new(3);
+        p.on_insert(&key(0));
+        p.on_hit(&key(0)); // 0 promoted to T2, so REPLACE can ghost T1
+        for i in 1..4 {
+            p.on_insert(&key(i)); // T1 overflows: 1 evicted into B1
+        }
+        assert_eq!(p.lists(), (2, 1, 1, 0, 0), "expected B1 = [1]");
+        let before = p.adaptation();
+        // Ghost hit in B1 grows p toward recency.
+        p.on_insert(&key(1));
+        assert!(p.adaptation() > before, "{:?}", p.lists());
+        assert_eq!(p.ghost_hits(), 1);
+        let (t1, t2, b1, b2, pp) = p.lists();
+        assert!(t1 + t2 <= 3 && t1 + b1 <= 3 && t1 + t2 + b1 + b2 <= 6 && pp <= 3);
+    }
+
+    #[test]
+    fn tuned_r_rides_along() {
+        let mut cache = DecompCache::new(DecompCacheConfig::default());
+        assert_eq!(cache.tuned_r(9), None);
+        cache.remember_tuned_r(9, 0.75);
+        assert_eq!(cache.tuned_r(9), Some(0.75));
+    }
+
+    #[test]
+    fn slot_list_matches_vecdeque_reference() {
+        use std::collections::VecDeque;
+        let n = 8;
+        let mut list = SlotList::with_all(n);
+        let mut reference: VecDeque<usize> = (0..n).collect();
+        assert_eq!(list.iter().collect::<Vec<_>>(), Vec::from(reference.clone()));
+
+        // A deterministic op mix: touch, remove, re-touch.
+        let ops: &[(u8, usize)] = &[
+            (0, 3),
+            (0, 3),
+            (0, 0),
+            (1, 5),
+            (0, 7),
+            (1, 3),
+            (0, 3),
+            (0, 1),
+            (1, 0),
+            (0, 0),
+        ];
+        for &(op, slot) in ops {
+            match op {
+                0 => {
+                    if let Some(pos) = reference.iter().position(|&x| x == slot) {
+                        reference.remove(pos);
+                    }
+                    reference.push_back(slot);
+                    list.touch(slot);
+                }
+                _ => {
+                    if let Some(pos) = reference.iter().position(|&x| x == slot) {
+                        reference.remove(pos);
+                    }
+                    list.remove(slot);
+                }
+            }
+            assert_eq!(
+                list.iter().collect::<Vec<_>>(),
+                Vec::from(reference.clone()),
+                "diverged after ({op}, {slot})"
+            );
+            assert_eq!(list.len(), reference.len());
+            assert_eq!(list.front(), reference.front().copied());
+        }
+        let order: Vec<usize> = list.iter().collect();
+        let restored = SlotList::from_order(n, &order);
+        assert_eq!(restored.iter().collect::<Vec<_>>(), order);
+    }
+}

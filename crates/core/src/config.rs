@@ -1,6 +1,7 @@
 //! Monitoring configuration.
 
 use crate::adcd::AdcdKind;
+use crate::cache::DecompCacheConfig;
 use crate::safezone::DcKind;
 use automon_linalg::SpectralBackend;
 use automon_opt::OptimizeOptions;
@@ -187,6 +188,10 @@ pub struct MonitorConfig {
     /// after `adaptive_r_factor · n` consecutive neighborhood violations
     /// with no safe-zone violation in between (paper §3.6 uses 5).
     pub adaptive_r_factor: usize,
+    /// Coordinator decomposition cache (`None` = off, the default).
+    /// Exact hits skip the full-sync eigendecomposition; see
+    /// [`crate::cache::DecompCache`] for the bit-identity contract.
+    pub decomp_cache: Option<DecompCacheConfig>,
 }
 
 impl MonitorConfig {
@@ -223,6 +228,7 @@ impl MonitorConfigBuilder {
                 parallelism: Parallelism::default(),
                 opt: OptimizeOptions::default(),
                 adaptive_r_factor: 5,
+                decomp_cache: None,
             },
         }
     }
@@ -301,6 +307,20 @@ impl MonitorConfigBuilder {
     /// Set the full-sync parallelism policy.
     pub fn parallelism(mut self, p: Parallelism) -> Self {
         self.cfg.parallelism = p;
+        self
+    }
+
+    /// Enable the coordinator decomposition cache (off by default).
+    pub fn decomp_cache(mut self, cache: DecompCacheConfig) -> Self {
+        assert!(cache.capacity >= 1, "cache capacity must be ≥ 1");
+        assert!(cache.cell > 0.0, "cache cell width must be positive");
+        self.cfg.decomp_cache = Some(cache);
+        self
+    }
+
+    /// Set or clear the decomposition-cache configuration (CLI plumbing).
+    pub fn decomp_cache_opt(mut self, cache: Option<DecompCacheConfig>) -> Self {
+        self.cfg.decomp_cache = cache;
         self
     }
 

@@ -2,16 +2,16 @@
 //! with slack and LRU lazy sync (paper §3.5).
 
 use std::collections::BTreeSet;
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use automon_linalg::vector;
 use automon_obs::{Counter, Gauge, Telemetry};
 
 use crate::adcd::{self, AdcdKind, DcDecomposition};
+use crate::cache::{CacheLookup, SharedDecompCache, SlotList};
 use crate::config::{ApproximationKind, MonitorConfig};
 use crate::messages::{CoordinatorMessage, Epoch, NodeId, NodeMessage, Outbound};
-use crate::safezone::{Curvature, DcKind, Domain, SafeZone, ViolationKind};
+use crate::safezone::{Curvature, DcKind, Domain, NeighborhoodBox, SafeZone, ViolationKind};
 use crate::MonitoredFunction;
 
 /// Counters the coordinator accumulates over a run.
@@ -148,13 +148,35 @@ struct CoordTel {
     evictions: Counter,
     rejoins: Counter,
     slack_updates: Counter,
+    cache_hits: Counter,
+    cache_near_hits: Counter,
+    cache_misses: Counter,
+    cache_evictions: Counter,
+    cache_ghost_hits: Counter,
+    /// Per-policy adaptation gauge, labeled with the active policy;
+    /// only registered when the decomposition cache is configured.
+    cache_adaptation: Option<Gauge>,
     epoch: Gauge,
     radius: Gauge,
     alive: Gauge,
 }
 
 impl CoordTel {
-    fn new(tel: Telemetry) -> Self {
+    /// `cache_policy` is the active decomposition-cache policy name,
+    /// when the cache is configured; it labels the per-policy gauges.
+    fn new(tel: Telemetry, cache_policy: Option<&'static str>) -> Self {
+        let cache_adaptation = cache_policy.map(|p| {
+            let g = tel.gauge(
+                &format!("automon_coord_decomp_cache_policy{{policy=\"{p}\"}}"),
+                "Active decomposition-cache eviction policy (1 = active)",
+            );
+            g.set(1.0);
+            tel.gauge(
+                &format!("automon_coord_decomp_cache_adaptation{{policy=\"{p}\"}}"),
+                "Policy adaptation signal (ARC target p, SLRU protected \
+                 occupancy, LRU-K fully-observed residents)",
+            )
+        });
         Self {
             full_syncs: tel.counter(
                 "automon_coord_full_syncs_total",
@@ -200,6 +222,27 @@ impl CoordTel {
                 "automon_coord_slack_updates_total",
                 "Slack vectors redistributed by lazy syncs",
             ),
+            cache_hits: tel.counter(
+                "automon_coord_decomp_cache_hits_total",
+                "Decomposition-cache exact hits (eigendecomposition skipped)",
+            ),
+            cache_near_hits: tel.counter(
+                "automon_coord_decomp_cache_near_hits_total",
+                "Decomposition-cache near hits (Lanczos warm-started)",
+            ),
+            cache_misses: tel.counter(
+                "automon_coord_decomp_cache_misses_total",
+                "Decomposition-cache misses",
+            ),
+            cache_evictions: tel.counter(
+                "automon_coord_decomp_cache_evictions_total",
+                "Decomposition-cache entries evicted",
+            ),
+            cache_ghost_hits: tel.counter(
+                "automon_coord_decomp_cache_ghost_hits_total",
+                "Decomposition-cache ghost-list hits (ARC)",
+            ),
+            cache_adaptation,
             epoch: tel.gauge("automon_coord_epoch", "Constraint epoch in force"),
             radius: tel.gauge(
                 "automon_coord_neighborhood_r",
@@ -240,12 +283,18 @@ pub struct Coordinator {
     zone: Option<SafeZone>,
     slack: Vec<Vec<f64>>,
     known_x: Vec<Option<Vec<f64>>>,
-    /// Least-recently-contacted order; front = least recent.
-    lru: VecDeque<NodeId>,
+    /// Least-recently-contacted order; front = least recent. Intrusive
+    /// slot-index list: touch/remove are O(1) (paper §3.5's LRU).
+    lru: SlotList,
     state: SyncState,
     stats: CoordinatorStats,
     /// Cached ADCD-E decomposition (constant Hessian ⇒ computed once).
     e_cache: Option<DcDecomposition>,
+    /// Decomposition cache for ADCD-X full syncs (`None` = off).
+    decomp_cache: Option<SharedDecompCache>,
+    /// Key namespace for this coordinator's function in a (possibly
+    /// fleet-shared) decomposition cache.
+    cache_fn_id: u64,
     /// Nodes that already hold the current curvature (can receive the
     /// matrix-free `NewConstraintsCached`).
     node_has_curvature: Vec<bool>,
@@ -269,6 +318,11 @@ impl Coordinator {
         let d = f.dim();
         let domain = Domain::of(f.as_ref());
         let r = cfg.neighborhood.initial_r();
+        let decomp_cache = cfg
+            .decomp_cache
+            .as_ref()
+            .map(|c| SharedDecompCache::from_config(c.clone()));
+        let cache_policy = cfg.decomp_cache.as_ref().map(|c| c.policy.name());
         Self {
             f,
             n,
@@ -278,16 +332,18 @@ impl Coordinator {
             zone: None,
             slack: vec![vec![0.0; d]; n],
             known_x: vec![None; n],
-            lru: (0..n).collect(),
+            lru: SlotList::with_all(n),
             state: SyncState::Initializing,
             stats: CoordinatorStats::default(),
             e_cache: None,
+            decomp_cache,
+            cache_fn_id: 0,
             node_has_curvature: vec![false; n],
             consecutive_neighborhood: 0,
             observer: None,
             epoch: 0,
             alive: vec![true; n],
-            tel: CoordTel::new(Telemetry::disabled()),
+            tel: CoordTel::new(Telemetry::disabled(), cache_policy),
         }
     }
 
@@ -304,11 +360,33 @@ impl Coordinator {
     /// loop, so its trace events satisfy the sequential-context contract
     /// of [`automon_obs::trace`].
     pub fn set_telemetry(&mut self, tel: Telemetry) {
-        let t = CoordTel::new(tel);
+        let t = CoordTel::new(tel, self.cfg.decomp_cache.as_ref().map(|c| c.policy.name()));
         t.epoch.set(self.epoch as f64);
         t.radius.set(self.r);
         t.alive.set(self.alive_count() as f64);
         self.tel = t;
+    }
+
+    /// Share an external decomposition cache (e.g. across a coordinator
+    /// fleet), keying this coordinator's entries under `fn_id`. If the
+    /// cache remembers a tuned neighborhood radius for `fn_id` and this
+    /// coordinator has not completed a sync yet, the tuned radius is
+    /// adopted.
+    pub fn set_decomp_cache(&mut self, cache: SharedDecompCache, fn_id: u64) {
+        if self.zone.is_none() {
+            if let Some(r) = cache.lock().tuned_r(fn_id) {
+                if r > 0.0 {
+                    self.r = r;
+                }
+            }
+        }
+        self.decomp_cache = Some(cache);
+        self.cache_fn_id = fn_id;
+    }
+
+    /// The decomposition cache in use, if any (shareable via clone).
+    pub fn decomp_cache(&self) -> Option<&SharedDecompCache> {
+        self.decomp_cache.as_ref()
     }
 
     fn notify(&mut self, event: CoordinatorEvent) {
@@ -396,9 +474,7 @@ impl Coordinator {
         self.alive[node] = false;
         self.known_x[node] = None;
         self.node_has_curvature[node] = false;
-        if let Some(pos) = self.lru.iter().position(|&x| x == node) {
-            self.lru.remove(pos);
-        }
+        self.lru.remove(node);
         self.stats.evictions += 1;
         self.tel.evictions.inc();
         self.tel.alive.set(self.alive_count() as f64);
@@ -463,6 +539,11 @@ impl Coordinator {
     pub fn set_neighborhood_r(&mut self, r: f64) {
         assert!(r > 0.0, "neighborhood radius must be positive");
         self.r = r;
+        // Tuned radii ride along in the decomposition cache so a fleet
+        // sharing it also shares the Algorithm-2 result.
+        if let Some(cache) = &self.decomp_cache {
+            cache.lock().remember_tuned_r(self.cache_fn_id, r);
+        }
     }
 
     /// Capture a restorable snapshot of the protocol state.
@@ -479,7 +560,7 @@ impl Coordinator {
                 zone: self.zone.clone(),
                 slack: self.slack.clone(),
                 known_x: self.known_x.clone(),
-                lru: self.lru.iter().copied().collect(),
+                lru: self.lru.iter().collect(),
                 stats: self.stats.clone(),
                 consecutive_neighborhood: self.consecutive_neighborhood,
                 epoch: self.epoch,
@@ -524,6 +605,11 @@ impl Coordinator {
         };
         // The domain is code-derived, exactly as in `new`.
         let domain = Domain::of(f.as_ref());
+        let decomp_cache = cfg
+            .decomp_cache
+            .as_ref()
+            .map(|c| SharedDecompCache::from_config(c.clone()));
+        let cache_policy = cfg.decomp_cache.as_ref().map(|c| c.policy.name());
         Self {
             f,
             n: snap.n,
@@ -533,10 +619,12 @@ impl Coordinator {
             zone: snap.zone,
             slack: snap.slack,
             known_x: snap.known_x,
-            lru: snap.lru.into_iter().collect(),
+            lru: SlotList::from_order(snap.n, &snap.lru),
             state,
             stats: snap.stats,
             e_cache: None,
+            decomp_cache,
+            cache_fn_id: 0,
             // Conservative after failover: the first post-restore sync
             // re-ships curvature to everyone.
             node_has_curvature: vec![false; snap.n],
@@ -544,7 +632,7 @@ impl Coordinator {
             observer: None,
             epoch: snap.epoch,
             alive,
-            tel: CoordTel::new(Telemetry::disabled()),
+            tel: CoordTel::new(Telemetry::disabled(), cache_policy),
         }
     }
 
@@ -737,10 +825,7 @@ impl Coordinator {
     }
 
     fn touch_lru(&mut self, node: NodeId) {
-        if let Some(pos) = self.lru.iter().position(|&x| x == node) {
-            self.lru.remove(pos);
-        }
-        self.lru.push_back(node);
+        self.lru.touch(node);
     }
 
     /// Try to resolve with the current balancing set, growing it via the
@@ -775,7 +860,7 @@ impl Coordinator {
         }
         // Grow S with the least-recently-used node outside it (the LRU
         // order only ever contains alive nodes).
-        let next = self.lru.iter().copied().find(|i| !set.contains(i));
+        let next = self.lru.iter().find(|i| !set.contains(i));
         match next {
             Some(p) => {
                 self.touch_lru(p);
@@ -831,6 +916,62 @@ impl Coordinator {
             .collect();
         self.state = SyncState::Full { pending };
         out
+    }
+
+    /// ADCD-X decomposition for a full sync, consulting the
+    /// decomposition cache when one is configured.
+    ///
+    /// An exact hit (stored inputs bitwise equal) replays the cached
+    /// decomposition — bit-identical to recomputing, since `decompose`
+    /// is deterministic — and skips the eigendecomposition entirely. A
+    /// near hit (same quantized cell, warm starts enabled) seeds the
+    /// Lanczos streams with the cached Ritz vectors. Everything else
+    /// decomposes cold and populates the cache.
+    fn decompose_x_cached(&mut self, x0: &[f64], b: &NeighborhoodBox) -> DcDecomposition {
+        let Some(shared) = self.decomp_cache.clone() else {
+            return adcd::decompose_observed(self.f.as_ref(), x0, Some(b), &self.cfg, &self.tel.tel);
+        };
+        let lookup = shared.lock().lookup(self.cache_fn_id, x0, self.r, b);
+        let seeds = match lookup {
+            CacheLookup::Exact(dec) => {
+                self.tel.cache_hits.inc();
+                self.tel
+                    .tel
+                    .event("decomp_cache", &[("outcome", "hit".into())]);
+                return dec;
+            }
+            CacheLookup::Near(s) => {
+                self.tel.cache_near_hits.inc();
+                self.tel
+                    .tel
+                    .event("decomp_cache", &[("outcome", "near".into())]);
+                Some(s)
+            }
+            CacheLookup::Miss => {
+                self.tel.cache_misses.inc();
+                None
+            }
+        };
+        let (dec, ritz) = adcd::decompose_observed_with_seeds(
+            self.f.as_ref(),
+            x0,
+            Some(b),
+            &self.cfg,
+            seeds.as_ref(),
+            &self.tel.tel,
+        );
+        let mut cache = shared.lock();
+        let report = cache.insert(self.cache_fn_id, x0, self.r, b.clone(), dec.clone(), ritz);
+        if report.evicted > 0 {
+            self.tel.cache_evictions.add(report.evicted as u64);
+        }
+        if report.ghost_hit {
+            self.tel.cache_ghost_hits.inc();
+        }
+        if let Some(g) = &self.tel.cache_adaptation {
+            g.set(cache.adaptation());
+        }
+        dec
     }
 
     /// Paper Algorithm 1, `CoordinatorFullSync`: recompute `x0`,
@@ -891,8 +1032,7 @@ impl Coordinator {
                 }
             } else {
                 let b = self.domain.neighborhood(&x0, self.r);
-                let dec =
-                    adcd::decompose_observed(self.f.as_ref(), &x0, Some(&b), &self.cfg, &self.tel.tel);
+                let dec = self.decompose_x_cached(&x0, &b);
                 SafeZone {
                     x0: x0.clone(),
                     f0,

@@ -29,6 +29,7 @@
 //! wrapping a generic function body in `automon_autodiff::AutoDiffFn`.
 
 pub mod adcd;
+pub mod cache;
 mod config;
 pub mod coordinator;
 pub mod messages;
@@ -37,7 +38,11 @@ pub mod par;
 pub mod safezone;
 pub mod tuning;
 
-pub use adcd::{AdcdKind, DcDecomposition, SpectralStats};
+pub use adcd::{AdcdKind, DcDecomposition, RitzSeeds, SpectralStats};
+pub use cache::{
+    CacheKey, CacheLookup, CachePolicy, CacheStats, DecompCache, DecompCacheConfig,
+    EvictionPolicy, SharedDecompCache,
+};
 pub use config::{ApproximationKind, EigenObjective, EigenSearch, MonitorConfig, MonitorConfigBuilder, NeighborhoodMode, Parallelism};
 pub use automon_linalg::SpectralBackend;
 pub use coordinator::{Coordinator, CoordinatorEvent, CoordinatorSnapshot, CoordinatorStats, Observer};

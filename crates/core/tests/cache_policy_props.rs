@@ -1,0 +1,227 @@
+//! Property tests shared by the three decomposition-cache eviction
+//! policies (LRU-K, SLRU, ARC): capacity is never exceeded, hit/miss
+//! bookkeeping matches a naive oracle map, evictions always name
+//! resident keys, the same operation sequence always produces the same
+//! eviction sequence, and ARC's ghost-list invariants hold after every
+//! operation.
+
+use std::collections::BTreeSet;
+
+use automon_core::cache::{
+    build_policy, ArcPolicy, CacheKey, CachePolicy, CacheStats, DecompCache, DecompCacheConfig,
+    EvictionPolicy,
+};
+use automon_core::{CacheLookup, NeighborhoodBox};
+use proptest::prelude::*;
+
+fn key(id: usize) -> CacheKey {
+    CacheKey {
+        fn_id: 0,
+        cell: vec![id as i64],
+        radius_bucket: 0,
+    }
+}
+
+/// Drives a policy the way `DecompCache` does, mirroring residency in
+/// a naive oracle set and recording the eviction sequence.
+struct Harness {
+    policy: Box<dyn EvictionPolicy>,
+    capacity: usize,
+    /// The naive oracle: exactly the keys a store honoring the
+    /// policy's eviction decisions would hold.
+    resident: BTreeSet<CacheKey>,
+    evictions: Vec<CacheKey>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Harness {
+    fn new(policy: CachePolicy, capacity: usize) -> Self {
+        let cfg = DecompCacheConfig {
+            policy,
+            capacity,
+            ..DecompCacheConfig::default()
+        };
+        Self {
+            policy: build_policy(&cfg),
+            capacity,
+            resident: BTreeSet::new(),
+            evictions: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn access(&mut self, id: usize) {
+        let k = key(id);
+        if self.resident.contains(&k) {
+            self.policy.on_hit(&k);
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            if let Some(victim) = self.policy.on_insert(&k) {
+                assert!(
+                    self.resident.remove(&victim),
+                    "policy evicted non-resident {victim:?}"
+                );
+                self.evictions.push(victim);
+            }
+            self.resident.insert(k);
+        }
+        assert!(
+            self.resident.len() <= self.capacity,
+            "capacity exceeded: {} > {}",
+            self.resident.len(),
+            self.capacity
+        );
+    }
+
+    fn remove(&mut self, id: usize) {
+        let k = key(id);
+        if self.resident.remove(&k) {
+            self.policy.on_remove(&k);
+        }
+    }
+}
+
+const POLICIES: [CachePolicy; 3] = [CachePolicy::LruK, CachePolicy::Slru, CachePolicy::Arc];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Capacity bound, victim residency, and hit/miss bookkeeping vs.
+    /// the oracle, under a mixed access/invalidate workload.
+    #[test]
+    fn policies_respect_capacity_and_oracle(
+        ops in proptest::collection::vec(0u64..1u64 << 32, 1..160),
+        cap in 1usize..10,
+    ) {
+        for policy in POLICIES {
+            let mut h = Harness::new(policy, cap);
+            let key_space = 3 * cap;
+            let mut accesses = 0u64;
+            for &op in &ops {
+                let id = (op as usize) % key_space;
+                if op % 13 == 0 {
+                    h.remove(id);
+                } else {
+                    h.access(id);
+                    accesses += 1;
+                }
+            }
+            // Every access was classified exactly once, consistently
+            // with the oracle's residency at the time.
+            prop_assert_eq!(h.hits + h.misses, accesses, "{:?}", policy);
+            // Evicted keys left the oracle; whatever remains resident
+            // was never double-evicted.
+            prop_assert!(h.resident.len() <= cap, "{:?}", policy);
+        }
+    }
+
+    /// Same operation sequence ⇒ same eviction sequence, hit counts,
+    /// and final residency, for every policy.
+    #[test]
+    fn policies_are_deterministic(
+        ops in proptest::collection::vec(0usize..48, 1..128),
+        cap in 1usize..8,
+    ) {
+        for policy in POLICIES {
+            let mut a = Harness::new(policy, cap);
+            let mut b = Harness::new(policy, cap);
+            for &id in &ops {
+                a.access(id);
+                b.access(id);
+            }
+            prop_assert_eq!(&a.evictions, &b.evictions, "{:?}", policy);
+            prop_assert_eq!(a.hits, b.hits, "{:?}", policy);
+            prop_assert_eq!(&a.resident, &b.resident, "{:?}", policy);
+        }
+    }
+
+    /// ARC's structural invariants (paper §I.B) hold after every
+    /// operation: |T1|+|T2| ≤ c, |T1|+|B1| ≤ c, total ≤ 2c, p ≤ c.
+    #[test]
+    fn arc_ghost_list_invariants(
+        ops in proptest::collection::vec(0u64..1u64 << 32, 1..200),
+        cap in 1usize..10,
+    ) {
+        let mut arc = ArcPolicy::new(cap);
+        let mut resident: BTreeSet<CacheKey> = BTreeSet::new();
+        let key_space = 4 * cap;
+        for &op in &ops {
+            let k = key((op as usize) % key_space);
+            if resident.contains(&k) {
+                arc.on_hit(&k);
+            } else if op % 17 == 0 {
+                if resident.remove(&k) {
+                    arc.on_remove(&k);
+                }
+            } else {
+                if let Some(v) = arc.on_insert(&k) {
+                    prop_assert!(resident.remove(&v), "victim not resident");
+                }
+                resident.insert(k);
+            }
+            let (t1, t2, b1, b2, p) = arc.lists();
+            prop_assert!(t1 + t2 <= cap, "|T1|+|T2| = {} > c = {cap}", t1 + t2);
+            prop_assert!(t1 + b1 <= cap, "|T1|+|B1| = {} > c = {cap}", t1 + b1);
+            prop_assert!(
+                t1 + t2 + b1 + b2 <= 2 * cap,
+                "total = {} > 2c = {}",
+                t1 + t2 + b1 + b2,
+                2 * cap
+            );
+            prop_assert!(p <= cap, "adaptation p = {p} > c = {cap}");
+            prop_assert_eq!(t1 + t2, resident.len());
+        }
+    }
+
+    /// The full `DecompCache` (not just the bare policy) keeps its
+    /// stats consistent and its residency bounded under random
+    /// lookup/insert interleavings, for every policy.
+    #[test]
+    fn decomp_cache_bookkeeping(
+        ops in proptest::collection::vec(0usize..32, 1..96),
+        cap in 1usize..8,
+    ) {
+        for policy in POLICIES {
+            let mut cache = DecompCache::new(DecompCacheConfig {
+                policy,
+                capacity: cap,
+                ..DecompCacheConfig::default()
+            });
+            let mut lookups = 0u64;
+            for &id in &ops {
+                let x0 = [id as f64];
+                let b = NeighborhoodBox {
+                    lo: vec![id as f64 - 0.5],
+                    hi: vec![id as f64 + 0.5],
+                };
+                lookups += 1;
+                match cache.lookup(7, &x0, 0.5, &b) {
+                    CacheLookup::Exact(_) => {}
+                    _ => {
+                        // Simulate the miss path: decompose then insert.
+                        let dec = dummy_dec();
+                        cache.insert(7, &x0, 0.5, b, dec, None);
+                    }
+                }
+                prop_assert!(cache.len() <= cap, "{:?}", policy);
+            }
+            let CacheStats { hits, near_hits, misses, insertions, evictions, .. } = cache.stats();
+            prop_assert_eq!(hits + near_hits + misses, lookups, "{:?}", policy);
+            prop_assert_eq!(insertions - evictions, cache.len() as u64, "{:?}", policy);
+        }
+    }
+}
+
+fn dummy_dec() -> automon_core::DcDecomposition {
+    automon_core::DcDecomposition {
+        kind: automon_core::AdcdKind::X,
+        dc: automon_core::DcKind::ConvexDiff,
+        curvature: automon_core::Curvature::Scalar(1.0),
+        lambda_min_hat: -1.0,
+        lambda_max_hat: 1.0,
+        spectral: automon_core::SpectralStats::default(),
+    }
+}

@@ -20,6 +20,9 @@
 #      fixed-seed d=40 symmetric matrix (DESIGN.md §3.10); catches any
 #      drift between the production QL/Lanczos kernels and the Jacobi
 #      oracle before the proptest suite would.
+#   7. decomposition-cache parity smoke — enabling --decomp-cache under
+#      each eviction policy must leave the simulate output byte-identical
+#      to the cache-off run (DESIGN.md §3.11's bit-identity contract).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -97,5 +100,20 @@ if ! grep -q "PASS" <<<"$SMOKE_OUT"; then
     exit 1
 fi
 echo "    $SMOKE_OUT"
+
+echo "==> decomposition-cache parity smoke"
+CACHE_ARGS=(simulate --function rozenbrock --nodes 4 --rounds 90
+    --epsilon 0.2 --json)
+base=$(cargo run --release -q -p automon-cli -- "${CACHE_ARGS[@]}")
+for policy in lru-k slru arc; do
+    cached=$(cargo run --release -q -p automon-cli -- "${CACHE_ARGS[@]}" \
+        --decomp-cache "$policy")
+    if [[ "$cached" != "$base" ]]; then
+        echo "FAIL: --decomp-cache $policy changed the monitoring output" >&2
+        diff <(printf '%s\n' "$base") <(printf '%s\n' "$cached") >&2 || true
+        exit 1
+    fi
+    echo "    $policy: bit-identical to cache-off"
+done
 
 echo "==> CI green"
