@@ -105,6 +105,18 @@ fn bench_primitives(c: &mut Criterion) {
     group.bench_function("event_enabled/1", |bch| {
         bch.iter(|| enabled.event("tick", &[("x", 1u64.into())]))
     });
+    group.bench_function("span_disabled/1", |bch| {
+        bch.iter(|| {
+            let s = disabled.span_begin("noop", automon_obs::SpanId::NONE, &[]);
+            disabled.span_end(s, &[]);
+        })
+    });
+    group.bench_function("span_enabled/1", |bch| {
+        bch.iter(|| {
+            let s = enabled.span_begin("tick", automon_obs::SpanId::NONE, &[("x", 1u64.into())]);
+            enabled.span_end(s, &[]);
+        })
+    });
     group.finish();
 }
 

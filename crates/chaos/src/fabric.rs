@@ -19,9 +19,9 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use automon_core::{Coordinator, Node, NodeId, NodeMessage, Outbound};
+use automon_core::{CommCause, CommLedger, Coordinator, Node, NodeId, NodeMessage, Outbound};
 use automon_net::{CountingFabric, TrafficStats};
-use automon_obs::{Counter, Telemetry};
+use automon_obs::{Counter, SpanId, Telemetry};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
@@ -88,18 +88,34 @@ pub struct DeliveryFailure {
     pub dir: Direction,
 }
 
-/// A frame in flight, with its ladder-immunity flag.
+/// A frame in flight, with its ladder-immunity flag. Upward frames carry
+/// the trace span riding their header and the ledger cause their bytes
+/// are charged to on delivery (downward frames carry both inside the
+/// [`Outbound`]); a re-injected copy keeps them, so a duplicate or
+/// matured delayed frame is charged like the original.
 #[derive(Debug, Clone)]
 enum Pending {
-    ToCoord { msg: NodeMessage, immune: bool },
-    ToNode { out: Outbound, immune: bool },
+    ToCoord {
+        msg: NodeMessage,
+        span: SpanId,
+        cause: CommCause,
+        immune: bool,
+    },
+    ToNode {
+        out: Outbound,
+        immune: bool,
+    },
 }
 
 impl Pending {
     fn immune_copy(&self) -> Self {
         match self {
-            Self::ToCoord { msg, .. } => Self::ToCoord {
+            Self::ToCoord {
+                msg, span, cause, ..
+            } => Self::ToCoord {
                 msg: msg.clone(),
+                span: *span,
+                cause: *cause,
                 immune: true,
             },
             Self::ToNode { out, .. } => Self::ToNode {
@@ -259,6 +275,13 @@ impl ChaosFabric {
         self.inner.stats()
     }
 
+    /// The wrapped fabric's communication ledger (delivered frames only:
+    /// dropped, swallowed, and still-delayed frames are uncharged, so
+    /// conservation against [`ChaosFabric::stats`] holds under faults).
+    pub fn ledger(&self) -> &CommLedger {
+        self.inner.ledger()
+    }
+
     /// Messages involving each node, delegated from the inner fabric.
     pub fn per_node_messages(&self) -> &[usize] {
         self.inner.per_node_messages()
@@ -302,6 +325,7 @@ impl ChaosFabric {
     /// (in particular before [`ChaosFabric::release_delayed`]).
     pub fn begin_round(&mut self, round: usize) -> Vec<NodeId> {
         self.round = round;
+        self.inner.set_round(round as u64);
         let crashes = self.plan.crashes.clone();
         for c in &crashes {
             if c.at == round && !self.crashed[c.node] {
@@ -352,11 +376,28 @@ impl ChaosFabric {
     /// to quiescence, gating each frame. The chaos analogue of
     /// [`CountingFabric::route`].
     pub fn route(&mut self, coord: &mut Coordinator, nodes: &mut [Node], first: NodeMessage) {
+        let cause = CommCause::of_node_message(&first);
+        self.route_as(coord, nodes, first, cause, SpanId::NONE);
+    }
+
+    /// [`ChaosFabric::route`] with an explicit ledger cause and trace
+    /// span for the first frame — e.g. `CommCause::Rejoin` for a
+    /// restarted node's re-registration, or the sim's violation span.
+    pub fn route_as(
+        &mut self,
+        coord: &mut Coordinator,
+        nodes: &mut [Node],
+        first: NodeMessage,
+        cause: CommCause,
+        span: SpanId,
+    ) {
         self.drain(
             coord,
             nodes,
             VecDeque::from([Pending::ToCoord {
                 msg: first,
+                span,
+                cause,
                 immune: false,
             }]),
         );
@@ -375,6 +416,29 @@ impl ChaosFabric {
             nodes,
             outs.into_iter()
                 .map(|out| Pending::ToNode { out, immune: false })
+                .collect(),
+        );
+    }
+
+    /// [`ChaosFabric::route_outbounds`] with every frame's ledger cause
+    /// overridden — recovery traffic (`Retransmit`, `Eviction`) is
+    /// charged separably from the steady-state cause the coordinator
+    /// stamped on the outbound.
+    pub fn route_outbounds_as(
+        &mut self,
+        coord: &mut Coordinator,
+        nodes: &mut [Node],
+        outs: Vec<Outbound>,
+        cause: CommCause,
+    ) {
+        self.drain(
+            coord,
+            nodes,
+            outs.into_iter()
+                .map(|mut out| {
+                    out.cause = cause;
+                    Pending::ToNode { out, immune: false }
+                })
                 .collect(),
         );
     }
@@ -428,16 +492,24 @@ impl ChaosFabric {
         inbox: &mut VecDeque<Pending>,
     ) {
         match frame {
-            Pending::ToCoord { msg, .. } => {
-                for out in self.inner.deliver_to_coordinator(coord, msg) {
+            Pending::ToCoord {
+                msg, span, cause, ..
+            } => {
+                for out in self.inner.deliver_to_coordinator_as(coord, msg, cause, span) {
                     inbox.push_back(Pending::ToNode { out, immune: false });
                 }
             }
             Pending::ToNode { out, .. } => {
                 let to = out.to;
-                if let Some(reply) = self.inner.deliver_to_node(&mut nodes[to], out) {
+                // The reply inherits the eliciting outbound's span and
+                // cause (a pull reply answers the pull).
+                if let Some((reply, span, cause)) =
+                    self.inner.deliver_to_node_tagged(&mut nodes[to], out)
+                {
                     inbox.push_back(Pending::ToCoord {
                         msg: reply,
+                        span,
+                        cause,
                         immune: false,
                     });
                 }
@@ -632,10 +704,11 @@ mod tests {
         fabric.route_outbounds(
             &mut coord,
             &mut nodes,
-            vec![Outbound {
-                to: 1,
-                msg: automon_core::CoordinatorMessage::RequestLocalVector { epoch: 0 },
-            }],
+            vec![Outbound::new(
+                1,
+                automon_core::CoordinatorMessage::RequestLocalVector { epoch: 0 },
+                CommCause::FullSync,
+            )],
         );
         let failures = fabric.take_delivery_failures();
         assert_eq!(

@@ -15,10 +15,12 @@
 mod args;
 mod csvio;
 mod run;
+mod trace;
 
 pub use args::{Args, CliError};
 pub use csvio::{parse_csv_updates, render_estimates};
 pub use run::{build_function, run_monitor, run_simulate, run_spectral_smoke, run_tune, MonitorOutcome};
+pub use trace::run_trace;
 
 /// Entry point shared by `main.rs` and the tests.
 ///
@@ -29,6 +31,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         Some("monitor") => run_monitor(&Args::parse(&argv[1..])?),
         Some("tune") => run_tune(&Args::parse(&argv[1..])?),
         Some("spectral-smoke") => run_spectral_smoke(&Args::parse(&argv[1..])?),
+        Some("trace") => run_trace(&argv[1..]),
         Some("help") | None => Ok(usage().to_string()),
         Some(other) => Err(CliError::new(format!(
             "unknown subcommand `{other}`\n\n{}",
@@ -56,6 +59,8 @@ USAGE:
     automon tune     --function <NAME> --input <FILE.csv> --nodes N
                      [--epsilon E]
     automon spectral-smoke [--dim D] [--seed S] [--tol T]
+    automon trace summarize --input FILE.jsonl
+    automon trace diff --left A.jsonl --right B.jsonl
     automon help
 
 FUNCTIONS (built-in):
@@ -105,6 +110,15 @@ OBSERVABILITY (simulate only):
                         seed reproduces the file byte for byte
     --serve-metrics ADDR  serve live metrics at http://ADDR/metrics
                         while the run executes (e.g. 127.0.0.1:9100)
+
+TRACE ANALYSIS (offline, over --trace-out files):
+    trace summarize     span tree, per-span durations in deterministic
+                        ops, and the communication ledger: messages and
+                        bytes per protocol cause with a bytes-per-update
+                        column
+    trace diff          first-divergence finder for the determinism
+                        contract; reports the diverging seq with its
+                        enclosing span path and exits non-zero
 
 CSV INPUT (monitor): header-free rows `round,node,x1,...,xd`;
 rounds must be non-decreasing, nodes in 0..N.

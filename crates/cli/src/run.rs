@@ -222,10 +222,65 @@ pub struct MonitorOutcome {
 
 /// The observability sinks a run was asked for: an enabled [`Telemetry`]
 /// handle when any of `--metrics-out`, `--trace-out`, `--serve-metrics`
-/// is present, plus the live HTTP responder for the last one.
+/// is present, plus the live HTTP responder and the streaming trace
+/// writer.
 struct ObsSinks {
     telemetry: Telemetry,
     server: Option<MetricsServer>,
+    trace: Option<TraceStream>,
+}
+
+/// Streaming `--trace-out` writer. A background thread drains the
+/// tracer's buffer to the file while the run executes, so trace memory
+/// stays bounded on long runs; drains preserve event order, and the
+/// concatenation of all drains is byte-identical to a run-end dump.
+struct TraceStream {
+    path: String,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    writer: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl TraceStream {
+    fn start(path: &str, telemetry: Telemetry) -> Result<Self, CliError> {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let file = std::fs::File::create(path)
+            .map_err(|e| CliError::new(format!("cannot write `{path}`: {e}")))?;
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let stop_seen = stop.clone();
+        let writer = std::thread::spawn(move || {
+            use std::io::Write;
+            let mut w = std::io::BufWriter::new(file);
+            loop {
+                // Read the flag before draining: once `finish` sets it,
+                // the run is over, so this drain is the final, complete
+                // one.
+                let done = stop_seen.load(Ordering::Acquire);
+                telemetry.drain_trace_to(&mut w)?;
+                if done {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            w.flush()
+        });
+        Ok(Self {
+            path: path.to_string(),
+            stop,
+            writer,
+        })
+    }
+
+    fn finish(self) -> Result<String, CliError> {
+        self.stop.store(true, std::sync::atomic::Ordering::Release);
+        match self.writer.join() {
+            Ok(Ok(())) => Ok(format!("trace written to {}", self.path)),
+            Ok(Err(e)) => Err(CliError::new(format!(
+                "cannot write `{}`: {e}",
+                self.path
+            ))),
+            Err(_) => Err(CliError::new("trace writer thread panicked")),
+        }
+    }
 }
 
 impl ObsSinks {
@@ -244,7 +299,15 @@ impl ObsSinks {
             })?),
             None => None,
         };
-        Ok(Self { telemetry, server })
+        let trace = match args.get("trace-out") {
+            Some(path) => Some(TraceStream::start(path, telemetry.clone())?),
+            None => None,
+        };
+        Ok(Self {
+            telemetry,
+            server,
+            trace,
+        })
     }
 
     /// Flush the file sinks and stop the HTTP responder. Returns human
@@ -258,11 +321,8 @@ impl ObsSinks {
                 .map_err(|e| CliError::new(format!("cannot write `{path}`: {e}")))?;
             notes.push(format!("metrics written to {path}"));
         }
-        if let Some(path) = args.get("trace-out") {
-            self.telemetry
-                .write_trace(std::path::Path::new(path))
-                .map_err(|e| CliError::new(format!("cannot write `{path}`: {e}")))?;
-            notes.push(format!("trace written to {path}"));
+        if let Some(stream) = self.trace {
+            notes.push(stream.finish()?);
         }
         if let Some(server) = self.server {
             notes.push(format!(

@@ -214,7 +214,9 @@ pub fn decompose_observed_with_seeds(
         "adcd_split",
         &[
             (
-                "kind",
+                // "kind" is a trace-envelope key; the split flavor gets
+                // its own name.
+                "split",
                 match dec.kind {
                     AdcdKind::E => "E",
                     AdcdKind::X => "X",

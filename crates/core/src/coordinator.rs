@@ -5,11 +5,12 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use automon_linalg::vector;
-use automon_obs::{Counter, Gauge, Telemetry};
+use automon_obs::{Counter, Gauge, Telemetry, TraceCtx};
 
 use crate::adcd::{self, AdcdKind, DcDecomposition};
 use crate::cache::{CacheLookup, SharedDecompCache, SlotList};
 use crate::config::{ApproximationKind, MonitorConfig};
+use crate::ledger::CommCause;
 use crate::messages::{CoordinatorMessage, Epoch, NodeId, NodeMessage, Outbound};
 use crate::safezone::{Curvature, DcKind, Domain, NeighborhoodBox, SafeZone, ViolationKind};
 use crate::MonitoredFunction;
@@ -440,15 +441,24 @@ impl Coordinator {
     /// lossy transport re-sends after a retransmit timeout, and what a
     /// liveness monitor uses to identify candidate dead nodes.
     pub fn outstanding_requests(&self) -> Vec<Outbound> {
-        let pull = |i: NodeId| Outbound {
-            to: i,
-            msg: CoordinatorMessage::RequestLocalVector { epoch: self.epoch },
+        // The cause derives from the sync state (not from what triggered
+        // it) so a re-issued pull is value-identical to the original.
+        let pull = |i: NodeId, cause: CommCause| {
+            Outbound::new(
+                i,
+                CoordinatorMessage::RequestLocalVector { epoch: self.epoch },
+                cause,
+            )
         };
         match &self.state {
             SyncState::Lazy {
                 pending: Some(p), ..
-            } => vec![pull(*p)],
-            SyncState::Full { pending } => pending.iter().copied().map(pull).collect(),
+            } => vec![pull(*p, CommCause::LazySync)],
+            SyncState::Full { pending } => pending
+                .iter()
+                .copied()
+                .map(|i| pull(i, CommCause::FullSync))
+                .collect(),
             _ => Vec::new(),
         }
     }
@@ -506,24 +516,26 @@ impl Coordinator {
         self.stats.resyncs += 1;
         self.tel.resyncs.inc();
         self.node_has_curvature[node] = true;
-        let mut out = vec![Outbound {
-            to: node,
-            msg: CoordinatorMessage::NewConstraints {
+        let mut out = vec![Outbound::new(
+            node,
+            CoordinatorMessage::NewConstraints {
                 zone,
                 slack: self.slack[node].clone(),
                 epoch: self.epoch,
             },
-        }];
+            CommCause::Resync,
+        )];
         let repull = match &self.state {
             SyncState::Lazy { pending, .. } => *pending == Some(node),
             SyncState::Full { pending } => pending.contains(&node),
             _ => false,
         };
         if repull {
-            out.push(Outbound {
-                to: node,
-                msg: CoordinatorMessage::RequestLocalVector { epoch: self.epoch },
-            });
+            out.push(Outbound::new(
+                node,
+                CoordinatorMessage::RequestLocalVector { epoch: self.epoch },
+                CommCause::Resync,
+            ));
         }
         out
     }
@@ -647,13 +659,16 @@ impl Coordinator {
         };
         (0..self.n)
             .filter(|&i| self.alive[i])
-            .map(|i| Outbound {
-                to: i,
-                msg: CoordinatorMessage::NewConstraints {
-                    zone: zone.clone(),
-                    slack: self.slack[i].clone(),
-                    epoch: self.epoch,
-                },
+            .map(|i| {
+                Outbound::new(
+                    i,
+                    CoordinatorMessage::NewConstraints {
+                        zone: zone.clone(),
+                        slack: self.slack[i].clone(),
+                        epoch: self.epoch,
+                    },
+                    CommCause::Resync,
+                )
             })
             .collect()
     }
@@ -672,6 +687,34 @@ impl Coordinator {
     ///   group is then full-synced so the rejoining node gets fresh
     ///   constraints and the slack invariant is re-established.
     pub fn handle(&mut self, msg: NodeMessage) -> Vec<Outbound> {
+        self.handle_with_context(msg, TraceCtx::NONE)
+    }
+
+    /// [`Coordinator::handle`] with wire-propagated trace context.
+    ///
+    /// Opens a coordinator-side `handle` span parented on `ctx.span` —
+    /// the node-side span that produced the frame, carried in its
+    /// header — and stamps the new span on every reply, so downstream
+    /// frames propagate it back out and the whole exchange forms one
+    /// causal tree. With telemetry disabled this is exactly `handle`
+    /// (one branch, no allocation).
+    pub fn handle_with_context(&mut self, msg: NodeMessage, ctx: TraceCtx) -> Vec<Outbound> {
+        let span = self.tel.tel.span_begin(
+            "handle",
+            ctx.span,
+            &[("node", msg.sender().into()), ("epoch", msg.epoch().into())],
+        );
+        let mut out = self.handle_inner(msg);
+        if span.is_some() {
+            for o in &mut out {
+                o.span = span;
+            }
+            self.tel.tel.span_end(span, &[("replies", out.len().into())]);
+        }
+        out
+    }
+
+    fn handle_inner(&mut self, msg: NodeMessage) -> Vec<Outbound> {
         let sender = msg.sender();
         assert!(sender < self.n, "message from unknown node {sender}");
         let epoch = msg.epoch();
@@ -837,13 +880,14 @@ impl Coordinator {
             for &i in &set {
                 let xi = self.known_x[i].as_ref().expect("vector known for set member");
                 self.slack[i] = vector::sub(&b, xi);
-                out.push(Outbound {
-                    to: i,
-                    msg: CoordinatorMessage::SlackUpdate {
+                out.push(Outbound::new(
+                    i,
+                    CoordinatorMessage::SlackUpdate {
                         slack: self.slack[i].clone(),
                         epoch: self.epoch,
                     },
-                });
+                    CommCause::LazySync,
+                ));
             }
             self.stats.lazy_syncs += 1;
             self.tel.lazy_syncs.inc();
@@ -868,10 +912,11 @@ impl Coordinator {
                     set,
                     pending: Some(p),
                 };
-                vec![Outbound {
-                    to: p,
-                    msg: CoordinatorMessage::RequestLocalVector { epoch: self.epoch },
-                }]
+                vec![Outbound::new(
+                    p,
+                    CoordinatorMessage::RequestLocalVector { epoch: self.epoch },
+                    CommCause::LazySync,
+                )]
             }
             None => self.begin_full_sync(set),
         }
@@ -909,9 +954,12 @@ impl Coordinator {
         }
         let out = pending
             .iter()
-            .map(|&i| Outbound {
-                to: i,
-                msg: CoordinatorMessage::RequestLocalVector { epoch: self.epoch },
+            .map(|&i| {
+                Outbound::new(
+                    i,
+                    CoordinatorMessage::RequestLocalVector { epoch: self.epoch },
+                    CommCause::FullSync,
+                )
             })
             .collect();
         self.state = SyncState::Full { pending };
@@ -1086,7 +1134,7 @@ impl Coordinator {
                     epoch: self.epoch,
                 }
             };
-            out.push(Outbound { to: i, msg });
+            out.push(Outbound::new(i, msg, CommCause::FullSync));
         }
         self.tel.full_syncs.inc();
         self.tel.epoch.set(self.epoch as f64);

@@ -1,0 +1,294 @@
+//! Per-byte communication ledger.
+//!
+//! AutoMon's evaluation is communication volume; flat counters say how
+//! many bytes moved but not *why*. The ledger charges every frame to a
+//! protocol [`CommCause`], aggregated per node × round × cause with an
+//! up/down direction split, so a run can be decomposed into "what the
+//! protocol spent where" — the bytes/update-by-cause table `automon
+//! trace summarize` prints, and the sharded-fleet roadmap item's audit
+//! tool.
+//!
+//! Conservation invariant: the fabric charges the ledger at exactly the
+//! points where it bumps its traffic counters, so ledger totals equal
+//! the `TrafficStats`/`RunStats` message and payload totals *exactly* —
+//! enforced by a proptest in `automon-sim` and a CI parity check.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use crate::messages::{NodeId, NodeMessage};
+use crate::safezone::ViolationKind;
+
+/// The protocol reason a frame crossed the fabric.
+///
+/// Node→coordinator frames are classified by what the node reports
+/// (violation kind, registration, pull reply); coordinator→node frames
+/// carry their cause on the [`crate::Outbound`] that produced them.
+/// Fault-tolerance paths (retransmission, eviction, rejoin) override the
+/// base cause at charge time so recovery traffic is separable from
+/// steady-state protocol traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CommCause {
+    /// Initial registration (an `Uninitialized` violation).
+    Registration,
+    /// Neighborhood-constraint violation report.
+    ViolationNeighborhood,
+    /// Safe-zone violation report.
+    ViolationSafeZone,
+    /// Faulty-constraints report (node-side numerical trouble).
+    ViolationFaulty,
+    /// Full synchronization: pulls and constraint installs.
+    FullSync,
+    /// Lazy synchronization: pulls and slack rebalances.
+    LazySync,
+    /// Epoch resynchronization of a stale node.
+    Resync,
+    /// Crashed node dialing back into the group.
+    Rejoin,
+    /// Traffic triggered by evicting an unresponsive node.
+    Eviction,
+    /// Retransmission of an unacknowledged frame.
+    Retransmit,
+    /// Liveness heartbeat (empty frame; TCP transport only).
+    Heartbeat,
+}
+
+impl CommCause {
+    /// Stable lowercase name used in trace events, ledger tables, and
+    /// the `automon trace summarize` output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CommCause::Registration => "registration",
+            CommCause::ViolationNeighborhood => "violation_neighborhood",
+            CommCause::ViolationSafeZone => "violation_safezone",
+            CommCause::ViolationFaulty => "violation_faulty",
+            CommCause::FullSync => "full_sync",
+            CommCause::LazySync => "lazy_sync",
+            CommCause::Resync => "resync",
+            CommCause::Rejoin => "rejoin",
+            CommCause::Eviction => "eviction",
+            CommCause::Retransmit => "retransmit",
+            CommCause::Heartbeat => "heartbeat",
+        }
+    }
+
+    /// Classify a node→coordinator message by its protocol content.
+    /// `LocalVector` replies answer a coordinator pull, so their cause is
+    /// the pull's — callers that know the eliciting request should prefer
+    /// inheriting its cause and use this only for unsolicited messages.
+    pub fn of_node_message(msg: &NodeMessage) -> CommCause {
+        match msg {
+            NodeMessage::Violation { kind, .. } => match kind {
+                ViolationKind::Uninitialized => CommCause::Registration,
+                ViolationKind::Neighborhood => CommCause::ViolationNeighborhood,
+                ViolationKind::SafeZone => CommCause::ViolationSafeZone,
+                ViolationKind::FaultyConstraints => CommCause::ViolationFaulty,
+            },
+            NodeMessage::LocalVector { .. } => CommCause::FullSync,
+        }
+    }
+}
+
+/// Message/byte tallies for one ledger cell or rollup, split by
+/// direction (`up` = node→coordinator, `down` = coordinator→node).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerCell {
+    pub up_msgs: u64,
+    pub up_bytes: u64,
+    pub down_msgs: u64,
+    pub down_bytes: u64,
+}
+
+impl LedgerCell {
+    /// Messages in both directions.
+    pub fn msgs(&self) -> u64 {
+        self.up_msgs + self.down_msgs
+    }
+
+    /// Bytes in both directions.
+    pub fn bytes(&self) -> u64 {
+        self.up_bytes + self.down_bytes
+    }
+
+    fn absorb(&mut self, other: &LedgerCell) {
+        self.up_msgs += other.up_msgs;
+        self.up_bytes += other.up_bytes;
+        self.down_msgs += other.down_msgs;
+        self.down_bytes += other.down_bytes;
+    }
+}
+
+/// Per-cause rollup row, pre-rendered for `RunStats` serialization.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LedgerEntry {
+    /// [`CommCause::name`] of the row.
+    pub cause: String,
+    /// Messages in both directions.
+    pub msgs: u64,
+    /// Frame bytes in both directions.
+    pub bytes: u64,
+}
+
+/// The communication ledger: frame tallies keyed (round, node, cause).
+///
+/// A `BTreeMap` keeps iteration deterministic, so rollups and rendered
+/// tables are byte-stable across same-seed runs.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct CommLedger {
+    cells: BTreeMap<(u64, NodeId, CommCause), LedgerCell>,
+}
+
+impl CommLedger {
+    /// Charge one node→coordinator frame of `bytes` to `cause`.
+    pub fn charge_up(&mut self, round: u64, node: NodeId, cause: CommCause, bytes: u64) {
+        let cell = self.cells.entry((round, node, cause)).or_default();
+        cell.up_msgs += 1;
+        cell.up_bytes += bytes;
+    }
+
+    /// Charge one coordinator→node frame of `bytes` to `cause`.
+    pub fn charge_down(&mut self, round: u64, node: NodeId, cause: CommCause, bytes: u64) {
+        let cell = self.cells.entry((round, node, cause)).or_default();
+        cell.down_msgs += 1;
+        cell.down_bytes += bytes;
+    }
+
+    /// Iterate all cells in (round, node, cause) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(u64, NodeId, CommCause), &LedgerCell)> {
+        self.cells.iter()
+    }
+
+    /// Grand totals over every cell.
+    pub fn totals(&self) -> LedgerCell {
+        let mut t = LedgerCell::default();
+        for cell in self.cells.values() {
+            t.absorb(cell);
+        }
+        t
+    }
+
+    /// Rollup by cause, in `CommCause` order.
+    pub fn by_cause(&self) -> BTreeMap<CommCause, LedgerCell> {
+        let mut out: BTreeMap<CommCause, LedgerCell> = BTreeMap::new();
+        for ((_, _, cause), cell) in &self.cells {
+            out.entry(*cause).or_default().absorb(cell);
+        }
+        out
+    }
+
+    /// Rollup by node, for per-node imbalance questions.
+    pub fn by_node(&self) -> BTreeMap<NodeId, LedgerCell> {
+        let mut out: BTreeMap<NodeId, LedgerCell> = BTreeMap::new();
+        for ((_, node, _), cell) in &self.cells {
+            out.entry(*node).or_default().absorb(cell);
+        }
+        out
+    }
+
+    /// The per-cause rollup as serializable [`LedgerEntry`] rows.
+    pub fn entries(&self) -> Vec<LedgerEntry> {
+        self.by_cause()
+            .into_iter()
+            .map(|(cause, cell)| LedgerEntry {
+                cause: cause.name().to_string(),
+                msgs: cell.msgs(),
+                bytes: cell.bytes(),
+            })
+            .collect()
+    }
+
+    /// Verify conservation against externally counted totals; returns a
+    /// description of the first mismatch, `None` when exact.
+    pub fn check_conservation(&self, total_msgs: u64, total_bytes: u64) -> Option<String> {
+        let t = self.totals();
+        if t.msgs() != total_msgs {
+            return Some(format!(
+                "ledger msgs {} != counter msgs {total_msgs}",
+                t.msgs()
+            ));
+        }
+        if t.bytes() != total_bytes {
+            return Some(format!(
+                "ledger bytes {} != counter bytes {total_bytes}",
+                t.bytes()
+            ));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_aggregate_per_round_node_cause() {
+        let mut l = CommLedger::default();
+        l.charge_up(0, 1, CommCause::Registration, 30);
+        l.charge_up(0, 1, CommCause::Registration, 30);
+        l.charge_down(0, 1, CommCause::FullSync, 100);
+        l.charge_down(1, 2, CommCause::LazySync, 50);
+
+        let cell = l.cells[&(0, 1, CommCause::Registration)];
+        assert_eq!((cell.up_msgs, cell.up_bytes), (2, 60));
+        assert_eq!((cell.down_msgs, cell.down_bytes), (0, 0));
+
+        let totals = l.totals();
+        assert_eq!(totals.msgs(), 4);
+        assert_eq!(totals.bytes(), 210);
+
+        let by_cause = l.by_cause();
+        assert_eq!(by_cause[&CommCause::FullSync].down_bytes, 100);
+        assert_eq!(by_cause[&CommCause::LazySync].msgs(), 1);
+        assert_eq!(l.by_node()[&1].bytes(), 160);
+
+        assert_eq!(l.check_conservation(4, 210), None);
+        assert!(l.check_conservation(5, 210).is_some());
+        assert!(l.check_conservation(4, 211).is_some());
+    }
+
+    #[test]
+    fn entries_render_in_cause_order() {
+        let mut l = CommLedger::default();
+        l.charge_down(3, 0, CommCause::Resync, 40);
+        l.charge_up(2, 0, CommCause::ViolationSafeZone, 25);
+        let rows = l.entries();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].cause, "violation_safezone");
+        assert_eq!(rows[1].cause, "resync");
+        assert_eq!(rows[1].bytes, 40);
+    }
+
+    #[test]
+    fn node_messages_classify_by_violation_kind() {
+        let v = |kind| NodeMessage::Violation {
+            node: 0,
+            kind,
+            local_vector: vec![],
+            epoch: 0,
+        };
+        assert_eq!(
+            CommCause::of_node_message(&v(ViolationKind::Uninitialized)),
+            CommCause::Registration
+        );
+        assert_eq!(
+            CommCause::of_node_message(&v(ViolationKind::SafeZone)),
+            CommCause::ViolationSafeZone
+        );
+        assert_eq!(
+            CommCause::of_node_message(&v(ViolationKind::Neighborhood)),
+            CommCause::ViolationNeighborhood
+        );
+        assert_eq!(
+            CommCause::of_node_message(&v(ViolationKind::FaultyConstraints)),
+            CommCause::ViolationFaulty
+        );
+        let reply = NodeMessage::LocalVector {
+            node: 0,
+            vector: vec![],
+            epoch: 0,
+        };
+        assert_eq!(CommCause::of_node_message(&reply), CommCause::FullSync);
+    }
+}

@@ -6,8 +6,10 @@
 //! `automon-net` crate provides a compact binary codec and an in-process
 //! fabric with byte accounting.
 
+use automon_obs::SpanId;
 use serde::{Deserialize, Serialize};
 
+use crate::ledger::CommCause;
 use crate::safezone::{DcKind, NeighborhoodBox, SafeZone, ViolationKind};
 
 /// Node identifier, dense in `0..n`.
@@ -134,12 +136,40 @@ impl CoordinatorMessage {
 }
 
 /// An addressed coordinator message.
+///
+/// Besides the destination and payload, an outbound carries accounting
+/// metadata that never hits the wire body: the protocol [`CommCause`]
+/// the frame's bytes are charged to in the communication ledger, and the
+/// coordinator-side span the frame's trace context propagates (the
+/// handler span that produced it, or [`SpanId::NONE`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Outbound {
     /// Destination node.
     pub to: NodeId,
     /// Payload.
     pub msg: CoordinatorMessage,
+    /// Protocol cause this frame's bytes are charged to.
+    pub cause: CommCause,
+    /// Span to propagate in the frame header's trace context.
+    pub span: SpanId,
+}
+
+impl Outbound {
+    /// An outbound with no span context.
+    pub fn new(to: NodeId, msg: CoordinatorMessage, cause: CommCause) -> Self {
+        Self {
+            to,
+            msg,
+            cause,
+            span: SpanId::NONE,
+        }
+    }
+
+    /// Attach the producing span's id for wire propagation.
+    pub fn with_span(mut self, span: SpanId) -> Self {
+        self.span = span;
+        self
+    }
 }
 
 /// Addressing helper for transports that support broadcast.

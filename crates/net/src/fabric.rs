@@ -1,6 +1,10 @@
 //! Message fabrics: in-process accounting and channel-based transport.
 
-use automon_core::{Coordinator, CoordinatorMessage, Node, NodeId, NodeMessage, Outbound, Parallelism};
+use automon_core::{
+    CommCause, CommLedger, Coordinator, CoordinatorMessage, Node, NodeId, NodeMessage, Outbound,
+    Parallelism,
+};
+use automon_obs::{SpanId, Telemetry, TraceCtx};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::wire;
@@ -54,6 +58,9 @@ pub struct CountingFabric {
     stats: TrafficStats,
     per_node: Vec<usize>,
     workers: usize,
+    ledger: CommLedger,
+    round: u64,
+    tel: Telemetry,
 }
 
 impl Default for CountingFabric {
@@ -70,6 +77,9 @@ impl CountingFabric {
             stats: TrafficStats::default(),
             per_node: Vec::new(),
             workers: Parallelism::default().workers(),
+            ledger: CommLedger::default(),
+            round: 0,
+            tel: Telemetry::disabled(),
         }
     }
 
@@ -80,9 +90,42 @@ impl CountingFabric {
         self
     }
 
+    /// Attach telemetry: the fabric emits one `comm` trace event per
+    /// frame (from its sequential accounting sections, so the trace
+    /// stays deterministic under any worker count).
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.tel = tel;
+        self
+    }
+
     /// The accumulated counters.
     pub fn stats(&self) -> &TrafficStats {
         &self.stats
+    }
+
+    /// The per-cause communication ledger. Always on — conservation
+    /// against [`CountingFabric::stats`] holds by construction, because
+    /// the ledger is charged at exactly the counter-bump points.
+    pub fn ledger(&self) -> &CommLedger {
+        &self.ledger
+    }
+
+    /// Set the simulation round subsequent frames are charged to.
+    pub fn set_round(&mut self, round: u64) {
+        self.round = round;
+    }
+
+    fn comm_event(&self, dir: &str, node: NodeId, cause: CommCause, bytes: usize, span: SpanId) {
+        self.tel.event(
+            "comm",
+            &[
+                ("dir", dir.into()),
+                ("node", node.into()),
+                ("cause", cause.name().into()),
+                ("bytes", bytes.into()),
+                ("span", span.0.into()),
+            ],
+        );
     }
 
     /// Messages involving each node (sent or received), for analyzing
@@ -101,45 +144,94 @@ impl CountingFabric {
 
     /// Deliver a node message to the coordinator (through the codec) and
     /// return its replies, each of which must then be delivered with
-    /// [`CountingFabric::deliver_to_node`].
+    /// [`CountingFabric::deliver_to_node`]. The frame's ledger cause is
+    /// classified from the message itself and no span context rides the
+    /// header; use [`CountingFabric::deliver_to_coordinator_as`] when the
+    /// eliciting context is known.
     pub fn deliver_to_coordinator(
         &mut self,
         coord: &mut Coordinator,
         msg: NodeMessage,
     ) -> Vec<Outbound> {
-        let frame = wire::encode_node_message(&msg);
+        let cause = CommCause::of_node_message(&msg);
+        self.deliver_to_coordinator_as(coord, msg, cause, SpanId::NONE)
+    }
+
+    /// Deliver a node message with an explicit ledger cause and trace
+    /// span: the span rides the frame header and parents the
+    /// coordinator's handler span; the cause is what the frame's bytes
+    /// are charged to (e.g. `Rejoin` for a re-registration after a
+    /// crash, `LazySync` for a pull reply).
+    pub fn deliver_to_coordinator_as(
+        &mut self,
+        coord: &mut Coordinator,
+        msg: NodeMessage,
+        cause: CommCause,
+        span: SpanId,
+    ) -> Vec<Outbound> {
+        let frame = wire::encode_node_message_ctx(&msg, span);
         self.stats.node_to_coord_msgs += 1;
         self.stats.node_to_coord_payload += frame.len();
+        self.ledger
+            .charge_up(self.round, msg.sender(), cause, frame.len() as u64);
         self.bump_node(msg.sender());
-        let decoded = wire::decode_node_message(&frame).expect("self-encoded frame decodes");
-        coord.handle(decoded)
+        self.comm_event("up", msg.sender(), cause, frame.len(), span);
+        let (ctx_span, decoded) =
+            wire::decode_node_message_ctx(&frame).expect("self-encoded frame decodes");
+        let epoch = decoded.epoch();
+        coord.handle_with_context(decoded, TraceCtx::new(ctx_span, epoch))
     }
 
     /// Deliver one coordinator message to its node; returns the node's
     /// reply, if any.
     pub fn deliver_to_node(&mut self, node: &mut Node, out: Outbound) -> Option<NodeMessage> {
+        self.deliver_to_node_tagged(node, out).map(|(m, _, _)| m)
+    }
+
+    /// [`CountingFabric::deliver_to_node`], returning the reply tagged
+    /// with the span and cause it inherits from the eliciting outbound —
+    /// a pull reply answers the pull, so its bytes are charged to the
+    /// pull's cause and its frame carries the pull's span back up.
+    pub fn deliver_to_node_tagged(
+        &mut self,
+        node: &mut Node,
+        out: Outbound,
+    ) -> Option<(NodeMessage, SpanId, CommCause)> {
         debug_assert_eq!(node.id(), out.to, "misrouted message");
-        let frame = wire::encode_coordinator_message(&out.msg);
+        let frame = wire::encode_coordinator_message_ctx(&out.msg, out.span);
         self.stats.coord_to_node_msgs += 1;
         self.stats.coord_to_node_payload += frame.len();
+        self.ledger
+            .charge_down(self.round, out.to, out.cause, frame.len() as u64);
         self.bump_node(out.to);
-        let decoded =
-            wire::decode_coordinator_message(&frame).expect("self-encoded frame decodes");
-        node.handle(decoded)
+        self.comm_event("down", out.to, out.cause, frame.len(), out.span);
+        let (span, decoded) =
+            wire::decode_coordinator_message_ctx(&frame).expect("self-encoded frame decodes");
+        node.handle(decoded).map(|m| (m, span, out.cause))
     }
 
     /// Convenience: deliver `first` and every cascading reply until the
     /// exchange quiesces (FIFO, like an ordered transport).
-    pub fn route(
+    pub fn route(&mut self, coord: &mut Coordinator, nodes: &mut [Node], first: NodeMessage) {
+        let cause = CommCause::of_node_message(&first);
+        self.route_as(coord, nodes, first, cause, SpanId::NONE);
+    }
+
+    /// [`CountingFabric::route`] with an explicit cause and span for the
+    /// first frame; cascading replies inherit the cause and span of the
+    /// outbound that elicited them.
+    pub fn route_as(
         &mut self,
         coord: &mut Coordinator,
         nodes: &mut [Node],
         first: NodeMessage,
+        cause: CommCause,
+        span: SpanId,
     ) {
-        let mut inbox = std::collections::VecDeque::from([first]);
-        while let Some(m) = inbox.pop_front() {
-            let outs = self.deliver_to_coordinator(coord, m);
-            inbox.extend(self.deliver_batch(nodes, outs));
+        let mut inbox = std::collections::VecDeque::from([(first, span, cause)]);
+        while let Some((m, span, cause)) = inbox.pop_front() {
+            let outs = self.deliver_to_coordinator_as(coord, m, cause, span);
+            inbox.extend(self.deliver_batch_tagged(nodes, outs));
         }
     }
 
@@ -149,6 +241,19 @@ impl CountingFabric {
     /// counters accounted in batch order, exactly as the sequential
     /// delivery loop would.
     pub fn deliver_batch(&mut self, nodes: &mut [Node], outs: Vec<Outbound>) -> Vec<NodeMessage> {
+        self.deliver_batch_tagged(nodes, outs)
+            .into_iter()
+            .map(|(m, _, _)| m)
+            .collect()
+    }
+
+    /// [`CountingFabric::deliver_batch`], with each reply tagged with
+    /// the span and cause inherited from its eliciting outbound.
+    pub fn deliver_batch_tagged(
+        &mut self,
+        nodes: &mut [Node],
+        outs: Vec<Outbound>,
+    ) -> Vec<(NodeMessage, SpanId, CommCause)> {
         let distinct = {
             let mut seen = vec![false; nodes.len()];
             outs.iter()
@@ -159,22 +264,29 @@ impl CountingFabric {
                 .into_iter()
                 .filter_map(|o| {
                     let to = o.to;
-                    self.deliver_to_node(&mut nodes[to], o)
+                    self.deliver_to_node_tagged(&mut nodes[to], o)
                 })
                 .collect();
         }
 
-        // Serialize and account up front (batch order), then evaluate
-        // node handlers — the expensive part — concurrently.
+        // Serialize and account up front (batch order) — counters,
+        // ledger charges, and `comm` events all land here, in the
+        // sequential section — then evaluate node handlers, the
+        // expensive part, concurrently.
         let mut decoded = Vec::with_capacity(outs.len());
+        let mut tags = Vec::with_capacity(outs.len());
         for out in outs {
-            let frame = wire::encode_coordinator_message(&out.msg);
+            let frame = wire::encode_coordinator_message_ctx(&out.msg, out.span);
             self.stats.coord_to_node_msgs += 1;
             self.stats.coord_to_node_payload += frame.len();
+            self.ledger
+                .charge_down(self.round, out.to, out.cause, frame.len() as u64);
             self.bump_node(out.to);
-            let msg =
-                wire::decode_coordinator_message(&frame).expect("self-encoded frame decodes");
+            self.comm_event("down", out.to, out.cause, frame.len(), out.span);
+            let (span, msg) =
+                wire::decode_coordinator_message_ctx(&frame).expect("self-encoded frame decodes");
             decoded.push((out.to, msg));
+            tags.push((span, out.cause));
         }
 
         let mut slots: Vec<Option<&mut Node>> = nodes.iter_mut().map(Some).collect();
@@ -214,7 +326,13 @@ impl CountingFabric {
             .filter_map(|(i, r)| r.map(|m| (i, m)))
             .collect();
         replies.sort_by_key(|&(i, _)| i);
-        replies.into_iter().map(|(_, m)| m).collect()
+        replies
+            .into_iter()
+            .map(|(i, m)| {
+                let (span, cause) = tags[i];
+                (m, span, cause)
+            })
+            .collect()
     }
 }
 
@@ -276,13 +394,20 @@ pub struct CoordinatorEndpoint {
 impl CoordinatorEndpoint {
     /// Block for the next node message; `None` when all nodes hung up.
     pub fn recv(&self) -> Option<NodeMessage> {
-        let frame = self.rx.recv().ok()?;
-        Some(wire::decode_node_message(&frame).expect("valid frame"))
+        self.recv_traced().map(|(_, m)| m)
     }
 
-    /// Send one outbound message to its node.
+    /// Like [`CoordinatorEndpoint::recv`], also yielding the span the
+    /// sender propagated in the frame header.
+    pub fn recv_traced(&self) -> Option<(SpanId, NodeMessage)> {
+        let frame = self.rx.recv().ok()?;
+        Some(wire::decode_node_message_ctx(&frame).expect("valid frame"))
+    }
+
+    /// Send one outbound message to its node; the outbound's span rides
+    /// the frame header.
     pub fn send(&self, out: &Outbound) {
-        let frame = wire::encode_coordinator_message(&out.msg);
+        let frame = wire::encode_coordinator_message_ctx(&out.msg, out.span);
         // A disconnected node (receiver dropped) is fine during shutdown.
         let _ = self.node_txs[out.to].send(frame.to_vec());
     }
@@ -303,7 +428,12 @@ impl NodeEndpoint {
 
     /// Send a node message to the coordinator.
     pub fn send(&self, msg: &NodeMessage) {
-        let frame = wire::encode_node_message(msg);
+        self.send_traced(msg, SpanId::NONE);
+    }
+
+    /// Send a node message, propagating `span` in the frame header.
+    pub fn send_traced(&self, msg: &NodeMessage, span: SpanId) {
+        let frame = wire::encode_node_message_ctx(msg, span);
         let _ = self.tx.send(frame.to_vec());
     }
 
@@ -356,7 +486,7 @@ mod tests {
                 fabric.route(&mut coord, &mut nodes, m);
             }
         }
-        let st = fabric.stats();
+        let st = fabric.stats().clone();
         // 2 registrations up, 2 NewConstraints down.
         assert_eq!(st.node_to_coord_msgs, 2);
         assert_eq!(st.coord_to_node_msgs, 2);
@@ -366,6 +496,22 @@ mod tests {
         assert_eq!(
             st.total_traffic(66),
             st.total_payload() + 66 * st.total_msgs()
+        );
+        // The ledger charged every frame: totals match the counters
+        // exactly, split into registration (up) and full-sync installs
+        // (down).
+        let ledger = fabric.ledger();
+        assert_eq!(
+            ledger.check_conservation(st.total_msgs() as u64, st.total_payload() as u64),
+            None
+        );
+        let by_cause = ledger.by_cause();
+        assert_eq!(by_cause[&CommCause::Registration].up_msgs, 2);
+        assert_eq!(by_cause[&CommCause::Registration].down_msgs, 0);
+        assert_eq!(by_cause[&CommCause::FullSync].down_msgs, 2);
+        assert_eq!(
+            by_cause[&CommCause::FullSync].down_bytes,
+            st.coord_to_node_payload as u64
         );
     }
 
@@ -378,10 +524,11 @@ mod tests {
         let t = std::thread::spawn(move || {
             let msg = coord_ep.recv().expect("one message");
             assert_eq!(msg.sender(), 0);
-            coord_ep.send(&Outbound {
-                to: 0,
-                msg: CoordinatorMessage::RequestLocalVector { epoch: 0 },
-            });
+            coord_ep.send(&Outbound::new(
+                0,
+                CoordinatorMessage::RequestLocalVector { epoch: 0 },
+                CommCause::FullSync,
+            ));
         });
 
         node_ep.send(&NodeMessage::LocalVector {

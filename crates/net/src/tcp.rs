@@ -24,7 +24,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use automon_core::{CoordinatorMessage, NodeId, NodeMessage, Outbound};
-use automon_obs::{Counter, Telemetry};
+use automon_obs::{Counter, SpanId, Telemetry};
 
 use crate::wire;
 
@@ -282,7 +282,7 @@ fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// writer, spawn the reader. Returns the node id on success.
 fn admit(
     shared: &Arc<Shared>,
-    tx: &Sender<NodeMessage>,
+    tx: &Sender<(SpanId, NodeMessage)>,
     mut stream: TcpStream,
     n: usize,
 ) -> Result<NodeId, TcpError> {
@@ -323,13 +323,13 @@ fn admit(
                 shared.tel.heartbeats.inc();
                 continue; // heartbeat
             }
-            let Ok(msg) = wire::decode_node_message(&frame) else {
+            let Ok((span, msg)) = wire::decode_node_message_ctx(&frame) else {
                 // Framing is byte-synchronized; a corrupt frame means the
                 // stream can no longer be trusted. Drop the connection
                 // and let the node reconnect.
                 break;
             };
-            if tx.send(msg).is_err() {
+            if tx.send((span, msg)).is_err() {
                 break;
             }
         }
@@ -343,7 +343,7 @@ fn admit(
 
 /// Coordinator side of the TCP transport.
 pub struct TcpCoordinatorTransport {
-    rx: Receiver<NodeMessage>,
+    rx: Receiver<(SpanId, NodeMessage)>,
     shared: Arc<Shared>,
 }
 
@@ -382,7 +382,7 @@ impl TcpCoordinatorTransport {
     ) -> Result<(Self, SocketAddr), TcpError> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let (tx, rx): (Sender<NodeMessage>, Receiver<NodeMessage>) = channel();
+        let (tx, rx) = channel::<(SpanId, NodeMessage)>();
         let shared = Arc::new(Shared {
             writers: (0..n)
                 .map(|_| {
@@ -442,21 +442,35 @@ impl TcpCoordinatorTransport {
     /// Blocking receive of the next node message; `None` when every node
     /// hung up and the acceptor stopped.
     pub fn recv(&self) -> Option<NodeMessage> {
+        self.recv_traced().map(|(_, m)| m)
+    }
+
+    /// Like [`TcpCoordinatorTransport::recv`], also yielding the span the
+    /// node propagated in the frame header — feed it (with the message's
+    /// epoch) to `Coordinator::handle_with_context` so coordinator-side
+    /// spans parent on the node-side span that caused them.
+    pub fn recv_traced(&self) -> Option<(SpanId, NodeMessage)> {
         self.rx.recv().ok()
     }
 
     /// Receive with a timeout.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<NodeMessage> {
+        self.recv_timeout_traced(timeout).map(|(_, m)| m)
+    }
+
+    /// [`TcpCoordinatorTransport::recv_traced`] with a timeout.
+    pub fn recv_timeout_traced(&self, timeout: Duration) -> Option<(SpanId, NodeMessage)> {
         self.rx.recv_timeout(timeout).ok()
     }
 
-    /// Send one outbound message to its node.
+    /// Send one outbound message to its node; the outbound's span rides
+    /// the frame header as trace context.
     ///
     /// [`TcpError::NotConnected`] when the node's connection is down
     /// (crashed or not yet rejoined); the caller decides whether to
     /// retransmit later or evict.
     pub fn send(&self, out: &Outbound) -> Result<(), TcpError> {
-        let frame = wire::encode_coordinator_message(&out.msg);
+        let frame = wire::encode_coordinator_message_ctx(&out.msg, out.span);
         let mut slot = lock_clean(&self.shared.writers[out.to]);
         let Some(stream) = slot.stream.as_mut() else {
             return Err(TcpError::NotConnected(out.to));
@@ -598,8 +612,15 @@ impl TcpNodeTransport {
 
     /// Send a node message on the current connection.
     pub fn send(&mut self, msg: &NodeMessage) -> Result<(), TcpError> {
+        self.send_traced(msg, SpanId::NONE)
+    }
+
+    /// Send a node message, propagating `span` in the frame header — the
+    /// node-side span (e.g. a violation span) that coordinator-side
+    /// handler spans will parent on.
+    pub fn send_traced(&mut self, msg: &NodeMessage, span: SpanId) -> Result<(), TcpError> {
         debug_assert_eq!(msg.sender(), self.id, "sending as the wrong node");
-        let frame = wire::encode_node_message(msg);
+        let frame = wire::encode_node_message_ctx(msg, span);
         write_frame(&mut self.stream, &frame)?;
         self.tel.frames_out.inc();
         self.tel.bytes_out.add(frame_bytes(frame.len()));
@@ -626,10 +647,16 @@ impl TcpNodeTransport {
 
     /// Blocking receive of the next coordinator message.
     pub fn recv(&mut self) -> Result<CoordinatorMessage, TcpError> {
+        self.recv_traced().map(|(_, m)| m)
+    }
+
+    /// Like [`TcpNodeTransport::recv`], also yielding the coordinator
+    /// span carried in the frame header.
+    pub fn recv_traced(&mut self) -> Result<(SpanId, CoordinatorMessage), TcpError> {
         let frame = read_frame(&mut self.stream)?;
         self.tel.frames_in.inc();
         self.tel.bytes_in.add(frame_bytes(frame.len()));
-        wire::decode_coordinator_message(&frame).map_err(TcpError::Wire)
+        wire::decode_coordinator_message_ctx(&frame).map_err(TcpError::Wire)
     }
 
     /// Non-blocking poll: `Ok(None)` when no complete frame is ready.
@@ -812,10 +839,11 @@ mod tests {
 
         // Crash the node: its connection drops and sends start failing.
         drop(tp);
-        let out = Outbound {
-            to: 0,
-            msg: CoordinatorMessage::RequestLocalVector { epoch: 0 },
-        };
+        let out = Outbound::new(
+            0,
+            CoordinatorMessage::RequestLocalVector { epoch: 0 },
+            automon_core::CommCause::FullSync,
+        );
         let mut saw_down = false;
         for _ in 0..100 {
             match coord_tp.send(&out) {
@@ -845,6 +873,50 @@ mod tests {
         assert!(ok, "send never recovered after rejoin");
         let msg = tp.recv().expect("delivered after rejoin");
         assert_eq!(msg, CoordinatorMessage::RequestLocalVector { epoch: 0 });
+    }
+
+    #[test]
+    fn trace_context_propagates_over_tcp_in_both_directions() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let binder =
+            std::thread::spawn(move || TcpCoordinatorTransport::bind(addr, 1).expect("bind"));
+        let mut tp = TcpNodeTransport::connect(addr, 0).expect("connect");
+        let (coord_tp, _) = binder.join().unwrap();
+
+        // Node → coordinator: the violation span rides the header.
+        let report = NodeMessage::Violation {
+            node: 0,
+            kind: automon_core::ViolationKind::SafeZone,
+            local_vector: vec![1.0],
+            epoch: 3,
+        };
+        tp.send_traced(&report, SpanId(42)).expect("send");
+        let (span, msg) = coord_tp
+            .recv_timeout_traced(Duration::from_secs(5))
+            .expect("frame");
+        assert_eq!(span, SpanId(42));
+        assert_eq!(msg, report);
+
+        // Coordinator → node: the handler span rides back down.
+        let out = Outbound::new(
+            0,
+            CoordinatorMessage::RequestLocalVector { epoch: 3 },
+            automon_core::CommCause::FullSync,
+        )
+        .with_span(SpanId(7));
+        coord_tp.send(&out).expect("send down");
+        let (span, msg) = tp.recv_traced().expect("reply");
+        assert_eq!(span, SpanId(7));
+        assert_eq!(msg, out.msg);
+
+        // The plain hello path still decodes as span NONE on the reader.
+        tp.send(&report).expect("untraced send");
+        let (span, _) = coord_tp
+            .recv_timeout_traced(Duration::from_secs(5))
+            .expect("frame");
+        assert_eq!(span, SpanId::NONE);
     }
 
     #[test]

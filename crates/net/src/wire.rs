@@ -4,18 +4,28 @@
 //! `u32` lengths; raw `f64` bits for floats. The format is versioned with
 //! a leading magic byte so stray frames fail fast instead of decoding
 //! into garbage.
+//!
+//! Every frame header carries a wire-propagated trace context: the
+//! 8-byte [`SpanId`] of the span open on the sending side (0 when
+//! telemetry is off or no span is open). Together with the epoch each
+//! message already carries, the receiver reconstructs a
+//! [`automon_obs::TraceCtx`] and can parent its handler span under the
+//! sender's — causality survives the transport. The slot is always
+//! present so frame sizes never depend on whether telemetry is enabled.
 
 use automon_core::{
     Curvature, CoordinatorMessage, DcKind, NeighborhoodBox, NodeMessage, SafeZone, ViolationKind,
     ZoneUpdate,
 };
 use automon_linalg::Matrix;
+use automon_obs::SpanId;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Format version magic (bump on layout changes).
 ///
-/// `0xA8` added the `u64` epoch stamp to every message.
-const MAGIC: u8 = 0xA8;
+/// `0xA8` added the `u64` epoch stamp to every message; `0xA9` added the
+/// `u64` span-id trace context after the magic byte.
+const MAGIC: u8 = 0xA9;
 
 /// Decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,9 +86,13 @@ fn zone_update_len(z: &ZoneUpdate) -> usize {
     vec_len(&z.x0) + 8 + vec_len(&z.grad0) + 8 + 8 + 1 + neighborhood_len(&z.neighborhood)
 }
 
+/// Header bytes shared by every frame: magic + span-id trace context +
+/// message tag.
+const HEADER_LEN: usize = 1 + 8 + 1;
+
 /// Exact frame size of an encoded node→coordinator message.
 fn node_message_len(msg: &NodeMessage) -> usize {
-    2 + match msg {
+    HEADER_LEN + match msg {
         NodeMessage::Violation { local_vector, .. } => 4 + 8 + 1 + vec_len(local_vector),
         NodeMessage::LocalVector { vector, .. } => 4 + 8 + vec_len(vector),
     }
@@ -86,7 +100,7 @@ fn node_message_len(msg: &NodeMessage) -> usize {
 
 /// Exact frame size of an encoded coordinator→node message.
 fn coordinator_message_len(msg: &CoordinatorMessage) -> usize {
-    2 + match msg {
+    HEADER_LEN + match msg {
         CoordinatorMessage::RequestLocalVector { .. } => 8,
         CoordinatorMessage::NewConstraints { zone, slack, .. } => 8 + zone_len(zone) + vec_len(slack),
         CoordinatorMessage::SlackUpdate { slack, .. } => 8 + vec_len(slack),
@@ -96,10 +110,17 @@ fn coordinator_message_len(msg: &CoordinatorMessage) -> usize {
     }
 }
 
-/// Encode a node→coordinator message.
+/// Encode a node→coordinator message with an empty trace context.
 pub fn encode_node_message(msg: &NodeMessage) -> Bytes {
+    encode_node_message_ctx(msg, SpanId::NONE)
+}
+
+/// Encode a node→coordinator message, stamping `span` into the frame
+/// header as the wire-propagated trace context.
+pub fn encode_node_message_ctx(msg: &NodeMessage, span: SpanId) -> Bytes {
     let mut b = BytesMut::with_capacity(node_message_len(msg));
     b.put_u8(MAGIC);
+    b.put_u64_le(span.0);
     match msg {
         NodeMessage::Violation {
             node,
@@ -128,9 +149,20 @@ pub fn encode_node_message(msg: &NodeMessage) -> Bytes {
     b.freeze()
 }
 
-/// Decode a node→coordinator message.
-pub fn decode_node_message(mut buf: &[u8]) -> Result<NodeMessage, WireError> {
+/// Decode a node→coordinator message, discarding the trace context.
+pub fn decode_node_message(buf: &[u8]) -> Result<NodeMessage, WireError> {
+    decode_node_message_ctx(buf).map(|(_, msg)| msg)
+}
+
+/// Decode a node→coordinator message plus the sender's span id from the
+/// frame header.
+pub fn decode_node_message_ctx(mut buf: &[u8]) -> Result<(SpanId, NodeMessage), WireError> {
     check_magic(&mut buf)?;
+    let span = SpanId(get_u64(&mut buf)?);
+    decode_node_body(buf).map(|msg| (span, msg))
+}
+
+fn decode_node_body(mut buf: &[u8]) -> Result<NodeMessage, WireError> {
     let tag = get_u8(&mut buf)?;
     match tag {
         0 => {
@@ -159,10 +191,17 @@ pub fn decode_node_message(mut buf: &[u8]) -> Result<NodeMessage, WireError> {
     }
 }
 
-/// Encode a coordinator→node message.
+/// Encode a coordinator→node message with an empty trace context.
 pub fn encode_coordinator_message(msg: &CoordinatorMessage) -> Bytes {
+    encode_coordinator_message_ctx(msg, SpanId::NONE)
+}
+
+/// Encode a coordinator→node message, stamping `span` into the frame
+/// header as the wire-propagated trace context.
+pub fn encode_coordinator_message_ctx(msg: &CoordinatorMessage, span: SpanId) -> Bytes {
     let mut b = BytesMut::with_capacity(coordinator_message_len(msg));
     b.put_u8(MAGIC);
+    b.put_u64_le(span.0);
     match msg {
         CoordinatorMessage::RequestLocalVector { epoch } => {
             b.put_u8(0);
@@ -198,9 +237,22 @@ pub fn encode_coordinator_message(msg: &CoordinatorMessage) -> Bytes {
     b.freeze()
 }
 
-/// Decode a coordinator→node message.
-pub fn decode_coordinator_message(mut buf: &[u8]) -> Result<CoordinatorMessage, WireError> {
+/// Decode a coordinator→node message, discarding the trace context.
+pub fn decode_coordinator_message(buf: &[u8]) -> Result<CoordinatorMessage, WireError> {
+    decode_coordinator_message_ctx(buf).map(|(_, msg)| msg)
+}
+
+/// Decode a coordinator→node message plus the sender's span id from the
+/// frame header.
+pub fn decode_coordinator_message_ctx(
+    mut buf: &[u8],
+) -> Result<(SpanId, CoordinatorMessage), WireError> {
     check_magic(&mut buf)?;
+    let span = SpanId(get_u64(&mut buf)?);
+    decode_coordinator_body(buf).map(|msg| (span, msg))
+}
+
+fn decode_coordinator_body(mut buf: &[u8]) -> Result<CoordinatorMessage, WireError> {
     let tag = get_u8(&mut buf)?;
     match tag {
         0 => Ok(CoordinatorMessage::RequestLocalVector {
@@ -539,15 +591,48 @@ mod tests {
 
     #[test]
     fn payload_sizes_are_compact() {
-        // Violation with d = 40: magic + tag + node + epoch + kind + len
-        // + 40·8 = 1 + 1 + 4 + 8 + 1 + 4 + 320 = 339 bytes.
+        // Violation with d = 40: magic + span + tag + node + epoch + kind
+        // + len + 40·8 = 1 + 8 + 1 + 4 + 8 + 1 + 4 + 320 = 347 bytes.
         let msg = NodeMessage::Violation {
             node: 1,
             kind: ViolationKind::SafeZone,
             local_vector: vec![0.0; 40],
             epoch: 2,
         };
-        assert_eq!(encode_node_message(&msg).len(), 339);
+        assert_eq!(encode_node_message(&msg).len(), 347);
+    }
+
+    #[test]
+    fn trace_context_rides_the_frame_header() {
+        let msg = NodeMessage::Violation {
+            node: 2,
+            kind: ViolationKind::SafeZone,
+            local_vector: vec![1.0, 2.0],
+            epoch: 4,
+        };
+        let frame = encode_node_message_ctx(&msg, SpanId(0xDEAD_BEEF));
+        let (span, decoded) = decode_node_message_ctx(&frame).unwrap();
+        assert_eq!(span, SpanId(0xDEAD_BEEF));
+        assert_eq!(decoded, msg);
+        // The context changes only the header slot, never the size.
+        assert_eq!(frame.len(), encode_node_message(&msg).len());
+        // Legacy decode drops the context but still reads the body.
+        assert_eq!(decode_node_message(&frame).unwrap(), msg);
+
+        let reply = CoordinatorMessage::SlackUpdate {
+            slack: vec![0.5],
+            epoch: 4,
+        };
+        let frame = encode_coordinator_message_ctx(&reply, SpanId(7));
+        let (span, decoded) = decode_coordinator_message_ctx(&frame).unwrap();
+        assert_eq!(span, SpanId(7));
+        assert_eq!(decoded, reply);
+        // An empty context decodes as SpanId::NONE.
+        let plain = encode_coordinator_message(&reply);
+        assert_eq!(
+            decode_coordinator_message_ctx(&plain).unwrap().0,
+            SpanId::NONE
+        );
     }
 
     #[test]
@@ -614,8 +699,10 @@ mod tests {
     fn rejects_bad_frames() {
         assert_eq!(decode_node_message(&[]), Err(WireError::Truncated));
         assert_eq!(decode_node_message(&[0x00, 0x00]), Err(WireError::BadMagic(0)));
+        // A frame cut off inside the span-id header slot.
+        assert_eq!(decode_node_message(&[MAGIC, 9]), Err(WireError::Truncated));
         assert_eq!(
-            decode_node_message(&[MAGIC, 9]),
+            decode_node_message(&[MAGIC, 0, 0, 0, 0, 0, 0, 0, 0, 9]),
             Err(WireError::BadTag("node message", 9))
         );
         // Truncated vector payload.

@@ -4,8 +4,8 @@
 //! an abort. This is the contract the chaos fabric leans on.
 
 use automon_net::wire::{
-    decode_coordinator_message, decode_node_message, encode_coordinator_message,
-    encode_node_message,
+    decode_coordinator_message, decode_node_message, decode_node_message_ctx,
+    encode_coordinator_message, encode_node_message,
 };
 use automon_core::{CoordinatorMessage, NodeMessage, ViolationKind};
 use proptest::prelude::*;
@@ -24,11 +24,13 @@ proptest! {
         let _ = decode_coordinator_message(&bytes);
     }
 
-    /// Same, but past the magic byte so the payload parsers get
-    /// exercised instead of failing at the first check.
+    /// Same, but past the magic byte and trace-context header so the
+    /// payload parsers get exercised instead of failing at the first
+    /// check.
     #[test]
     fn decode_with_valid_magic_is_total(bytes in proptest::collection::vec(0u8..=255u8, 0..256usize)) {
-        let mut frame = vec![0xA8u8];
+        let mut frame = vec![0xA9u8];
+        frame.extend_from_slice(&0u64.to_le_bytes()); // span id slot
         frame.extend_from_slice(&bytes);
         let _ = decode_node_message(&frame);
         let _ = decode_coordinator_message(&frame);
@@ -38,9 +40,11 @@ proptest! {
     /// rejected as truncated, not tank the allocator or overflow.
     #[test]
     fn hostile_lengths_are_rejected(node in 0u32..64u32, len in 0x1000_0000u32..=u32::MAX) {
-        // magic, LocalVector tag, node id, epoch, then a length far
-        // beyond the actual payload.
-        let mut frame = vec![0xA8u8, 1];
+        // magic, span-id slot, LocalVector tag, node id, epoch, then a
+        // length far beyond the actual payload.
+        let mut frame = vec![0xA9u8];
+        frame.extend_from_slice(&0u64.to_le_bytes());
+        frame.push(1);
         frame.extend_from_slice(&node.to_le_bytes());
         frame.extend_from_slice(&7u64.to_le_bytes());
         frame.extend_from_slice(&len.to_le_bytes());
@@ -101,10 +105,17 @@ proptest! {
         let mut bytes = frame.to_vec();
         let pos = pos_seed % bytes.len();
         bytes[pos] = bytes[pos].wrapping_add(delta);
-        let result = decode_node_message(&bytes);
+        let result = decode_node_message_ctx(&bytes);
         if pos == 0 {
             prop_assert!(result.is_err(), "corrupt magic must be rejected");
-        } else if let Ok(decoded) = result {
+        } else if (1..9).contains(&pos) {
+            // Bytes 1..9 are the trace-context span id: the message
+            // body is untouched, but the corruption must land in the
+            // decoded span rather than vanish.
+            let (span, decoded) = result.unwrap();
+            prop_assert_eq!(&decoded, &msg);
+            prop_assert_ne!(span, automon_obs::SpanId::NONE);
+        } else if let Ok((_, decoded)) = result {
             // A flipped payload byte may still parse — but then it must
             // differ from the original (no silent identity corruption).
             prop_assert_ne!(decoded, msg);

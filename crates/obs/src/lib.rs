@@ -24,6 +24,7 @@
 
 pub mod expo;
 pub mod metrics;
+pub mod reader;
 pub mod serve;
 pub mod trace;
 
@@ -33,8 +34,9 @@ use std::sync::Arc;
 
 pub use expo::{parse_prometheus, value_of, Sample};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use reader::{parse_trace, span_path_at, JsonVal, TraceEvent};
 pub use serve::MetricsServer;
-pub use trace::{FieldValue, LogicalClock, Tracer};
+pub use trace::{FieldValue, LogicalClock, SpanId, TraceCtx, Tracer, RESERVED_KEYS};
 
 /// Shared state behind an enabled [`Telemetry`].
 #[derive(Default)]
@@ -141,17 +143,43 @@ impl Telemetry {
         }
     }
 
-    /// Open a span: emits `<name>_begin` now and `<name>_end` (with the
-    /// deterministic op delta) when the guard drops. Sequential contexts
-    /// only, like [`Telemetry::event`].
+    /// Open a causal span under `parent` (use [`SpanId::NONE`] for a
+    /// root). Returns [`SpanId::NONE`] when disabled — one branch, no
+    /// allocation. Sequential contexts only, like [`Telemetry::event`].
+    #[inline]
+    pub fn span_begin(
+        &self,
+        name: &str,
+        parent: SpanId,
+        fields: &[(&str, FieldValue)],
+    ) -> SpanId {
+        match &self.inner {
+            None => SpanId::NONE,
+            Some(i) => i.tracer.span_begin(&i.clock, name, parent, fields),
+        }
+    }
+
+    /// Close a span opened with [`Telemetry::span_begin`]. A no-op when
+    /// disabled or when `span` is [`SpanId::NONE`].
+    #[inline]
+    pub fn span_end(&self, span: SpanId, fields: &[(&str, FieldValue)]) {
+        if let Some(i) = &self.inner {
+            if span.is_some() {
+                i.tracer.span_end(&i.clock, span, fields);
+            }
+        }
+    }
+
+    /// Open a root span with an RAII guard: emits `span_begin` now and
+    /// `span_end` (with the deterministic op delta as `span_ops`) when
+    /// the guard drops. Sequential contexts only, like
+    /// [`Telemetry::event`].
     pub fn span(&self, name: &str) -> SpanGuard {
         let start_ops = self.ops();
-        if self.is_enabled() {
-            self.event(&format!("{name}_begin"), &[]);
-        }
+        let id = self.span_begin(name, SpanId::NONE, &[]);
         SpanGuard {
             tel: self.clone(),
-            name: name.to_string(),
+            id,
             start_ops,
         }
     }
@@ -187,22 +215,41 @@ impl Telemetry {
         let mut f = std::fs::File::create(path)?;
         f.write_all(self.trace_jsonl().as_bytes())
     }
+
+    /// Move buffered trace events out to `w` (see [`Tracer::drain_to`]).
+    /// Call between rounds to stream `--trace-out` with bounded memory;
+    /// the concatenation of all drains plus a final [`Telemetry::trace_jsonl`]
+    /// is byte-identical to an undrained trace. Returns bytes written
+    /// (0 when disabled).
+    pub fn drain_trace_to<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<usize> {
+        match &self.inner {
+            None => Ok(0),
+            Some(i) => i.tracer.drain_to(w),
+        }
+    }
 }
 
-/// RAII guard closing a [`Telemetry::span`]. The `_end` event carries the
-/// span's deterministic op count, the logical-clock analogue of duration.
+/// RAII guard closing a [`Telemetry::span`]. The `span_end` event carries
+/// the span's deterministic op count, the logical-clock analogue of
+/// duration.
 pub struct SpanGuard {
     tel: Telemetry,
-    name: String,
+    id: SpanId,
     start_ops: u64,
+}
+
+impl SpanGuard {
+    /// The guarded span's id ([`SpanId::NONE`] when telemetry is off).
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if self.tel.is_enabled() {
+        if self.id.is_some() {
             let delta = self.tel.ops() - self.start_ops;
-            self.tel
-                .event(&format!("{}_end", self.name), &[("span_ops", delta.into())]);
+            self.tel.span_end(self.id, &[("span_ops", delta.into())]);
         }
     }
 }
@@ -245,15 +292,34 @@ mod tests {
         let tel = Telemetry::enabled();
         tel.set_round(2);
         {
-            let _span = tel.span("decompose");
+            let span = tel.span("decompose");
+            assert_eq!(span.id(), SpanId(1));
             tel.add_ops(17);
         }
         let jsonl = tel.trace_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
         assert_eq!(lines.len(), 2);
-        assert!(lines[0].contains("\"kind\":\"decompose_begin\""), "{}", lines[0]);
-        assert!(lines[1].contains("\"kind\":\"decompose_end\""), "{}", lines[1]);
+        assert!(lines[0].contains("\"kind\":\"span_begin\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"name\":\"decompose\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"parent\":0"), "{}", lines[0]);
+        assert!(lines[1].contains("\"kind\":\"span_end\""), "{}", lines[1]);
+        assert!(lines[1].contains("\"span\":1"), "{}", lines[1]);
         assert!(lines[1].contains("\"span_ops\":17"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn explicit_spans_propagate_parents_across_handles() {
+        let tel = Telemetry::enabled();
+        let node_side = tel.span_begin("violation", SpanId::NONE, &[("node", 2u64.into())]);
+        // The id crosses the wire; the coordinator side resumes under it.
+        let coord_side = tel.span_begin("handle", node_side, &[]);
+        tel.span_end(coord_side, &[]);
+        tel.span_end(node_side, &[]);
+        let jsonl = tel.trace_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines[1].contains("\"name\":\"handle\""), "{}", lines[1]);
+        assert!(lines[1].contains("\"parent\":1"), "{}", lines[1]);
+        assert_eq!(tel.trace_len(), 4);
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! Reader for the JSONL traces the [`crate::trace::Tracer`] emits.
+//!
+//! The tracer writes flat JSON objects — no nesting, no arrays — so this
+//! module carries its own small tokenizer instead of a JSON dependency.
+//! It parses each line into a [`TraceEvent`] (envelope plus typed
+//! fields), and reconstructs causal structure from `span_begin` /
+//! `span_end` events: [`span_path_at`] names the open-span stack
+//! enclosing any sequence number, which is what the `automon trace diff`
+//! determinism debugger reports at the first divergence.
+
+use std::fmt;
+
+/// A decoded field value from one trace line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonVal {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+}
+
+impl JsonVal {
+    /// The value as a u64 when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonVal::U64(n) => Some(*n),
+            JsonVal::I64(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an f64 when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonVal::U64(n) => Some(*n as f64),
+            JsonVal::I64(n) => Some(*n as f64),
+            JsonVal::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// One parsed trace line: the envelope stamps plus the remaining fields
+/// in emission order, with the raw line kept for faithful reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    pub seq: u64,
+    pub round: u64,
+    pub ops: u64,
+    pub kind: String,
+    pub fields: Vec<(String, JsonVal)>,
+    pub raw: String,
+}
+
+impl TraceEvent {
+    /// Look up a non-envelope field by name.
+    pub fn field(&self, key: &str) -> Option<&JsonVal> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Field as u64 (`None` when absent or non-integer).
+    pub fn u64(&self, key: &str) -> Option<u64> {
+        self.field(key).and_then(JsonVal::as_u64)
+    }
+
+    /// Field as string slice.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.field(key).and_then(JsonVal::as_str)
+    }
+}
+
+/// A malformed trace line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Parse a whole JSONL trace. Empty lines are rejected — the tracer
+/// never emits them, so one signals a corrupt file.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, TraceParseError> {
+    text.lines()
+        .enumerate()
+        .map(|(i, line)| {
+            parse_line(line).map_err(|reason| TraceParseError {
+                line: i + 1,
+                reason,
+            })
+        })
+        .collect()
+}
+
+/// Parse one event line.
+pub fn parse_line(line: &str) -> Result<TraceEvent, String> {
+    let mut p = Parser {
+        rest: line.as_bytes(),
+    };
+    p.expect(b'{')?;
+    let mut seq = None;
+    let mut round = None;
+    let mut ops = None;
+    let mut kind = None;
+    let mut fields = Vec::new();
+    loop {
+        let key = p.string()?;
+        p.expect(b':')?;
+        let val = p.value()?;
+        match key.as_str() {
+            "seq" => seq = val.as_u64(),
+            "round" => round = val.as_u64(),
+            "ops" => ops = val.as_u64(),
+            "kind" => kind = val.as_str().map(str::to_string),
+            _ => fields.push((key, val)),
+        }
+        match p.bump()? {
+            b',' => continue,
+            b'}' => break,
+            c => return Err(format!("expected `,` or `}}`, got `{}`", c as char)),
+        }
+    }
+    if !p.rest.is_empty() {
+        return Err("trailing bytes after object".into());
+    }
+    Ok(TraceEvent {
+        seq: seq.ok_or("missing seq")?,
+        round: round.ok_or("missing round")?,
+        ops: ops.ok_or("missing ops")?,
+        kind: kind.ok_or("missing kind")?,
+        fields,
+        raw: line.to_string(),
+    })
+}
+
+/// Names of the spans open at (i.e. enclosing) event `seq`, outermost
+/// first — the "span path" `automon trace diff` prints. Rebuilt by
+/// replaying `span_begin`/`span_end` up to but not including `seq`; an
+/// event past the end of the trace sees whatever is still open.
+pub fn span_path_at(events: &[TraceEvent], seq: u64) -> Vec<String> {
+    let mut stack: Vec<(u64, String)> = Vec::new();
+    for ev in events {
+        if ev.seq >= seq {
+            break;
+        }
+        match ev.kind.as_str() {
+            "span_begin" => {
+                let id = ev.u64("span").unwrap_or(0);
+                let name = ev.str("name").unwrap_or("?").to_string();
+                stack.push((id, name));
+            }
+            "span_end" => {
+                if let Some(id) = ev.u64("span") {
+                    if let Some(pos) = stack.iter().rposition(|(open, _)| *open == id) {
+                        stack.remove(pos);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    stack.into_iter().map(|(_, name)| name).collect()
+}
+
+/// Byte-level tokenizer over one line. The tracer's output grammar is a
+/// strict subset of JSON: object of string keys and scalar values, no
+/// whitespace, no nesting.
+struct Parser<'a> {
+    rest: &'a [u8],
+}
+
+impl Parser<'_> {
+    fn bump(&mut self) -> Result<u8, String> {
+        let (&c, rest) = self.rest.split_first().ok_or("unexpected end of line")?;
+        self.rest = rest;
+        Ok(c)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        let got = self.bump()?;
+        if got != want {
+            return Err(format!("expected `{}`, got `{}`", want as char, got as char));
+        }
+        Ok(())
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                b'"' => return Ok(out),
+                b'\\' => match self.bump()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.bump()? as char;
+                            code = code * 16
+                                + d.to_digit(16).ok_or("bad \\u escape")?;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                    }
+                    e => return Err(format!("bad escape `\\{}`", e as char)),
+                },
+                c if c < 0x80 => out.push(c as char),
+                c => {
+                    // Re-assemble a UTF-8 multibyte sequence.
+                    let extra = match c {
+                        0xC0..=0xDF => 1,
+                        0xE0..=0xEF => 2,
+                        _ => 3,
+                    };
+                    let mut bytes = vec![c];
+                    for _ in 0..extra {
+                        bytes.push(self.bump()?);
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&bytes).map_err(|_| "bad utf-8")?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonVal, String> {
+        match self.rest.first().copied().ok_or("unexpected end of line")? {
+            b'"' => Ok(JsonVal::Str(self.string()?)),
+            b't' => self.literal(b"true", JsonVal::Bool(true)),
+            b'f' => self.literal(b"false", JsonVal::Bool(false)),
+            b'n' => self.literal(b"null", JsonVal::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8], val: JsonVal) -> Result<JsonVal, String> {
+        if self.rest.starts_with(lit) {
+            self.rest = &self.rest[lit.len()..];
+            Ok(val)
+        } else {
+            Err(format!(
+                "bad literal near `{}`",
+                String::from_utf8_lossy(&self.rest[..self.rest.len().min(8)])
+            ))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonVal, String> {
+        let end = self
+            .rest
+            .iter()
+            .position(|&c| !matches!(c, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+            .unwrap_or(self.rest.len());
+        let text = std::str::from_utf8(&self.rest[..end]).map_err(|_| "bad number")?;
+        if text.is_empty() {
+            return Err("expected a value".into());
+        }
+        self.rest = &self.rest[end..];
+        if text.bytes().all(|c| c.is_ascii_digit()) {
+            return text
+                .parse()
+                .map(JsonVal::U64)
+                .map_err(|_| format!("bad integer `{text}`"));
+        }
+        if text.bytes().all(|c| c.is_ascii_digit() || c == b'-') {
+            return text
+                .parse()
+                .map(JsonVal::I64)
+                .map_err(|_| format!("bad integer `{text}`"));
+        }
+        text.parse()
+            .map(JsonVal::F64)
+            .map_err(|_| format!("bad number `{text}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{LogicalClock, SpanId, Tracer};
+
+    #[test]
+    fn round_trips_tracer_output() {
+        let clock = LogicalClock::default();
+        let t = Tracer::default();
+        clock.set_round(4);
+        clock.add_ops(9);
+        t.record(
+            &clock,
+            "full_sync",
+            &[
+                ("epoch", 3u64.into()),
+                ("value", 0.25f64.into()),
+                ("msg", "a\"b\nc".into()),
+                ("ok", true.into()),
+                ("none", f64::NAN.into()),
+            ],
+        );
+        let events = parse_trace(&t.to_jsonl()).unwrap();
+        assert_eq!(events.len(), 1);
+        let ev = &events[0];
+        assert_eq!((ev.seq, ev.round, ev.ops), (0, 4, 9));
+        assert_eq!(ev.kind, "full_sync");
+        assert_eq!(ev.u64("epoch"), Some(3));
+        assert_eq!(ev.field("value"), Some(&JsonVal::F64(0.25)));
+        assert_eq!(ev.str("msg"), Some("a\"b\nc"));
+        assert_eq!(ev.field("ok"), Some(&JsonVal::Bool(true)));
+        assert_eq!(ev.field("none"), Some(&JsonVal::Null));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_line("").is_err());
+        assert!(parse_line("{").is_err());
+        assert!(parse_line("{\"seq\":1}").is_err(), "missing envelope keys");
+        assert!(parse_line("{\"seq\":1,\"round\":0,\"ops\":0,\"kind\":\"x\"} ").is_err());
+        assert!(parse_trace("{\"seq\":0,\"round\":0,\"ops\":0,\"kind\":\"x\"}\n\nbad")
+            .is_err());
+    }
+
+    #[test]
+    fn span_paths_follow_open_spans() {
+        let clock = LogicalClock::default();
+        let t = Tracer::default();
+        let outer = t.span_begin(&clock, "violation", SpanId::NONE, &[]);
+        let inner = t.span_begin(&clock, "handle", outer, &[]);
+        t.record(&clock, "full_sync", &[]);
+        t.span_end(&clock, inner, &[]);
+        t.record(&clock, "round", &[]);
+        t.span_end(&clock, outer, &[]);
+        let events = parse_trace(&t.to_jsonl()).unwrap();
+        assert_eq!(span_path_at(&events, 0), Vec::<String>::new());
+        assert_eq!(span_path_at(&events, 2), vec!["violation", "handle"]);
+        assert_eq!(span_path_at(&events, 4), vec!["violation"]);
+        assert_eq!(span_path_at(&events, 99), Vec::<String>::new());
+    }
+}

@@ -140,4 +140,72 @@ mod tests {
         // Shutdown must join the server thread without hanging.
         server.shutdown();
     }
+
+    #[test]
+    fn malformed_request_line_still_gets_an_exposition() {
+        let tel = Telemetry::enabled();
+        tel.counter("automon_x_total", "x").add(1);
+        let server = MetricsServer::bind("127.0.0.1:0", tel).expect("bind");
+        let addr = server.local_addr();
+
+        // Not HTTP at all: the responder answers every connection the
+        // same way rather than wedging on parse errors.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"\x00\xffnot http\r\n").expect("garbage");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("response");
+        let (head, body) = out.split_once("\r\n\r\n").expect("split");
+        assert!(head.starts_with("HTTP/1.0 200 OK"), "{head}");
+        let samples = parse_prometheus(body).expect("valid exposition");
+        assert_eq!(value_of(&samples, "automon_x_total", &[]), Some(1.0));
+
+        // The server remains healthy for a well-formed scrape after.
+        let response = scrape(addr);
+        assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+    }
+
+    #[test]
+    fn concurrent_scrapes_all_succeed() {
+        let tel = Telemetry::enabled();
+        tel.counter("automon_y_total", "y").add(5);
+        let server = MetricsServer::bind("127.0.0.1:0", tel).expect("bind");
+        let addr = server.local_addr();
+
+        let workers: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(move || scrape(addr)))
+            .collect();
+        for w in workers {
+            let response = w.join().expect("scraper thread");
+            let body = response.split_once("\r\n\r\n").expect("split").1;
+            let samples = parse_prometheus(body).expect("valid exposition");
+            assert_eq!(value_of(&samples, "automon_y_total", &[]), Some(5.0));
+        }
+    }
+
+    #[test]
+    fn connection_drop_mid_response_does_not_kill_the_server() {
+        let tel = Telemetry::enabled();
+        // A fat body so the write can outlive an early hangup.
+        for i in 0..256 {
+            tel.counter(&format!("automon_bulk_{i}_total"), "bulk").add(i);
+        }
+        let server = MetricsServer::bind("127.0.0.1:0", tel).expect("bind");
+        let addr = server.local_addr();
+
+        // Connect, send nothing, and hang up immediately — the respond
+        // path hits either a read timeout or a broken-pipe write.
+        for _ in 0..3 {
+            let stream = TcpStream::connect(addr).expect("connect");
+            drop(stream);
+        }
+        // And one that dies right after the request line.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let _ = stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n");
+        drop(stream);
+
+        // The accept loop must still be alive and serving.
+        let response = scrape(addr);
+        assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+        server.shutdown();
+    }
 }

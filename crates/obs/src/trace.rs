@@ -19,6 +19,56 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
+/// Envelope keys every event line starts with; user fields must not
+/// reuse them or the line would carry duplicate JSON keys and readers
+/// would silently drop one of the two values.
+pub const RESERVED_KEYS: [&str; 4] = ["seq", "round", "ops", "kind"];
+
+/// Identifier of one causal span. Allocated deterministically by
+/// [`Tracer::span_begin`] in emission order, so the same seed assigns
+/// the same ids. `SpanId::NONE` (0) means "no enclosing span" — it is
+/// what rides in a frame header when telemetry is disabled, and what a
+/// root span records as its parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The absent span (parent of roots; disabled-telemetry context).
+    pub const NONE: SpanId = SpanId(0);
+
+    /// True when this is a real span, not [`SpanId::NONE`].
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// Wire-propagated trace context: the open span on the sending side plus
+/// the sender's epoch. The span id rides in every frame header
+/// (`automon_net::wire`); the epoch is recovered from the message body on
+/// decode. Carrying the context across the transport makes a node-side
+/// violation span the causal parent of the coordinator's handler span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCtx {
+    /// The open span on the sending side; `SpanId::NONE` when telemetry
+    /// is disabled or no span is open.
+    pub span: SpanId,
+    /// The sender's protocol epoch at emission time.
+    pub epoch: u64,
+}
+
+impl TraceCtx {
+    /// The empty context (no span, epoch 0).
+    pub const NONE: TraceCtx = TraceCtx {
+        span: SpanId::NONE,
+        epoch: 0,
+    };
+
+    /// Context for `span` at `epoch`.
+    pub fn new(span: SpanId, epoch: u64) -> Self {
+        Self { span, epoch }
+    }
+}
+
 thread_local! {
     /// Reusable per-thread formatting buffer. `record` renders each event
     /// here before appending it to the shared trace, so steady-state
@@ -118,19 +168,27 @@ impl From<bool> for FieldValue {
 #[derive(Debug, Default)]
 pub struct Tracer {
     seq: AtomicU64,
+    next_span: AtomicU64,
     buf: Mutex<TraceBuf>,
 }
 
 #[derive(Debug, Default)]
 struct TraceBuf {
     jsonl: String,
-    events: usize,
 }
 
 impl Tracer {
     /// Record one event. Each line is a flat JSON object:
     /// `{"seq":N,"round":R,"ops":O,"kind":"...", <fields>...}`.
+    ///
+    /// Field names must avoid the [`RESERVED_KEYS`] envelope keys —
+    /// reusing one would emit a duplicate JSON key (debug builds assert).
     pub fn record(&self, clock: &LogicalClock, kind: &str, fields: &[(&str, FieldValue)]) {
+        debug_assert!(
+            fields.iter().all(|(k, _)| !RESERVED_KEYS.contains(k)),
+            "trace field collides with an envelope key ({RESERVED_KEYS:?}): {:?}",
+            fields.iter().map(|(k, _)| *k).collect::<Vec<_>>()
+        );
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         SCRATCH.with(|cell| {
             let mut line = cell.borrow_mut();
@@ -172,13 +230,44 @@ impl Tracer {
             line.push('\n');
             let mut buf = self.buf.lock();
             buf.jsonl.push_str(&line);
-            buf.events += 1;
         });
     }
 
-    /// Number of recorded events.
+    /// Open a causal span and return its id. Emits a `span_begin` event
+    /// carrying the span id, its parent (0 for roots), and the span
+    /// `name`, plus any extra `fields`. Ids are allocated in emission
+    /// order starting from 1, so they are as deterministic as the event
+    /// stream itself.
+    pub fn span_begin(
+        &self,
+        clock: &LogicalClock,
+        name: &str,
+        parent: SpanId,
+        fields: &[(&str, FieldValue)],
+    ) -> SpanId {
+        let id = SpanId(self.next_span.fetch_add(1, Ordering::Relaxed) + 1);
+        let mut all: Vec<(&str, FieldValue)> = Vec::with_capacity(fields.len() + 3);
+        all.push(("span", id.0.into()));
+        all.push(("parent", parent.0.into()));
+        all.push(("name", name.into()));
+        all.extend_from_slice(fields);
+        self.record(clock, "span_begin", &all);
+        id
+    }
+
+    /// Close a span opened by [`Tracer::span_begin`]. Emits a `span_end`
+    /// event for `span` with any extra `fields` (callers typically attach
+    /// the deterministic-op delta as `span_ops`).
+    pub fn span_end(&self, clock: &LogicalClock, span: SpanId, fields: &[(&str, FieldValue)]) {
+        let mut all: Vec<(&str, FieldValue)> = Vec::with_capacity(fields.len() + 1);
+        all.push(("span", span.0.into()));
+        all.extend_from_slice(fields);
+        self.record(clock, "span_end", &all);
+    }
+
+    /// Number of events recorded since creation (drained or not).
     pub fn len(&self) -> usize {
-        self.buf.lock().events
+        self.seq.load(Ordering::Relaxed) as usize
     }
 
     /// True when no events have been recorded.
@@ -186,10 +275,28 @@ impl Tracer {
         self.len() == 0
     }
 
-    /// The full trace as JSONL (one event per line, trailing newline when
-    /// non-empty).
+    /// The currently buffered trace as JSONL (one event per line,
+    /// trailing newline when non-empty). Events already moved out by
+    /// [`Tracer::drain_to`] are not re-returned.
     pub fn to_jsonl(&self) -> String {
         self.buf.lock().jsonl.clone()
+    }
+
+    /// Move the buffered events out to `w`, leaving the buffer empty.
+    /// Repeated drains interleaved with records reproduce exactly the
+    /// bytes a single final [`Tracer::to_jsonl`] would have returned, so
+    /// long runs can stream the trace with bounded memory. Returns the
+    /// number of bytes written.
+    pub fn drain_to<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<usize> {
+        let chunk = {
+            let mut buf = self.buf.lock();
+            if buf.jsonl.is_empty() {
+                return Ok(0);
+            }
+            std::mem::take(&mut buf.jsonl)
+        };
+        w.write_all(chunk.as_bytes())?;
+        Ok(chunk.len())
     }
 }
 
@@ -228,7 +335,7 @@ mod tests {
             "full_sync",
             &[("epoch", 2u64.into()), ("r", 0.5f64.into())],
         );
-        t.record(&clock, "fault", &[("kind", "drop".into())]);
+        t.record(&clock, "fault", &[("fault", "drop".into())]);
         let jsonl = t.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
         assert_eq!(lines.len(), 2);
@@ -238,8 +345,68 @@ mod tests {
         );
         assert_eq!(
             lines[1],
-            "{\"seq\":1,\"round\":3,\"ops\":10,\"kind\":\"fault\",\"kind\":\"drop\"}"
+            "{\"seq\":1,\"round\":3,\"ops\":10,\"kind\":\"fault\",\"fault\":\"drop\"}"
         );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "envelope key")]
+    fn reserved_envelope_keys_are_rejected() {
+        let clock = LogicalClock::default();
+        let t = Tracer::default();
+        t.record(&clock, "fault", &[("kind", "drop".into())]);
+    }
+
+    #[test]
+    fn spans_allocate_deterministic_ids_and_nest() {
+        let clock = LogicalClock::default();
+        let t = Tracer::default();
+        clock.set_round(2);
+        let root = t.span_begin(&clock, "violation", SpanId::NONE, &[("node", 1u64.into())]);
+        let child = t.span_begin(&clock, "handle", root, &[]);
+        t.span_end(&clock, child, &[("span_ops", 4u64.into())]);
+        t.span_end(&clock, root, &[]);
+        assert_eq!(root, SpanId(1));
+        assert_eq!(child, SpanId(2));
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"seq\":0,\"round\":2,\"ops\":0,\"kind\":\"span_begin\",\"span\":1,\"parent\":0,\"name\":\"violation\",\"node\":1}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"seq\":1,\"round\":2,\"ops\":0,\"kind\":\"span_begin\",\"span\":2,\"parent\":1,\"name\":\"handle\"}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"seq\":2,\"round\":2,\"ops\":0,\"kind\":\"span_end\",\"span\":2,\"span_ops\":4}"
+        );
+        assert_eq!(
+            lines[3],
+            "{\"seq\":3,\"round\":2,\"ops\":0,\"kind\":\"span_end\",\"span\":1}"
+        );
+    }
+
+    #[test]
+    fn drain_to_streams_the_same_bytes_as_to_jsonl() {
+        let clock = LogicalClock::default();
+        let reference = Tracer::default();
+        let streamed = Tracer::default();
+        let mut out: Vec<u8> = Vec::new();
+        for i in 0..5u64 {
+            reference.record(&clock, "tick", &[("i", i.into())]);
+            streamed.record(&clock, "tick", &[("i", i.into())]);
+            if i % 2 == 0 {
+                streamed.drain_to(&mut out).unwrap();
+            }
+        }
+        assert_eq!(streamed.len(), 5, "len counts drained events too");
+        streamed.drain_to(&mut out).unwrap();
+        assert_eq!(streamed.drain_to(&mut out).unwrap(), 0, "empty drain");
+        assert!(streamed.to_jsonl().is_empty());
+        assert_eq!(String::from_utf8(out).unwrap(), reference.to_jsonl());
     }
 
     #[test]

@@ -23,10 +23,10 @@
 use std::sync::Arc;
 
 use automon_chaos::{ChaosFabric, Direction, FaultEvent, FaultPlan, RecoveryConfig};
-use automon_core::{Coordinator, MonitorConfig, MonitoredFunction, Node};
+use automon_core::{CommCause, Coordinator, MonitorConfig, MonitoredFunction, Node, NodeMessage};
 use automon_linalg::vector;
 use automon_net::CountingFabric;
-use automon_obs::Telemetry;
+use automon_obs::{SpanId, Telemetry};
 
 use crate::stats::RunStats;
 use crate::workload::Workload;
@@ -92,13 +92,35 @@ impl ChaosSimulation {
         self
     }
 
+    /// Route one node report inside a root `violation` span charged to
+    /// `cause`; the coordinator's handler span parents under it via the
+    /// wire header, exactly as in the plain runner.
+    fn route_report(
+        &self,
+        fabric: &mut ChaosFabric,
+        coord: &mut Coordinator,
+        nodes: &mut [Node],
+        m: NodeMessage,
+        cause: CommCause,
+    ) {
+        let span = self.telemetry.span_begin(
+            "violation",
+            SpanId::NONE,
+            &[("node", m.sender().into()), ("cause", cause.name().into())],
+        );
+        fabric.route_as(coord, nodes, m, cause, span);
+        self.telemetry.span_end(span, &[]);
+    }
+
     /// Run the workload to completion, then drain to quiescence.
     pub fn run(&self, workload: &Workload) -> ChaosReport {
         let n = workload.nodes();
         let mut coord = Coordinator::new(self.f.clone(), n, self.cfg.clone());
         let mut nodes: Vec<Node> = (0..n).map(|i| Node::new(i, self.f.clone())).collect();
         let mut fabric = ChaosFabric::new(
-            CountingFabric::new().with_parallelism(coord.parallelism()),
+            CountingFabric::new()
+                .with_parallelism(coord.parallelism())
+                .with_telemetry(self.telemetry.clone()),
             self.plan.clone(),
             n,
         );
@@ -130,6 +152,7 @@ impl ChaosSimulation {
         let mut max_degraded = 0.0f64;
         let mut missed = 0usize;
         let mut retransmits = 0usize;
+        let mut updates = 0usize;
         // Per-node backoff state for report retransmission, and the
         // coordinator's for pull re-issue.
         let mut node_retry_at = vec![self.recovery.retransmit_after; n];
@@ -167,7 +190,7 @@ impl ChaosSimulation {
                 node_retry_at[id] = t + self.recovery.retransmit_after;
                 if let Some(x) = current[id].clone() {
                     if let Some(m) = nodes[id].update_data(x) {
-                        fabric.route(&mut coord, &mut nodes, m);
+                        self.route_report(&mut fabric, &mut coord, &mut nodes, m, CommCause::Rejoin);
                     }
                 }
             }
@@ -178,11 +201,13 @@ impl ChaosSimulation {
             if t < total {
                 for (node, x) in workload.updates(t) {
                     current[*node] = Some(x.clone());
+                    updates += 1;
                     if fabric.is_crashed(*node) {
                         continue;
                     }
                     if let Some(m) = nodes[*node].update_data(x.clone()) {
-                        fabric.route(&mut coord, &mut nodes, m);
+                        let cause = CommCause::of_node_message(&m);
+                        self.route_report(&mut fabric, &mut coord, &mut nodes, m, cause);
                     }
                 }
             }
@@ -196,7 +221,13 @@ impl ChaosSimulation {
                     if t >= node_retry_at[i] {
                         if let Some(m) = nodes[i].retransmit_report() {
                             retransmits += 1;
-                            fabric.route(&mut coord, &mut nodes, m);
+                            self.route_report(
+                                &mut fabric,
+                                &mut coord,
+                                &mut nodes,
+                                m,
+                                CommCause::Retransmit,
+                            );
                         }
                         node_interval[i] = (node_interval[i] * 2).min(MAX_BACKOFF);
                         node_retry_at[i] = t + node_interval[i];
@@ -210,7 +241,7 @@ impl ChaosSimulation {
                 if t >= coord_retry_at {
                     let outs = coord.outstanding_requests();
                     retransmits += outs.len();
-                    fabric.route_outbounds(&mut coord, &mut nodes, outs);
+                    fabric.route_outbounds_as(&mut coord, &mut nodes, outs, CommCause::Retransmit);
                     coord_interval = (coord_interval * 2).min(MAX_BACKOFF);
                     coord_retry_at = t + coord_interval;
                 }
@@ -246,7 +277,7 @@ impl ChaosSimulation {
                     *strike = 0;
                 } else if *strike >= self.recovery.evict_after && coord.is_alive(i) {
                     let outs = coord.evict(i);
-                    fabric.route_outbounds(&mut coord, &mut nodes, outs);
+                    fabric.route_outbounds_as(&mut coord, &mut nodes, outs, CommCause::Eviction);
                 }
             }
 
@@ -296,8 +327,26 @@ impl ChaosSimulation {
             t += 1;
         };
 
+        if self.telemetry.is_enabled() {
+            self.telemetry.event(
+                "run_info",
+                &[
+                    ("nodes", n.into()),
+                    ("rounds", total.into()),
+                    ("updates", updates.into()),
+                ],
+            );
+        }
+
         let st = coord.stats();
         let traffic = fabric.stats();
+        debug_assert_eq!(
+            fabric
+                .ledger()
+                .check_conservation(traffic.total_msgs() as u64, traffic.total_payload() as u64),
+            None,
+            "ledger must conserve traffic totals under faults"
+        );
         let mut out = RunStats {
             messages: traffic.total_msgs(),
             payload_bytes: traffic.total_payload(),
@@ -313,6 +362,7 @@ impl ChaosSimulation {
             max_error_during_partition: max_degraded,
             evictions: st.evictions,
             rejoins: st.rejoins,
+            ledger: Some(fabric.ledger().entries()),
             ..RunStats::default()
         };
         out.set_errors(errors);

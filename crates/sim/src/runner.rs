@@ -2,10 +2,10 @@
 
 use std::sync::Arc;
 
-use automon_core::{Coordinator, MonitorConfig, MonitoredFunction, Node};
+use automon_core::{CommCause, Coordinator, MonitorConfig, MonitoredFunction, Node};
 use automon_linalg::vector;
 use automon_net::CountingFabric;
-use automon_obs::Telemetry;
+use automon_obs::{SpanId, Telemetry};
 
 use crate::stats::{RunStats, TracePoint};
 use crate::workload::Workload;
@@ -75,7 +75,9 @@ impl Simulation {
             coord.set_neighborhood_r(r);
         }
         let mut nodes: Vec<Node> = (0..n).map(|i| Node::new(i, self.f.clone())).collect();
-        let mut fabric = CountingFabric::new().with_parallelism(coord.parallelism());
+        let mut fabric = CountingFabric::new()
+            .with_parallelism(coord.parallelism())
+            .with_telemetry(self.telemetry.clone());
 
         coord.set_telemetry(self.telemetry.clone());
         for node in &mut nodes {
@@ -101,15 +103,28 @@ impl Simulation {
         let mut current: Vec<Option<Vec<f64>>> = vec![None; n];
         let mut errors = Vec::with_capacity(workload.rounds());
         let mut missed = 0usize;
+        let mut updates = 0usize;
         let mut trace = Vec::new();
 
         for t in 0..workload.rounds() {
             self.telemetry.set_round(t as u64);
+            fabric.set_round(t as u64);
             g_round.set(t as f64);
             for (node, x) in workload.updates(t) {
                 current[*node] = Some(x.clone());
+                updates += 1;
                 if let Some(m) = nodes[*node].update_data(x.clone()) {
-                    fabric.route(&mut coord, &mut nodes, m);
+                    // Every report opens a root span; the coordinator's
+                    // handler span parents under it via the wire header.
+                    let cause = CommCause::of_node_message(&m);
+                    let span = self.telemetry.span_begin(
+                        "violation",
+                        SpanId::NONE,
+                        &[("node", (*node).into()), ("cause", cause.name().into())],
+                    );
+                    fabric.route_as(&mut coord, &mut nodes, m, cause, span);
+                    self.telemetry
+                        .span_end(span, &[("messages", fabric.stats().total_msgs().into())]);
                 }
             }
 
@@ -153,8 +168,28 @@ impl Simulation {
             }
         }
 
+        if self.telemetry.is_enabled() {
+            // Denominators for `automon trace summarize`'s
+            // bytes-per-update table.
+            self.telemetry.event(
+                "run_info",
+                &[
+                    ("nodes", n.into()),
+                    ("rounds", workload.rounds().into()),
+                    ("updates", updates.into()),
+                ],
+            );
+        }
+
         let st = coord.stats();
         let traffic = fabric.stats();
+        debug_assert_eq!(
+            fabric
+                .ledger()
+                .check_conservation(traffic.total_msgs() as u64, traffic.total_payload() as u64),
+            None,
+            "ledger must conserve traffic totals"
+        );
         let mut out = RunStats {
             messages: traffic.total_msgs(),
             payload_bytes: traffic.total_payload(),
@@ -165,6 +200,7 @@ impl Simulation {
             full_syncs: st.full_syncs,
             lazy_syncs: st.lazy_syncs,
             trace: if self.record_trace { Some(trace) } else { None },
+            ledger: Some(fabric.ledger().entries()),
             ..RunStats::default()
         };
         out.set_errors(errors);

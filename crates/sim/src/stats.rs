@@ -1,5 +1,6 @@
 //! Run statistics and traces.
 
+use automon_core::LedgerEntry;
 use serde::Serialize;
 
 /// One per-round trace sample for the time-series figures (4 and 9).
@@ -69,6 +70,11 @@ pub struct RunStats {
     /// Optional per-round trace (enabled via the runner).
     #[serde(skip_serializing_if = "Option::is_none")]
     pub trace: Option<Vec<TracePoint>>,
+    /// Per-cause communication ledger rollup. Conservation against
+    /// `messages`/`payload_bytes` is exact: the fabric charges the
+    /// ledger at the same points it bumps its traffic counters.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub ledger: Option<Vec<LedgerEntry>>,
 }
 
 impl RunStats {

@@ -23,6 +23,14 @@
 #   7. decomposition-cache parity smoke — enabling --decomp-cache under
 #      each eviction policy must leave the simulate output byte-identical
 #      to the cache-off run (DESIGN.md §3.11's bit-identity contract).
+#   8. trace determinism + diff smoke — same-seed runs must emit
+#      byte-identical --trace-out files (`automon trace diff` exits 0);
+#      a perturbed run must be pinpointed with its first divergent seq
+#      and span path (DESIGN.md §3.12).
+#   9. ledger conservation + summarize smoke — the per-cause ledger in
+#      the --json output must sum exactly to messages/payload_bytes,
+#      and `automon trace summarize` must render the bytes/update-by-
+#      cause table, for inner-product and variance.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -114,6 +122,74 @@ for policy in lru-k slru arc; do
         exit 1
     fi
     echo "    $policy: bit-identical to cache-off"
+done
+
+echo "==> trace determinism + diff smoke"
+TDIR=$(mktemp -d)
+trap 'rm -rf "$TDIR"' EXIT
+TRACE_ARGS=(simulate --function inner-product --dim 4 --nodes 3
+    --rounds 80 --epsilon 0.2)
+cargo run --release -q -p automon-cli -- "${TRACE_ARGS[@]}" \
+    --trace-out "$TDIR/a.jsonl" >/dev/null
+cargo run --release -q -p automon-cli -- "${TRACE_ARGS[@]}" \
+    --trace-out "$TDIR/b.jsonl" >/dev/null
+cargo run --release -q -p automon-cli -- trace diff \
+    --left "$TDIR/a.jsonl" --right "$TDIR/b.jsonl" >/dev/null
+cargo run --release -q -p automon-cli -- "${TRACE_ARGS[@]}" --seed 2 \
+    --trace-out "$TDIR/c.jsonl" >/dev/null
+if DIFF_OUT=$(cargo run --release -q -p automon-cli -- trace diff \
+    --left "$TDIR/a.jsonl" --right "$TDIR/c.jsonl" 2>&1); then
+    echo "FAIL: trace diff missed a perturbed run" >&2
+    exit 1
+fi
+if ! grep -q "diverge at seq" <<<"$DIFF_OUT"; then
+    echo "FAIL: divergence report lacks the first divergent seq" >&2
+    printf '%s\n' "$DIFF_OUT" >&2
+    exit 1
+fi
+if ! grep -q "span path:" <<<"$DIFF_OUT"; then
+    echo "FAIL: divergence report lacks the span path" >&2
+    printf '%s\n' "$DIFF_OUT" >&2
+    exit 1
+fi
+echo "    same seed byte-identical; perturbed run pinpointed with span path"
+
+echo "==> ledger conservation + summarize smoke"
+for fn in inner-product variance; do
+    JSON_OUT=$(cargo run --release -q -p automon-cli -- simulate \
+        --function "$fn" --nodes 4 --rounds 80 --epsilon 0.2 --json \
+        --trace-out "$TDIR/$fn.jsonl")
+    python3 - <<PYEOF
+import json, sys
+
+stats = json.loads("""${JSON_OUT}""")
+rows = stats.get("ledger") or []
+if not rows:
+    print("FAIL: ${fn}: --json output has no ledger", file=sys.stderr)
+    sys.exit(1)
+msgs = sum(r["msgs"] for r in rows)
+nbytes = sum(r["bytes"] for r in rows)
+if msgs != stats["messages"] or nbytes != stats["payload_bytes"]:
+    print(f"FAIL: ${fn}: ledger ({msgs} msgs, {nbytes} B) != counters "
+          f"({stats['messages']} msgs, {stats['payload_bytes']} B)",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"    ${fn}: ledger conserves {msgs} msgs / {nbytes} bytes "
+      f"across {len(rows)} causes")
+PYEOF
+    SUMMARY=$(cargo run --release -q -p automon-cli -- trace summarize \
+        --input "$TDIR/$fn.jsonl")
+    if ! grep -q "comm by cause (bytes/update" <<<"$SUMMARY"; then
+        echo "FAIL: $fn: summarize lacks the bytes/update-by-cause table" >&2
+        printf '%s\n' "$SUMMARY" >&2
+        exit 1
+    fi
+    if ! grep -q "registration" <<<"$SUMMARY" || ! grep -q "full_sync" <<<"$SUMMARY"; then
+        echo "FAIL: $fn: summarize table is missing protocol causes" >&2
+        printf '%s\n' "$SUMMARY" >&2
+        exit 1
+    fi
+    echo "    $fn: bytes/update-by-cause table rendered"
 done
 
 echo "==> CI green"
