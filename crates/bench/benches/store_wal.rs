@@ -1,0 +1,98 @@
+//! Durable-store hot path (docs/DURABILITY.md): `wal_append` is the
+//! per-transition journaling cost the coordinator pays on every handle
+//! (frame encode + CRC + in-memory disk append + sync), and
+//! `recovery_replay` is the crash-side cost — rescanning the segments,
+//! CRC-checking every frame, and folding the valid suffix onto the
+//! newest checkpoint. Both run on `MemDisk` so the numbers measure the
+//! store, not the filesystem.
+
+use automon_core::{CoordinatorSnapshot, CoordinatorStats};
+use automon_store::record::JournalRecord;
+use automon_store::{CoordinatorStore, DynDisk, MemDisk, StoreOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const DIM: usize = 8;
+
+fn base_snap(n: usize) -> CoordinatorSnapshot {
+    CoordinatorSnapshot {
+        n,
+        r: 1.0,
+        zone: None,
+        slack: vec![vec![0.0; DIM]; n],
+        known_x: vec![None; n],
+        lru: (0..n).collect(),
+        stats: CoordinatorStats::default(),
+        consecutive_neighborhood: 0,
+        epoch: 0,
+        alive: vec![true; n],
+        node_has_curvature: vec![false; n],
+    }
+}
+
+/// A representative node transition: a dim-8 vector plus slack, the
+/// record the coordinator journals most often.
+fn node_rec(node: usize, v: f64) -> JournalRecord {
+    JournalRecord::Node {
+        node,
+        x: Some((0..DIM).map(|i| v + i as f64 * 0.125).collect()),
+        slack: vec![0.25; DIM],
+        alive: true,
+        has_curvature: true,
+    }
+}
+
+fn mem_store() -> CoordinatorStore<DynDisk> {
+    CoordinatorStore::open(Box::new(MemDisk::new()) as DynDisk, StoreOptions::default())
+        .expect("fresh store")
+        .0
+}
+
+/// A store pre-loaded with a checkpoint plus `records` journaled node
+/// transitions, as a crashing coordinator would leave behind.
+fn loaded_store(n: usize, records: usize) -> CoordinatorStore<DynDisk> {
+    let mut store = mem_store();
+    store.write_snapshot(&base_snap(n)).expect("checkpoint");
+    for i in 0..records {
+        store.append(&node_rec(i % n, i as f64 * 0.25)).expect("append");
+    }
+    store
+}
+
+fn bench_store_wal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_wal");
+    group.sample_size(10);
+
+    // Steady-state journaling: one frame per iteration.
+    group.bench_function("wal_append", |b| {
+        let mut store = mem_store();
+        store.write_snapshot(&base_snap(8)).expect("checkpoint");
+        let mut i = 0usize;
+        b.iter(|| {
+            let rec = node_rec(i % 8, i as f64 * 0.25);
+            i += 1;
+            std::hint::black_box(store.append(std::hint::black_box(&rec)).expect("append"))
+        })
+    });
+
+    // Crash-side: full rescan + CRC + fold for growing log suffixes.
+    for records in [256usize, 2048] {
+        group.bench_with_input(
+            BenchmarkId::new("recovery_replay", records),
+            &records,
+            |b, &records| {
+                let mut store = loaded_store(8, records);
+                b.iter(|| {
+                    store.crash();
+                    let rec = store.recover().expect("recovery scan");
+                    assert_eq!(rec.report.records_replayed, records);
+                    std::hint::black_box(rec.snapshot)
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_wal);
+criterion_main!(benches);

@@ -59,6 +59,9 @@ pub enum FaultKind {
     Crash,
     /// Scheduled restart fired.
     Restart,
+    /// Scheduled coordinator crash fired; the runner rebuilds the
+    /// coordinator from its durable store before the round proceeds.
+    CoordinatorCrash,
 }
 
 /// One injected fault, in injection order. Traces from two runs with the
@@ -154,6 +157,7 @@ struct FabricTel {
     partition_drop: Counter,
     crash: Counter,
     restart: Counter,
+    coordinator_crash: Counter,
 }
 
 impl FabricTel {
@@ -173,6 +177,7 @@ impl FabricTel {
             partition_drop: c("partition_drop"),
             crash: c("crash"),
             restart: c("restart"),
+            coordinator_crash: c("coordinator_crash"),
             tel,
         }
     }
@@ -187,6 +192,7 @@ impl FabricTel {
             FaultKind::PartitionDrop => &self.partition_drop,
             FaultKind::Crash => &self.crash,
             FaultKind::Restart => &self.restart,
+            FaultKind::CoordinatorCrash => &self.coordinator_crash,
         }
     }
 }
@@ -201,6 +207,7 @@ fn kind_name(kind: FaultKind) -> &'static str {
         FaultKind::PartitionDrop => "partition_drop",
         FaultKind::Crash => "crash",
         FaultKind::Restart => "restart",
+        FaultKind::CoordinatorCrash => "coordinator_crash",
     }
 }
 
@@ -326,6 +333,11 @@ impl ChaosFabric {
     pub fn begin_round(&mut self, round: usize) -> Vec<NodeId> {
         self.round = round;
         self.inner.set_round(round as u64);
+        if self.plan.coordinator_crashes.contains(&round) {
+            // The coordinator has no NodeId; by convention its fault
+            // events carry node 0 with the NodeToCoord direction.
+            self.record(Direction::NodeToCoord, 0, FaultKind::CoordinatorCrash);
+        }
         let crashes = self.plan.crashes.clone();
         for c in &crashes {
             if c.at == round && !self.crashed[c.node] {

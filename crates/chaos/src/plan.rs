@@ -67,6 +67,12 @@ pub struct FaultPlan {
     pub crashes: Vec<NodeCrash>,
     /// Timed partitions.
     pub partitions: Vec<Partition>,
+    /// Rounds at which the *coordinator* crashes and is rebuilt from
+    /// its durable store (WAL + snapshot; requires a store-enabled
+    /// runner, see `sim::ChaosSimulation`). Absent in plans serialized
+    /// by older versions.
+    #[serde(default)]
+    pub coordinator_crashes: Vec<usize>,
 }
 
 impl FaultPlan {
@@ -81,6 +87,7 @@ impl FaultPlan {
             max_delay_rounds: 0,
             crashes: Vec::new(),
             partitions: Vec::new(),
+            coordinator_crashes: Vec::new(),
         }
     }
 
@@ -123,6 +130,13 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule a coordinator crash (+ recovery from the durable store)
+    /// at the start of `round`.
+    pub fn with_coordinator_crash(mut self, round: usize) -> Self {
+        self.coordinator_crashes.push(round);
+        self
+    }
+
     /// Schedule a partition cutting `nodes` off during `[from, until)`.
     pub fn with_partition(mut self, nodes: Vec<NodeId>, from: usize, until: usize) -> Self {
         self.partitions.push(Partition { nodes, from, until });
@@ -137,6 +151,7 @@ impl FaultPlan {
             && self.delay_rate == 0.0
             && self.crashes.is_empty()
             && self.partitions.is_empty()
+            && self.coordinator_crashes.is_empty()
     }
 
     /// `true` when `node` is partitioned from the coordinator at `round`.

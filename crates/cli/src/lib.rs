@@ -49,7 +49,9 @@ USAGE:
                      [--rounds R] [--dim D] [--seed S] [--baseline SPEC]
                      [--parallelism P] [--spectral-backend B]
                      [--chaos-seed S] [--drop-rate P]
-                     [--crash-node SPEC] [--partition SPEC] [--json]
+                     [--crash-node SPEC] [--partition SPEC]
+                     [--crash-coordinator R] [--wal-dir DIR]
+                     [--snapshot-every N] [--json]
                      [--metrics-out FILE] [--trace-out FILE]
                      [--serve-metrics ADDR] [--decomp-cache POLICY]
                      [--decomp-cache-capacity N] [--decomp-cache-warm]
@@ -89,6 +91,18 @@ runner with retransmission, eviction, and rejoin enabled):
     --drop-rate P       drop each frame with probability P in [0, 1]
     --crash-node SPEC   `node:at[:restart]`, repeatable
     --partition SPEC    `n1[,n2,…]:from:until` (until exclusive), repeatable
+
+DURABILITY (simulate only; docs/DURABILITY.md):
+    --crash-coordinator R   crash the coordinator at round R and rebuild
+                            it from the durable store (WAL + snapshot),
+                            repeatable; the recovery full sync is charged
+                            to the `recovery` ledger cause
+    --wal-dir DIR           persist the store in real files under DIR
+                            (default: deterministic in-memory backend;
+                            both replay bit-identically under a seed)
+    --snapshot-every N      checkpoint cadence in rounds (default 16);
+                            mid-sync requests defer to the next quiescent
+                            round instead of being skipped
 
 DECOMPOSITION CACHE (off by default; DESIGN.md §3.11):
     --decomp-cache POLICY       memoize full-sync decompositions at the

@@ -14,6 +14,7 @@ use automon_functions::{train_mlp_d, InnerProduct, KlDivergence, QuadraticForm, 
 use automon_chaos::FaultPlan;
 use automon_obs::{MetricsServer, Telemetry};
 use automon_sim::{run_centralization, run_periodic, ChaosSimulation, Simulation, Workload};
+use automon_store::{DynDisk, FileDisk, MemDisk};
 use serde::{Serialize, Value};
 
 use crate::args::{Args, CliError};
@@ -139,6 +140,7 @@ fn parse_chaos_plan(args: &Args, nodes: usize) -> Result<Option<FaultPlan>, CliE
     let requested = args.get("chaos-seed").is_some()
         || args.get("drop-rate").is_some()
         || !args.get_all("crash-node").is_empty()
+        || !args.get_all("crash-coordinator").is_empty()
         || !args.get_all("partition").is_empty();
     if !requested {
         return Ok(None);
@@ -183,6 +185,12 @@ fn parse_chaos_plan(args: &Args, nodes: usize) -> Result<Option<FaultPlan>, CliE
             )));
         }
         plan = plan.with_crash(node, at, restart);
+    }
+    for spec in args.get_all("crash-coordinator") {
+        let round: usize = spec.parse().map_err(|_| {
+            CliError::new(format!("--crash-coordinator wants a round number, got `{spec}`"))
+        })?;
+        plan = plan.with_coordinator_crash(round);
     }
     for spec in args.get_all("partition") {
         let parts: Vec<&str> = spec.split(':').collect();
@@ -370,9 +378,27 @@ pub fn run_simulate(args: &Args) -> Result<String, CliError> {
     let sinks = ObsSinks::from_args(args)?;
 
     if let Some(plan) = parse_chaos_plan(args, nodes)? {
-        let report = ChaosSimulation::new(f.clone(), cfg, plan.clone())
-            .with_telemetry(sinks.telemetry.clone())
-            .run(&workload);
+        let snapshot_every = args.num("snapshot-every", 16usize)?;
+        if snapshot_every == 0 {
+            return Err(CliError::new("--snapshot-every must be positive"));
+        }
+        let mut sim = ChaosSimulation::new(f.clone(), cfg, plan.clone())
+            .with_telemetry(sinks.telemetry.clone());
+        if let Some(dir) = args.get("wal-dir") {
+            let dir = dir.to_string();
+            sim = sim.with_store(
+                move || {
+                    Box::new(FileDisk::open(&dir).expect("--wal-dir: cannot open directory"))
+                        as DynDisk
+                },
+                snapshot_every,
+            );
+        } else if !plan.coordinator_crashes.is_empty() || args.get("snapshot-every").is_some() {
+            // Coordinator durability without a directory: deterministic
+            // in-memory backend (replays identically to the file one).
+            sim = sim.with_store(|| Box::new(MemDisk::new()) as DynDisk, snapshot_every);
+        }
+        let report = sim.run(&workload);
         let s = &report.stats;
         if args.flag("json") {
             let json = stats_json(s, &[("quiesced", Value::Bool(report.quiesced))])?;
@@ -407,6 +433,12 @@ pub fn run_simulate(args: &Args) -> Result<String, CliError> {
                 "DEADLOCKED"
             }
         ));
+        if s.coordinator_recoveries > 0 {
+            out.push_str(&format!(
+                "durability      : {:>8} coordinator crash/recovery cycle(s) replayed from the WAL\n",
+                s.coordinator_recoveries
+            ));
+        }
         for note in sinks.finish(args)? {
             out.push_str(&note);
             out.push('\n');
@@ -827,6 +859,102 @@ mod tests {
         );
         let err = run_simulate(&base(&["--decomp-cache-capacity", "8"])).unwrap_err();
         assert!(err.to_string().contains("require --decomp-cache"), "{err}");
+    }
+
+    #[test]
+    fn crash_coordinator_flag_runs_and_is_deterministic() {
+        let base = |extra: &[&str]| {
+            let mut argv: Vec<String> = [
+                "--function",
+                "inner-product",
+                "--dim",
+                "4",
+                "--rounds",
+                "80",
+                "--nodes",
+                "4",
+                "--epsilon",
+                "0.3",
+                "--chaos-seed",
+                "7",
+                "--crash-coordinator",
+                "30",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            argv.extend(extra.iter().map(|s| s.to_string()));
+            Args::parse(&argv).unwrap()
+        };
+        let a = run_simulate(&base(&["--json"])).unwrap();
+        let b = run_simulate(&base(&["--json"])).unwrap();
+        assert_eq!(a, b, "same seed + crash schedule must be byte-identical");
+        assert!(a.contains("\"coordinator_recoveries\":1"), "{a}");
+        assert!(a.contains("\"cause\":\"recovery\""), "recovery ledger cause: {a}");
+        // The text report names the durability line only on crash runs.
+        let text = run_simulate(&base(&[])).unwrap();
+        assert!(text.contains("durability"), "{text}");
+        assert!(text.contains("1 coordinator crash/recovery cycle"), "{text}");
+        // Cadence flag composes; zero is rejected; garbage rounds are
+        // rejected.
+        assert!(run_simulate(&base(&["--snapshot-every", "4"])).is_ok());
+        let err = run_simulate(&base(&["--snapshot-every", "0"])).unwrap_err();
+        assert!(err.to_string().contains("--snapshot-every"), "{err}");
+        let bad = Args::parse(&[
+            "--function".into(),
+            "inner-product".into(),
+            "--crash-coordinator".into(),
+            "soon".into(),
+        ])
+        .unwrap();
+        let err = run_simulate(&bad).unwrap_err();
+        assert!(err.to_string().contains("--crash-coordinator"), "{err}");
+    }
+
+    #[test]
+    fn wal_dir_backend_matches_in_memory() {
+        let dir = std::env::temp_dir().join(format!("automon_cli_wal_{}", std::process::id()));
+        let base = |extra: &[&str]| {
+            let mut argv: Vec<String> = [
+                "--function",
+                "inner-product",
+                "--dim",
+                "4",
+                "--rounds",
+                "60",
+                "--nodes",
+                "3",
+                "--epsilon",
+                "0.3",
+                "--chaos-seed",
+                "9",
+                "--crash-coordinator",
+                "25",
+                "--json",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            argv.extend(extra.iter().map(|s| s.to_string()));
+            Args::parse(&argv).unwrap()
+        };
+        let mem = run_simulate(&base(&[])).unwrap();
+        let file = run_simulate(&base(&["--wal-dir", &dir.display().to_string()])).unwrap();
+        // The store leaves its files behind for inspection.
+        let names: Vec<_> = std::fs::read_dir(&dir)
+            .expect("--wal-dir created")
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(mem, file, "file backend must replay identically to memory");
+        assert!(
+            names.iter().any(|n| n.starts_with("wal-")),
+            "WAL segments persisted: {names:?}"
+        );
+        assert!(
+            names.iter().any(|n| n.starts_with("snap-")),
+            "checkpoints persisted: {names:?}"
+        );
     }
 
     #[test]

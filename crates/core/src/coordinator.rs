@@ -77,6 +77,11 @@ pub struct CoordinatorSnapshot {
     /// from older versions (restored as all-alive).
     #[serde(default)]
     pub alive: Vec<bool>,
+    /// Which nodes hold the current curvature matrices (§4.4 cached
+    /// installs). Empty in snapshots from older versions (restored as
+    /// all-false: the first post-restore sync re-ships curvature).
+    #[serde(default)]
+    pub node_has_curvature: Vec<bool>,
 }
 
 /// A notification from the coordinator to the embedding application.
@@ -157,6 +162,8 @@ struct CoordTel {
     /// Per-policy adaptation gauge, labeled with the active policy;
     /// only registered when the decomposition cache is configured.
     cache_adaptation: Option<Gauge>,
+    snap_taken: Counter,
+    snap_deferred: Counter,
     epoch: Gauge,
     radius: Gauge,
     alive: Gauge,
@@ -244,6 +251,14 @@ impl CoordTel {
                 "Decomposition-cache ghost-list hits (ARC)",
             ),
             cache_adaptation,
+            snap_taken: tel.counter(
+                "automon_coord_snapshot_taken_total",
+                "Durable snapshots captured (including retried deferrals)",
+            ),
+            snap_deferred: tel.counter(
+                "automon_coord_snapshot_deferred_total",
+                "Snapshot requests deferred because a sync was in flight",
+            ),
             epoch: tel.gauge("automon_coord_epoch", "Constraint epoch in force"),
             radius: tel.gauge(
                 "automon_coord_neighborhood_r",
@@ -308,6 +323,12 @@ pub struct Coordinator {
     epoch: Epoch,
     /// Per-node liveness; evicted nodes are `false` until they rejoin.
     alive: Vec<bool>,
+    /// Durability sink (no-op until `set_journal`): every state
+    /// transition that a restore must reproduce is recorded here.
+    journal: Option<Box<dyn crate::journal::Journal>>,
+    /// A snapshot was requested mid-sync and must be retried at the
+    /// next quiescent point (see `request_snapshot`).
+    snapshot_deferred: bool,
     /// Observability handles (no-op until `set_telemetry`).
     tel: CoordTel,
 }
@@ -344,6 +365,8 @@ impl Coordinator {
             observer: None,
             epoch: 0,
             alive: vec![true; n],
+            journal: None,
+            snapshot_deferred: false,
             tel: CoordTel::new(Telemetry::disabled(), cache_policy),
         }
     }
@@ -366,6 +389,79 @@ impl Coordinator {
         t.radius.set(self.r);
         t.alive.set(self.alive_count() as f64);
         self.tel = t;
+    }
+
+    /// Install a durability sink. From now on every state transition a
+    /// restore must reproduce — node registrations, slack updates,
+    /// epoch bumps, evictions, rejoins, r-doublings — is recorded
+    /// through it (DESIGN.md §3.13).
+    pub fn set_journal(&mut self, journal: Box<dyn crate::journal::Journal>) {
+        self.journal = Some(journal);
+    }
+
+    fn journal_node(&mut self, node: NodeId) {
+        let t = crate::journal::Transition::Node {
+            node,
+            x: self.known_x[node].clone(),
+            slack: self.slack[node].clone(),
+            alive: self.alive[node],
+            has_curvature: self.node_has_curvature[node],
+        };
+        if let Some(j) = &mut self.journal {
+            j.record(t);
+        }
+    }
+
+    fn journal_zone(&mut self) {
+        let t = crate::journal::Transition::Zone {
+            epoch: self.epoch,
+            r: self.r,
+            zone: self.zone.clone().map(Box::new),
+        };
+        if let Some(j) = &mut self.journal {
+            j.record(t);
+        }
+    }
+
+    fn journal_control(&mut self) {
+        let t = crate::journal::Transition::Control {
+            lru: self.lru.iter().collect(),
+            stats: self.stats.clone(),
+            consecutive_neighborhood: self.consecutive_neighborhood,
+        };
+        if let Some(j) = &mut self.journal {
+            j.record(t);
+        }
+    }
+
+    /// Journal the delta a just-handled message (or eviction) produced.
+    ///
+    /// `pre` is `(epoch, r, lazy_syncs)` captured before the mutation.
+    /// An epoch bump means a full sync rewrote every member's slack; a
+    /// `lazy_syncs` bump rewrote the balancing set's — both journal all
+    /// alive nodes. Otherwise only `touched` changed. The control
+    /// record (LRU order, counters) rides along every time.
+    fn journal_delta(&mut self, touched: Option<NodeId>, pre: (Epoch, f64, usize)) {
+        let (epoch0, r0, lazy0) = pre;
+        let full = self.epoch != epoch0;
+        if full || self.r != r0 {
+            self.journal_zone();
+        }
+        if full || self.stats.lazy_syncs != lazy0 {
+            for i in 0..self.n {
+                if self.alive[i] {
+                    self.journal_node(i);
+                }
+            }
+            if let Some(t) = touched {
+                if !self.alive[t] {
+                    self.journal_node(t);
+                }
+            }
+        } else if let Some(t) = touched {
+            self.journal_node(t);
+        }
+        self.journal_control();
     }
 
     /// Share an external decomposition cache (e.g. across a coordinator
@@ -481,6 +577,18 @@ impl Coordinator {
         if !self.alive[node] {
             return Vec::new();
         }
+        let pre = self
+            .journal
+            .is_some()
+            .then_some((self.epoch, self.r, self.stats.lazy_syncs));
+        let out = self.evict_inner(node);
+        if let Some(pre) = pre {
+            self.journal_delta(Some(node), pre);
+        }
+        out
+    }
+
+    fn evict_inner(&mut self, node: NodeId) -> Vec<Outbound> {
         self.alive[node] = false;
         self.known_x[node] = None;
         self.node_has_curvature[node] = false;
@@ -556,6 +664,10 @@ impl Coordinator {
         if let Some(cache) = &self.decomp_cache {
             cache.lock().remember_tuned_r(self.cache_fn_id, r);
         }
+        if self.journal.is_some() {
+            self.journal_zone();
+            self.journal_control();
+        }
     }
 
     /// Capture a restorable snapshot of the protocol state.
@@ -577,8 +689,63 @@ impl Coordinator {
                 consecutive_neighborhood: self.consecutive_neighborhood,
                 epoch: self.epoch,
                 alive: self.alive.clone(),
+                node_has_curvature: self.node_has_curvature.clone(),
             }),
             _ => None,
+        }
+    }
+
+    /// [`Coordinator::snapshot`] with deferral tracking: a request that
+    /// lands mid-sync is remembered and retried via
+    /// [`Coordinator::take_deferred_snapshot`] at the next quiescent
+    /// point, instead of being silently skipped. Counted in
+    /// `automon_coord_snapshot_{taken,deferred}_total`.
+    pub fn request_snapshot(&mut self) -> Option<CoordinatorSnapshot> {
+        match self.snapshot() {
+            Some(s) => {
+                self.snapshot_deferred = false;
+                self.tel.snap_taken.inc();
+                Some(s)
+            }
+            None => {
+                self.snapshot_deferred = true;
+                self.tel.snap_deferred.inc();
+                None
+            }
+        }
+    }
+
+    /// Retry a deferred snapshot request. `Some` only when a request
+    /// was deferred and the coordinator is now quiescent.
+    pub fn take_deferred_snapshot(&mut self) -> Option<CoordinatorSnapshot> {
+        if !self.snapshot_deferred {
+            return None;
+        }
+        let snap = self.snapshot()?;
+        self.snapshot_deferred = false;
+        self.tel.snap_taken.inc();
+        Some(snap)
+    }
+
+    /// `true` while a deferred snapshot request is outstanding.
+    pub fn snapshot_pending(&self) -> bool {
+        self.snapshot_deferred
+    }
+
+    /// Start the post-recovery resynchronization: pull fresh vectors
+    /// from every alive node, then full-sync the fleet — the restored
+    /// reference point may be arbitrarily stale, and the sync also
+    /// re-opens a fresh epoch so anything in flight from before the
+    /// crash is recognizably stale.
+    ///
+    /// Empty before initialization completes (no constraints exist to
+    /// rebuild; registration traffic converges on its own — and nodes
+    /// that never registered cannot answer a pull yet).
+    pub fn begin_recovery_sync(&mut self) -> Vec<Outbound> {
+        if self.zone.is_some() && self.alive_count() > 0 {
+            self.begin_full_sync(BTreeSet::new())
+        } else {
+            Vec::new()
         }
     }
 
@@ -604,6 +771,13 @@ impl Coordinator {
         } else {
             // Older snapshot without liveness: everyone is alive.
             vec![true; snap.n]
+        };
+        let node_has_curvature = if snap.node_has_curvature.len() == snap.n {
+            snap.node_has_curvature
+        } else {
+            // Older snapshot: conservative — the first post-restore
+            // sync re-ships curvature to everyone.
+            vec![false; snap.n]
         };
         let complete = snap
             .known_x
@@ -637,13 +811,13 @@ impl Coordinator {
             e_cache: None,
             decomp_cache,
             cache_fn_id: 0,
-            // Conservative after failover: the first post-restore sync
-            // re-ships curvature to everyone.
-            node_has_curvature: vec![false; snap.n],
+            node_has_curvature,
             consecutive_neighborhood: snap.consecutive_neighborhood,
             observer: None,
             epoch: snap.epoch,
             alive,
+            journal: None,
+            snapshot_deferred: false,
             tel: CoordTel::new(Telemetry::disabled(), cache_policy),
         }
     }
@@ -704,7 +878,15 @@ impl Coordinator {
             ctx.span,
             &[("node", msg.sender().into()), ("epoch", msg.epoch().into())],
         );
+        let sender = msg.sender();
+        let pre = self
+            .journal
+            .is_some()
+            .then_some((self.epoch, self.r, self.stats.lazy_syncs));
         let mut out = self.handle_inner(msg);
+        if let Some(pre) = pre {
+            self.journal_delta(Some(sender), pre);
+        }
         if span.is_some() {
             for o in &mut out {
                 o.span = span;

@@ -1,0 +1,61 @@
+//! Durability hook: the coordinator's state transitions as owned values.
+//!
+//! The coordinator cannot depend on `automon-store` (that would invert
+//! the crate DAG), so the journaling contract lives here: the
+//! coordinator emits [`Transition`]s through an injected [`Journal`]
+//! and the store crate implements the trait on top of its WAL.
+//!
+//! Transitions are *state deltas*, not protocol messages: three record
+//! kinds that together reconstruct a [`crate::CoordinatorSnapshot`]
+//! when folded over a base snapshot in sequence order. Each kind
+//! supersedes earlier records of the same key (per-node, zone,
+//! control), which is what makes bitcask-style compaction sound —
+//! only the latest record per key matters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::coordinator::CoordinatorStats;
+use crate::messages::{Epoch, NodeId};
+use crate::safezone::SafeZone;
+
+/// One durable coordinator state transition.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Transition {
+    /// Per-node state: last known local vector, slack assignment, and
+    /// liveness. Covers registration, lazy-sync slack updates,
+    /// evictions, and rejoins.
+    Node {
+        node: NodeId,
+        x: Option<Vec<f64>>,
+        slack: Vec<f64>,
+        alive: bool,
+        /// Whether the node holds the current curvature matrices
+        /// (decides cached vs. full constraint installs, §4.4).
+        has_curvature: bool,
+    },
+    /// Global sync state: epoch, neighborhood radius, and the active
+    /// safe zone. Written on every full sync (epoch bump), r-doubling,
+    /// and zone teardown.
+    Zone {
+        epoch: Epoch,
+        r: f64,
+        zone: Option<Box<SafeZone>>,
+    },
+    /// Bookkeeping that rides along with every transition batch: the
+    /// LRU pull order, protocol counters, and the neighborhood-growth
+    /// streak.
+    Control {
+        lru: Vec<NodeId>,
+        stats: CoordinatorStats,
+        consecutive_neighborhood: usize,
+    },
+}
+
+/// Sink for coordinator state transitions.
+///
+/// Implementations must tolerate being called mid-protocol (between
+/// any two message handles); they must not call back into the
+/// coordinator.
+pub trait Journal: Send {
+    fn record(&mut self, transition: Transition);
+}

@@ -52,6 +52,11 @@ pub enum CommCause {
     Retransmit,
     /// Liveness heartbeat (empty frame; TCP transport only).
     Heartbeat,
+    /// Fleet resynchronization after a coordinator crash: the restored
+    /// coordinator's pulls, their replies, and the closing installs
+    /// (docs/DURABILITY.md) — durability costs disk, and this cause
+    /// makes its wire cost separable too.
+    Recovery,
 }
 
 impl CommCause {
@@ -70,6 +75,7 @@ impl CommCause {
             CommCause::Eviction => "eviction",
             CommCause::Retransmit => "retransmit",
             CommCause::Heartbeat => "heartbeat",
+            CommCause::Recovery => "recovery",
         }
     }
 

@@ -32,6 +32,7 @@ pub mod adcd;
 pub mod cache;
 mod config;
 pub mod coordinator;
+pub mod journal;
 pub mod ledger;
 pub mod messages;
 pub mod node;
@@ -47,6 +48,7 @@ pub use cache::{
 pub use config::{ApproximationKind, EigenObjective, EigenSearch, MonitorConfig, MonitorConfigBuilder, NeighborhoodMode, Parallelism};
 pub use automon_linalg::SpectralBackend;
 pub use coordinator::{Coordinator, CoordinatorEvent, CoordinatorSnapshot, CoordinatorStats, Observer};
+pub use journal::{Journal, Transition};
 pub use ledger::{CommCause, CommLedger, LedgerCell, LedgerEntry};
 pub use messages::{CoordinatorMessage, Epoch, NodeId, NodeMessage, Outbound, Recipient, ZoneUpdate};
 pub use node::Node;

@@ -1,0 +1,139 @@
+//! Deferred-snapshot semantics: a checkpoint request that lands while
+//! a violation resolution is in flight must not be silently skipped —
+//! it is remembered and satisfied at the next quiescent point, and the
+//! `automon_coord_snapshot_{taken,deferred}_total` counter pair
+//! accounts for both outcomes.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use automon_autodiff::{AutoDiffFn, Scalar, ScalarFn};
+use automon_core::{Coordinator, MonitorConfig, MonitoredFunction, Node, NodeMessage, Outbound};
+use automon_obs::{parse_prometheus, value_of, Telemetry};
+
+struct Mean1;
+impl ScalarFn for Mean1 {
+    fn dim(&self) -> usize {
+        1
+    }
+    fn call<S: Scalar>(&self, x: &[S]) -> S {
+        x[0]
+    }
+}
+
+fn route(coord: &mut Coordinator, nodes: &mut [Node], first: NodeMessage) {
+    let mut inbox = VecDeque::from([first]);
+    while let Some(m) = inbox.pop_front() {
+        for out in coord.handle(m) {
+            if let Some(reply) = nodes[out.to].handle(out.msg) {
+                inbox.push_back(reply);
+            }
+        }
+    }
+}
+
+/// Deliver `outs` to the nodes and FIFO-route every cascading message.
+fn route_outbounds(coord: &mut Coordinator, nodes: &mut [Node], outs: Vec<Outbound>) {
+    let mut inbox: VecDeque<NodeMessage> = VecDeque::new();
+    for out in outs {
+        if let Some(reply) = nodes[out.to].handle(out.msg) {
+            inbox.push_back(reply);
+        }
+    }
+    while let Some(m) = inbox.pop_front() {
+        for out in coord.handle(m) {
+            if let Some(reply) = nodes[out.to].handle(out.msg) {
+                inbox.push_back(reply);
+            }
+        }
+    }
+}
+
+#[test]
+fn mid_sync_snapshot_defers_then_lands_at_quiescence() {
+    let f: Arc<dyn MonitoredFunction> = Arc::new(AutoDiffFn::new(Mean1));
+    let n = 3;
+    let mut coord = Coordinator::new(f.clone(), n, MonitorConfig::builder(0.1).build());
+    let tel = Telemetry::enabled();
+    coord.set_telemetry(tel.clone());
+    let mut nodes: Vec<Node> = (0..n).map(|i| Node::new(i, f.clone())).collect();
+    for i in 0..n {
+        if let Some(m) = nodes[i].update_data(vec![0.0]) {
+            route(&mut coord, &mut nodes, m);
+        }
+    }
+
+    // Quiescent: a snapshot request succeeds immediately.
+    assert!(coord.request_snapshot().is_some());
+    assert!(!coord.snapshot_pending());
+
+    // Drive node 0 past ε and hand its report to the coordinator, but
+    // do NOT route the resulting pulls — the sync stays open.
+    let report = nodes[0].update_data(vec![1.0]).expect("violation");
+    let pulls = coord.handle(report);
+    assert!(!pulls.is_empty(), "resolution must pull peers");
+    assert!(coord.is_resolving());
+
+    // Mid-sync: the request is deferred, not dropped.
+    assert!(coord.request_snapshot().is_none());
+    assert!(coord.snapshot_pending());
+    // Retrying while still mid-sync yields nothing.
+    assert!(coord.take_deferred_snapshot().is_none());
+    assert!(coord.snapshot_pending());
+
+    // Complete the sync; the deferred request now lands exactly once.
+    route_outbounds(&mut coord, &mut nodes, pulls);
+    assert!(!coord.is_resolving());
+    let snap = coord.take_deferred_snapshot().expect("deferred snapshot retried");
+    assert_eq!(snap.n, n);
+    assert!(!coord.snapshot_pending());
+    assert!(coord.take_deferred_snapshot().is_none(), "request satisfied, not repeatable");
+
+    let text = tel.prometheus();
+    let samples = parse_prometheus(&text).expect("well-formed exposition");
+    assert_eq!(
+        value_of(&samples, "automon_coord_snapshot_taken_total", &[]),
+        Some(2.0),
+        "one immediate + one deferred-then-taken: {text}"
+    );
+    assert_eq!(
+        value_of(&samples, "automon_coord_snapshot_deferred_total", &[]),
+        Some(1.0),
+        "exactly one deferral: {text}"
+    );
+}
+
+#[test]
+fn repeated_mid_sync_requests_coalesce() {
+    let f: Arc<dyn MonitoredFunction> = Arc::new(AutoDiffFn::new(Mean1));
+    let n = 2;
+    let mut coord = Coordinator::new(f.clone(), n, MonitorConfig::builder(0.1).build());
+    let tel = Telemetry::enabled();
+    coord.set_telemetry(tel.clone());
+    let mut nodes: Vec<Node> = (0..n).map(|i| Node::new(i, f.clone())).collect();
+    for i in 0..n {
+        if let Some(m) = nodes[i].update_data(vec![0.0]) {
+            route(&mut coord, &mut nodes, m);
+        }
+    }
+    let report = nodes[1].update_data(vec![1.0]).expect("violation");
+    let pulls = coord.handle(report);
+    // Several checkpoint ticks elapse while the sync is open: they
+    // coalesce into one pending request (each counted as deferred).
+    for _ in 0..3 {
+        assert!(coord.request_snapshot().is_none());
+    }
+    route_outbounds(&mut coord, &mut nodes, pulls);
+    assert!(coord.take_deferred_snapshot().is_some());
+    assert!(coord.take_deferred_snapshot().is_none());
+
+    let samples = parse_prometheus(&tel.prometheus()).expect("well-formed exposition");
+    assert_eq!(
+        value_of(&samples, "automon_coord_snapshot_deferred_total", &[]),
+        Some(3.0)
+    );
+    assert_eq!(
+        value_of(&samples, "automon_coord_snapshot_taken_total", &[]),
+        Some(1.0)
+    );
+}

@@ -27,12 +27,27 @@ use automon_core::{CommCause, Coordinator, MonitorConfig, MonitoredFunction, Nod
 use automon_linalg::vector;
 use automon_net::CountingFabric;
 use automon_obs::{SpanId, Telemetry};
+use automon_store::{DiskManager, DynDisk, MemDisk, SharedStore, StoreOptions};
 
 use crate::stats::RunStats;
 use crate::workload::Workload;
 
 /// Longest a retransmit backoff interval is allowed to grow, in rounds.
 const MAX_BACKOFF: usize = 64;
+
+/// Checkpoint cadence when a coordinator crash is scheduled but no
+/// store was configured explicitly.
+const DEFAULT_SNAPSHOT_INTERVAL: usize = 16;
+
+/// How the coordinator's durable store is provisioned for a run.
+///
+/// `run(&self)` may be called more than once, so the backend is a
+/// factory: each run opens a fresh disk (the simulator owns fresh-run
+/// semantics; pre-existing files on the disk are cleared).
+struct Durability {
+    make_disk: Box<dyn Fn() -> DynDisk>,
+    snapshot_interval: usize,
+}
 
 /// Result of a chaos run: the usual statistics plus the replayable
 /// fault trace and whether the protocol actually quiesced.
@@ -56,6 +71,7 @@ pub struct ChaosSimulation {
     recovery: RecoveryConfig,
     max_recovery_rounds: usize,
     telemetry: Telemetry,
+    durability: Option<Durability>,
 }
 
 impl ChaosSimulation {
@@ -68,7 +84,24 @@ impl ChaosSimulation {
             recovery: RecoveryConfig::default(),
             max_recovery_rounds: 256,
             telemetry: Telemetry::disabled(),
+            durability: None,
         }
+    }
+
+    /// Persist the coordinator through `make_disk`'s backend (WAL +
+    /// snapshots, DESIGN.md §3.13), checkpointing every
+    /// `snapshot_interval` rounds. Required for plans with
+    /// `coordinator_crashes`; when such a plan arrives without a store,
+    /// a deterministic in-memory backend is provisioned automatically.
+    pub fn with_store<F>(mut self, make_disk: F, snapshot_interval: usize) -> Self
+    where
+        F: Fn() -> DynDisk + 'static,
+    {
+        self.durability = Some(Durability {
+            make_disk: Box::new(make_disk),
+            snapshot_interval: snapshot_interval.max(1),
+        });
+        self
     }
 
     /// Thread an observability handle through the coordinator, every node
@@ -130,6 +163,44 @@ impl ChaosSimulation {
             node.set_telemetry(&self.telemetry);
         }
         fabric.set_telemetry(self.telemetry.clone());
+
+        // Durable store: explicit via `with_store`, or auto-provisioned
+        // (in-memory) when the plan schedules a coordinator crash. The
+        // baseline checkpoint guarantees recovery always has a base to
+        // fold the journal into.
+        let snapshot_interval = self
+            .durability
+            .as_ref()
+            .map(|d| d.snapshot_interval)
+            .unwrap_or(DEFAULT_SNAPSHOT_INTERVAL);
+        let store: Option<SharedStore> =
+            if self.durability.is_some() || !self.plan.coordinator_crashes.is_empty() {
+                let mut disk: DynDisk = match &self.durability {
+                    Some(d) => (d.make_disk)(),
+                    None => Box::new(MemDisk::new()),
+                };
+                // Fresh-run semantics: a reused directory must not leak
+                // a previous run's state into this one.
+                for file in disk.list().expect("store: list backend") {
+                    disk.remove(&file).expect("store: clear backend");
+                }
+                let (shared, _) = SharedStore::open(disk, StoreOptions::default())
+                    .expect("store: open failed");
+                Some(shared)
+            } else {
+                None
+            };
+        let mut coordinator_recoveries = 0usize;
+        if let Some(store) = &store {
+            coord.set_journal(store.journal());
+            let snap = coord
+                .request_snapshot()
+                .expect("fresh coordinator is quiescent");
+            store
+                .lock()
+                .write_snapshot(&snap)
+                .expect("store: baseline checkpoint");
+        }
         let g_round = self.telemetry.gauge("automon_sim_round", "Current workload round");
         let g_estimate = self
             .telemetry
@@ -183,7 +254,54 @@ impl ChaosSimulation {
 
             // 1. Timed faults: crashes fire, restarted nodes come back as
             //    fresh processes and re-register from their data stream.
-            for id in fabric.begin_round(t) {
+            //    A coordinator crash recovers *before* the restart
+            //    re-feeds, so rejoining reports hit the rebuilt
+            //    coordinator.
+            let restarted = fabric.begin_round(t);
+            if self.plan.coordinator_crashes.contains(&t) {
+                let store = store.as_ref().expect("coordinator crash requires a store");
+                let recovered = {
+                    let mut s = store.lock();
+                    // The crash loses everything unsynced; recovery
+                    // rescans disk and folds the valid WAL prefix onto
+                    // the newest decodable checkpoint.
+                    s.crash();
+                    s.recover().expect("store: recovery scan failed")
+                };
+                let snap = recovered
+                    .snapshot
+                    .expect("baseline checkpoint always exists");
+                coord = Coordinator::restore(self.f.clone(), self.cfg.clone(), snap);
+                coord.set_telemetry(self.telemetry.clone());
+                coord.set_journal(store.journal());
+                coordinator_recoveries += 1;
+                if self.telemetry.is_enabled() {
+                    // The envelope already stamps the round.
+                    self.telemetry.event(
+                        "coordinator_recovered",
+                        &[
+                            ("epoch", coord.epoch().into()),
+                            ("replayed", recovered.report.records_replayed.into()),
+                        ],
+                    );
+                }
+                // Re-checkpoint immediately: the post-crash store starts
+                // a fresh segment, and the next crash must not depend on
+                // pre-crash segments beyond what retention keeps.
+                if let Some(s) = coord.request_snapshot() {
+                    store.lock().write_snapshot(&s).expect("store: post-recovery checkpoint");
+                }
+                // Resync the fleet, charging the pulls (and their
+                // replies, which inherit the pull's cause) to the
+                // dedicated recovery cause; the closing full-sync
+                // installs keep their intrinsic cause, as with
+                // eviction-triggered syncs.
+                let outs = coord.begin_recovery_sync();
+                fabric.route_outbounds_as(&mut coord, &mut nodes, outs, CommCause::Recovery);
+                coord_interval = self.recovery.retransmit_after;
+                coord_retry_at = t + self.recovery.retransmit_after;
+            }
+            for id in restarted {
                 nodes[id] = Node::new(id, self.f.clone());
                 nodes[id].set_telemetry(&self.telemetry);
                 node_interval[id] = self.recovery.retransmit_after;
@@ -324,6 +442,21 @@ impl ChaosSimulation {
                 }
             }
 
+            // 6. Periodic checkpoint; a request that lands mid-sync is
+            //    deferred (and counted) rather than silently skipped,
+            //    then retried here at the next quiescent round.
+            if let Some(store) = &store {
+                let due = (t + 1).is_multiple_of(snapshot_interval);
+                let snap = if due {
+                    coord.request_snapshot()
+                } else {
+                    coord.take_deferred_snapshot()
+                };
+                if let Some(s) = snap {
+                    store.lock().write_snapshot(&s).expect("store: periodic checkpoint");
+                }
+            }
+
             t += 1;
         };
 
@@ -362,6 +495,7 @@ impl ChaosSimulation {
             max_error_during_partition: max_degraded,
             evictions: st.evictions,
             rejoins: st.rejoins,
+            coordinator_recoveries,
             ledger: Some(fabric.ledger().entries()),
             ..RunStats::default()
         };

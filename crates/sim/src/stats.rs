@@ -67,6 +67,9 @@ pub struct RunStats {
     pub evictions: usize,
     /// Nodes that rejoined after a crash or eviction.
     pub rejoins: usize,
+    /// Coordinator crash/recovery cycles (rebuilds from the durable
+    /// store; chaos runs with `--crash-coordinator` only).
+    pub coordinator_recoveries: usize,
     /// Optional per-round trace (enabled via the runner).
     #[serde(skip_serializing_if = "Option::is_none")]
     pub trace: Option<Vec<TracePoint>>,

@@ -1,0 +1,80 @@
+//! The bitcask key directory: key → location of its latest record.
+//!
+//! The directory is rebuilt from a full scan at open/recovery and kept
+//! current on every append. It exists to make compaction cheap: a
+//! segment whose records are all superseded (no key in the directory
+//! points into it) can be deleted without reading it.
+
+use std::collections::BTreeMap;
+
+use crate::record::StoreKey;
+
+/// Where a key's latest record lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecordLoc {
+    /// WAL segment index the record was appended to.
+    pub segment: u64,
+    /// Global sequence number of the record.
+    pub seq: u64,
+}
+
+/// In-memory map from store key to its latest record location.
+#[derive(Default, Debug)]
+pub struct KeyDir {
+    map: BTreeMap<StoreKey, RecordLoc>,
+}
+
+impl KeyDir {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `key`'s latest version now lives at `loc`.
+    pub fn insert(&mut self, key: StoreKey, loc: RecordLoc) {
+        self.map.insert(key, loc);
+    }
+
+    pub fn get(&self, key: &StoreKey) -> Option<RecordLoc> {
+        self.map.get(key).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// True if any live key still points into `segment`.
+    pub fn references_segment(&self, segment: u64) -> bool {
+        self.map.values().any(|loc| loc.segment == segment)
+    }
+
+    /// Iterate keys in deterministic (BTree) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&StoreKey, &RecordLoc)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latest_wins_and_segment_refs_track() {
+        let mut dir = KeyDir::new();
+        dir.insert(StoreKey::Node(0), RecordLoc { segment: 0, seq: 1 });
+        dir.insert(StoreKey::Zone, RecordLoc { segment: 0, seq: 2 });
+        dir.insert(StoreKey::Node(0), RecordLoc { segment: 1, seq: 5 });
+        assert_eq!(dir.get(&StoreKey::Node(0)).unwrap().seq, 5);
+        assert!(dir.references_segment(0), "zone record still lives in segment 0");
+        dir.insert(StoreKey::Zone, RecordLoc { segment: 1, seq: 6 });
+        assert!(!dir.references_segment(0), "segment 0 fully superseded");
+        assert_eq!(dir.len(), 2);
+    }
+}

@@ -1,0 +1,57 @@
+//! Segment and snapshot file naming.
+//!
+//! WAL segments are `wal-XXXXXXXX.log` (zero-padded index, so sorted
+//! name order is creation order) and snapshots are
+//! `snap-XXXXXXXXXXXXXXXX.json` (zero-padded covered sequence number,
+//! so sorted name order is recency order). Both parsers reject
+//! anything that doesn't match exactly, which lets recovery ignore
+//! stray files.
+
+/// File name of WAL segment `idx`.
+pub fn segment_name(idx: u64) -> String {
+    format!("wal-{idx:08}.log")
+}
+
+/// Parse a WAL segment name back to its index.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    if digits.len() != 8 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// File name of the snapshot covering all records with seq < `covered_seq`.
+pub fn snapshot_name(covered_seq: u64) -> String {
+    format!("snap-{covered_seq:016}.json")
+}
+
+/// Parse a snapshot name back to its covered sequence number.
+pub fn parse_snapshot_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("snap-")?.strip_suffix(".json")?;
+    if digits.len() != 16 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_and_sort() {
+        assert_eq!(parse_segment_name(&segment_name(7)), Some(7));
+        assert_eq!(parse_snapshot_name(&snapshot_name(123)), Some(123));
+        assert!(segment_name(2) < segment_name(10), "zero padding keeps sort order");
+        assert!(snapshot_name(9) < snapshot_name(10));
+    }
+
+    #[test]
+    fn foreign_names_are_rejected() {
+        for name in ["wal-1.log", "wal-00000001.txt", "snap-1.json", "notes.md", "wal-0000000a.log"] {
+            assert!(parse_segment_name(name).is_none(), "{name}");
+            assert!(parse_snapshot_name(name).is_none(), "{name}");
+        }
+    }
+}

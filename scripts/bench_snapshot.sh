@@ -2,10 +2,12 @@
 # Snapshot the ADCD hot-path benches into BENCH_adcd_hotpath.json and
 # the telemetry-overhead benches into BENCH_obs_overhead.json.
 #
-# Runs the node_runtime, coordinator_full_sync, substrates, and
-# decomp_cache Criterion benches (node/coordinator runtime, the autodiff
-# Hessian microbench, the Jacobi eigensolver, wire codecs, and the
-# decomposition-cache hit/miss/churn paths) plus obs_overhead (bare vs
+# Runs the node_runtime, coordinator_full_sync, substrates,
+# decomp_cache, and store_wal Criterion benches (node/coordinator
+# runtime, the autodiff Hessian microbench, the Jacobi eigensolver,
+# wire codecs, the decomposition-cache hit/miss/churn paths, and the
+# durable store's journal-append and crash-recovery replay) plus
+# obs_overhead (bare vs
 # disabled-telemetry vs live-telemetry decompose, metric primitives) and
 # records every BENCHLINE median, keyed "<group>/<bench>/<dim>" in
 # nanoseconds. If a snapshot already exists, its "current" section is
@@ -87,5 +89,5 @@ print(f"wrote {out_path}: {len(current)} medians"
 PYEOF
 }
 
-snapshot BENCH_adcd_hotpath.json node_runtime coordinator_full_sync substrates decomp_cache
+snapshot BENCH_adcd_hotpath.json node_runtime coordinator_full_sync substrates decomp_cache store_wal
 snapshot BENCH_obs_overhead.json obs_overhead

@@ -31,6 +31,12 @@
 #      the --json output must sum exactly to messages/payload_bytes,
 #      and `automon trace summarize` must render the bytes/update-by-
 #      cause table, for inner-product and variance.
+#  10. crash-coordinator determinism smoke — killing the coordinator
+#      mid-run and rebuilding it from the durable store must stay
+#      byte-deterministic: same seed + --crash-coordinator gives an
+#      identical --json report and a byte-identical trace (`automon
+#      trace diff` exits 0), with the recovery resync charged to the
+#      `recovery` ledger cause (docs/DURABILITY.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -191,5 +197,37 @@ PYEOF
     fi
     echo "    $fn: bytes/update-by-cause table rendered"
 done
+
+echo "==> crash-coordinator determinism smoke"
+CRASH_ARGS=(simulate --function inner-product --dim 4 --nodes 4
+    --rounds 90 --epsilon 0.3
+    --chaos-seed 7 --drop-rate 0.1 --crash-coordinator 40 --json)
+crash_a=$(cargo run --release -q -p automon-cli -- "${CRASH_ARGS[@]}" \
+    --trace-out "$TDIR/crash-a.jsonl")
+crash_b=$(cargo run --release -q -p automon-cli -- "${CRASH_ARGS[@]}" \
+    --trace-out "$TDIR/crash-b.jsonl")
+if [[ "$crash_a" != "$crash_b" ]]; then
+    echo "FAIL: identical --crash-coordinator runs produced different reports" >&2
+    diff <(printf '%s\n' "$crash_a") <(printf '%s\n' "$crash_b") >&2 || true
+    exit 1
+fi
+cargo run --release -q -p automon-cli -- trace diff \
+    --left "$TDIR/crash-a.jsonl" --right "$TDIR/crash-b.jsonl" >/dev/null
+python3 - <<PYEOF
+import json, sys
+
+stats = json.loads("""${crash_a}""")
+if stats.get("coordinator_recoveries") != 1:
+    print(f"FAIL: expected 1 coordinator recovery, report says "
+          f"{stats.get('coordinator_recoveries')!r}", file=sys.stderr)
+    sys.exit(1)
+rows = [r for r in (stats.get("ledger") or []) if r["cause"] == "recovery"]
+if not rows or rows[0]["msgs"] <= 0:
+    print("FAIL: ledger has no recovery cause with msgs > 0", file=sys.stderr)
+    sys.exit(1)
+print(f"    recovery resync charged: {rows[0]['msgs']} msgs / "
+      f"{rows[0]['bytes']} bytes")
+PYEOF
+echo "    crash/replay byte-deterministic; trace diff clean"
 
 echo "==> CI green"

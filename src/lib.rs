@@ -61,6 +61,7 @@ pub use automon_net as net;
 pub use automon_nn as nn;
 pub use automon_opt as opt;
 pub use automon_sim as sim;
+pub use automon_store as store;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {

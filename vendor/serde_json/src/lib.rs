@@ -339,6 +339,12 @@ impl<'a> Parser<'a> {
         if !is_float {
             if let Some(rest) = text.strip_prefix('-') {
                 if let Ok(n) = rest.parse::<u64>() {
+                    if n == 0 {
+                        // JSON `-0` is negative zero; an integer value
+                        // cannot carry the sign, so fall through to the
+                        // f64 path (round-trips back as `-0`).
+                        return Ok(Value::F64(-0.0));
+                    }
                     if let Ok(i) = i64::try_from(n) {
                         return Ok(Value::Int(-i));
                     }
@@ -378,6 +384,18 @@ mod tests {
         let json = to_string(&xs).unwrap();
         let back: Vec<f64> = from_str(&json).unwrap();
         assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn negative_zero_survives_round_trip() {
+        // `-0` must stay a float: losing the sign breaks byte-stable
+        // re-encoding of persisted state (the durable store relies on
+        // encode(decode(x)) == x).
+        let json = to_string(&vec![-0.0f64]).unwrap();
+        assert_eq!(json, "[-0]");
+        let back: Vec<f64> = from_str(&json).unwrap();
+        assert!(back[0].is_sign_negative(), "parsed {:?}", back[0]);
+        assert_eq!(to_string(&back).unwrap(), json);
     }
 
     #[test]
