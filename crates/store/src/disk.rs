@@ -7,7 +7,10 @@
 //!
 //! * [`FileDisk`] — real files under a root directory. Appends are
 //!   buffered in memory; `sync` flushes the buffer with `write_all` and
-//!   `File::sync_all`, which is the store's durability point.
+//!   `File::sync_all`, which is the store's durability point. File
+//!   creations and removals additionally `sync_all` the root directory
+//!   (on unix), so a new segment or checkpoint cannot vanish from the
+//!   directory after a power loss even though its data was synced.
 //! * [`MemDisk`] — a deterministic in-memory filesystem for the
 //!   simulator and tests. `crash` truncates each file to its last
 //!   synced length, which models exactly what `FileDisk` loses.
@@ -85,6 +88,16 @@ impl FileDisk {
     fn path(&self, file: &str) -> PathBuf {
         self.root.join(file)
     }
+
+    /// Sync the root directory itself, so file creations and removals
+    /// survive a power loss. Without this a freshly created segment or
+    /// checkpoint could vanish from the directory even though its data
+    /// bytes were synced.
+    fn sync_root(&self) -> io::Result<()> {
+        #[cfg(unix)]
+        fs::File::open(&self.root)?.sync_all()?;
+        Ok(())
+    }
 }
 
 impl DiskManager for FileDisk {
@@ -98,9 +111,14 @@ impl DiskManager for FileDisk {
         if buf.is_empty() {
             return Ok(());
         }
+        let created = !self.path(file).exists();
         let mut f = fs::OpenOptions::new().create(true).append(true).open(self.path(file))?;
         f.write_all(&buf)?;
-        f.sync_all()
+        f.sync_all()?;
+        if created {
+            self.sync_root()?;
+        }
+        Ok(())
     }
 
     fn read(&self, file: &str) -> io::Result<Vec<u8>> {
@@ -136,7 +154,7 @@ impl DiskManager for FileDisk {
     fn remove(&mut self, file: &str) -> io::Result<()> {
         self.buffers.remove(file);
         match fs::remove_file(self.path(file)) {
-            Ok(()) => Ok(()),
+            Ok(()) => self.sync_root(),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(e),
         }

@@ -154,6 +154,7 @@ impl<D: DiskManager> CoordinatorStore<D> {
         // later segments cannot be trusted to be contiguous.
         let mut replay: Vec<(u64, u64, JournalRecord)> = Vec::new();
         let mut corruption: Option<String> = None;
+        let mut bad_seg: Option<u64> = None;
         let mut last_seq: Option<u64> = None;
         let mut segments_scanned = 0usize;
         'scan: for &seg in &segments {
@@ -166,6 +167,7 @@ impl<D: DiskManager> CoordinatorStore<D> {
                         "duplicated segment {seg}: seq {seq} not after {}",
                         last_seq.unwrap()
                     ));
+                    bad_seg = Some(seg);
                     break 'scan;
                 }
                 last_seq = Some(seq);
@@ -173,14 +175,63 @@ impl<D: DiskManager> CoordinatorStore<D> {
             }
             if let Some(e) = err {
                 corruption = Some(format!("segment {seg}: {e}"));
+                bad_seg = Some(seg);
                 break 'scan;
+            }
+        }
+
+        // Quarantine the corruption. If the corrupt tail survived here,
+        // the next recovery would re-break at this same spot and orphan
+        // every record appended after THIS recovery — acknowledged
+        // writes would silently vanish. The bad segment's decoded valid
+        // prefix is copied to a fresh segment FIRST (encoding is
+        // canonical, so the bytes are reproduced exactly), and only then
+        // are the bad segment and the untrusted, never-replayed
+        // segments after it deleted — so a crash at any point mid-
+        // quarantine either leaves the old corrupt layout (re-
+        // quarantined next time) or the clean one, never a state with
+        // synced records lost.
+        if let Some(bad) = bad_seg {
+            let mut prefix: Vec<u8> = Vec::new();
+            for (seq, seg, rec) in &replay {
+                if *seg == bad {
+                    prefix.extend_from_slice(&encode_record(*seq, rec));
+                }
+            }
+            let mut rescue: Option<u64> = None;
+            if !prefix.is_empty() {
+                let fresh = segments.last().unwrap() + 1;
+                let name = segment::segment_name(fresh);
+                self.disk.append(&name, &prefix)?;
+                self.disk.sync(&name)?;
+                rescue = Some(fresh);
+            }
+            // Highest first, so a partial delete only ever shortens the
+            // untrusted tail.
+            for &seg in segments.iter().filter(|&&s| s > bad).rev() {
+                self.disk.remove(&segment::segment_name(seg))?;
+            }
+            self.disk.remove(&segment::segment_name(bad))?;
+            if let Some(fresh) = rescue {
+                // The rescued records now live in the fresh segment.
+                for (_, seg, _) in &mut replay {
+                    if *seg == bad {
+                        *seg = fresh;
+                    }
+                }
+                segments.push(fresh);
             }
         }
 
         // Newest decodable checkpoint wins; corrupt ones fall back to
         // the previous (two-checkpoint retention keeps the segments it
-        // needs — see `write_snapshot`).
+        // needs — see `write_snapshot`). Undecodable checkpoints are
+        // deleted from disk and dropped from `self.checkpoints`:
+        // keeping one would let the next `write_snapshot` treat it as a
+        // valid predecessor (or dedup target) and compact away the last
+        // genuinely decodable checkpoint.
         let mut base: Option<StoredSnapshot> = None;
+        let mut dead_snaps: Vec<u64> = Vec::new();
         for &seq in snapshot_files.iter().rev() {
             match self.disk.read(&segment::snapshot_name(seq)) {
                 Ok(bytes) => {
@@ -189,11 +240,16 @@ impl<D: DiskManager> CoordinatorStore<D> {
                         break;
                     }
                     corruption.get_or_insert(format!("checkpoint {seq} undecodable"));
+                    dead_snaps.push(seq);
                 }
                 Err(e) if e.kind() == io::ErrorKind::NotFound => {}
                 Err(e) => return Err(e),
             }
         }
+        for &seq in &dead_snaps {
+            self.disk.remove(&segment::snapshot_name(seq))?;
+        }
+        snapshot_files.retain(|s| !dead_snaps.contains(s));
 
         // Fold the valid suffix and rebuild the key directory.
         let covered = base.as_ref().map(|s| s.covered_seq).unwrap_or(0);
@@ -215,8 +271,10 @@ impl<D: DiskManager> CoordinatorStore<D> {
         }
         self.checkpoints = snapshot_files;
 
-        // New appends go to a fresh segment: a surviving corrupt tail
-        // in the old active segment must never orphan new records.
+        // New appends go to a fresh segment (indices of removed
+        // segments are never reused): the old active segment's tail may
+        // hold unsynced bytes a later crash would discard out from
+        // under anything appended after them.
         self.active = segments.last().map(|s| s + 1).unwrap_or(0);
         self.active_bytes = 0;
         self.next_seq = last_seq.map(|s| s + 1).unwrap_or(0).max(covered);

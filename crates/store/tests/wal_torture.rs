@@ -7,7 +7,7 @@
 use automon_core::{CoordinatorSnapshot, CoordinatorStats};
 use automon_store::record::{self, JournalRecord};
 use automon_store::segment;
-use automon_store::{CoordinatorStore, DiskManager, MemDisk, StoreOptions, SyncPolicy};
+use automon_store::{CoordinatorStore, DiskManager, FileDisk, MemDisk, StoreOptions, SyncPolicy};
 
 fn base_snap(n: usize) -> CoordinatorSnapshot {
     CoordinatorSnapshot {
@@ -243,9 +243,153 @@ fn compaction_then_torture_still_recovers() {
     let rec = store.recover().unwrap();
     assert!(rec.snapshot.is_some());
     assert!(rec.report.corruption.is_some());
-    // And the store remains append-able afterwards.
+    // And the store remains append-able afterwards — crucially, records
+    // appended AFTER a corruption-recovery must survive the NEXT
+    // recovery (the corrupt tail was quarantined, not left to re-break
+    // the scan).
     store.append(&node_rec(1, 100.0)).unwrap();
     store.crash();
     let rec2 = store.recover().unwrap();
-    assert!(rec2.snapshot.is_some());
+    let snap2 = rec2.snapshot.expect("checkpoint still loads");
+    assert_eq!(
+        snap2.known_x[1],
+        Some(vec![100.0, 100.0]),
+        "post-recovery append survives the next recovery"
+    );
+    assert!(rec2.report.corruption.is_none(), "{:?}", rec2.report.corruption);
+}
+
+#[test]
+fn corrupt_tail_is_quarantined_so_later_appends_survive_rerecovery() {
+    // Regression: checkpoint + 2 records, truncate the segment tail,
+    // recover (ok), append a synced record, recover again — the new
+    // record must still be there. Before tail quarantine the second
+    // scan re-broke at the old corruption and never reached the fresh
+    // segment.
+    let mut store = seed_store(StoreOptions::default(), &[1.0, 2.0]);
+    let seg = segment::segment_name(0);
+    let mut bytes = store.disk_mut().contents(&seg).expect("segment exists");
+    bytes.truncate(bytes.len() - 5);
+    store.disk_mut().set_contents(&seg, bytes);
+
+    let rec = store.recover().unwrap();
+    assert!(rec.report.corruption.is_some());
+    assert_eq!(rec.snapshot.unwrap().known_x[0], Some(vec![1.0, 1.0]));
+
+    store.append(&node_rec(1, 7.0)).unwrap(); // SyncPolicy::EveryRecord ⇒ synced
+    store.crash();
+    let rec2 = store.recover().unwrap();
+    assert!(rec2.report.corruption.is_none(), "{:?}", rec2.report.corruption);
+    let snap = rec2.snapshot.unwrap();
+    assert_eq!(snap.known_x[0], Some(vec![1.0, 1.0]), "rescued prefix still replays");
+    assert_eq!(snap.known_x[1], Some(vec![7.0, 7.0]), "acknowledged post-recovery write survives");
+}
+
+#[test]
+fn filedisk_quarantines_corrupt_tail_like_memdisk() {
+    // The quarantine path must behave identically on the real file
+    // backend (including the directory syncs its remove/create hit).
+    let root = std::env::temp_dir()
+        .join(format!("automon-store-torture-{}-quarantine", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    {
+        let disk = FileDisk::open(&root).unwrap();
+        let (mut store, _) = CoordinatorStore::open(disk, StoreOptions::default()).unwrap();
+        store.write_snapshot(&base_snap(2)).unwrap();
+        store.append(&node_rec(0, 1.0)).unwrap();
+        store.append(&node_rec(0, 2.0)).unwrap();
+    }
+    // Truncate the segment's tail on the real filesystem.
+    let seg_path = root.join(segment::segment_name(0));
+    let len = std::fs::metadata(&seg_path).unwrap().len();
+    std::fs::OpenOptions::new().write(true).open(&seg_path).unwrap().set_len(len - 5).unwrap();
+
+    let disk = FileDisk::open(&root).unwrap();
+    let (mut store, rec) = CoordinatorStore::open(disk, StoreOptions::default()).unwrap();
+    assert!(rec.report.corruption.is_some());
+    assert_eq!(rec.snapshot.unwrap().known_x[0], Some(vec![1.0, 1.0]));
+    assert!(!seg_path.exists(), "corrupt segment quarantined off disk");
+    store.append(&node_rec(1, 7.0)).unwrap();
+    drop(store);
+
+    let disk = FileDisk::open(&root).unwrap();
+    let (_, rec2) = CoordinatorStore::open(disk, StoreOptions::default()).unwrap();
+    assert!(rec2.report.corruption.is_none(), "{:?}", rec2.report.corruption);
+    let snap = rec2.snapshot.unwrap();
+    assert_eq!(snap.known_x[0], Some(vec![1.0, 1.0]), "rescued prefix survives");
+    assert_eq!(snap.known_x[1], Some(vec![7.0, 7.0]), "post-recovery append survives");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupt_checkpoint_is_deleted_so_compaction_keeps_a_valid_predecessor() {
+    // Regression: snap A, record, snap B; corrupt B; recover; record;
+    // snap C; corrupt C. Recovery must fall back to a decodable
+    // checkpoint. Before corrupt-checkpoint deletion, writing C treated
+    // corrupt B as the predecessor and compacted away valid A, so
+    // corrupting C lost ALL state.
+    let mut store = mem_store(StoreOptions::default());
+    store.write_snapshot(&base_snap(2)).unwrap(); // snap A
+    store.append(&node_rec(0, 1.0)).unwrap();
+    store.write_snapshot(&base_snap(2)).unwrap(); // snap B
+    let snaps: Vec<String> = store
+        .disk_mut()
+        .list()
+        .unwrap()
+        .into_iter()
+        .filter(|n| segment::parse_snapshot_name(n).is_some())
+        .collect();
+    let b = snaps.last().unwrap().clone();
+    store.disk_mut().set_contents(&b, vec![0xBA, 0xD0]);
+
+    let rec = store.recover().unwrap();
+    assert!(rec.report.corruption.as_deref().unwrap().contains("checkpoint"));
+    // The undecodable checkpoint is gone from disk, not kept as a
+    // phantom predecessor.
+    assert!(!store.disk_mut().list().unwrap().contains(&b), "corrupt checkpoint deleted");
+
+    store.append(&node_rec(1, 2.0)).unwrap();
+    store.write_snapshot(&base_snap(2)).unwrap(); // snap C
+    let snaps: Vec<String> = store
+        .disk_mut()
+        .list()
+        .unwrap()
+        .into_iter()
+        .filter(|n| segment::parse_snapshot_name(n).is_some())
+        .collect();
+    let c = snaps.last().unwrap().clone();
+    store.disk_mut().set_contents(&c, vec![0xBA, 0xD1]);
+
+    let rec2 = store.recover().unwrap();
+    let snap = rec2.snapshot.expect("a decodable predecessor checkpoint survives compaction");
+    assert_eq!(snap.known_x[0], Some(vec![1.0, 1.0]), "retained segments roll forward");
+    assert_eq!(snap.known_x[1], Some(vec![2.0, 2.0]));
+}
+
+#[test]
+fn rewriting_snapshot_after_corrupt_dedup_target_produces_decodable_checkpoint() {
+    // The write_snapshot dedup must not treat a corrupt on-disk
+    // checkpoint as already-written: after recovery removed it, writing
+    // the same covered_seq again must yield a decodable checkpoint.
+    let mut store = mem_store(StoreOptions::default());
+    store.append(&node_rec(0, 1.0)).unwrap();
+    let mut marked = base_snap(2);
+    marked.epoch = 5;
+    store.write_snapshot(&marked).unwrap();
+    let snaps: Vec<String> = store
+        .disk_mut()
+        .list()
+        .unwrap()
+        .into_iter()
+        .filter(|n| segment::parse_snapshot_name(n).is_some())
+        .collect();
+    store.disk_mut().set_contents(snaps.last().unwrap(), vec![0x00; 4]);
+
+    store.recover().unwrap();
+    store.write_snapshot(&marked).unwrap(); // same covered_seq as the corrupt one
+    store.crash();
+    let rec = store.recover().unwrap();
+    let snap = rec.snapshot.expect("re-written checkpoint decodes");
+    assert_eq!(snap.epoch, 5);
+    assert!(rec.report.corruption.is_none(), "{:?}", rec.report.corruption);
 }
