@@ -1,0 +1,110 @@
+//! Fleet scaling: root-tier message volume vs the flat single-
+//! coordinator baseline (DESIGN.md §3.14).
+//!
+//! The hierarchy's claim is that leaf-local violations resolve
+//! intra-shard, so the *root tier* — the only place a centralized
+//! bottleneck could form — carries sublinearly many messages as the
+//! stream count grows. This harness runs the same workload through the
+//! flat runner and the fleet runner and reports messages/update and
+//! bytes/update per tier, for inner product and for variance (the F2
+//! second-moment style function: the pair that "Optimal Communication
+//! for Classic Functions in the Coordinator Model" grounds the
+//! coordinator-model lower bounds with).
+//!
+//! Not a timing bench: each configuration runs ONCE (the protocol is
+//! deterministic, so one run IS the measurement) and prints
+//! `FLEETLINE <key> value <float>` lines that
+//! `scripts/bench_snapshot.sh` snapshots into BENCH_fleet_scaling.json.
+//! Scale: 1k and 10k streams at 32 shards by default; `AUTOMON_FULL=1`
+//! adds a 100k-stream point.
+
+use std::sync::Arc;
+
+use automon_autodiff::AutoDiffFn;
+use automon_core::{MonitorConfig, MonitoredFunction};
+use automon_data::synthetic::{InnerProductDataset, QuadraticDataset};
+use automon_data::windowed_mean_series;
+use automon_fleet::FleetConfig;
+use automon_functions::{InnerProduct, Variance};
+use automon_sim::{FleetSimulation, Simulation, Workload};
+
+const MEAN_WINDOW: usize = 20;
+const SHARDS: usize = 32;
+const ROUNDS: usize = 50;
+const DIM: usize = 4;
+const EPSILON: f64 = 0.5;
+const SEED: u64 = 17;
+
+fn inner_product_case(streams: usize) -> (Arc<dyn MonitoredFunction>, Workload) {
+    let raw = InnerProductDataset::generate(streams, ROUNDS + MEAN_WINDOW - 1, DIM, SEED);
+    (
+        Arc::new(AutoDiffFn::new(InnerProduct::new(DIM))),
+        Workload::from_dense(&windowed_mean_series(&raw, MEAN_WINDOW)),
+    )
+}
+
+/// Variance via §6 rewriting: augmented vectors `[x, x²]` from scalar
+/// samples; `f(u, v) = v - u²` is the second-moment (F2-style) read.
+fn variance_case(streams: usize) -> (Arc<dyn MonitoredFunction>, Workload) {
+    let scalars = QuadraticDataset::generate(streams, ROUNDS + MEAN_WINDOW - 1, 1, SEED);
+    let raw: Vec<Vec<Vec<f64>>> = scalars
+        .into_iter()
+        .map(|s| s.into_iter().map(|v| vec![v[0], v[0] * v[0]]).collect())
+        .collect();
+    (
+        Arc::new(AutoDiffFn::new(Variance)),
+        Workload::from_dense(&windowed_mean_series(&raw, MEAN_WINDOW)),
+    )
+}
+
+fn emit(key: &str, value: f64) {
+    println!("FLEETLINE {key} value {value}");
+}
+
+fn run_case(fn_name: &str, streams: usize, f: Arc<dyn MonitoredFunction>, w: &Workload) {
+    let cfg = MonitorConfig::builder(EPSILON).build();
+    let flat = Simulation::new(f.clone(), cfg.clone()).run(w);
+    let report = FleetSimulation::new(f, cfg, FleetConfig::new(SHARDS)).run(w);
+    assert!(report.updates > 0, "workload produced no updates");
+    let per_update = |x: usize| x as f64 / report.updates as f64;
+
+    let flat_mpu = per_update(flat.messages);
+    let root_mpu = per_update(report.root_messages);
+    let key = format!("fleet_scaling/{fn_name}/streams{streams}_shards{SHARDS}");
+    emit(&format!("{key}/flat_msgs_per_update"), flat_mpu);
+    emit(&format!("{key}/root_msgs_per_update"), root_mpu);
+    emit(&format!("{key}/root_over_flat_msgs"), root_mpu / flat_mpu);
+    emit(&format!("{key}/leaf_msgs_per_update"), per_update(report.leaf_messages));
+    emit(&format!("{key}/flat_bytes_per_update"), per_update(flat.payload_bytes));
+    emit(&format!("{key}/root_bytes_per_update"), per_update(report.root_payload_bytes));
+    emit(&format!("{key}/leaf_bytes_per_update"), per_update(report.leaf_payload_bytes));
+    emit(&format!("{key}/leaf_reports"), report.leaf_reports as f64);
+    emit(&format!("{key}/flat_max_error"), flat.max_error);
+    emit(&format!("{key}/fleet_max_error"), report.stats.max_error);
+    eprintln!(
+        "{fn_name} @ {streams} streams / {SHARDS} shards: \
+         flat {flat_mpu:.4} msgs/update, root tier {root_mpu:.4} msgs/update \
+         ({:.1}% of flat), fleet max error {:.4} (ε = {EPSILON})",
+        100.0 * root_mpu / flat_mpu,
+        report.stats.max_error
+    );
+    assert!(
+        root_mpu <= 0.5 * flat_mpu,
+        "{fn_name} @ {streams}: root tier ({root_mpu:.4}/update) must stay \
+         ≤ 0.5× the flat baseline ({flat_mpu:.4}/update)"
+    );
+}
+
+fn main() {
+    let full = std::env::var("AUTOMON_FULL").map(|v| v == "1").unwrap_or(false);
+    let mut scales = vec![1_000usize, 10_000];
+    if full {
+        scales.push(100_000);
+    }
+    for &streams in &scales {
+        let (f, w) = inner_product_case(streams);
+        run_case("inner-product", streams, f, &w);
+        let (f, w) = variance_case(streams);
+        run_case("variance", streams, f, &w);
+    }
+}

@@ -55,6 +55,8 @@ USAGE:
                      [--metrics-out FILE] [--trace-out FILE]
                      [--serve-metrics ADDR] [--decomp-cache POLICY]
                      [--decomp-cache-capacity N] [--decomp-cache-warm]
+                     [--fleet] [--shards S] [--leaf-epsilon-frac F]
+                     [--crash-leaf SPEC]
     automon monitor  --function <NAME> --input <FILE.csv> --nodes N
                      [--epsilon E] [--output FILE.csv] [--parallelism P]
                      [--spectral-backend B] [--decomp-cache POLICY]
@@ -115,6 +117,26 @@ DECOMPOSITION CACHE (off by default; DESIGN.md §3.11):
                                 search from cached Ritz vectors; results
                                 then agree to tolerance, not bitwise
 
+FLEET (simulate only; two-tier sharded hierarchy, DESIGN.md §3.14):
+    --fleet                 shard the streams over leaf coordinators and
+                            monitor f of the global average at a root
+                            coordinator that treats each leaf's scaled
+                            partial mean as one node stream; shard-local
+                            violations resolve intra-shard and reach the
+                            root only when the shard aggregate moves
+    --shards S              leaf coordinators (default 8); requires --fleet
+    --leaf-epsilon-frac F   fraction of ε given to the leaf tier, in
+                            (0, 1) (default 0.5); the root gets the rest
+    --crash-node SPEC       `node:at[:restart]`, repeatable — here a
+                            deterministic membership schedule, not a
+                            seeded chaos fault
+    --crash-leaf SPEC       `leaf:at`, repeatable — permanently crash a
+                            leaf coordinator; the next alive leaf adopts
+                            its surviving streams (shard rebalance)
+    Frame-level chaos (--chaos-seed/--drop-rate/--partition), coordinator
+    durability (--crash-coordinator/--wal-dir/--snapshot-every), and
+    --baseline are flat-runner features and are rejected with --fleet.
+
 OBSERVABILITY (simulate only):
     --json              print the run statistics as one JSON object
                         (chaos runs add a `quiesced` field)
@@ -145,7 +167,9 @@ EXAMPLES:
                     --input updates.csv --epsilon 0.1
     automon tune --function kld --nodes 12 --input prefix.csv
     automon simulate --function inner-product --rounds 200 \\
-                     --chaos-seed 7 --drop-rate 0.1 --crash-node 2:50:120"
+                     --chaos-seed 7 --drop-rate 0.1 --crash-node 2:50:120
+    automon simulate --function variance --nodes 1000 --rounds 300 \\
+                     --fleet --shards 32 --crash-leaf 3:100"
 }
 
 #[cfg(test)]

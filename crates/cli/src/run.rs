@@ -12,8 +12,11 @@ use automon_data::synthetic::{InnerProductDataset, QuadraticDataset, RozenbrockD
 use automon_data::windowed_mean_series;
 use automon_functions::{train_mlp_d, InnerProduct, KlDivergence, QuadraticForm, Rozenbrock, Variance};
 use automon_chaos::FaultPlan;
+use automon_fleet::{FleetConfig, FleetFaultPlan, LeafCrash, NodeCrash};
 use automon_obs::{MetricsServer, Telemetry};
-use automon_sim::{run_centralization, run_periodic, ChaosSimulation, Simulation, Workload};
+use automon_sim::{
+    run_centralization, run_periodic, ChaosSimulation, FleetSimulation, Simulation, Workload,
+};
 use automon_store::{DynDisk, FileDisk, MemDisk};
 use serde::{Serialize, Value};
 
@@ -219,6 +222,112 @@ fn parse_chaos_plan(args: &Args, nodes: usize) -> Result<Option<FaultPlan>, CliE
     Ok(Some(plan))
 }
 
+/// Parse the fleet flags into a [`FleetConfig`] plus its deterministic
+/// membership-fault schedule, or `None` when `--fleet` was not given.
+///
+/// Flag hygiene is strict both ways: fleet-only flags without `--fleet`
+/// are rejected, and flat-runner flags that have no meaning in a fleet
+/// run (frame-level chaos, coordinator durability, baselines) are
+/// rejected with `--fleet` instead of being silently ignored.
+fn parse_fleet(
+    args: &Args,
+    streams: usize,
+) -> Result<Option<(FleetConfig, FleetFaultPlan)>, CliError> {
+    if !args.flag("fleet") {
+        for key in ["shards", "leaf-epsilon-frac", "crash-leaf"] {
+            if args.get(key).is_some() {
+                return Err(CliError::new(format!("--{key} requires --fleet")));
+            }
+        }
+        return Ok(None);
+    }
+    for key in [
+        "chaos-seed",
+        "drop-rate",
+        "partition",
+        "crash-coordinator",
+        "wal-dir",
+        "snapshot-every",
+        "baseline",
+    ] {
+        if args.get(key).is_some() {
+            return Err(CliError::new(format!(
+                "--{key} cannot be combined with --fleet (fleet faults are the \
+                 deterministic --crash-node/--crash-leaf schedules)"
+            )));
+        }
+    }
+    let shards = args.num("shards", 8usize)?;
+    if shards == 0 {
+        return Err(CliError::new("--shards must be ≥ 1"));
+    }
+    if streams < shards {
+        return Err(CliError::new(format!(
+            "--fleet needs at least one stream per shard ({streams} nodes < {shards} shards)"
+        )));
+    }
+    let frac = args.num("leaf-epsilon-frac", 0.5f64)?;
+    if !(frac > 0.0 && frac < 1.0) {
+        return Err(CliError::new("--leaf-epsilon-frac must be in (0, 1)"));
+    }
+    let mut fleet_cfg = FleetConfig::new(shards);
+    fleet_cfg.leaf_epsilon_frac = frac;
+
+    let mut plan = FleetFaultPlan::default();
+    for spec in args.get_all("crash-node") {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if !(2..=3).contains(&parts.len()) {
+            return Err(CliError::new(format!(
+                "--crash-node wants `node:at[:restart]`, got `{spec}`"
+            )));
+        }
+        let stream: usize = parts[0]
+            .parse()
+            .map_err(|_| CliError::new(format!("bad node id in `{spec}`")))?;
+        if stream >= streams {
+            return Err(CliError::new(format!(
+                "node {stream} in `{spec}` out of range (nodes = {streams})"
+            )));
+        }
+        let at: u64 = parts[1]
+            .parse()
+            .map_err(|_| CliError::new(format!("bad crash round in `{spec}`")))?;
+        let restart = match parts.get(2) {
+            None => None,
+            Some(raw) => Some(
+                raw.parse::<u64>()
+                    .map_err(|_| CliError::new(format!("bad restart round in `{spec}`")))?,
+            ),
+        };
+        if restart.is_some_and(|r| r <= at) {
+            return Err(CliError::new(format!(
+                "restart must come after the crash in `{spec}`"
+            )));
+        }
+        plan.node_crashes.push(NodeCrash { stream, at, restart });
+    }
+    for spec in args.get_all("crash-leaf") {
+        let [leaf, at] = spec.split(':').collect::<Vec<_>>()[..] else {
+            return Err(CliError::new(format!(
+                "--crash-leaf wants `leaf:at`, got `{spec}`"
+            )));
+        };
+        let leaf: usize = leaf
+            .parse()
+            .map_err(|_| CliError::new(format!("bad leaf id in `{spec}`")))?;
+        if leaf >= shards {
+            return Err(CliError::new(format!(
+                "leaf {leaf} in `{spec}` out of range (shards = {shards})"
+            )));
+        }
+        let at: u64 = at
+            .parse()
+            .map_err(|_| CliError::new(format!("bad crash round in `{spec}`")))?;
+        plan.leaf_crashes.push(LeafCrash { leaf, at });
+    }
+    Ok(Some((fleet_cfg, plan)))
+}
+
 /// Outcome summary of a monitor/simulate run.
 #[derive(Debug, Clone)]
 pub struct MonitorOutcome {
@@ -376,6 +485,65 @@ pub fn run_simulate(args: &Args) -> Result<String, CliError> {
         .build();
 
     let sinks = ObsSinks::from_args(args)?;
+
+    if let Some((fleet_cfg, plan)) = parse_fleet(args, nodes)? {
+        let shards = fleet_cfg.shards;
+        let sim = FleetSimulation::new(f, cfg, fleet_cfg)
+            .with_fault_plan(plan.clone())
+            .with_telemetry(sinks.telemetry.clone());
+        let report = sim.run(&workload);
+        if args.flag("json") {
+            let json = serde_json::to_string(&report)
+                .map_err(|e| CliError::new(format!("JSON encoding failed: {e}")))?;
+            sinks.finish(args)?;
+            return Ok(json);
+        }
+        let s = &report.stats;
+        let per_update = |msgs: usize| {
+            if report.updates == 0 {
+                0.0
+            } else {
+                msgs as f64 / report.updates as f64
+            }
+        };
+        let mut out = format!(
+            "function {function} (d = {dim}), {nodes} streams over {shards} shards (fleet), \
+             {} rounds, ε = {epsilon}\n",
+            workload.rounds()
+        );
+        out.push_str(&format!(
+            "fleet totals   : {:>8} msgs, max error {:.5}, full/lazy syncs {}/{}\n",
+            s.messages, s.max_error, s.full_syncs, s.lazy_syncs
+        ));
+        out.push_str(&format!(
+            "root tier      : {:>8} msgs ({:.4}/update), {} leaf report(s)\n",
+            report.root_messages,
+            per_update(report.root_messages),
+            report.leaf_reports
+        ));
+        out.push_str(&format!(
+            "leaf tier      : {:>8} msgs ({:.4}/update)\n",
+            report.leaf_messages,
+            per_update(report.leaf_messages)
+        ));
+        if !plan.is_empty() {
+            out.push_str(&format!(
+                "faults         : {} node crash(es), {} restart(s), {} leaf crash(es), \
+                 {} rebalance(s), evictions/rejoins {}/{}\n",
+                report.node_crashes,
+                report.restarts,
+                report.leaf_crashes,
+                report.rebalances,
+                s.evictions,
+                s.rejoins
+            ));
+        }
+        for note in sinks.finish(args)? {
+            out.push_str(&note);
+            out.push('\n');
+        }
+        return Ok(out);
+    }
 
     if let Some(plan) = parse_chaos_plan(args, nodes)? {
         let snapshot_every = args.num("snapshot-every", 16usize)?;
@@ -859,6 +1027,113 @@ mod tests {
         );
         let err = run_simulate(&base(&["--decomp-cache-capacity", "8"])).unwrap_err();
         assert!(err.to_string().contains("require --decomp-cache"), "{err}");
+    }
+
+    #[test]
+    fn fleet_flags_run_the_two_tier_simulator() {
+        let base = |extra: &[&str]| {
+            let mut argv: Vec<String> = [
+                "--function",
+                "inner-product",
+                "--rounds",
+                "50",
+                "--nodes",
+                "12",
+                "--epsilon",
+                "0.3",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            argv.extend(extra.iter().map(|s| s.to_string()));
+            run_simulate(&Args::parse(&argv).unwrap())
+        };
+        let a = base(&["--fleet", "--shards", "4"]).unwrap();
+        assert!(a.contains("12 streams over 4 shards (fleet)"), "{a}");
+        assert!(a.contains("root tier"), "{a}");
+        assert!(a.contains("leaf tier"), "{a}");
+        // Deterministic: same flags, byte-identical report.
+        assert_eq!(a, base(&["--fleet", "--shards", "4"]).unwrap());
+
+        // Fleet faults run through the deterministic schedule and are
+        // reported.
+        let faulted = base(&[
+            "--fleet",
+            "--shards",
+            "4",
+            "--crash-node",
+            "3:10:25",
+            "--crash-leaf",
+            "1:30",
+        ])
+        .unwrap();
+        assert!(faulted.contains("1 node crash(es)"), "{faulted}");
+        assert!(faulted.contains("1 leaf crash(es)"), "{faulted}");
+        assert!(faulted.contains("1 rebalance(s)"), "{faulted}");
+
+        // JSON mode emits the per-tier report.
+        let json = base(&["--fleet", "--shards", "4", "--json"]).unwrap();
+        let v: Value = serde_json::from_str(&json).expect("valid JSON");
+        let map = v.as_map().expect("object");
+        assert!(
+            matches!(Value::get_field(map, "root_messages"), Value::UInt(_)),
+            "{json}"
+        );
+        assert!(
+            matches!(Value::get_field(map, "leaf_reports"), Value::UInt(_)),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn fleet_flag_hygiene_rejects_contradictory_combos() {
+        let base = |extra: &[&str]| {
+            let mut argv: Vec<String> = [
+                "--function",
+                "inner-product",
+                "--rounds",
+                "40",
+                "--nodes",
+                "12",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            argv.extend(extra.iter().map(|s| s.to_string()));
+            run_simulate(&Args::parse(&argv).unwrap())
+        };
+        // Fleet-only flags without --fleet.
+        for flags in [
+            &["--shards", "4"][..],
+            &["--leaf-epsilon-frac", "0.5"][..],
+            &["--crash-leaf", "1:30"][..],
+        ] {
+            let err = base(flags).unwrap_err();
+            assert!(err.to_string().contains("requires --fleet"), "{flags:?}: {err}");
+        }
+        // Flat-runner flags with --fleet.
+        for flags in [
+            &["--fleet", "--drop-rate", "0.1"][..],
+            &["--fleet", "--partition", "1:10:20"][..],
+            &["--fleet", "--crash-coordinator", "30"][..],
+            &["--fleet", "--wal-dir", "/tmp/x"][..],
+            &["--fleet", "--chaos-seed", "7"][..],
+            &["--fleet", "--baseline", "centralization"][..],
+        ] {
+            let err = base(flags).unwrap_err();
+            assert!(
+                err.to_string().contains("cannot be combined with --fleet"),
+                "{flags:?}: {err}"
+            );
+        }
+        // Malformed fleet values.
+        assert!(base(&["--fleet", "--shards", "0"]).is_err());
+        assert!(base(&["--fleet", "--shards", "20"]).is_err(), "12 < 20");
+        assert!(base(&["--fleet", "--leaf-epsilon-frac", "1.5"]).is_err());
+        assert!(base(&["--fleet", "--crash-leaf", "9:10"]).is_err(), "leaf range");
+        assert!(base(&["--fleet", "--crash-leaf", "nonsense"]).is_err());
+        assert!(base(&["--fleet", "--crash-node", "3:10:5"]).is_err(), "restart < crash");
+        assert!(base(&["--fleet", "--crash-node", "99:10"]).is_err(), "node range");
     }
 
     #[test]

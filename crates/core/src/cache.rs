@@ -162,13 +162,15 @@ pub struct CacheKey {
 }
 
 impl CacheKey {
-    /// Quantize `(fn_id, x0, r)` into its cache cell.
+    /// Quantize `(fn_id, x0, r)` into its cache cell. The cell and
+    /// radius arithmetic is the shared [`crate::quant`] helper, so the
+    /// fleet's shard router buckets reference points onto exactly this
+    /// grid.
     pub fn quantize(fn_id: u64, x0: &[f64], r: f64, cell: f64) -> Self {
-        let cell = if cell > 0.0 { cell } else { 1e-3 };
         Self {
             fn_id,
-            cell: x0.iter().map(|&v| (v / cell).floor() as i64).collect(),
-            radius_bucket: radius_bucket(r),
+            cell: crate::quant::quantize_cell(x0, cell),
+            radius_bucket: crate::quant::radius_bucket(r),
         }
     }
 
@@ -178,16 +180,6 @@ impl CacheKey {
             cell: self.cell.clone(),
             radius_bucket: bucket,
         }
-    }
-}
-
-/// `floor(log2 r)` with non-positive / non-finite radii collapsed to a
-/// sentinel bucket (exactness is still guarded by bitwise comparison).
-fn radius_bucket(r: f64) -> i32 {
-    if r.is_finite() && r > 0.0 {
-        r.log2().floor() as i32
-    } else {
-        i32::MIN
     }
 }
 

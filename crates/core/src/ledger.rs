@@ -57,6 +57,21 @@ pub enum CommCause {
     /// (docs/DURABILITY.md) — durability costs disk, and this cause
     /// makes its wire cost separable too.
     Recovery,
+    /// Leaf → root: a shard's refreshed partial mean violated the
+    /// root-assigned constraints (the fleet's inter-tier report frame,
+    /// DESIGN.md §3.14). Covers root-tier registrations too — a leaf's
+    /// first report is how it joins the root's group.
+    LeafReport,
+    /// Root-tier synchronization traffic: the root coordinator's pulls
+    /// of other leaves' partial means, their replies, and the closing
+    /// constraint/slack installs. The hierarchical analogue of
+    /// [`CommCause::FullSync`]/[`CommCause::LazySync`], kept separate so
+    /// the two tiers stay separable in one merged ledger.
+    RootSync,
+    /// Shard-rebalancing traffic after a leaf crash or root-tier
+    /// eviction: the root's adopt directives, proxy evictions, and the
+    /// re-registrations they trigger.
+    ShardRebalance,
 }
 
 impl CommCause {
@@ -76,6 +91,30 @@ impl CommCause {
             CommCause::Retransmit => "retransmit",
             CommCause::Heartbeat => "heartbeat",
             CommCause::Recovery => "recovery",
+            CommCause::LeafReport => "leaf_report",
+            CommCause::RootSync => "root_sync",
+            CommCause::ShardRebalance => "shard_rebalance",
+        }
+    }
+
+    /// Lift a flat-protocol cause to the root tier of a sharded fleet.
+    ///
+    /// The root coordinator runs the unmodified flat protocol over leaf
+    /// partial-mean streams, so its machinery emits flat causes
+    /// (`full_sync`, `violation_safezone`, …). Charging those names
+    /// as-is would make them indistinguishable from intra-shard traffic
+    /// in the merged two-tier ledger; this map folds them into the
+    /// three inter-tier causes instead. Already-tiered causes map to
+    /// themselves.
+    pub fn at_root(self) -> CommCause {
+        match self {
+            CommCause::Registration
+            | CommCause::ViolationNeighborhood
+            | CommCause::ViolationSafeZone
+            | CommCause::ViolationFaulty => CommCause::LeafReport,
+            CommCause::Eviction | CommCause::Rejoin => CommCause::ShardRebalance,
+            CommCause::LeafReport | CommCause::ShardRebalance => self,
+            _ => CommCause::RootSync,
         }
     }
 
@@ -204,6 +243,20 @@ impl CommLedger {
             .collect()
     }
 
+    /// Fold another ledger's cells into this one, cell by cell.
+    ///
+    /// The fleet uses this to merge each leaf fabric's intra-shard
+    /// ledger and the root fabric's inter-tier ledger into one two-tier
+    /// ledger whose totals conserve against the fleet-wide frame
+    /// counters. Keys collide only when both ledgers charged the same
+    /// (round, node, cause) — the cells then add, which is exactly the
+    /// conservation-preserving behavior.
+    pub fn absorb_ledger(&mut self, other: &CommLedger) {
+        for (key, cell) in &other.cells {
+            self.cells.entry(*key).or_default().absorb(cell);
+        }
+    }
+
     /// Verify conservation against externally counted totals; returns a
     /// description of the first mismatch, `None` when exact.
     pub fn check_conservation(&self, total_msgs: u64, total_bytes: u64) -> Option<String> {
@@ -296,5 +349,52 @@ mod tests {
             epoch: 0,
         };
         assert_eq!(CommCause::of_node_message(&reply), CommCause::FullSync);
+    }
+
+    #[test]
+    fn root_lift_folds_flat_causes_into_tier_causes() {
+        use CommCause::*;
+        for c in [
+            Registration,
+            ViolationNeighborhood,
+            ViolationSafeZone,
+            ViolationFaulty,
+        ] {
+            assert_eq!(c.at_root(), LeafReport);
+        }
+        for c in [Eviction, Rejoin] {
+            assert_eq!(c.at_root(), ShardRebalance);
+        }
+        for c in [FullSync, LazySync, Resync, Retransmit, Heartbeat, Recovery] {
+            assert_eq!(c.at_root(), RootSync);
+        }
+        // Already-tiered causes are fixed points, so lifting is idempotent.
+        for c in [LeafReport, RootSync, ShardRebalance] {
+            assert_eq!(c.at_root(), c);
+            assert_eq!(c.at_root().at_root(), c.at_root());
+        }
+    }
+
+    #[test]
+    fn absorb_ledger_adds_cells_and_conserves() {
+        let mut a = CommLedger::default();
+        a.charge_up(0, 1, CommCause::Registration, 30);
+        a.charge_down(2, 0, CommCause::FullSync, 80);
+
+        let mut b = CommLedger::default();
+        // Colliding key: same (round, node, cause) as in `a`.
+        b.charge_up(0, 1, CommCause::Registration, 30);
+        b.charge_up(1, 3, CommCause::LeafReport, 44);
+        b.charge_down(1, 3, CommCause::RootSync, 90);
+
+        let (ta, tb) = (a.totals(), b.totals());
+        a.absorb_ledger(&b);
+        assert_eq!(
+            a.check_conservation(ta.msgs() + tb.msgs(), ta.bytes() + tb.bytes()),
+            None
+        );
+        let cell = a.cells[&(0, 1, CommCause::Registration)];
+        assert_eq!((cell.up_msgs, cell.up_bytes), (2, 60));
+        assert_eq!(a.by_cause()[&CommCause::LeafReport].up_bytes, 44);
     }
 }

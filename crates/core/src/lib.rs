@@ -37,6 +37,7 @@ pub mod ledger;
 pub mod messages;
 pub mod node;
 pub mod par;
+pub mod quant;
 pub mod safezone;
 pub mod tuning;
 
@@ -50,7 +51,9 @@ pub use automon_linalg::SpectralBackend;
 pub use coordinator::{Coordinator, CoordinatorEvent, CoordinatorSnapshot, CoordinatorStats, Observer};
 pub use journal::{Journal, Transition};
 pub use ledger::{CommCause, CommLedger, LedgerCell, LedgerEntry};
-pub use messages::{CoordinatorMessage, Epoch, NodeId, NodeMessage, Outbound, Recipient, ZoneUpdate};
+pub use messages::{
+    CoordinatorMessage, Epoch, NodeId, NodeMessage, Outbound, Recipient, TierMessage, ZoneUpdate,
+};
 pub use node::Node;
 pub use safezone::{Curvature, DcKind, Domain, NeighborhoodBox, SafeZone, ViolationKind};
 

@@ -172,6 +172,63 @@ impl Outbound {
     }
 }
 
+/// Inter-tier message between a leaf coordinator and the root
+/// coordinator of a sharded fleet (DESIGN.md §3.14).
+///
+/// A leaf coordinator is simultaneously a *node* of the root's
+/// monitoring group: it holds a root-assigned safe zone over its shard's
+/// partial mean and stays silent while that zone holds. The two frame
+/// kinds here are the traffic that crosses the tier boundary *besides*
+/// the ordinary [`CoordinatorMessage`]/[`NodeMessage`] frames the root's
+/// own sync protocol reuses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TierMessage {
+    /// Leaf → root: the shard's refreshed weighted partial mean violated
+    /// the root-assigned constraints. Carries everything the plain
+    /// violation frame cannot: the shard's population weight, so the
+    /// root can re-derive the composition scale after rebalances.
+    LeafReport {
+        /// Reporting leaf (the root-tier node id).
+        leaf: NodeId,
+        /// What the partial-mean stream violated.
+        kind: ViolationKind,
+        /// The weighted partial mean (already composition-scaled).
+        partial: Vec<f64>,
+        /// Streams currently alive in the shard (the composition weight).
+        weight: u64,
+        /// Root-tier epoch the leaf was monitoring under.
+        epoch: Epoch,
+    },
+    /// Root → leaf: adopt the listed streams from a crashed leaf. The
+    /// receiving leaf rebuilds its coordinator over the enlarged shard
+    /// and re-registers every member (an intra-shard full sync).
+    Rebalance {
+        /// Receiving leaf.
+        leaf: NodeId,
+        /// Global stream ids the leaf adopts.
+        adopted: Vec<NodeId>,
+        /// Root-tier epoch the rebalance belongs to.
+        epoch: Epoch,
+    },
+}
+
+impl TierMessage {
+    /// The leaf the frame concerns (sender for reports, destination for
+    /// rebalance directives).
+    pub fn leaf(&self) -> NodeId {
+        match *self {
+            TierMessage::LeafReport { leaf, .. } | TierMessage::Rebalance { leaf, .. } => leaf,
+        }
+    }
+
+    /// The root-tier epoch stamped on the message.
+    pub fn epoch(&self) -> Epoch {
+        match *self {
+            TierMessage::LeafReport { epoch, .. } | TierMessage::Rebalance { epoch, .. } => epoch,
+        }
+    }
+}
+
 /// Addressing helper for transports that support broadcast.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Recipient {

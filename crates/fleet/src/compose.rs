@@ -1,0 +1,113 @@
+//! Canonical weighted composition of shard partial means.
+//!
+//! Floating-point addition is not associative, so "the global mean" is
+//! only well-defined bitwise once a summation order is fixed. The
+//! fleet's canonical order is **shard-major**: each shard's member
+//! vectors are summed left-to-right in local-id order, the per-shard
+//! partial sums are combined left-to-right in shard order, and the
+//! total is divided by the population once, at the end. Everything
+//! that claims bitwise agreement with the fleet — the flat reference
+//! below, the simulator's truth series — must follow this exact
+//! grouping; any other grouping agrees only approximately.
+
+use crate::shard::ShardMap;
+
+/// Sum `vectors` left-to-right into one `d`-vector (stage 1 of the
+/// canonical order: a shard's partial sum over its members in local-id
+/// order).
+pub fn shard_partial_sum<'a>(vectors: impl Iterator<Item = &'a [f64]>, d: usize) -> Vec<f64> {
+    let mut sum = vec![0.0; d];
+    for v in vectors {
+        debug_assert_eq!(v.len(), d);
+        for (s, &x) in sum.iter_mut().zip(v) {
+            *s += x;
+        }
+    }
+    sum
+}
+
+/// Compose per-shard `(partial_sum, member_count)` pairs into the
+/// global mean: fold the partial sums left-to-right in the given
+/// (shard) order, then divide by the total count once.
+///
+/// # Panics
+/// Panics when the total count is zero or the partials are ragged.
+pub fn compose_global_mean(partials: &[(Vec<f64>, u64)]) -> Vec<f64> {
+    let d = partials.first().map_or(0, |(v, _)| v.len());
+    let mut total = vec![0.0; d];
+    let mut count = 0u64;
+    for (sum, weight) in partials {
+        assert_eq!(sum.len(), d, "ragged partial sums");
+        for (t, &s) in total.iter_mut().zip(sum) {
+            *t += s;
+        }
+        count += weight;
+    }
+    assert!(count > 0, "compose_global_mean: empty population");
+    let inv = count as f64;
+    for t in &mut total {
+        *t /= inv;
+    }
+    total
+}
+
+/// The flat reference: the global mean computed directly from the raw
+/// per-stream vectors under the same canonical shard-major order. An
+/// un-sharded run that wants bitwise agreement with the fleet computes
+/// its truth through this function.
+pub fn flat_global_mean(map: &ShardMap, xs: &[Vec<f64>]) -> Vec<f64> {
+    assert_eq!(xs.len(), map.streams(), "one vector per stream");
+    let d = xs.first().map_or(0, Vec::len);
+    let mut total = vec![0.0; d];
+    for s in 0..map.shards() {
+        let partial = shard_partial_sum(map.members(s).iter().map(|&g| xs[g].as_slice()), d);
+        for (t, &p) in total.iter_mut().zip(&partial) {
+            *t += p;
+        }
+    }
+    let inv = map.streams() as f64;
+    for t in &mut total {
+        *t /= inv;
+    }
+    total
+}
+
+/// The fleet-side view of the same computation: per-shard partial sums
+/// in shard order, ready for [`compose_global_mean`].
+pub fn partials_of(map: &ShardMap, xs: &[Vec<f64>]) -> Vec<(Vec<f64>, u64)> {
+    let d = xs.first().map_or(0, Vec::len);
+    (0..map.shards())
+        .map(|s| {
+            let members = map.members(s);
+            (
+                shard_partial_sum(members.iter().map(|&g| xs[g].as_slice()), d),
+                members.len() as u64,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composition_matches_flat_reference_bitwise() {
+        let map = ShardMap::round_robin(7, 3);
+        let xs: Vec<Vec<f64>> = (0..7)
+            .map(|g| vec![0.1 * g as f64, 1.0 / (g + 1) as f64])
+            .collect();
+        let composed = compose_global_mean(&partials_of(&map, &xs));
+        let flat = flat_global_mean(&map, &xs);
+        assert_eq!(composed, flat);
+        for (c, f) in composed.iter().zip(&flat) {
+            assert_eq!(c.to_bits(), f.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn empty_population_rejected() {
+        compose_global_mean(&[(vec![1.0], 0)]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Deterministic fault schedules for fleet runs.
+//!
+//! The flat simulator's chaos engine injects frame-level faults
+//! (drops, delays, partitions) behind the fabric; the fleet instead
+//! takes an explicit, fully deterministic schedule of *membership*
+//! faults — node crashes with optional restarts, and permanent leaf
+//! crashes — because the hierarchy's interesting failure modes are
+//! rebalancing ones, and byte-identical replay requires the schedule
+//! to be data, not dice.
+
+/// One stream (node) crash, with an optional restart round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeCrash {
+    /// Global stream id.
+    pub stream: usize,
+    /// Round the crash takes effect (before that round's updates).
+    pub at: u64,
+    /// Round the node restarts and re-registers, if it ever does.
+    pub restart: Option<u64>,
+}
+
+/// One permanent leaf-coordinator crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafCrash {
+    /// Leaf (shard) index.
+    pub leaf: usize,
+    /// Round the crash takes effect (before that round's updates).
+    pub at: u64,
+}
+
+/// A fleet fault schedule: what dies (and possibly returns) when.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetFaultPlan {
+    /// Node crashes, applied in declaration order within a round.
+    pub node_crashes: Vec<NodeCrash>,
+    /// Leaf crashes, applied in declaration order within a round,
+    /// after the round's node crashes.
+    pub leaf_crashes: Vec<LeafCrash>,
+}
+
+impl FleetFaultPlan {
+    /// `true` when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.node_crashes.is_empty() && self.leaf_crashes.is_empty()
+    }
+
+    /// Streams that crash at round `t`, in declaration order.
+    pub fn node_crashes_at(&self, t: u64) -> impl Iterator<Item = usize> + '_ {
+        self.node_crashes
+            .iter()
+            .filter(move |c| c.at == t)
+            .map(|c| c.stream)
+    }
+
+    /// Streams that restart at round `t`, in declaration order.
+    pub fn restarts_at(&self, t: u64) -> impl Iterator<Item = usize> + '_ {
+        self.node_crashes
+            .iter()
+            .filter(move |c| c.restart == Some(t))
+            .map(|c| c.stream)
+    }
+
+    /// Leaves that crash at round `t`, in declaration order.
+    pub fn leaf_crashes_at(&self, t: u64) -> impl Iterator<Item = usize> + '_ {
+        self.leaf_crashes
+            .iter()
+            .filter(move |c| c.at == t)
+            .map(|c| c.leaf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_filters_by_round() {
+        let plan = FleetFaultPlan {
+            node_crashes: vec![
+                NodeCrash {
+                    stream: 3,
+                    at: 5,
+                    restart: Some(9),
+                },
+                NodeCrash {
+                    stream: 1,
+                    at: 5,
+                    restart: None,
+                },
+            ],
+            leaf_crashes: vec![LeafCrash { leaf: 2, at: 7 }],
+        };
+        assert!(!plan.is_empty());
+        assert_eq!(plan.node_crashes_at(5).collect::<Vec<_>>(), vec![3, 1]);
+        assert_eq!(plan.node_crashes_at(6).count(), 0);
+        assert_eq!(plan.restarts_at(9).collect::<Vec<_>>(), vec![3]);
+        assert_eq!(plan.leaf_crashes_at(7).collect::<Vec<_>>(), vec![2]);
+        assert!(FleetFaultPlan::default().is_empty());
+    }
+}

@@ -61,6 +61,7 @@ pub struct CountingFabric {
     ledger: CommLedger,
     round: u64,
     tel: Telemetry,
+    cause_map: fn(CommCause) -> CommCause,
 }
 
 impl Default for CountingFabric {
@@ -80,6 +81,7 @@ impl CountingFabric {
             ledger: CommLedger::default(),
             round: 0,
             tel: Telemetry::disabled(),
+            cause_map: std::convert::identity,
         }
     }
 
@@ -95,6 +97,17 @@ impl CountingFabric {
     /// stays deterministic under any worker count).
     pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
         self.tel = tel;
+        self
+    }
+
+    /// Install a cause map applied at every charge point, *before* the
+    /// ledger row, counter bump, and `comm` trace event are written.
+    /// The root tier of a sharded fleet installs
+    /// [`CommCause::at_root`] here so its flat-protocol machinery is
+    /// charged under the inter-tier causes natively — ledger and trace
+    /// agree without any merge-time rewriting.
+    pub fn with_cause_map(mut self, map: fn(CommCause) -> CommCause) -> Self {
+        self.cause_map = map;
         self
     }
 
@@ -135,6 +148,32 @@ impl CountingFabric {
         &self.per_node
     }
 
+    /// Account one node→coordinator frame of `bytes`: counter bump,
+    /// ledger row, per-node tally, and `comm` trace event, with the
+    /// installed cause map applied first. Every up-direction charge in
+    /// this fabric funnels through here; it is public so a sharded
+    /// fleet can charge inter-tier frames (encoded elsewhere) on the
+    /// root fabric without double-encoding.
+    pub fn account_up(&mut self, node: NodeId, cause: CommCause, bytes: usize, span: SpanId) {
+        let cause = (self.cause_map)(cause);
+        self.stats.node_to_coord_msgs += 1;
+        self.stats.node_to_coord_payload += bytes;
+        self.ledger.charge_up(self.round, node, cause, bytes as u64);
+        self.bump_node(node);
+        self.comm_event("up", node, cause, bytes, span);
+    }
+
+    /// Account one coordinator→node frame of `bytes`; the down-direction
+    /// mirror of [`CountingFabric::account_up`].
+    pub fn account_down(&mut self, node: NodeId, cause: CommCause, bytes: usize, span: SpanId) {
+        let cause = (self.cause_map)(cause);
+        self.stats.coord_to_node_msgs += 1;
+        self.stats.coord_to_node_payload += bytes;
+        self.ledger.charge_down(self.round, node, cause, bytes as u64);
+        self.bump_node(node);
+        self.comm_event("down", node, cause, bytes, span);
+    }
+
     fn bump_node(&mut self, node: usize) {
         if self.per_node.len() <= node {
             self.per_node.resize(node + 1, 0);
@@ -170,12 +209,7 @@ impl CountingFabric {
         span: SpanId,
     ) -> Vec<Outbound> {
         let frame = wire::encode_node_message_ctx(&msg, span);
-        self.stats.node_to_coord_msgs += 1;
-        self.stats.node_to_coord_payload += frame.len();
-        self.ledger
-            .charge_up(self.round, msg.sender(), cause, frame.len() as u64);
-        self.bump_node(msg.sender());
-        self.comm_event("up", msg.sender(), cause, frame.len(), span);
+        self.account_up(msg.sender(), cause, frame.len(), span);
         let (ctx_span, decoded) =
             wire::decode_node_message_ctx(&frame).expect("self-encoded frame decodes");
         let epoch = decoded.epoch();
@@ -199,12 +233,7 @@ impl CountingFabric {
     ) -> Option<(NodeMessage, SpanId, CommCause)> {
         debug_assert_eq!(node.id(), out.to, "misrouted message");
         let frame = wire::encode_coordinator_message_ctx(&out.msg, out.span);
-        self.stats.coord_to_node_msgs += 1;
-        self.stats.coord_to_node_payload += frame.len();
-        self.ledger
-            .charge_down(self.round, out.to, out.cause, frame.len() as u64);
-        self.bump_node(out.to);
-        self.comm_event("down", out.to, out.cause, frame.len(), out.span);
+        self.account_down(out.to, out.cause, frame.len(), out.span);
         let (span, decoded) =
             wire::decode_coordinator_message_ctx(&frame).expect("self-encoded frame decodes");
         node.handle(decoded).map(|m| (m, span, out.cause))
@@ -233,6 +262,45 @@ impl CountingFabric {
             let outs = self.deliver_to_coordinator_as(coord, m, cause, span);
             inbox.extend(self.deliver_batch_tagged(nodes, outs));
         }
+    }
+
+    /// Deliver a coordinator-originated outbound batch (e.g. the
+    /// recovery sync an eviction issues) and every cascading reply to
+    /// quiescence, FIFO. Replies inherit each eliciting frame's cause
+    /// and span, exactly as in [`CountingFabric::route_as`].
+    pub fn route_outbounds(
+        &mut self,
+        coord: &mut Coordinator,
+        nodes: &mut [Node],
+        outs: Vec<Outbound>,
+    ) {
+        let mut inbox: std::collections::VecDeque<_> =
+            self.deliver_batch_tagged(nodes, outs).into();
+        while let Some((m, span, cause)) = inbox.pop_front() {
+            let outs = self.deliver_to_coordinator_as(coord, m, cause, span);
+            inbox.extend(self.deliver_batch_tagged(nodes, outs));
+        }
+    }
+
+    /// [`CountingFabric::route_outbounds`] with every frame's ledger
+    /// cause overridden first — recovery traffic (`Eviction`, `Rejoin`)
+    /// is charged separably from the steady-state cause the coordinator
+    /// stamped on the outbound.
+    pub fn route_outbounds_as(
+        &mut self,
+        coord: &mut Coordinator,
+        nodes: &mut [Node],
+        outs: Vec<Outbound>,
+        cause: CommCause,
+    ) {
+        let outs = outs
+            .into_iter()
+            .map(|mut o| {
+                o.cause = cause;
+                o
+            })
+            .collect();
+        self.route_outbounds(coord, nodes, outs);
     }
 
     /// Deliver one coordinator batch, fanning the per-node constraint
@@ -277,12 +345,7 @@ impl CountingFabric {
         let mut tags = Vec::with_capacity(outs.len());
         for out in outs {
             let frame = wire::encode_coordinator_message_ctx(&out.msg, out.span);
-            self.stats.coord_to_node_msgs += 1;
-            self.stats.coord_to_node_payload += frame.len();
-            self.ledger
-                .charge_down(self.round, out.to, out.cause, frame.len() as u64);
-            self.bump_node(out.to);
-            self.comm_event("down", out.to, out.cause, frame.len(), out.span);
+            self.account_down(out.to, out.cause, frame.len(), out.span);
             let (span, msg) =
                 wire::decode_coordinator_message_ctx(&frame).expect("self-encoded frame decodes");
             decoded.push((out.to, msg));

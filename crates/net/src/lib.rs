@@ -23,9 +23,16 @@
 //!   length-prefixed frames: the dependency-free ZeroMQ replacement for
 //!   actual multi-process deployments.
 
+//!
+//! For the hierarchical fleet (DESIGN.md §3.14), [`ShardedFabric`]
+//! composes one `CountingFabric` per leaf shard with a cause-mapped
+//! root fabric for inter-tier frames, and merges their accounting.
+
 pub mod delta;
 mod fabric;
+mod sharded;
 pub mod tcp;
 pub mod wire;
 
 pub use fabric::{ChannelFabric, CoordinatorEndpoint, CountingFabric, NodeEndpoint, TrafficStats};
+pub use sharded::ShardedFabric;

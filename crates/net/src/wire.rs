@@ -14,8 +14,8 @@
 //! present so frame sizes never depend on whether telemetry is enabled.
 
 use automon_core::{
-    Curvature, CoordinatorMessage, DcKind, NeighborhoodBox, NodeMessage, SafeZone, ViolationKind,
-    ZoneUpdate,
+    Curvature, CoordinatorMessage, DcKind, NeighborhoodBox, NodeMessage, SafeZone, TierMessage,
+    ViolationKind, ZoneUpdate,
 };
 use automon_linalg::Matrix;
 use automon_obs::SpanId;
@@ -108,6 +108,20 @@ fn coordinator_message_len(msg: &CoordinatorMessage) -> usize {
             8 + zone_update_len(update) + vec_len(slack)
         }
     }
+}
+
+/// Encoded size of a `u32`-length-prefixed node-id list.
+fn id_vec_len(v: &[usize]) -> usize {
+    4 + 4 * v.len()
+}
+
+/// Exact frame size of an encoded inter-tier message.
+fn tier_message_len(msg: &TierMessage) -> usize {
+    HEADER_LEN
+        + match msg {
+            TierMessage::LeafReport { partial, .. } => 4 + 8 + 1 + 8 + vec_len(partial),
+            TierMessage::Rebalance { adopted, .. } => 4 + 8 + id_vec_len(adopted),
+        }
 }
 
 /// Encode a node→coordinator message with an empty trace context.
@@ -282,6 +296,102 @@ fn decode_coordinator_body(mut buf: &[u8]) -> Result<CoordinatorMessage, WireErr
             })
         }
         t => Err(WireError::BadTag("coordinator message", t)),
+    }
+}
+
+/// Encode an inter-tier (leaf↔root) message with an empty trace context.
+pub fn encode_tier_message(msg: &TierMessage) -> Bytes {
+    encode_tier_message_ctx(msg, SpanId::NONE)
+}
+
+/// Encode an inter-tier message, stamping `span` into the frame header
+/// as the wire-propagated trace context. Tier frames share the flat
+/// protocol's header layout (magic + span + tag) but live in their own
+/// tag space, decoded only by [`decode_tier_message_ctx`] — a tier frame
+/// handed to the flat decoders fails on the tag, not silently.
+pub fn encode_tier_message_ctx(msg: &TierMessage, span: SpanId) -> Bytes {
+    let mut b = BytesMut::with_capacity(tier_message_len(msg));
+    b.put_u8(MAGIC);
+    b.put_u64_le(span.0);
+    match msg {
+        TierMessage::LeafReport {
+            leaf,
+            kind,
+            partial,
+            weight,
+            epoch,
+        } => {
+            b.put_u8(0);
+            b.put_u32_le(*leaf as u32);
+            b.put_u64_le(*epoch);
+            b.put_u8(violation_tag(*kind));
+            b.put_u64_le(*weight);
+            put_vec(&mut b, partial);
+        }
+        TierMessage::Rebalance {
+            leaf,
+            adopted,
+            epoch,
+        } => {
+            b.put_u8(1);
+            b.put_u32_le(*leaf as u32);
+            b.put_u64_le(*epoch);
+            b.put_u32_le(adopted.len() as u32);
+            for &id in adopted {
+                b.put_u32_le(id as u32);
+            }
+        }
+    }
+    debug_assert_eq!(b.len(), tier_message_len(msg), "frame size mispredicted");
+    b.freeze()
+}
+
+/// Decode an inter-tier message, discarding the trace context.
+pub fn decode_tier_message(buf: &[u8]) -> Result<TierMessage, WireError> {
+    decode_tier_message_ctx(buf).map(|(_, msg)| msg)
+}
+
+/// Decode an inter-tier message plus the sender's span id from the
+/// frame header.
+pub fn decode_tier_message_ctx(mut buf: &[u8]) -> Result<(SpanId, TierMessage), WireError> {
+    check_magic(&mut buf)?;
+    let span = SpanId(get_u64(&mut buf)?);
+    decode_tier_body(buf).map(|msg| (span, msg))
+}
+
+fn decode_tier_body(mut buf: &[u8]) -> Result<TierMessage, WireError> {
+    let tag = get_u8(&mut buf)?;
+    match tag {
+        0 => {
+            let leaf = get_u32(&mut buf)? as usize;
+            let epoch = get_u64(&mut buf)?;
+            let kind = violation_from_tag(get_u8(&mut buf)?)?;
+            let weight = get_u64(&mut buf)?;
+            let partial = get_vec(&mut buf)?;
+            Ok(TierMessage::LeafReport {
+                leaf,
+                kind,
+                partial,
+                weight,
+                epoch,
+            })
+        }
+        1 => {
+            let leaf = get_u32(&mut buf)? as usize;
+            let epoch = get_u64(&mut buf)?;
+            let n = get_u32(&mut buf)? as usize;
+            let bytes = n.checked_mul(4).ok_or(WireError::Truncated)?;
+            if buf.remaining() < bytes {
+                return Err(WireError::Truncated);
+            }
+            let adopted = (0..n).map(|_| buf.get_u32_le() as usize).collect();
+            Ok(TierMessage::Rebalance {
+                leaf,
+                adopted,
+                epoch,
+            })
+        }
+        t => Err(WireError::BadTag("tier message", t)),
     }
 }
 
@@ -693,6 +803,66 @@ mod tests {
             let frame = encode_coordinator_message(msg);
             assert_eq!(frame.len(), coordinator_message_len(msg), "{msg:?}");
         }
+    }
+
+    #[test]
+    fn tier_message_round_trips_with_exact_sizes() {
+        let msgs = [
+            TierMessage::LeafReport {
+                leaf: 3,
+                kind: ViolationKind::SafeZone,
+                partial: vec![1.5, -2.5, 0.0],
+                weight: 312,
+                epoch: 9,
+            },
+            TierMessage::LeafReport {
+                leaf: 0,
+                kind: ViolationKind::Uninitialized,
+                partial: vec![],
+                weight: 0,
+                epoch: 0,
+            },
+            TierMessage::Rebalance {
+                leaf: 7,
+                adopted: vec![100, 101, 4000],
+                epoch: u64::MAX,
+            },
+            TierMessage::Rebalance {
+                leaf: 1,
+                adopted: vec![],
+                epoch: 2,
+            },
+        ];
+        for msg in &msgs {
+            let frame = encode_tier_message_ctx(msg, SpanId(0xBEEF));
+            assert_eq!(frame.len(), tier_message_len(msg), "{msg:?}");
+            let (span, decoded) = decode_tier_message_ctx(&frame).unwrap();
+            assert_eq!(span, SpanId(0xBEEF));
+            assert_eq!(&decoded, msg);
+            assert_eq!(&decode_tier_message(&frame).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn tier_frames_are_rejected_by_flat_decoders_and_vice_versa() {
+        // The tier tag space overlaps the flat ones numerically, so a
+        // misrouted frame decodes into the wrong *variant*, never into
+        // garbage — but a tag outside the space still fails loudly.
+        let bad = [MAGIC, 0, 0, 0, 0, 0, 0, 0, 0, 9];
+        assert_eq!(
+            decode_tier_message(&bad),
+            Err(WireError::BadTag("tier message", 9))
+        );
+        // Truncated adopted-id list.
+        let frame = encode_tier_message(&TierMessage::Rebalance {
+            leaf: 0,
+            adopted: vec![1, 2, 3],
+            epoch: 1,
+        });
+        assert_eq!(
+            decode_tier_message(&frame[..frame.len() - 2]),
+            Err(WireError::Truncated)
+        );
     }
 
     #[test]

@@ -17,9 +17,13 @@
 //!   Convex Bound (CB) arm for inner-product monitoring.
 //! * [`RunStats`] — max/p99/mean error, message and payload totals, and
 //!   trace points for the time-series figures.
+//! * [`FleetSimulation`] — the same harness over the two-tier sharded
+//!   coordinator fleet (DESIGN.md §3.14), reporting the per-tier
+//!   message split and the combined leaf+root ledger.
 
 pub mod baselines;
 pub mod chaos;
+mod fleet_runner;
 pub mod hybrid;
 mod runner;
 mod stats;
@@ -27,6 +31,7 @@ mod workload;
 
 pub use baselines::{run_centralization, run_convex_bound, run_periodic, Baseline};
 pub use chaos::{ChaosReport, ChaosSimulation};
+pub use fleet_runner::{FleetReport, FleetSimulation};
 pub use hybrid::{run_hybrid, HybridConfig, HybridStats};
 pub use runner::Simulation;
 pub use stats::{RunStats, TracePoint};

@@ -37,6 +37,13 @@
 #      identical --json report and a byte-identical trace (`automon
 #      trace diff` exits 0), with the recovery resync charged to the
 #      `recovery` ledger cause (docs/DURABILITY.md).
+#  11. fleet determinism smoke — the two-tier sharded run (1k streams,
+#      8 shards, a node crash/restart and a leaf crash) must be
+#      byte-deterministic: two identical invocations give the same
+#      --json report and byte-identical traces (`automon trace diff`
+#      exits 0), the combined two-tier ledger must conserve the fleet's
+#      message/byte totals, and the root tier must carry fewer messages
+#      than the leaf tier (DESIGN.md §3.14).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -229,5 +236,58 @@ print(f"    recovery resync charged: {rows[0]['msgs']} msgs / "
       f"{rows[0]['bytes']} bytes")
 PYEOF
 echo "    crash/replay byte-deterministic; trace diff clean"
+
+echo "==> fleet determinism smoke (1k streams, 8 shards)"
+FLEET_ARGS=(simulate --function inner-product --dim 4 --nodes 1000
+    --rounds 60 --epsilon 0.3 --fleet --shards 8
+    --crash-node 3:10:25 --crash-leaf 5:30 --json)
+fleet_a=$(cargo run --release -q -p automon-cli -- "${FLEET_ARGS[@]}" \
+    --trace-out "$TDIR/fleet-a.jsonl")
+fleet_b=$(cargo run --release -q -p automon-cli -- "${FLEET_ARGS[@]}" \
+    --trace-out "$TDIR/fleet-b.jsonl")
+if [[ "$fleet_a" != "$fleet_b" ]]; then
+    echo "FAIL: identical fleet runs produced different reports" >&2
+    diff <(printf '%s\n' "$fleet_a") <(printf '%s\n' "$fleet_b") >&2 || true
+    exit 1
+fi
+cargo run --release -q -p automon-cli -- trace diff \
+    --left "$TDIR/fleet-a.jsonl" --right "$TDIR/fleet-b.jsonl" >/dev/null
+python3 - <<PYEOF
+import json, sys
+
+report = json.loads("""${fleet_a}""")
+stats = report["stats"]
+rows = stats.get("ledger") or []
+if not rows:
+    print("FAIL: fleet --json output has no combined ledger", file=sys.stderr)
+    sys.exit(1)
+msgs = sum(r["msgs"] for r in rows)
+nbytes = sum(r["bytes"] for r in rows)
+total_bytes = report["root_payload_bytes"] + report["leaf_payload_bytes"]
+if msgs != stats["messages"] or nbytes != stats["payload_bytes"]:
+    print(f"FAIL: combined ledger ({msgs} msgs, {nbytes} B) != totals "
+          f"({stats['messages']} msgs, {stats['payload_bytes']} B)",
+          file=sys.stderr)
+    sys.exit(1)
+if report["root_messages"] + report["leaf_messages"] != stats["messages"]:
+    print("FAIL: per-tier message split does not sum to the total",
+          file=sys.stderr)
+    sys.exit(1)
+if nbytes != total_bytes:
+    print("FAIL: per-tier byte split does not sum to the ledger total",
+          file=sys.stderr)
+    sys.exit(1)
+if report["root_messages"] >= report["leaf_messages"]:
+    print(f"FAIL: root tier ({report['root_messages']} msgs) should be "
+          f"quieter than the leaf tier ({report['leaf_messages']} msgs)",
+          file=sys.stderr)
+    sys.exit(1)
+if report["leaf_crashes"] != 1 or report["rebalances"] != 1:
+    print("FAIL: leaf crash was not rebalanced exactly once", file=sys.stderr)
+    sys.exit(1)
+print(f"    two-tier ledger conserves {msgs} msgs / {nbytes} bytes; "
+      f"root {report['root_messages']} vs leaf {report['leaf_messages']} msgs")
+PYEOF
+echo "    fleet run byte-deterministic under faults; trace diff clean"
 
 echo "==> CI green"

@@ -55,6 +55,7 @@ pub use automon_autodiff as autodiff;
 pub use automon_chaos as chaos;
 pub use automon_core as core;
 pub use automon_data as data;
+pub use automon_fleet as fleet;
 pub use automon_functions as functions;
 pub use automon_linalg as linalg;
 pub use automon_net as net;
@@ -71,6 +72,7 @@ pub mod prelude {
         Node, NodeMessage, SafeZone, ViolationKind,
     };
     pub use automon_data::SlidingWindow;
+    pub use automon_fleet::{Fleet, FleetConfig, FleetFaultPlan, ShardMap};
     pub use automon_functions::{InnerProduct, KlDivergence, QuadraticForm, Rozenbrock};
     pub use automon_linalg::{Matrix, SymEigen};
     pub use automon_sim::{Baseline, RunStats, Simulation};
