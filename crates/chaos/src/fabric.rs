@@ -22,7 +22,8 @@ use std::collections::{BTreeMap, VecDeque};
 use automon_core::{CommCause, CommLedger, Coordinator, Node, NodeId, NodeMessage, Outbound};
 use automon_net::{CountingFabric, TrafficStats};
 use automon_obs::{Counter, SpanId, Telemetry};
-use rand::{rngs::SmallRng, Rng, SeedableRng};
+use crate::gate::LadderGate;
+use automon_net::{FrameGate, GateVerdict};
 use serde::{Deserialize, Serialize};
 
 use crate::plan::FaultPlan;
@@ -211,15 +212,6 @@ fn kind_name(kind: FaultKind) -> &'static str {
     }
 }
 
-/// Verdict of the per-frame gate.
-enum Gate {
-    Deliver,
-    DeliverTwice,
-    Reorder,
-    Delay(usize),
-    Discard,
-}
-
 /// Fault-injecting wrapper around [`CountingFabric`].
 ///
 /// Counters only advance for frames that actually deliver, so a run
@@ -229,7 +221,7 @@ enum Gate {
 pub struct ChaosFabric {
     inner: CountingFabric,
     plan: FaultPlan,
-    rng: SmallRng,
+    ladder: LadderGate,
     round: usize,
     crashed: Vec<bool>,
     trace: Vec<FaultEvent>,
@@ -256,11 +248,11 @@ impl ChaosFabric {
                 assert!(node < n, "partition names unknown node {node}");
             }
         }
-        let rng = SmallRng::seed_from_u64(plan.seed);
+        let ladder = LadderGate::new(&plan);
         Self {
             inner,
             plan,
-            rng,
+            ladder,
             round: 0,
             crashed: vec![false; n],
             trace: Vec::new(),
@@ -470,26 +462,26 @@ impl ChaosFabric {
                 continue;
             }
             match self.gate(frame.immune()) {
-                Gate::Discard => {
+                GateVerdict::Discard => {
                     self.record(dir, node, FaultKind::Drop);
                 }
-                Gate::Reorder => {
+                GateVerdict::Reorder => {
                     self.record(dir, node, FaultKind::Reorder);
                     inbox.push_back(frame.immune_copy());
                 }
-                Gate::Delay(rounds) => {
+                GateVerdict::Delay(rounds) => {
                     self.record(dir, node, FaultKind::Delay { rounds });
                     self.delayed
                         .entry(self.round + rounds)
                         .or_default()
                         .push(frame);
                 }
-                Gate::DeliverTwice => {
+                GateVerdict::DeliverTwice => {
                     self.record(dir, node, FaultKind::Duplicate);
                     inbox.push_back(frame.immune_copy());
                     self.deliver(coord, nodes, frame, &mut inbox);
                 }
-                Gate::Deliver => {
+                GateVerdict::Deliver => {
                     self.deliver(coord, nodes, frame, &mut inbox);
                 }
             }
@@ -533,35 +525,10 @@ impl ChaosFabric {
     /// frame still *consumes no draw* — the draw sequence depends only on
     /// how many non-immune frames crossed the fabric, which is itself a
     /// deterministic function of plan + seed + workload.
-    fn gate(&mut self, immune: bool) -> Gate {
-        let p = &self.plan;
-        if immune
-            || (p.drop_rate == 0.0
-                && p.duplicate_rate == 0.0
-                && p.reorder_rate == 0.0
-                && p.delay_rate == 0.0)
-        {
-            return Gate::Deliver;
-        }
-        let u: f64 = self.rng.gen_range(0.0..1.0);
-        let mut threshold = p.drop_rate;
-        if u < threshold {
-            return Gate::Discard;
-        }
-        threshold += p.duplicate_rate;
-        if u < threshold {
-            return Gate::DeliverTwice;
-        }
-        threshold += p.reorder_rate;
-        if u < threshold {
-            return Gate::Reorder;
-        }
-        threshold += p.delay_rate;
-        if u < threshold {
-            let rounds = self.rng.gen_range(1..=self.plan.max_delay_rounds);
-            return Gate::Delay(rounds);
-        }
-        Gate::Deliver
+    fn gate(&mut self, immune: bool) -> GateVerdict {
+        // Shared with the reactor transport (`crates/net`): one ladder,
+        // one draw sequence — see [`LadderGate`].
+        self.ladder.gate(immune)
     }
 
     fn record(&mut self, dir: Direction, node: NodeId, kind: FaultKind) {

@@ -16,7 +16,9 @@
 //! things, deterministically.
 
 mod fabric;
+pub mod gate;
 mod plan;
 
 pub use fabric::{ChaosFabric, DeliveryFailure, Direction, FaultEvent, FaultKind};
+pub use gate::{GateCounts, LadderGate};
 pub use plan::{FaultPlan, NodeCrash, Partition, RecoveryConfig};

@@ -14,11 +14,13 @@
 
 mod args;
 mod csvio;
+mod netcmd;
 mod run;
 mod trace;
 
 pub use args::{Args, CliError};
 pub use csvio::{parse_csv_updates, render_estimates};
+pub use netcmd::run_net_smoke;
 pub use run::{build_function, run_monitor, run_simulate, run_spectral_smoke, run_tune, MonitorOutcome};
 pub use trace::run_trace;
 
@@ -31,6 +33,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         Some("monitor") => run_monitor(&Args::parse(&argv[1..])?),
         Some("tune") => run_tune(&Args::parse(&argv[1..])?),
         Some("spectral-smoke") => run_spectral_smoke(&Args::parse(&argv[1..])?),
+        Some("net-smoke") => run_net_smoke(&Args::parse(&argv[1..])?),
         Some("trace") => run_trace(&argv[1..]),
         Some("help") | None => Ok(usage().to_string()),
         Some(other) => Err(CliError::new(format!(
@@ -63,6 +66,10 @@ USAGE:
     automon tune     --function <NAME> --input <FILE.csv> --nodes N
                      [--epsilon E]
     automon spectral-smoke [--dim D] [--seed S] [--tol T]
+    automon net-smoke [--net-backend B] [--nodes N] [--rounds R]
+                     [--dim D] [--seed S] [--epsilon E] [--function NAME]
+                     [--chaos-seed S] [--drop-rate P] [--duplicate-rate P]
+                     [--reorder-rate P] [--delay-rate P] [--trace-out FILE]
     automon trace summarize --input FILE.jsonl
     automon trace diff --left A.jsonl --right B.jsonl
     automon help
@@ -146,6 +153,18 @@ OBSERVABILITY (simulate only):
                         seed reproduces the file byte for byte
     --serve-metrics ADDR  serve live metrics at http://ADDR/metrics
                         while the run executes (e.g. 127.0.0.1:9100)
+
+NET BACKENDS (net-smoke; DESIGN.md §3.15):
+    --net-backend threaded  blocking TCP transport, reader thread per node
+    --net-backend reactor   epoll event loop: coalesced reads, writev
+                            batching, bounded outbound queues (default)
+    --net-backend sim       the reactor over a simulated poller: seeded
+                            byte chunking, chaos flags inject faults at
+                            the frame boundary, same seed replays the
+                            --trace-out JSONL byte for byte
+    Output is one JSON object: `stats` (protocol outcome, identical
+    across backends for a given --seed) and `transport` (syscalls,
+    timing — backend-specific). Chaos flags require the sim backend.
 
 TRACE ANALYSIS (offline, over --trace-out files):
     trace summarize     span tree, per-span durations in deterministic

@@ -154,6 +154,9 @@ struct CoordTel {
     evictions: Counter,
     rejoins: Counter,
     slack_updates: Counter,
+    /// Lazy-sync growth picks that had to fall back to a backpressured
+    /// node because no unpressured candidate existed.
+    backpressure_fallbacks: Counter,
     cache_hits: Counter,
     cache_near_hits: Counter,
     cache_misses: Counter,
@@ -229,6 +232,10 @@ impl CoordTel {
             slack_updates: tel.counter(
                 "automon_coord_slack_updates_total",
                 "Slack vectors redistributed by lazy syncs",
+            ),
+            backpressure_fallbacks: tel.counter(
+                "automon_coord_backpressure_fallbacks_total",
+                "Lazy-sync growth picks forced onto a backpressured node",
             ),
             cache_hits: tel.counter(
                 "automon_coord_decomp_cache_hits_total",
@@ -323,6 +330,12 @@ pub struct Coordinator {
     epoch: Epoch,
     /// Per-node liveness; evicted nodes are `false` until they rejoin.
     alive: Vec<bool>,
+    /// Transport backpressure flags (reactor backend): flagged nodes
+    /// are deprioritized when growing a lazy-sync balancing set, since
+    /// pulling from a node whose outbound queue is jammed adds latency
+    /// to the whole resolution. Not journaled — purely transient
+    /// transport state, reset to all-clear on restore.
+    backpressured: Vec<bool>,
     /// Durability sink (no-op until `set_journal`): every state
     /// transition that a restore must reproduce is recorded here.
     journal: Option<Box<dyn crate::journal::Journal>>,
@@ -365,6 +378,7 @@ impl Coordinator {
             observer: None,
             epoch: 0,
             alive: vec![true; n],
+            backpressured: vec![false; n],
             journal: None,
             snapshot_deferred: false,
             tel: CoordTel::new(Telemetry::disabled(), cache_policy),
@@ -525,6 +539,20 @@ impl Coordinator {
     /// Number of non-evicted nodes.
     pub fn alive_count(&self) -> usize {
         self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Flag (or clear) transport backpressure on `node`. Backpressured
+    /// nodes are passed over when a lazy sync grows its balancing set,
+    /// as long as an unpressured candidate exists; with no flags set the
+    /// growth order is plain LRU. Drive this from the reactor
+    /// transport's `backpressured_nodes()` between rounds.
+    pub fn set_backpressured(&mut self, node: NodeId, on: bool) {
+        self.backpressured[node] = on;
+    }
+
+    /// `true` while `node` is flagged as backpressured.
+    pub fn is_backpressured(&self, node: NodeId) -> bool {
+        self.backpressured[node]
     }
 
     /// `true` while a violation resolution (lazy or full sync) is in
@@ -815,6 +843,7 @@ impl Coordinator {
             consecutive_neighborhood: snap.consecutive_neighborhood,
             observer: None,
             epoch: snap.epoch,
+            backpressured: vec![false; alive.len()],
             alive,
             journal: None,
             snapshot_deferred: false,
@@ -1085,8 +1114,19 @@ impl Coordinator {
             return self.begin_full_sync(set);
         }
         // Grow S with the least-recently-used node outside it (the LRU
-        // order only ever contains alive nodes).
-        let next = self.lru.iter().find(|i| !set.contains(i));
+        // order only ever contains alive nodes). Nodes under transport
+        // backpressure are passed over when any unpressured candidate
+        // exists — identical to plain LRU when no flags are set.
+        let next = self
+            .lru
+            .iter()
+            .find(|i| !set.contains(i) && !self.backpressured[*i])
+            .or_else(|| self.lru.iter().find(|i| !set.contains(i)));
+        if let Some(p) = next {
+            if self.backpressured[p] {
+                self.tel.backpressure_fallbacks.inc();
+            }
+        }
         match next {
             Some(p) => {
                 self.touch_lru(p);

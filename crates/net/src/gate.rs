@@ -1,0 +1,53 @@
+//! The frame gate: the transport's fault-injection seam.
+//!
+//! The chaos fabric injects faults at the *decoded-frame boundary* — a
+//! frame either delivers, delivers twice, falls behind its queue,
+//! parks for some rounds, or vanishes. The reactor keeps that exact
+//! boundary: every inbound frame it decodes is shown to an installed
+//! [`FrameGate`] before it reaches the protocol, so a chaos plan that
+//! replays byte-identically on the in-process fabric replays
+//! byte-identically on the reactor path too (`crates/chaos` implements
+//! this trait with the same seeded ladder, consuming the same RNG draw
+//! sequence).
+//!
+//! The default — no gate installed — is a transparent transport.
+
+/// What the gate decided for one decoded frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateVerdict {
+    /// Deliver normally.
+    Deliver,
+    /// Deliver now and inject an immune copy behind the current queue.
+    DeliverTwice,
+    /// Push the frame behind everything currently queued (as an immune
+    /// copy), delivering it out of order.
+    Reorder,
+    /// Park the frame for this many protocol rounds before delivering
+    /// an immune copy.
+    Delay(usize),
+    /// Discard the frame; the sender observes nothing.
+    Discard,
+}
+
+/// A per-frame fault decision, applied at the decoded-frame boundary.
+///
+/// `immune` marks re-injected frames (the late copy of a duplicate, a
+/// matured delayed frame): the gate must deliver them untouched *and
+/// consume no randomness for them*, so the draw sequence depends only
+/// on how many first-time frames crossed the gate — the invariant that
+/// makes seeded chaos runs replay exactly.
+pub trait FrameGate: Send {
+    /// Decide what happens to one frame.
+    fn gate(&mut self, immune: bool) -> GateVerdict;
+}
+
+/// The transparent gate: everything delivers. Useful as an explicit
+/// stand-in where a gate slot must be filled.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OpenGate;
+
+impl FrameGate for OpenGate {
+    fn gate(&mut self, _immune: bool) -> GateVerdict {
+        GateVerdict::Deliver
+    }
+}

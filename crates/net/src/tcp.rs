@@ -18,7 +18,7 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -26,7 +26,29 @@ use std::time::{Duration, Instant};
 use automon_core::{CoordinatorMessage, NodeId, NodeMessage, Outbound};
 use automon_obs::{Counter, SpanId, Telemetry};
 
+use crate::backoff::Backoff;
+use crate::poller::SyscallStats;
 use crate::wire;
+
+// Process-wide syscall tally for the threaded backend's frame I/O, the
+// comparison point for the reactor's per-poller [`SyscallStats`]. The
+// threaded transport has no central object every reader thread can
+// reach cheaply, so the count is global — fine for the bench, which
+// runs one transport per process.
+static THREADED_READS: AtomicU64 = AtomicU64::new(0);
+static THREADED_WRITES: AtomicU64 = AtomicU64::new(0);
+
+/// Syscalls issued by this process's threaded frame I/O so far: two
+/// `read`s per inbound frame (length prefix, then payload), and up to
+/// two `write`s per outbound frame.
+pub fn threaded_syscalls() -> SyscallStats {
+    SyscallStats {
+        waits: 0,
+        reads: THREADED_READS.load(Ordering::Relaxed),
+        writevs: THREADED_WRITES.load(Ordering::Relaxed),
+        accepts: 0,
+    }
+}
 
 /// Transport failure.
 #[derive(Debug)]
@@ -46,6 +68,10 @@ pub enum TcpError {
     NotConnected(NodeId),
     /// Connect retries exhausted without reaching the coordinator.
     ConnectExhausted(NodeId),
+    /// The node's bounded outbound queue is full; the caller should
+    /// degrade this node (e.g. prefer others for lazy-sync growth)
+    /// rather than buffer without bound. Reactor backend only.
+    Backpressured(NodeId),
 }
 
 impl From<std::io::Error> for TcpError {
@@ -67,6 +93,9 @@ impl std::fmt::Display for TcpError {
             TcpError::NotConnected(id) => write!(f, "node {id} is not connected"),
             TcpError::ConnectExhausted(id) => {
                 write!(f, "node {id}: connect retries exhausted")
+            }
+            TcpError::Backpressured(id) => {
+                write!(f, "node {id}: outbound queue full (backpressure)")
             }
         }
     }
@@ -106,20 +135,21 @@ impl RetryPolicy {
         }
     }
 
-    /// The backoff to sleep after failed attempt `i` (0-based), `None`
-    /// when the budget is spent.
-    fn backoff_after(&self, i: u32) -> Option<Duration> {
-        if i + 1 >= self.attempts {
-            return None;
-        }
-        let exp = self.initial_backoff.saturating_mul(1u32 << i.min(16));
-        Some(exp.min(self.max_backoff))
+    /// Whether attempt `i` (0-based) has a retry left in the budget.
+    /// The actual delay comes from a seeded [`Backoff`] so the schedule
+    /// is jittered yet deterministic per endpoint.
+    fn retries_left(&self, i: u32) -> bool {
+        i + 1 < self.attempts
     }
 }
 
-/// Write one length-prefixed frame.
+/// Write one length-prefixed frame. Frames over the wire cap are
+/// refused outright — a silent `as u32` truncation here would desync
+/// the whole byte stream for the peer.
 fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> Result<(), TcpError> {
-    stream.write_all(&(frame.len() as u32).to_le_bytes())?;
+    let prefix = wire::frame_len_prefix(frame.len()).map_err(TcpError::Wire)?;
+    THREADED_WRITES.fetch_add(1 + u64::from(!frame.is_empty()), Ordering::Relaxed);
+    stream.write_all(&prefix.to_le_bytes())?;
     stream.write_all(frame)?;
     stream.flush()?;
     Ok(())
@@ -128,6 +158,7 @@ fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> Result<(), TcpError> {
 /// Read one length-prefixed frame.
 fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>, TcpError> {
     let mut len = [0u8; 4];
+    THREADED_READS.fetch_add(1, Ordering::Relaxed);
     if let Err(e) = stream.read_exact(&mut len) {
         return if e.kind() == std::io::ErrorKind::UnexpectedEof {
             Err(TcpError::Disconnected)
@@ -135,9 +166,14 @@ fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>, TcpError> {
             Err(TcpError::Io(e))
         };
     }
-    let n = u32::from_le_bytes(len) as usize;
+    // Validate the advertised length before allocating: a corrupt or
+    // hostile prefix must not OOM the receiver.
+    let n = wire::check_frame_len(u32::from_le_bytes(len)).map_err(TcpError::Wire)?;
     let mut buf = vec![0u8; n];
-    stream.read_exact(&mut buf)?;
+    if n > 0 {
+        THREADED_READS.fetch_add(1, Ordering::Relaxed);
+        stream.read_exact(&mut buf)?;
+    }
     Ok(buf)
 }
 
@@ -400,6 +436,9 @@ impl TcpCoordinatorTransport {
         listener.set_nonblocking(true)?;
 
         let mut greeted = vec![false; n];
+        // Idle-poll schedule seeded by the bound port: deterministic
+        // per endpoint, reset whenever an accept makes progress.
+        let mut poll = Backoff::accept_poll(local.port() as u64);
         while !greeted.iter().all(|&g| g) {
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 let missing = (0..n).filter(|&i| !greeted[i]).collect();
@@ -411,9 +450,10 @@ impl TcpCoordinatorTransport {
                     if let Ok(id) = admit(&shared, &tx, stream, n) {
                         greeted[id] = true;
                     }
+                    poll.reset();
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(2));
+                    poll.sleep();
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -421,6 +461,7 @@ impl TcpCoordinatorTransport {
 
         // Keep admitting rejoining nodes until the transport drops.
         let bg_shared = shared.clone();
+        let mut bg_poll = Backoff::accept_poll(local.port() as u64 ^ 0xACCE);
         std::thread::spawn(move || loop {
             if bg_shared.shutdown.load(Ordering::Relaxed) {
                 break;
@@ -428,9 +469,10 @@ impl TcpCoordinatorTransport {
             match listener.accept() {
                 Ok((stream, _)) => {
                     let _ = admit(&bg_shared, &tx, stream, n);
+                    bg_poll.reset();
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
+                    bg_poll.sleep();
                 }
                 Err(_) => break,
             }
@@ -567,19 +609,24 @@ impl TcpNodeTransport {
         tel: &NodeNetTel,
     ) -> Result<TcpStream, TcpError> {
         let mut attempt = 0u32;
+        // Seeded by the node's own id: every node jitters differently
+        // (no thundering herd on coordinator restart), every run of the
+        // same node sleeps the same schedule.
+        let mut backoff = Backoff::new(retry.initial_backoff, retry.max_backoff, id as u64);
         loop {
             tel.connect_attempts.inc();
             match Self::dial_once(addr, id) {
                 Ok(stream) => return Ok(stream),
-                Err(_) => match retry.backoff_after(attempt) {
-                    Some(wait) => {
-                        tel.connect_retries.inc();
-                        tel.backoff_ms.add(wait.as_millis() as u64);
-                        std::thread::sleep(wait);
-                        attempt += 1;
+                Err(_) => {
+                    if !retry.retries_left(attempt) {
+                        return Err(TcpError::ConnectExhausted(id));
                     }
-                    None => return Err(TcpError::ConnectExhausted(id)),
-                },
+                    let wait = backoff.next_delay();
+                    tel.connect_retries.inc();
+                    tel.backoff_ms.add(wait.as_millis() as u64);
+                    std::thread::sleep(wait);
+                    attempt += 1;
+                }
             }
         }
     }

@@ -36,6 +36,11 @@ pub enum WireError {
     BadTag(&'static str, u8),
     /// Magic byte mismatch (not an AutoMon frame or wrong version).
     BadMagic(u8),
+    /// Frame larger than [`MAX_FRAME_LEN`]: either a hostile/corrupt
+    /// length prefix on the read side, or a payload too large for the
+    /// u32 prefix on the write side (which would otherwise truncate
+    /// silently on the `as u32` cast).
+    Oversized(usize),
 }
 
 impl std::fmt::Display for WireError {
@@ -44,11 +49,40 @@ impl std::fmt::Display for WireError {
             WireError::Truncated => write!(f, "truncated frame"),
             WireError::BadTag(what, t) => write!(f, "bad {what} tag {t:#x}"),
             WireError::BadMagic(m) => write!(f, "bad magic {m:#x}"),
+            WireError::Oversized(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+/// Hard cap on a single frame's payload length. Generous for the
+/// protocol (the largest message, a d×d quadratic-curvature install at
+/// d = 1000, is ~8 MB) yet small enough that a corrupt or hostile u32
+/// length prefix cannot demand a multi-gigabyte allocation.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Validate a frame length against [`MAX_FRAME_LEN`] and fold it into
+/// the u32 length prefix. Every writer must funnel through here: the
+/// bare `len as u32` cast it replaces silently truncated frames above
+/// 4 GiB into garbage prefixes.
+pub fn frame_len_prefix(len: usize) -> Result<u32, WireError> {
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized(len));
+    }
+    Ok(len as u32)
+}
+
+/// Validate a decoded u32 length prefix before any allocation.
+pub fn check_frame_len(len: u32) -> Result<usize, WireError> {
+    let n = len as usize;
+    if n > MAX_FRAME_LEN {
+        return Err(WireError::Oversized(n));
+    }
+    Ok(n)
+}
 
 // --- Exact frame sizing -------------------------------------------------
 //
@@ -891,6 +925,31 @@ mod tests {
     fn error_display() {
         assert_eq!(WireError::Truncated.to_string(), "truncated frame");
         assert!(WireError::BadMagic(7).to_string().contains("0x7"));
+        assert!(WireError::Oversized(usize::MAX)
+            .to_string()
+            .contains("exceeds"));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_not_truncated() {
+        // Write side: a payload longer than the cap must refuse to
+        // produce a prefix instead of silently wrapping on `as u32`.
+        assert!(frame_len_prefix(MAX_FRAME_LEN).is_ok());
+        assert_eq!(
+            frame_len_prefix(MAX_FRAME_LEN + 1),
+            Err(WireError::Oversized(MAX_FRAME_LEN + 1))
+        );
+        // The historical failure mode: 2^32 + 5 used to cast to a
+        // 5-byte prefix, shearing the stream out of frame sync.
+        let wrapped = (1usize << 32) + 5;
+        assert_eq!(frame_len_prefix(wrapped), Err(WireError::Oversized(wrapped)));
+
+        // Read side: a hostile prefix is rejected before allocation.
+        assert_eq!(check_frame_len(1024).unwrap(), 1024);
+        assert_eq!(
+            check_frame_len(u32::MAX),
+            Err(WireError::Oversized(u32::MAX as usize))
+        );
     }
 }
 

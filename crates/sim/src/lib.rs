@@ -25,6 +25,7 @@ pub mod baselines;
 pub mod chaos;
 mod fleet_runner;
 pub mod hybrid;
+pub mod netsim;
 mod runner;
 mod stats;
 mod workload;
@@ -33,6 +34,7 @@ pub use baselines::{run_centralization, run_convex_bound, run_periodic, Baseline
 pub use chaos::{ChaosReport, ChaosSimulation};
 pub use fleet_runner::{FleetReport, FleetSimulation};
 pub use hybrid::{run_hybrid, HybridConfig, HybridStats};
+pub use netsim::{NetRunReport, NetSimulation};
 pub use runner::Simulation;
 pub use stats::{RunStats, TracePoint};
 pub use workload::Workload;

@@ -30,6 +30,15 @@
 # number (must stay ≤ 0.5 at 10k streams / 32 shards; the bench binary
 # asserts this itself).
 #
+# The net_throughput bench (NETLINE rows, BENCH_net_throughput.json)
+# blasts real frames over real sockets: reports/sec and syscalls/report
+# for the epoll reactor vs the thread-per-connection transport at 1k
+# and 10k connections (DESIGN.md §3.15). The bench takes best-of-2
+# internally; the snapshot gate requires the reactor to hold ≥2.5×
+# threaded reports/sec and ≥10× fewer syscalls/report at 1k conns —
+# regression floors under the 3–4× wall-clock the shared-core container
+# typically measures.
+#
 # Usage: scripts/bench_snapshot.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -155,4 +164,69 @@ with open(out_path, "w") as fh:
 worst = max(ratios.values()) if ratios else float("nan")
 print(f"wrote {out_path}: {len(current)} values, worst root/flat ratio {worst:.4f}"
       + (" (rotated previous snapshot)" if previous else ""))
+PYEOF
+
+# Net throughput: real-socket blast, NETLINE rows (best-of-2 inside the
+# bench binary, so one outer run).
+echo "running net_throughput (sockets, 1 rep) ..." >&2
+cargo bench -q -p automon-bench --bench net_throughput 2>/dev/null \
+    | grep '^NETLINE' > "$RAW"
+BENCH_HOST_UNAME=$(uname -srm) BENCH_HOST_CORES=$(nproc) \
+    python3 - "$RAW" BENCH_net_throughput.json <<'PYEOF'
+import json
+import os
+import sys
+from datetime import datetime, timezone
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+
+current = {}
+with open(raw_path) as fh:
+    for line in fh:
+        # NETLINE net_throughput/<backend>/<conns>/<metric> value <float>
+        parts = line.split()
+        if len(parts) == 4 and parts[0] == "NETLINE" and parts[2] == "value":
+            current[parts[1]] = float(parts[3])
+
+if not current:
+    sys.exit("bench_snapshot: no NETLINE output captured")
+
+speedup = current.get("net_throughput/reactor_over_threaded/conns1000/speedup", 0.0)
+syscall_ratio = current.get(
+    "net_throughput/reactor_over_threaded/conns1000/syscall_ratio", 0.0
+)
+if speedup < 2.5:
+    sys.exit(f"bench_snapshot: reactor speedup {speedup:.2f}x below 2.5x floor")
+if syscall_ratio < 10.0:
+    sys.exit(
+        f"bench_snapshot: reactor syscall advantage {syscall_ratio:.1f}x below 10x floor"
+    )
+
+previous = None
+try:
+    with open(out_path) as fh:
+        previous = json.load(fh).get("current")
+except (FileNotFoundError, json.JSONDecodeError):
+    pass
+
+snapshot = {
+    "unit": "reports/sec, syscalls/report, and ratios",
+    "protocol": "best-of-2 socket blasts; speedup >= 2.5 and syscall_ratio >= 10 at 1k conns",
+    "captured_at": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "host": {
+        "uname": os.environ.get("BENCH_HOST_UNAME", "unknown"),
+        "cores": int(os.environ.get("BENCH_HOST_CORES", "0")),
+    },
+    "benches": ["net_throughput"],
+    "previous": previous,
+    "current": dict(sorted(current.items())),
+}
+with open(out_path, "w") as fh:
+    json.dump(snapshot, fh, indent=2)
+    fh.write("\n")
+print(
+    f"wrote {out_path}: {len(current)} values, "
+    f"speedup {speedup:.2f}x, syscall ratio {syscall_ratio:.1f}x"
+    + (" (rotated previous snapshot)" if previous else "")
+)
 PYEOF

@@ -44,6 +44,13 @@
 #      exits 0), the combined two-tier ledger must conserve the fleet's
 #      message/byte totals, and the root tier must carry fewer messages
 #      than the leaf tier (DESIGN.md §3.14).
+#  12. net runtime smoke — (a) reactor determinism: the sim-poller
+#      backend under frame-level chaos must give a byte-identical
+#      --trace-out and identical stats for the same seeds; (b) backend
+#      parity: the threaded and reactor socket backends must produce
+#      identical protocol stats for the same workload seed — the
+#      transport must not change what the monitor computes
+#      (DESIGN.md §3.15).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -289,5 +296,48 @@ print(f"    two-tier ledger conserves {msgs} msgs / {nbytes} bytes; "
       f"root {report['root_messages']} vs leaf {report['leaf_messages']} msgs")
 PYEOF
 echo "    fleet run byte-deterministic under faults; trace diff clean"
+
+echo "==> net runtime smoke (sim determinism + threaded/reactor parity)"
+NET_SIM_ARGS=(net-smoke --net-backend sim --nodes 4 --rounds 60
+    --dim 2 --seed 5 --epsilon 0.4
+    --chaos-seed 9 --drop-rate 0.1 --duplicate-rate 0.05 --delay-rate 0.05)
+net_a=$(cargo run --release -q -p automon-cli -- "${NET_SIM_ARGS[@]}" \
+    --trace-out "$TDIR/net-a.jsonl")
+net_b=$(cargo run --release -q -p automon-cli -- "${NET_SIM_ARGS[@]}" \
+    --trace-out "$TDIR/net-b.jsonl")
+if [[ "$net_a" != "$net_b" ]]; then
+    echo "FAIL: identical net-smoke sim runs produced different reports" >&2
+    diff <(printf '%s\n' "$net_a") <(printf '%s\n' "$net_b") >&2 || true
+    exit 1
+fi
+if ! cmp -s "$TDIR/net-a.jsonl" "$TDIR/net-b.jsonl"; then
+    echo "FAIL: sim-poller traces differ for the same seeds" >&2
+    diff "$TDIR/net-a.jsonl" "$TDIR/net-b.jsonl" >&2 || true
+    exit 1
+fi
+echo "    sim backend byte-deterministic under frame-level chaos"
+
+NET_PAR_ARGS=(net-smoke --nodes 4 --rounds 40 --dim 2 --seed 3 --epsilon 0.4)
+net_thr=$(cargo run --release -q -p automon-cli -- "${NET_PAR_ARGS[@]}" \
+    --net-backend threaded)
+net_rea=$(cargo run --release -q -p automon-cli -- "${NET_PAR_ARGS[@]}" \
+    --net-backend reactor)
+python3 - <<PYEOF
+import json, sys
+
+thr = json.loads("""${net_thr}""")["stats"]
+rea = json.loads("""${net_rea}""")["stats"]
+if thr != rea:
+    print("FAIL: threaded and reactor backends disagree on protocol stats",
+          file=sys.stderr)
+    for k in sorted(set(thr) | set(rea)):
+        if thr.get(k) != rea.get(k):
+            print(f"  {k}: threaded={thr.get(k)!r} reactor={rea.get(k)!r}",
+                  file=sys.stderr)
+    sys.exit(1)
+print(f"    threaded == reactor: {thr['reports']} reports, "
+      f"{thr['full_syncs']} full syncs, {thr['lazy_syncs']} lazy syncs")
+PYEOF
+echo "    socket backends protocol-identical for the same seed"
 
 echo "==> CI green"
